@@ -1,0 +1,498 @@
+(* xpdltool — the XPDL processing tool as a command-line interface.
+
+   Subcommands mirror the toolchain stages of Sec. IV:
+
+     list        index the repository and list descriptors
+     validate    parse + elaborate + validate one descriptor or system
+     compose     resolve references, expand groups, print the instance tree
+     analyze     static analysis report (effective bandwidths, components)
+     process     full pipeline -> runtime-model file (with bootstrap)
+     query       load a runtime-model file and answer queries
+     control     derive the control relation and match platform patterns
+     emit-cpp    generate the C++ query-API header from the schema
+     emit-uml    emit the PlantUML view (meta-model or a composed system)
+     emit-xsd    emit the xpdl.xsd schema document
+     emit-drivers  generate microbenchmark driver code for a system
+     to-pdl      downgrade a composed system to a PEPPHER PDL document *)
+
+open Cmdliner
+open Xpdl_core
+
+let setup_logs () =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ())
+
+let repo_of_paths paths =
+  let repo = Xpdl_repo.Repo.create () in
+  let paths =
+    match paths with
+    | [] -> (
+        match Xpdl_repo.Repo.locate_models () with
+        | Some d -> [ d ]
+        | None -> [])
+    | ps -> ps
+  in
+  List.iter (Xpdl_repo.Repo.add_root repo) paths;
+  repo
+
+let models_arg =
+  let doc = "Repository root directory (repeatable); defaults to ./models." in
+  Arg.(value & opt_all dir [] & info [ "m"; "models" ] ~docv:"DIR" ~doc)
+
+let system_arg =
+  let doc = "Name (id) of the concrete system model." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SYSTEM" ~doc)
+
+let report_diags diags =
+  List.iter (fun d -> Fmt.epr "%a@." Diagnostic.pp d) diags;
+  if Diagnostic.all_ok diags then 0 else 1
+
+(* Parse --set key=value deployment overrides; numeric values may carry
+   a unit suffix separated by a colon (L1size=32:KB). *)
+let parse_config (kvs : string list) : (Xpdl_core.Instantiate.env, string) result =
+  let parse kv =
+    match String.index_opt kv '=' with
+    | None -> Error (Fmt.str "malformed --set %S (expected key=value)" kv)
+    | Some i -> (
+        let key = String.sub kv 0 i in
+        let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+        match String.index_opt v ':' with
+        | Some j -> (
+            let num = String.sub v 0 j and u = String.sub v (j + 1) (String.length v - j - 1) in
+            match Xpdl_units.Units.of_string_opt num u with
+            | Some q -> Ok (key, Xpdl_expr.Expr.Num (Xpdl_units.Units.value q))
+            | None -> Error (Fmt.str "--set %s: cannot parse %S as a quantity" key v))
+        | None -> (
+            match float_of_string_opt v with
+            | Some f -> Ok (key, Xpdl_expr.Expr.Num f)
+            | None -> Ok (key, Xpdl_expr.Expr.Str v)))
+  in
+  List.fold_left
+    (fun acc kv ->
+      match (acc, parse kv) with
+      | Ok l, Ok b -> Ok (l @ [ b ])
+      | (Error _ as e), _ -> e
+      | _, (Error _ as e) -> Error (Result.get_error e |> Fmt.str "%s"))
+    (Ok []) kvs
+
+let set_arg =
+  let doc =
+    "Deployment-time parameter override, key=value (repeatable); quantities as value:unit,      e.g. --set L1size=16:KB."
+  in
+  Arg.(value & opt_all string [] & info [ "s"; "set" ] ~docv:"KEY=VALUE" ~doc)
+
+
+(* --- list --- *)
+
+let list_cmd =
+  let run paths =
+    setup_logs ();
+    let repo = repo_of_paths paths in
+    List.iter
+      (fun ident ->
+        match Xpdl_repo.Repo.find_entry repo ident with
+        | Some e ->
+            Fmt.pr "%-28s %-14s %s@." ident
+              (Schema.tag_of_kind e.Xpdl_repo.Repo.ent_element.Model.kind)
+              e.Xpdl_repo.Repo.ent_file
+        | None -> ())
+      (Xpdl_repo.Repo.identifiers repo);
+    Fmt.pr "%d descriptors@." (Xpdl_repo.Repo.size repo);
+    report_diags (Diagnostic.errors (Xpdl_repo.Repo.diagnostics repo))
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List all descriptors in the model repository")
+    Term.(const run $ models_arg)
+
+(* --- validate --- *)
+
+let validate_cmd =
+  let run paths name =
+    setup_logs ();
+    let repo = repo_of_paths paths in
+    match Xpdl_repo.Repo.find repo name with
+    | None ->
+        Fmt.epr "no descriptor %S@." name;
+        1
+    | Some e ->
+        let diags = Validate.run ~lookup:(Xpdl_repo.Repo.lookup repo) e in
+        if diags = [] then Fmt.pr "%s: OK@." name;
+        report_diags diags
+  in
+  Cmd.v (Cmd.info "validate" ~doc:"Validate a descriptor against the schema")
+    Term.(const run $ models_arg $ system_arg)
+
+(* --- validate-all --- *)
+
+let validate_all_cmd =
+  let run paths =
+    setup_logs ();
+    let repo = repo_of_paths paths in
+    let failures = ref 0 in
+    List.iter
+      (fun ident ->
+        match Xpdl_repo.Repo.find repo ident with
+        | None -> ()
+        | Some e ->
+            (* concrete systems are validated on their composed form
+               (endpoints like "n1" only exist after group expansion);
+               component descriptors are validated as written *)
+            let diags =
+              if Schema.equal_kind e.Model.kind Schema.System then
+                match Xpdl_repo.Repo.compose_by_name repo ident with
+                | Ok c -> Diagnostic.errors c.Xpdl_repo.Repo.comp_diags
+                | Error msg -> [ Diagnostic.error "%s" msg ]
+              else
+                List.filter Diagnostic.is_error
+                  (Validate.run ~lookup:(Xpdl_repo.Repo.lookup repo) e)
+            in
+            if diags <> [] then begin
+              incr failures;
+              Fmt.pr "%-28s FAIL@." ident;
+              List.iter (fun d -> Fmt.epr "  %a@." Diagnostic.pp d) diags
+            end)
+      (Xpdl_repo.Repo.identifiers repo);
+    Fmt.pr "%d descriptors checked, %d with errors@." (Xpdl_repo.Repo.size repo) !failures;
+    if !failures = 0 && Diagnostic.all_ok (Xpdl_repo.Repo.diagnostics repo) then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "validate-all" ~doc:"Validate every descriptor in the repository")
+    Term.(const run $ models_arg)
+
+(* --- compose --- *)
+
+let compose_cmd =
+  let summary =
+    let doc = "Print a summary instead of the full instance tree." in
+    Arg.(value & flag & info [ "summary" ] ~doc)
+  in
+  let run paths name summary_only sets =
+    setup_logs ();
+    let repo = repo_of_paths paths in
+    match parse_config sets with
+    | Error msg ->
+        Fmt.epr "%s@." msg;
+        1
+    | Ok config -> (
+    match Xpdl_repo.Repo.compose_by_name ~config repo name with
+    | Error msg ->
+        Fmt.epr "%s@." msg;
+        1
+    | Ok c ->
+        if summary_only then begin
+          Fmt.pr "%s: %d elements, %d cores, %.1f W static, %d descriptors used@." name
+            (Model.size c.Xpdl_repo.Repo.model)
+            (List.length (Model.hardware_elements_of_kind Schema.Core c.Xpdl_repo.Repo.model))
+            (Xpdl_simhw.Machine.total_static_power c.Xpdl_repo.Repo.model)
+            (List.length c.Xpdl_repo.Repo.descriptors_used)
+        end
+        else
+          Fmt.pr "%s@."
+            (Xpdl_xml.Print.to_string (Model.to_xml c.Xpdl_repo.Repo.model));
+        report_diags c.Xpdl_repo.Repo.comp_diags)
+  in
+  Cmd.v (Cmd.info "compose" ~doc:"Compose a concrete system from the repository")
+    Term.(const run $ models_arg $ system_arg $ summary $ set_arg)
+
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let run paths name =
+    setup_logs ();
+    let repo = repo_of_paths paths in
+    match Xpdl_repo.Repo.compose_by_name repo name with
+    | Error msg ->
+        Fmt.epr "%s@." msg;
+        1
+    | Ok c ->
+        let _, reports = Xpdl_toolchain.Analysis.effective_bandwidths c.Xpdl_repo.Repo.model in
+        Fmt.pr "interconnect analysis for %s:@." name;
+        List.iter
+          (fun (r : Xpdl_toolchain.Analysis.link_report) ->
+            Fmt.pr "  %-14s %-10s -> %-10s declared %s effective %s%s@."
+              r.lr_ident
+              (Option.value ~default:"?" r.lr_head)
+              (Option.value ~default:"?" r.lr_tail)
+              (match r.lr_declared with
+              | Some b -> Fmt.str "%.2f GiB/s" (b /. (1024. ** 3.))
+              | None -> "-")
+              (match r.lr_effective with
+              | Some b -> Fmt.str "%.2f GiB/s" (b /. (1024. ** 3.))
+              | None -> "-")
+              (if r.lr_downgraded then "  [DOWNGRADED]" else ""))
+          reports;
+        let g = Xpdl_toolchain.Analysis.build_graph c.Xpdl_repo.Repo.model in
+        let comps = Xpdl_toolchain.Analysis.connected_components g in
+        Fmt.pr "communication graph: %d nodes, %d components@." (List.length g.g_nodes)
+          (List.length comps);
+        0
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Static analysis of a composed system")
+    Term.(const run $ models_arg $ system_arg)
+
+(* --- process --- *)
+
+let process_cmd =
+  let output =
+    let doc = "Output runtime-model file." in
+    Arg.(value & opt string "runtime_model.xrt" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let no_bootstrap =
+    let doc = "Skip the microbenchmarking bootstrap." in
+    Arg.(value & flag & info [ "no-bootstrap" ] ~doc)
+  in
+  let drivers =
+    let doc = "Also emit microbenchmark driver code into $(docv)." in
+    Arg.(value & opt (some string) None & info [ "emit-drivers" ] ~docv:"DIR" ~doc)
+  in
+  let run paths name output no_bootstrap drivers sets =
+    setup_logs ();
+    let repo = repo_of_paths paths in
+    match parse_config sets with
+    | Error msg ->
+        Fmt.epr "%s@." msg;
+        1
+    | Ok parameter_config -> (
+    let config =
+      {
+        Xpdl_toolchain.Pipeline.default_config with
+        run_bootstrap = not no_bootstrap;
+        emit_drivers_to = drivers;
+        parameter_config;
+      }
+    in
+    match Xpdl_toolchain.Pipeline.run_to_file ~config ~repo ~system:name ~output () with
+    | Error msg ->
+        Fmt.epr "%s@." msg;
+        1
+    | Ok report ->
+        Fmt.pr "%s -> %s (%d nodes, %d bytes)@." name output
+          (Xpdl_toolchain.Ir.size report.Xpdl_toolchain.Pipeline.runtime_model)
+          report.Xpdl_toolchain.Pipeline.runtime_model_bytes;
+        Fmt.pr "%a" Xpdl_toolchain.Pipeline.pp_timings report.Xpdl_toolchain.Pipeline.timings;
+        List.iter
+          (fun (r : Xpdl_microbench.Bootstrap.result) ->
+            Fmt.pr "  derived %-10s = %a@." r.instruction Xpdl_microbench.Stats.pp_summary
+              r.energy)
+          report.Xpdl_toolchain.Pipeline.bootstrap_results;
+        report_diags report.Xpdl_toolchain.Pipeline.diagnostics)
+  in
+  Cmd.v
+    (Cmd.info "process" ~doc:"Run the full pipeline and write the runtime model")
+    Term.(const run $ models_arg $ system_arg $ output $ no_bootstrap $ drivers $ set_arg)
+
+(* --- query --- *)
+
+let query_cmd =
+  let file =
+    let doc = "Runtime-model file produced by $(b,process)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let expr =
+    let doc =
+      "Query: one of cores, cuda-devices, static-power, memory, software, \
+       id:<ident>, path:<path>, prop:<name>, bw:<link>."
+    in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY" ~doc)
+  in
+  let run file expr =
+    setup_logs ();
+    let q = Xpdl_query.Query.init file in
+    let starts_with prefix s =
+      String.length s > String.length prefix && String.sub s 0 (String.length prefix) = prefix
+    in
+    let after prefix s = String.sub s (String.length prefix) (String.length s - String.length prefix) in
+    (match expr with
+    | "cores" -> Fmt.pr "%d@." (Xpdl_query.Query.count_cores q)
+    | "cuda-devices" -> Fmt.pr "%d@." (Xpdl_query.Query.count_cuda_devices q)
+    | "static-power" -> Fmt.pr "%.2f W@." (Xpdl_query.Query.total_static_power q)
+    | "memory" -> Fmt.pr "%.2f GiB@." (Xpdl_query.Query.total_memory_bytes q /. (1024. ** 3.))
+    | "software" ->
+        List.iter
+          (fun e ->
+            Fmt.pr "%s@."
+              (Option.value ~default:"?"
+                 (match Xpdl_query.Query.type_of e with
+                 | Some t -> Some t
+                 | None -> Xpdl_query.Query.ident e)))
+          (Xpdl_query.Query.installed_software q)
+    | s when starts_with "id:" s -> (
+        match Xpdl_query.Query.find_by_id q (after "id:" s) with
+        | Some e ->
+            Fmt.pr "%s kind=%s type=%s@." (Xpdl_query.Query.path e)
+              (Schema.tag_of_kind (Xpdl_query.Query.kind e))
+              (Option.value ~default:"-" (Xpdl_query.Query.type_of e))
+        | None -> Fmt.pr "not found@.")
+    | s when starts_with "path:" s -> (
+        match Xpdl_query.Query.find_by_path q (after "path:" s) with
+        | Some e -> Fmt.pr "%s@." (Option.value ~default:"?" (Xpdl_query.Query.ident e))
+        | None -> Fmt.pr "not found@.")
+    | s when starts_with "prop:" s ->
+        Fmt.pr "%s@."
+          (Option.value ~default:"(unset)" (Xpdl_query.Query.property q (after "prop:" s)))
+    | s when starts_with "bw:" s -> (
+        match Xpdl_query.Query.link_bandwidth q (after "bw:" s) with
+        | Some b -> Fmt.pr "%.2f GiB/s@." (b /. (1024. ** 3.))
+        | None -> Fmt.pr "unknown link@.")
+    | other -> Fmt.epr "unknown query %S@." other);
+    0
+  in
+  Cmd.v (Cmd.info "query" ~doc:"Query a runtime-model file") Term.(const run $ file $ expr)
+
+(* --- emit-cpp --- *)
+
+let emit_cpp_cmd =
+  let run () =
+    print_string (Xpdl_toolchain.Cpp_codegen.generate_header ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "emit-cpp" ~doc:"Generate the C++ query-API header from the schema")
+    Term.(const run $ const ())
+
+(* --- emit-drivers --- *)
+
+let emit_drivers_cmd =
+  let dir =
+    let doc = "Output directory for generated driver sources." in
+    Arg.(value & opt string "drivers" & info [ "d"; "dir" ] ~docv:"DIR" ~doc)
+  in
+  let run paths name dir =
+    setup_logs ();
+    let repo = repo_of_paths paths in
+    match Xpdl_repo.Repo.compose_by_name repo name with
+    | Error msg ->
+        Fmt.epr "%s@." msg;
+        1
+    | Ok c ->
+        let pm = Power.of_element c.Xpdl_repo.Repo.model in
+        List.iter
+          (fun suite ->
+            let files = Xpdl_microbench.Driver.emit_suite ~dir suite in
+            Fmt.pr "suite %s: %a@." suite.Power.su_id Fmt.(list ~sep:comma string) files)
+          pm.Power.pm_suites;
+        0
+  in
+  Cmd.v
+    (Cmd.info "emit-drivers" ~doc:"Generate microbenchmark driver code for a system")
+    Term.(const run $ models_arg $ system_arg $ dir)
+
+(* --- emit-uml --- *)
+
+let emit_uml_cmd =
+  let target =
+    let doc = "'metamodel' for the language class diagram, or a system name for an object diagram." in
+    Arg.(value & pos 0 string "metamodel" & info [] ~docv:"TARGET" ~doc)
+  in
+  let depth =
+    let doc = "Object-diagram depth cutoff." in
+    Arg.(value & opt int 3 & info [ "depth" ] ~doc)
+  in
+  let run paths target depth =
+    setup_logs ();
+    if String.equal target "metamodel" then begin
+      print_string (Xpdl_toolchain.Uml.metamodel_diagram ());
+      0
+    end
+    else
+      let repo = repo_of_paths paths in
+      match Xpdl_repo.Repo.compose_by_name repo target with
+      | Error msg ->
+          Fmt.epr "%s@." msg;
+          1
+      | Ok c ->
+          print_string
+            (Xpdl_toolchain.Uml.model_diagram ~max_depth:depth c.Xpdl_repo.Repo.model);
+          0
+  in
+  Cmd.v
+    (Cmd.info "emit-uml" ~doc:"Emit the PlantUML view (meta-model or a composed system)")
+    Term.(const run $ models_arg $ target $ depth)
+
+(* --- emit-xsd --- *)
+
+let emit_xsd_cmd =
+  let run () =
+    print_string (Xpdl_toolchain.Xsd.generate ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "emit-xsd" ~doc:"Emit the xpdl.xsd schema document generated from the core schema")
+    Term.(const run $ const ())
+
+(* --- control --- *)
+
+let control_cmd =
+  let run paths name =
+    setup_logs ();
+    let repo = repo_of_paths paths in
+    match Xpdl_repo.Repo.compose_by_name repo name with
+    | Error msg ->
+        Fmt.epr "%s@." msg;
+        1
+    | Ok c -> (
+        match Control.derive c.Xpdl_repo.Repo.model with
+        | tree ->
+            Fmt.pr "%a@." Control.pp_tree tree;
+            (match Control.classify tree with
+            | Some pat -> Fmt.pr "matches platform pattern: %s@." pat.Control.pat_name
+            | None -> Fmt.pr "matches no canonical platform pattern@.");
+            0
+        | exception Control.Control_error msg ->
+            Fmt.epr "%s@." msg;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "control"
+       ~doc:"Derive the control relation (master/hybrid/worker) and match platform patterns")
+    Term.(const run $ models_arg $ system_arg)
+
+(* --- to-json --- *)
+
+let to_json_cmd =
+  let run paths name =
+    setup_logs ();
+    let repo = repo_of_paths paths in
+    match Xpdl_repo.Repo.compose_by_name repo name with
+    | Error msg ->
+        Fmt.epr "%s@." msg;
+        1
+    | Ok c ->
+        print_string (Xpdl_toolchain.Json.to_string c.Xpdl_repo.Repo.model);
+        0
+  in
+  Cmd.v
+    (Cmd.info "to-json" ~doc:"Render a composed system as JSON (the HPP-DL style view)")
+    Term.(const run $ models_arg $ system_arg)
+
+(* --- to-pdl --- *)
+
+let to_pdl_cmd =
+  let run paths name =
+    setup_logs ();
+    let repo = repo_of_paths paths in
+    match Xpdl_repo.Repo.compose_by_name repo name with
+    | Error msg ->
+        Fmt.epr "%s@." msg;
+        1
+    | Ok c ->
+        print_string (Xpdl_pdl.Pdl.to_string (Xpdl_pdl.Pdl.of_xpdl c.Xpdl_repo.Repo.model));
+        0
+  in
+  Cmd.v
+    (Cmd.info "to-pdl" ~doc:"Downgrade a composed system to a PEPPHER PDL document")
+    Term.(const run $ models_arg $ system_arg)
+
+let () =
+  let info =
+    Cmd.info "xpdltool" ~version:"1.0.0"
+      ~doc:"The XPDL platform-description toolchain (ICPP-EMS 2015 reproduction)"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            list_cmd; validate_cmd; validate_all_cmd; compose_cmd; analyze_cmd; process_cmd;
+            query_cmd;
+            emit_cpp_cmd; emit_uml_cmd; emit_xsd_cmd; emit_drivers_cmd; control_cmd;
+            to_pdl_cmd; to_json_cmd;
+          ]))

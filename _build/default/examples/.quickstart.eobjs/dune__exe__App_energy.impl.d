@@ -1,0 +1,1 @@
+examples/app_energy.ml: Account Fmt List Predict Xpdl_energy Xpdl_microbench Xpdl_repo Xpdl_simhw

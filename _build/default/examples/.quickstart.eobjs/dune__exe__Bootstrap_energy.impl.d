@@ -1,0 +1,1 @@
+examples/bootstrap_energy.ml: Array Fmt List Model Option Power Schema String Xpdl_core Xpdl_microbench Xpdl_repo Xpdl_simhw Xpdl_units

@@ -1,0 +1,1 @@
+examples/bootstrap_energy.mli:

@@ -1,0 +1,1 @@
+examples/cluster_energy.ml: Float Fmt List Model Power String Xpdl_core Xpdl_energy Xpdl_repo Xpdl_toolchain

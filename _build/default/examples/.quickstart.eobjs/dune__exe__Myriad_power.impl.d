@@ -1,0 +1,1 @@
+examples/myriad_power.ml: Domains Fmt List Option Power Psm Xpdl_core Xpdl_energy Xpdl_repo

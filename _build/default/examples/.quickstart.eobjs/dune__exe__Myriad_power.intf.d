@@ -1,0 +1,1 @@
+examples/myriad_power.mli:

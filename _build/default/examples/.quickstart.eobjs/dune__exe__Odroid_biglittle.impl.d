@@ -1,0 +1,1 @@
+examples/odroid_biglittle.ml: Control Fmt List Model Power Schema Xpdl_core Xpdl_energy Xpdl_microbench Xpdl_repo Xpdl_simhw

@@ -1,0 +1,1 @@
+examples/odroid_biglittle.mli:

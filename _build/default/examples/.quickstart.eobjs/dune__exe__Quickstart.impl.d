@@ -1,0 +1,1 @@
+examples/quickstart.ml: Filename Fmt List Option Sys Xpdl_query Xpdl_repo Xpdl_toolchain

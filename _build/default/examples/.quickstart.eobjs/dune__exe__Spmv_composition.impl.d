@@ -1,0 +1,1 @@
+examples/spmv_composition.ml: Compose Float Fmt List Option Spmv Xpdl_compose Xpdl_query Xpdl_repo Xpdl_simhw

@@ -1,0 +1,74 @@
+(* Hierarchical energy modeling and DVFS optimization on the XScluster
+   (Listing 11 + Sec. III-C/D).
+
+   - synthesized static power, aggregated bottom-up over the model tree,
+     with a per-component breakdown;
+   - interconnect analysis: effective bandwidths and widest paths;
+   - DVFS planning on the Xeon power state machine: race-to-idle vs pace
+     vs the optimal two-speed schedule, across deadlines.
+
+   Run with:  dune exec examples/cluster_energy.exe *)
+
+open Xpdl_core
+
+let () =
+  let repo = Xpdl_repo.Repo.load_bundled () in
+  let cluster =
+    match Xpdl_repo.Repo.compose_by_name repo "XScluster" with
+    | Ok c -> c.Xpdl_repo.Repo.model
+    | Error msg -> failwith msg
+  in
+  Fmt.pr "XScluster composed: %d model elements, %d cores@." (Model.size cluster)
+    (Xpdl_energy.Aggregate.core_count cluster);
+
+  (* --- synthesized static power (Sec. III-D) --- *)
+  let total, table = Xpdl_energy.Aggregate.static_power_breakdown cluster in
+  Fmt.pr "@.total static power: %.1f W@." total;
+  Fmt.pr "per-node shares:@.";
+  List.iter
+    (fun (path, w) ->
+      (* print the four node scopes only *)
+      if String.length path = String.length "XScluster/nX"
+         && String.sub path 0 11 = "XScluster/n" then
+        Fmt.pr "  %-14s %7.2f W@." path w)
+    table;
+  let metered = total +. 55. in
+  Fmt.pr "external meter reads %.1f W -> unmodeled (motherboards etc.): %.1f W@." metered
+    (Xpdl_energy.Aggregate.unmodeled_share ~measured_total:metered cluster);
+
+  (* --- interconnect analysis --- *)
+  let _, reports = Xpdl_toolchain.Analysis.effective_bandwidths cluster in
+  Fmt.pr "@.interconnects: %d links analyzed, %d downgraded@." (List.length reports)
+    (List.length (List.filter (fun r -> r.Xpdl_toolchain.Analysis.lr_downgraded) reports));
+  let g = Xpdl_toolchain.Analysis.build_graph cluster in
+  List.iter
+    (fun (src, dst) ->
+      match Xpdl_toolchain.Analysis.path_bandwidth g ~src ~dst with
+      | Some bw -> Fmt.pr "  widest path %s -> %s: %.1f GiB/s@." src dst (bw /. (1024. ** 3.))
+      | None -> Fmt.pr "  %s -> %s: unreachable@." src dst)
+    [ ("n0", "n2"); ("cpu1", "gpu2") ];
+
+  (* --- DVFS planning on the node CPU's power state machine --- *)
+  let pm = Power.of_element cluster in
+  let sm =
+    List.find (fun m -> m.Power.sm_name = "E5_2630L_psm") pm.Power.pm_machines
+  in
+  Fmt.pr "@.DVFS planning on %s (%d states, %d transitions)@." sm.Power.sm_name
+    (List.length sm.Power.sm_states)
+    (List.length sm.Power.sm_transitions);
+  let cycles = 2.0e9 in
+  List.iter
+    (fun deadline ->
+      Fmt.pr "  job of %.1fG cycles, deadline %.2f s:@." (cycles /. 1e9) deadline;
+      let cmp = Xpdl_energy.Dvfs.compare_policies sm ~start:"P3" ~cycles ~deadline in
+      List.iter (fun p -> Fmt.pr "    %a@." Xpdl_energy.Dvfs.pp_plan p) cmp.Xpdl_energy.Dvfs.plans;
+      match cmp.Xpdl_energy.Dvfs.plans with
+      | best :: _ :: _ ->
+          let worst =
+            List.fold_left (fun acc p -> Float.max acc p.Xpdl_energy.Dvfs.total_energy) 0.
+              cmp.Xpdl_energy.Dvfs.plans
+          in
+          Fmt.pr "    -> optimal saves %.1f%% vs the worst policy@."
+            (100. *. (1. -. (best.Xpdl_energy.Dvfs.total_energy /. worst)))
+      | _ -> ())
+    [ 1.05; 1.4; 2.5 ]

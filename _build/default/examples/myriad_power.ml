@@ -1,0 +1,68 @@
+(* Power domains and power states of the Movidius Myriad1 (Listings 12
+   and 4-6): the embedded end of XPDL's range.
+
+   Walks the domain structure, demonstrates the switching rules — the
+   Leon island can never be switched off; the CMX scratchpad island only
+   after all 8 Shave islands — and simulates a duty-cycled workload on
+   the per-Shave power state machine.
+
+   Run with:  dune exec examples/myriad_power.exe *)
+
+open Xpdl_core
+open Xpdl_energy
+
+let () =
+  let repo = Xpdl_repo.Repo.load_bundled () in
+  let server =
+    match Xpdl_repo.Repo.compose_by_name repo "myriad_server" with
+    | Ok c -> c.Xpdl_repo.Repo.model
+    | Error msg -> failwith msg
+  in
+  let domains = Option.get (Domains.of_model server) in
+  Fmt.pr "power domains of the Myriad server:@.";
+  List.iter
+    (fun (name, st) ->
+      Fmt.pr "  %-12s %s@." name (match st with Domains.On -> "on" | Domains.Off -> "off"))
+    (Domains.snapshot domains);
+
+  Fmt.pr "@.idle power, everything on: %.3f W@." (Domains.idle_power domains);
+
+  (* the language rules in action *)
+  (match Domains.switch_off domains "main_pd" with
+  | exception Domains.Switch_error msg -> Fmt.pr "switching main_pd off: REFUSED (%s)@." msg
+  | () -> assert false);
+  (match Domains.switch_off domains "CMX_pd" with
+  | exception Domains.Switch_error msg -> Fmt.pr "switching CMX_pd off:  REFUSED (%s)@." msg
+  | () -> assert false);
+
+  Fmt.pr "@.switching all 8 Shave islands off...@.";
+  Domains.switch_off_group domains "Shave_pds";
+  Fmt.pr "idle power now: %.3f W@." (Domains.idle_power domains);
+  Fmt.pr "switching CMX_pd off (condition now satisfied)...@.";
+  Domains.switch_off domains "CMX_pd";
+  Fmt.pr "idle power now: %.3f W@." (Domains.idle_power domains);
+
+  (* --- power state machine of a Shave core --- *)
+  let pm = Power.of_element server in
+  let sm = List.find (fun m -> m.Power.sm_name = "Shave_psm") pm.Power.pm_machines in
+  Fmt.pr "@.duty-cycled kernel on one Shave (PSM %s):@." sm.Power.sm_name;
+  let psm = Psm.create ~initial:"run" sm in
+  (* 10 bursts of 1.8M cycles (10 ms at 180 MHz) with 40 ms gaps *)
+  for _ = 1 to 10 do
+    ignore (Psm.execute psm ~cycles:1.8e6 ());
+    Psm.switch_to psm "off";
+    Psm.dwell psm ~duration:0.04;
+    Psm.switch_to psm "run"
+  done;
+  Fmt.pr "  with off-gaps: %.1f ms, %.3f mJ, %d switches@." (Psm.clock psm *. 1e3)
+    (Psm.consumed psm *. 1e3) (Psm.switch_count psm);
+
+  let psm2 = Psm.create ~initial:"run" sm in
+  for _ = 1 to 10 do
+    ignore (Psm.execute psm2 ~cycles:1.8e6 ());
+    Psm.dwell psm2 ~duration:0.04
+  done;
+  Fmt.pr "  staying in run:%.1f ms, %.3f mJ, %d switches@." (Psm.clock psm2 *. 1e3)
+    (Psm.consumed psm2 *. 1e3) (Psm.switch_count psm2);
+  Fmt.pr "  -> sleeping between bursts saves %.0f%% energy@."
+    (100. *. (1. -. (Psm.consumed psm /. Psm.consumed psm2)))

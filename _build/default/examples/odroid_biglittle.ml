@@ -1,0 +1,75 @@
+(* An embedded big.LITTLE platform end-to-end: the Odroid-XU3 class board
+   (Samsung Exynos 5422, 4x Cortex-A15 + 4x Cortex-A7).
+
+   Demonstrates the extension surface on top of the paper's core:
+   - heterogeneous clusters as power domains (big may switch off);
+   - model-based time/energy prediction from the bootstrapped model,
+     including a big-vs-LITTLE placement decision;
+   - the lumped-RC thermal extension: how long can the big cluster
+     sustain full power before hitting a thermal limit?
+
+   Run with:  dune exec examples/odroid_biglittle.exe *)
+
+open Xpdl_core
+
+let () =
+  let repo = Xpdl_repo.Repo.load_bundled () in
+  let m =
+    match Xpdl_repo.Repo.compose_by_name repo "odroid_xu3" with
+    | Ok c -> c.Xpdl_repo.Repo.model
+    | Error msg -> failwith msg
+  in
+  Fmt.pr "odroid_xu3: %d elements, %d cores (%d big + %d LITTLE)@." (Model.size m)
+    (List.length (Model.hardware_elements_of_kind Schema.Core m))
+    4 4;
+
+  (* control view *)
+  let tree = Control.derive m in
+  Fmt.pr "%a@." Control.pp_tree tree;
+
+  (* bootstrap the ARMv7 energy table *)
+  let machine = Xpdl_simhw.Machine.create ~seed:5 m in
+  let m, results = Xpdl_microbench.Bootstrap.run ~machine m in
+  Fmt.pr "@.bootstrapped %d ARMv7 instruction energies@." (List.length results);
+
+  (* predict a vector kernel on big vs LITTLE *)
+  let n = 500_000 in
+  let kernel cores =
+    Xpdl_energy.Predict.phase ~memory_accesses:(n / 16) ~parallel_fraction:0.95
+      ~cores_used:cores
+      [ ("vmul", n); ("vadd", n); ("ldr", 2 * n); ("str", n) ]
+  in
+  let tb = Xpdl_energy.Predict.tables_of_model m in
+  let big = Xpdl_energy.Predict.predict tb ~hz:2.0e9 (kernel 4) in
+  let little = Xpdl_energy.Predict.predict tb ~hz:1.4e9 (kernel 4) in
+  Fmt.pr "@.kernel placement (predicted from the platform model):@.";
+  Fmt.pr "  big    cluster at 2.0 GHz: %a@." Xpdl_energy.Predict.pp_prediction big;
+  Fmt.pr "  LITTLE cluster at 1.4 GHz: %a@." Xpdl_energy.Predict.pp_prediction little;
+  Fmt.pr "  -> %s is faster, %s predicted@."
+    (if big.Xpdl_energy.Predict.pr_time < little.Xpdl_energy.Predict.pr_time then "big"
+     else "LITTLE")
+    (if big.Xpdl_energy.Predict.pr_total_energy < little.Xpdl_energy.Predict.pr_total_energy
+     then "big also cheaper in energy"
+     else "LITTLE cheaper in energy");
+
+  (* DVFS on the big cluster, which has a deep 'off' park state *)
+  let pm = Power.of_element m in
+  let sm = List.find (fun s -> s.Power.sm_name = "big_psm") pm.Power.pm_machines in
+  let cmp = Xpdl_energy.Dvfs.compare_policies sm ~start:"P0" ~cycles:1.5e9 ~deadline:2.0 in
+  Fmt.pr "@.DVFS on the big cluster (1.5G cycles, 2 s deadline):@.";
+  List.iter (fun p -> Fmt.pr "  %a@." Xpdl_energy.Dvfs.pp_plan p) cmp.Xpdl_energy.Dvfs.plans;
+
+  (* thermal: sustained full power on the SoC *)
+  let th = Xpdl_energy.Thermal.create ~ambient:298.15 m in
+  Fmt.pr "@.thermal (lumped RC, ambient 25 C):@.";
+  Fmt.pr "  SoC steady state at 5.7 W: %.1f C@."
+    (Xpdl_energy.Thermal.steady_state th "soc" ~power:5.7 -. 273.15);
+  (match Xpdl_energy.Thermal.time_to_limit th "soc" ~power:5.7 ~limit:(273.15 +. 85.) with
+  | Some t -> Fmt.pr "  85 C throttle limit reached after %.1f s at full power@." t
+  | None -> Fmt.pr "  full power never reaches the 85 C throttle limit@.");
+  let series =
+    Xpdl_energy.Thermal.simulate th "soc"
+      ~trace:[ (30., 5.7); (30., 0.6); (30., 5.7) ]
+  in
+  Fmt.pr "  duty-cycle trace (30 s busy / 30 s idle / 30 s busy):@.";
+  List.iter (fun (t, temp) -> Fmt.pr "    t=%3.0f s  %.1f C@." t (temp -. 273.15)) series

@@ -1,0 +1,61 @@
+(* Quickstart: the full XPDL flow in one page.
+
+   1. Load the distributed model repository (the .xpdl descriptor files).
+   2. Run the processing tool on a concrete system: compose referenced
+      descriptors, expand groups, check constraints, analyze, bootstrap
+      the energy model by microbenchmarking, and write the runtime model.
+   3. Load the runtime model through the query API, as an application
+      would at startup, and introspect the platform.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Q = Xpdl_query.Query
+
+let () =
+  (* 1. the model repository *)
+  let repo = Xpdl_repo.Repo.load_bundled () in
+  Fmt.pr "repository: %d descriptors indexed@." (Xpdl_repo.Repo.size repo);
+
+  (* 2. the XPDL processing tool (Sec. IV) *)
+  let report =
+    match Xpdl_toolchain.Pipeline.run ~repo ~system:"liu_gpu_server" () with
+    | Ok r -> r
+    | Error msg -> failwith msg
+  in
+  Fmt.pr "@.pipeline stages:@.%a" Xpdl_toolchain.Pipeline.pp_timings
+    report.Xpdl_toolchain.Pipeline.timings;
+  Fmt.pr "descriptors used: %a@."
+    Fmt.(list ~sep:comma string)
+    report.Xpdl_toolchain.Pipeline.descriptors_used;
+  Fmt.pr "bootstrap derived %d instruction energies@."
+    (List.length report.Xpdl_toolchain.Pipeline.bootstrap_results);
+
+  let runtime_file = Filename.temp_file "liu_gpu_server" ".xrt" in
+  Xpdl_toolchain.Ir.to_file runtime_file report.Xpdl_toolchain.Pipeline.runtime_model;
+  Fmt.pr "runtime model written: %s (%d bytes)@." runtime_file
+    report.Xpdl_toolchain.Pipeline.runtime_model_bytes;
+
+  (* 3. runtime introspection (the application side, xpdl_init + getters) *)
+  let q = Q.init runtime_file in
+  Fmt.pr "@.--- platform introspection ---@.";
+  Fmt.pr "cores:              %d@." (Q.count_cores q);
+  Fmt.pr "CUDA devices:       %d@." (Q.count_cuda_devices q);
+  Fmt.pr "static power:       %.2f W@." (Q.total_static_power q);
+  Fmt.pr "memory:             %.1f GiB@." (Q.total_memory_bytes q /. (1024. ** 3.));
+  Fmt.pr "clock range:        %.0f - %.0f MHz@."
+    (Option.value ~default:0. (Q.min_frequency q) /. 1e6)
+    (Option.value ~default:0. (Q.max_frequency q) /. 1e6);
+  Fmt.pr "CUDA 6.0 installed: %b (path %s)@." (Q.has_installed q "CUDA_6.0")
+    (Option.value ~default:"?" (Q.installed_path q "CUDA_6.0"));
+  Fmt.pr "PCIe bandwidth:     %.1f GiB/s@."
+    (Option.value ~default:0. (Q.link_bandwidth q "connection1") /. (1024. ** 3.));
+  Fmt.pr "power meter:        %s@."
+    (Option.value ~default:"none" (Q.property q "ExternalPowerMeter"));
+
+  (* browse the model tree *)
+  let gpu = Q.find_by_id_exn q "gpu1" in
+  Fmt.pr "@.gpu1 is a %s with %d cores at path %s@."
+    (Option.value ~default:"?" (Q.type_of gpu))
+    (Q.count_cores ~within:gpu q) (Q.path gpu);
+  Sys.remove runtime_file;
+  Fmt.pr "@.quickstart done.@."

@@ -1,0 +1,1 @@
+lib/compose/compose.ml: Float Fmt List Option String Xpdl_query Xpdl_simhw

@@ -1,0 +1,1 @@
+lib/compose/compose.mli: Format Xpdl_query Xpdl_simhw

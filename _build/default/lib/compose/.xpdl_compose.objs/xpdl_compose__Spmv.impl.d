@@ -1,0 +1,1 @@
+lib/compose/spmv.ml: Array Compose Float Fmt List Option String Xpdl_core Xpdl_query Xpdl_simhw Xpdl_toolchain

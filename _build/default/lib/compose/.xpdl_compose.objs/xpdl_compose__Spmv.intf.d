@@ -1,0 +1,1 @@
+lib/compose/spmv.mli: Compose Xpdl_query Xpdl_simhw

@@ -1,0 +1,122 @@
+(** Conditional composition: platform-guided selection of implementation
+    variants (Sec. II "Using Platform Descriptions for Conditional
+    Composition" and Sec. IV; the PEPPHER composition tool [2], [3]).
+
+    A multi-variant {e component} bundles implementations of one
+    functionality.  Each variant declares a {e selectability constraint} —
+    a predicate over the platform's runtime model (is a library installed?
+    is a CUDA device present?) and over runtime problem parameters (the
+    nonzero density of the case study) — and a cost estimator derived from
+    platform metadata.  The {e dispatcher} evaluates constraints through
+    the {!Xpdl_query} API at call time and routes the call to the
+    cheapest selectable variant: exactly the adaptive dynamic optimization
+    the runtime query API exists for. *)
+
+(** Everything a selectability constraint or cost model may consult. *)
+type context = {
+  query : Xpdl_query.Query.t;  (** the platform's runtime model *)
+  machine : Xpdl_simhw.Machine.t;  (** the execution substrate *)
+  problem : (string * float) list;  (** runtime call parameters *)
+}
+
+let problem_param ctx name = List.assoc_opt name ctx.problem
+
+let problem_param_exn ctx name =
+  match problem_param ctx name with
+  | Some v -> v
+  | None -> Fmt.invalid_arg "missing problem parameter %S" name
+
+(** One implementation variant of a component. *)
+type variant = {
+  v_name : string;
+  v_requires : string list;  (** software packages that must be installed *)
+  v_selectable : context -> bool;  (** further constraints (hardware, size) *)
+  v_estimate : context -> float option;
+      (** predicted execution time (s) from platform metadata; [None] if
+          the variant cannot predict for this problem *)
+  v_run : context -> Xpdl_simhw.Machine.measurement;  (** execute for real *)
+}
+
+type component = { c_name : string; c_variants : variant list }
+
+(** Why a variant was ruled out (for reports). *)
+type rejection = { r_variant : string; r_reason : string }
+
+type selection = {
+  s_component : string;
+  s_chosen : variant option;
+  s_estimates : (string * float) list;  (** selectable variants, est. time *)
+  s_rejections : rejection list;
+}
+
+let software_ok ctx v =
+  List.filter_map
+    (fun pkg ->
+      if Xpdl_query.Query.has_installed ctx.query pkg then None
+      else Some { r_variant = v.v_name; r_reason = Fmt.str "%s not installed" pkg })
+    v.v_requires
+
+(** Evaluate selectability of all variants and choose the one with the
+    lowest estimated time (the "tuned selection of implementation
+    variants" of the abstract). *)
+let select (c : component) (ctx : context) : selection =
+  let rejections = ref [] in
+  let candidates =
+    List.filter
+      (fun v ->
+        match software_ok ctx v with
+        | [] ->
+            if v.v_selectable ctx then true
+            else begin
+              rejections :=
+                { r_variant = v.v_name; r_reason = "selectability constraint failed" }
+                :: !rejections;
+              false
+            end
+        | missing ->
+            rejections := missing @ !rejections;
+            false)
+      c.c_variants
+  in
+  let estimates =
+    List.filter_map
+      (fun v -> Option.map (fun e -> (v, e)) (v.v_estimate ctx))
+      candidates
+  in
+  let chosen =
+    match List.sort (fun (_, a) (_, b) -> Float.compare a b) estimates with
+    | (v, _) :: _ -> Some v
+    | [] -> ( match candidates with v :: _ -> Some v | [] -> None)
+  in
+  {
+    s_component = c.c_name;
+    s_chosen = chosen;
+    s_estimates = List.map (fun (v, e) -> (v.v_name, e)) estimates;
+    s_rejections = List.rev !rejections;
+  }
+
+(** Dispatch: select and execute; returns the variant used and the
+    measurement.  Raises if no variant is selectable. *)
+let dispatch (c : component) (ctx : context) : string * Xpdl_simhw.Machine.measurement =
+  match (select c ctx).s_chosen with
+  | Some v -> (v.v_name, v.v_run ctx)
+  | None ->
+      Fmt.failwith "component %s: no selectable variant (%a)" c.c_name
+        Fmt.(list ~sep:comma (fun ppf r -> Fmt.pf ppf "%s: %s" r.r_variant r.r_reason))
+        (select c ctx).s_rejections
+
+(** Run a specific variant by name regardless of tuning (baselines). *)
+let run_variant (c : component) (ctx : context) name : Xpdl_simhw.Machine.measurement option =
+  Option.map
+    (fun v -> v.v_run ctx)
+    (List.find_opt (fun v -> String.equal v.v_name name) c.c_variants)
+
+let variant_names c = List.map (fun v -> v.v_name) c.c_variants
+
+let pp_selection ppf s =
+  Fmt.pf ppf "%s -> %s (estimates: %a; rejected: %a)" s.s_component
+    (match s.s_chosen with Some v -> v.v_name | None -> "<none>")
+    Fmt.(list ~sep:comma (fun ppf (n, e) -> Fmt.pf ppf "%s=%.3gms" n (e *. 1e3)))
+    s.s_estimates
+    Fmt.(list ~sep:comma (fun ppf r -> Fmt.pf ppf "%s(%s)" r.r_variant r.r_reason))
+    s.s_rejections

@@ -1,0 +1,48 @@
+(** Conditional composition (Sec. II, IV; refs [2], [3]): multi-variant
+    components whose selectability constraints are evaluated against the
+    platform's runtime model at call time, with tuned dispatch to the
+    variant of lowest estimated cost. *)
+
+(** Everything a selectability constraint or cost model may consult. *)
+type context = {
+  query : Xpdl_query.Query.t;  (** the platform's runtime model *)
+  machine : Xpdl_simhw.Machine.t;  (** the execution substrate *)
+  problem : (string * float) list;  (** runtime call parameters *)
+}
+
+val problem_param : context -> string -> float option
+
+(** Raises [Invalid_argument] on missing parameters. *)
+val problem_param_exn : context -> string -> float
+
+(** One implementation variant of a component. *)
+type variant = {
+  v_name : string;
+  v_requires : string list;  (** software packages that must be installed *)
+  v_selectable : context -> bool;  (** further constraints *)
+  v_estimate : context -> float option;  (** predicted execution time (s) *)
+  v_run : context -> Xpdl_simhw.Machine.measurement;
+}
+
+type component = { c_name : string; c_variants : variant list }
+
+type rejection = { r_variant : string; r_reason : string }
+
+type selection = {
+  s_component : string;
+  s_chosen : variant option;
+  s_estimates : (string * float) list;  (** selectable variants, est. time *)
+  s_rejections : rejection list;
+}
+
+(** Evaluate selectability and choose the lowest-estimated variant. *)
+val select : component -> context -> selection
+
+(** Select and execute; raises [Failure] if no variant is selectable. *)
+val dispatch : component -> context -> string * Xpdl_simhw.Machine.measurement
+
+(** Run a specific variant by name regardless of tuning (baselines). *)
+val run_variant : component -> context -> string -> Xpdl_simhw.Machine.measurement option
+
+val variant_names : component -> string list
+val pp_selection : Format.formatter -> selection -> unit

@@ -1,0 +1,25 @@
+(** The sparse matrix–vector multiply case study (Sec. II, ref [3]):
+    three variants — [cpu_csr] (requires MKL), [cpu_dense] (requires the
+    dense matrix to fit modeled memory), [gpu_csr] (requires
+    CUDA + CUSPARSE and a CUDA device; pays the PCIe transfer once per
+    solve).  Cost estimates are priced from platform metadata through
+    the query API.  Problem parameters: [rows], [cols], [density],
+    [iterations]. *)
+
+val cpu_csr : Compose.variant
+val cpu_dense : Compose.variant
+val gpu_csr : Compose.variant
+
+(** The SpMV component bundling the three variants. *)
+val component : Compose.component
+
+(** Context for one SpMV solve; [iterations] is the number of solver
+    sweeps over the same matrix (default 1). *)
+val context :
+  ?iterations:int ->
+  query:Xpdl_query.Query.t ->
+  machine:Xpdl_simhw.Machine.t ->
+  rows:int ->
+  density:float ->
+  unit ->
+  Compose.context

@@ -1,0 +1,1 @@
+lib/core/control.ml: Fmt List Model Option Schema String

@@ -1,0 +1,1 @@
+lib/core/diagnostic.ml: Fmt List Xpdl_xml

@@ -1,0 +1,1 @@
+lib/core/elaborate.ml: Diagnostic List Model Schema String Units Xpdl_expr Xpdl_units Xpdl_xml

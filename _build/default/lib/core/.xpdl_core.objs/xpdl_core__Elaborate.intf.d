@@ -1,0 +1,1 @@
+lib/core/elaborate.mli: Diagnostic Model Xpdl_xml

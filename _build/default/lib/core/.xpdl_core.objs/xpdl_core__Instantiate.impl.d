@@ -1,0 +1,1 @@
+lib/core/instantiate.ml: Diagnostic Float List Model Option Schema String Units Xpdl_expr Xpdl_units

@@ -1,0 +1,1 @@
+lib/core/instantiate.mli: Diagnostic Model Xpdl_expr

@@ -1,0 +1,1 @@
+lib/core/model.ml: Bool Float Fmt Hashtbl Int List Option Schema String Units Xpdl_expr Xpdl_units Xpdl_xml

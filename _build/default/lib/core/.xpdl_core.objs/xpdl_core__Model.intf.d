@@ -1,0 +1,1 @@
+lib/core/model.mli: Format Schema Xpdl_expr Xpdl_units Xpdl_xml

@@ -1,0 +1,1 @@
+lib/core/power.ml: Diagnostic Hashtbl List Model Option Schema String Units Xpdl_units

@@ -1,0 +1,1 @@
+lib/core/validate.ml: Diagnostic Hashtbl Inheritance List Model Option Power Schema String

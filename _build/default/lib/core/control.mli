@@ -1,0 +1,66 @@
+(** Control relations and abstract platform patterns — the "secondary
+    aspect" of Sec. II: derive Master/Hybrid/Worker hierarchies from the
+    hardware-structural model (explicit [role] attributes win) and match
+    platforms against reusable patterns. *)
+
+type role = Master | Hybrid | Worker
+
+val role_name : role -> string
+val pp_role : Format.formatter -> role -> unit
+
+type pu = {
+  cu_ident : string;
+  cu_role : role;
+  cu_element : Model.element;
+  cu_explicit : bool;  (** role came from a [role] attribute *)
+}
+
+type tree = {
+  ct_root : pu;  (** the Master (synthetic ["runtime_system"] when no unique master exists) *)
+  ct_children : pu list;
+}
+
+exception Control_error of string
+
+(** The control-relevant processing units: CPUs and devices not nested
+    inside other devices. *)
+val processing_units : Model.element -> Model.element list
+
+(** Derive the control hierarchy; raises {!Control_error} if the model
+    has no processing unit. *)
+val derive : Model.element -> tree
+
+val workers : tree -> pu list
+val hybrids : tree -> pu list
+val pp_tree : Format.formatter -> tree -> unit
+
+(** {1 Abstract platform patterns} *)
+
+type slot_constraint = {
+  sc_role : role;
+  sc_min : int;
+  sc_max : int option;
+  sc_type_affix : string option;
+}
+
+type pattern = { pat_name : string; pat_slots : slot_constraint list }
+
+val slot : ?min:int -> ?max:int -> ?type_affix:string -> role -> slot_constraint
+
+(** Canonical patterns. *)
+val host_accelerator : pattern
+
+val symmetric_multicore : pattern
+val multi_gpu_node : pattern
+
+(** Host plus self-scheduling coprocessors (Xeon Phi class). *)
+val host_coprocessor : pattern
+
+(** Bind each pattern slot to the concrete PUs satisfying it; [None] if
+    any slot's multiplicity cannot be met. *)
+val assign : pattern -> tree -> (slot_constraint * pu list) list option
+
+val matches : pattern -> tree -> bool
+
+(** The most specific canonical pattern the platform matches, if any. *)
+val classify : tree -> pattern option

@@ -1,0 +1,38 @@
+(** Diagnostics produced by elaboration and validation.
+
+    Every message carries the source position of the offending XML node so
+    tools can report [file:line:col]-style errors over [.xpdl] files. *)
+
+type severity = Error | Warning | Info
+
+let pp_severity ppf = function
+  | Error -> Fmt.string ppf "error"
+  | Warning -> Fmt.string ppf "warning"
+  | Info -> Fmt.string ppf "info"
+
+type t = { severity : severity; pos : Xpdl_xml.Dom.position; message : string }
+
+let error ?(pos = Xpdl_xml.Dom.no_position) fmt =
+  Fmt.kstr (fun message -> { severity = Error; pos; message }) fmt
+
+let warning ?(pos = Xpdl_xml.Dom.no_position) fmt =
+  Fmt.kstr (fun message -> { severity = Warning; pos; message }) fmt
+
+let info ?(pos = Xpdl_xml.Dom.no_position) fmt =
+  Fmt.kstr (fun message -> { severity = Info; pos; message }) fmt
+
+let is_error d = d.severity = Error
+
+let pp ppf d =
+  Fmt.pf ppf "%a: %a: %s" Xpdl_xml.Dom.pp_position d.pos pp_severity d.severity d.message
+
+let pp_list ppf ds = Fmt.(list ~sep:cut pp) ppf ds
+
+(** True if no diagnostic in the list is an error. *)
+let all_ok ds = not (List.exists is_error ds)
+
+let errors ds = List.filter is_error ds
+
+(** Raise [Failure] with a rendered message list if any error is present. *)
+let check_exn ds =
+  if not (all_ok ds) then failwith (Fmt.str "@[<v>%a@]" pp_list (errors ds))

@@ -1,0 +1,24 @@
+(** Diagnostics produced by elaboration and validation, each carrying the
+    source position of the offending XML node. *)
+
+type severity = Error | Warning | Info
+
+val pp_severity : Format.formatter -> severity -> unit
+
+type t = { severity : severity; pos : Xpdl_xml.Dom.position; message : string }
+
+val error : ?pos:Xpdl_xml.Dom.position -> ('a, Format.formatter, unit, t) format4 -> 'a
+val warning : ?pos:Xpdl_xml.Dom.position -> ('a, Format.formatter, unit, t) format4 -> 'a
+val info : ?pos:Xpdl_xml.Dom.position -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val is_error : t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_list : Format.formatter -> t list -> unit
+
+(** True if no diagnostic in the list is an error (warnings allowed). *)
+val all_ok : t list -> bool
+
+val errors : t list -> t list
+
+(** Raise [Failure] with a rendered message list if any error is present. *)
+val check_exn : t list -> unit

@@ -1,0 +1,204 @@
+(** Elaboration: XML {!Xpdl_xml.Dom} trees → typed {!Model} elements.
+
+    Elaboration performs the syntax-directed part of XPDL processing:
+
+    - maps tags to {!Schema.kind}s;
+    - extracts the structural attributes ([name], [id], [type], [extends]);
+    - pairs each metric attribute with its [metric_unit] companion
+      ([static_power] + [static_power_unit]; bare [unit] for [size] and
+      for [param]/[const] metrics, Sec. III-A) and normalizes the value
+      through {!Xpdl_units.Units};
+    - types remaining attributes against the {!Schema} table, turning
+      ["?"] into {!Model.Unknown} placeholders;
+    - checks structural containment ([Schema.child_allowed]).
+
+    Unknown tags and attributes elaborate to [Other]/[Str] with a warning:
+    extensibility is a design goal of the language (Sec. III), so they are
+    preserved rather than rejected. *)
+
+open Xpdl_units
+
+let companion_unit_attr ~kind ~metric =
+  match kind with
+  | Schema.Param | Schema.Const -> "unit"
+  | _ -> if String.equal metric "size" then "unit" else metric ^ "_unit"
+
+(* Attribute names that are structural and handled separately. *)
+let structural = [ "name"; "id"; "type"; "extends" ]
+
+let split_ws s =
+  String.split_on_char ' ' s |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun x -> x <> "")
+
+type ctx = { mutable diags : Diagnostic.t list }
+
+let diag ctx d = ctx.diags <- d :: ctx.diags
+
+(* Parse one non-structural attribute according to its schema spec. *)
+let typed_value ctx ~kind ~pos ~unit_of name raw =
+  if String.equal (String.trim raw) "?" then Model.Unknown
+  else
+    match Schema.attr_spec kind name with
+    | None ->
+        (* Extensibility: unknown attribute names are retained as strings,
+           except on Properties/Property/Other where they are expected. *)
+        (match kind with
+        | Schema.Property | Schema.Properties | Schema.Other _ -> ()
+        | _ ->
+            diag ctx
+              (Diagnostic.warning ~pos "unknown attribute %S on <%s>" name
+                 (Schema.tag_of_kind kind)));
+        Model.Str raw
+    | Some spec -> (
+        match spec.a_type with
+        | Schema.A_string | Schema.A_ident -> Model.Str raw
+        | Schema.A_int -> (
+            match int_of_string_opt (String.trim raw) with
+            | Some i -> Model.Int i
+            | None ->
+                diag ctx (Diagnostic.error ~pos "attribute %s: expected an integer, got %S" name raw);
+                Model.Str raw)
+        | Schema.A_float -> (
+            match float_of_string_opt (String.trim raw) with
+            | Some f -> Model.Float f
+            | None ->
+                diag ctx (Diagnostic.error ~pos "attribute %s: expected a number, got %S" name raw);
+                Model.Str raw)
+        | Schema.A_bool -> (
+            match String.lowercase_ascii (String.trim raw) with
+            | "true" | "1" | "yes" -> Model.Bool true
+            | "false" | "0" | "no" -> Model.Bool false
+            | _ ->
+                diag ctx (Diagnostic.error ~pos "attribute %s: expected a boolean, got %S" name raw);
+                Model.Str raw)
+        | Schema.A_enum allowed ->
+            if not (List.mem raw allowed) then
+              diag ctx
+                (Diagnostic.error ~pos "attribute %s: %S is not one of {%s}" name raw
+                   (String.concat ", " allowed));
+            Model.Str raw
+        | Schema.A_expr -> (
+            match Xpdl_expr.Expr.parse raw with
+            | e -> Model.Expr (e, raw)
+            | exception Xpdl_expr.Expr.Error msg ->
+                diag ctx (Diagnostic.error ~pos "attribute %s: bad expression %S: %s" name raw msg);
+                Model.Str raw)
+        | Schema.A_quantity expected_dim -> (
+            match unit_of name with
+            | Some unit_spelling -> (
+                match Units.of_string raw unit_spelling with
+                | q ->
+                    if Units.dim q <> expected_dim then begin
+                      diag ctx
+                        (Diagnostic.error ~pos
+                           "attribute %s: unit %S has dimension %s, expected %s" name
+                           unit_spelling
+                           (Units.dimension_name (Units.dim q))
+                           (Units.dimension_name expected_dim));
+                      Model.Str raw
+                    end
+                    else Model.Quantity (q, unit_spelling)
+                | exception Units.Unit_error msg ->
+                    diag ctx (Diagnostic.error ~pos "attribute %s: %s" name msg);
+                    Model.Str raw)
+            | None -> (
+                match float_of_string_opt (String.trim raw) with
+                | Some f ->
+                    diag ctx
+                      (Diagnostic.warning ~pos
+                         "attribute %s: metric has no %s attribute; keeping the raw number" name
+                         (companion_unit_attr ~kind ~metric:name));
+                    Model.Float f
+                | None ->
+                    (* e.g. frequency="cfrq" in Listing 8: a parameter
+                       reference standing in for the value. *)
+                    Model.Expr (Xpdl_expr.Expr.Ident (String.trim raw), raw))))
+
+let rec element ctx (x : Xpdl_xml.Dom.element) : Model.element =
+  let kind = Schema.kind_of_tag x.tag in
+  let get name = Xpdl_xml.Dom.attribute x name in
+  let name = get "name" and id = get "id" and type_ref = get "type" in
+  let extends = match get "extends" with Some s -> split_ws s | None -> [] in
+  (* Collect the set of attribute names consumed as unit companions. *)
+  let attr_names = List.map (fun a -> a.Xpdl_xml.Dom.attr_name) x.attrs in
+  let is_unit_companion n =
+    (* "foo_unit" is a companion iff "foo" is also present;
+       bare "unit" is a companion iff a sized metric is present. *)
+    if String.equal n "unit" then
+      List.exists
+        (fun m ->
+          (not (String.equal m "unit"))
+          && String.equal (companion_unit_attr ~kind ~metric:m) "unit"
+          && (match Schema.attr_spec kind m with
+             | Some { a_type = Schema.A_quantity _; _ } -> true
+             | _ -> false))
+        attr_names
+    else
+      match String.length n >= 5 && String.equal (String.sub n (String.length n - 5) 5) "_unit" with
+      | true -> List.mem (String.sub n 0 (String.length n - 5)) attr_names
+      | false -> false
+  in
+  let unit_of metric =
+    let companion = companion_unit_attr ~kind ~metric in
+    match get companion with
+    | Some u -> Some u
+    | None ->
+        (* A bare "unit" attribute also serves metrics whose systematic
+           companion would be metric_unit but the author wrote unit (the
+           paper is liberal here, cf. Listing 2 memory size). *)
+        if String.equal companion "unit" then None else None
+  in
+  let attrs =
+    List.filter_map
+      (fun (a : Xpdl_xml.Dom.attribute) ->
+        let n = a.attr_name in
+        if List.mem n structural || is_unit_companion n then None
+        else
+          Some (n, typed_value ctx ~kind ~pos:a.attr_pos ~unit_of n a.attr_value))
+      x.attrs
+  in
+  let children =
+    List.filter_map
+      (function
+        | Xpdl_xml.Dom.Element c ->
+            let child = element ctx c in
+            if not (Schema.child_allowed ~parent:kind ~child:child.kind) then
+              diag ctx
+                (Diagnostic.error ~pos:c.pos "<%s> may not appear inside <%s>"
+                   (Schema.tag_of_kind child.kind) (Schema.tag_of_kind kind));
+            Some child
+        | Xpdl_xml.Dom.Text _ | Xpdl_xml.Dom.Cdata _ | Xpdl_xml.Dom.Comment _ -> None)
+      x.children
+  in
+  (match kind with
+  | Schema.Other tag ->
+      diag ctx (Diagnostic.warning ~pos:x.pos "unknown element <%s> (kept as extension)" tag)
+  | _ -> ());
+  { Model.kind; name; id; type_ref; extends; attrs; children; pos = x.pos }
+
+(** Elaborate an XML tree into a typed model element plus diagnostics (in
+    source order).  Elaboration never fails: erroneous attributes degrade
+    to strings with an [Error] diagnostic recorded. *)
+let of_xml x =
+  let ctx = { diags = [] } in
+  let e = element ctx x in
+  (e, List.rev ctx.diags)
+
+(** Parse and elaborate an XPDL string. *)
+let of_string ?file ?(lenient = true) s =
+  match Xpdl_xml.Parse.string ?file ~lenient s with
+  | Error msg -> Error msg
+  | Ok x -> Ok (of_xml x)
+
+(** Parse and elaborate an [.xpdl] file. *)
+let of_file ?(lenient = true) path =
+  match Xpdl_xml.Parse.file ~lenient path with
+  | Error msg -> Error msg
+  | Ok x -> Ok (of_xml x)
+
+let of_string_exn ?file ?lenient s =
+  match of_string ?file ?lenient s with
+  | Ok (e, diags) ->
+      Diagnostic.check_exn diags;
+      e
+  | Error msg -> failwith msg

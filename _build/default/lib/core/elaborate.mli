@@ -1,0 +1,26 @@
+(** Elaboration: XML {!Xpdl_xml.Dom} trees → typed {!Model} elements.
+
+    Maps tags to {!Schema.kind}s, extracts the structural attributes,
+    pairs metric attributes with their [metric_unit] companions and
+    normalizes them through {!Xpdl_units.Units}, types the remaining
+    attributes against the schema (turning ["?"] into {!Model.Unknown}),
+    and checks structural containment.  Unknown tags and attributes are
+    preserved with a warning — extensibility is a design goal of the
+    language (Sec. III). *)
+
+(** Elaborate an XML tree; never fails — erroneous attributes degrade to
+    strings with an [Error] diagnostic recorded (source order). *)
+val of_xml : Xpdl_xml.Dom.element -> Model.element * Diagnostic.t list
+
+(** Parse and elaborate an XPDL string ([lenient] defaults to [true]:
+    the paper's listings use unquoted attribute values). *)
+val of_string :
+  ?file:string -> ?lenient:bool -> string -> (Model.element * Diagnostic.t list, string) result
+
+(** Parse and elaborate an [.xpdl] file. *)
+val of_file :
+  ?lenient:bool -> string -> (Model.element * Diagnostic.t list, string) result
+
+(** Like {!of_string} but raising [Failure] on parse errors or
+    error-level diagnostics. *)
+val of_string_exn : ?file:string -> ?lenient:bool -> string -> Model.element

@@ -1,0 +1,183 @@
+(** Resolution of [extends] inheritance and [type] meta-model references.
+
+    XPDL supports multiple inheritance between meta-models ([extends], Sec.
+    III-A): a subtype inherits the supertype's attributes and subcomponents
+    and may override ("overscribe") attribute values — Listing 9 overrides
+    [compute_capability] and sets the [num_SM]/[coresperSM] parameters that
+    Listing 8 declares.  Instantiation by [type] reference (Listing 10,
+    [<device id="gpu1" type="Nvidia_K20c">]) uses the same merge: the
+    referenced meta-model's content is inherited and the instance's own
+    settings override.
+
+    Merge rules, in priority order (highest wins):
+    - the element's own attributes and children;
+    - supertypes left to right (leftmost strongest), each itself resolved.
+
+    Children merge by key: a child with the same kind and the same
+    identifier ([name] or [id]) replaces the inherited one after being
+    merged attribute-wise into it (so [<param name="num_SM" value="13"/>]
+    refines the inherited declaration rather than duplicating it).
+    Children without identifiers accumulate in order: inherited first.
+
+    Resolution is bottom-up: an element's own children are resolved before
+    its supertypes are merged in, and supertypes are resolved when looked
+    up, so merged content is never re-resolved (which would duplicate
+    unkeyed children). *)
+
+exception Unresolved of { referer : Model.element; missing : string }
+exception Cycle of string list
+
+(** Source of meta-model definitions by name; returns [None] if unknown.
+    The repository ({!Xpdl_repo}) provides this. *)
+type lookup = string -> Model.element option
+
+let child_key (c : Model.element) =
+  match Model.identifier c with
+  | Some ident -> Some (Schema.tag_of_kind c.kind, ident)
+  | None -> None
+
+(* Merge [sub] over [super]: sub's fields win. *)
+let rec merge ~(super : Model.element) ~(sub : Model.element) : Model.element =
+  let attrs =
+    (* super attrs not overridden, in super order, then sub's extras *)
+    let overridden = List.map fst sub.attrs in
+    List.filter (fun (k, _) -> not (List.mem k overridden)) super.attrs @ sub.attrs
+  in
+  let keyed_sub =
+    List.filter_map (fun c -> Option.map (fun k -> (k, c)) (child_key c)) sub.children
+  in
+  let merged_inherited =
+    List.map
+      (fun (c : Model.element) ->
+        match child_key c with
+        | Some key -> (
+            match List.assoc_opt key keyed_sub with
+            | Some override -> merge ~super:c ~sub:override
+            | None -> c)
+        | None -> c)
+      super.children
+  in
+  let inherited_keys = List.filter_map child_key super.children in
+  let new_children =
+    List.filter
+      (fun (c : Model.element) ->
+        match child_key c with
+        | Some key -> not (List.mem key inherited_keys)
+        | None -> true)
+      sub.children
+  in
+  (* A pure metadata reference ([<instructions type="x86_base_isa"/>])
+     adopts the referenced meta-model's name so it stays addressable.
+     Hardware instances do NOT adopt it: an anonymous [<core
+     type="Myriad1_Shave"/>] inside a group must stay anonymous so that
+     group expansion can assign its member id (shave0..7, Listing 6). *)
+  let name =
+    match (sub.name, sub.id) with
+    | None, None when not (Schema.is_hardware sub.kind) -> super.name
+    | _ -> sub.name
+  in
+  (* the declared type survives refinement: K20c's <param name="num_SM"
+     value="13"/> keeps the inherited type="integer" *)
+  let type_ref = match sub.type_ref with Some _ -> sub.type_ref | None -> super.type_ref in
+  { sub with name; type_ref; attrs; children = merged_inherited @ new_children; extends = [] }
+
+(* Is [type] on this element a repository reference (as opposed to a
+   technology label or a power-domain member selector)? *)
+let type_is_reference ~in_domain (e : Model.element) =
+  (not in_domain)
+  && (match e.type_ref with
+     | Some t -> not (Schema.is_param_type t)
+     | None -> false)
+  && not
+       (Schema.equal_kind e.kind Schema.Programming_model
+       || Schema.equal_kind e.kind Schema.Property
+       || Schema.equal_kind e.kind Schema.Microbenchmark)
+  (* memory [type] is attempted as a reference; an unresolvable one is a
+     technology label ("DDR3"), handled at lookup time *)
+
+(* Selectors live inside <power_domain>; the <power_domains> element
+   itself may still be a type reference (power_model_Myriad1 includes
+   Listing 12 by reference). *)
+let enter_domain in_domain (e : Model.element) =
+  in_domain || Schema.equal_kind e.kind Schema.Power_domain
+
+(* Shared resolution skeleton; [on_missing]/[on_cycle] decide whether to
+   raise (strict) or record a diagnostic and skip (lenient). *)
+let resolve_generic ~keep_type_ref ~on_missing ~on_cycle (lookup : lookup) root =
+  let rec resolve_element ~in_domain ~visiting (e : Model.element) : Model.element =
+    let in_domain = enter_domain in_domain e in
+    let resolve_ref name =
+      if List.mem name visiting then begin
+        on_cycle e (List.rev (name :: visiting));
+        None
+      end
+      else
+        match lookup name with
+        | Some def -> Some (resolve_element ~in_domain:false ~visiting:(name :: visiting) def)
+        | None ->
+            on_missing e name;
+            None
+    in
+    let supers =
+      e.extends
+      @
+      if type_is_reference ~in_domain e then
+        match e.type_ref with
+        | Some t -> (
+            (* memory [type] doubles as a label when unresolvable; other
+               kinds report the miss *)
+            match lookup t with
+            | Some _ -> [ t ]
+            | None ->
+                if not (Schema.equal_kind e.kind Schema.Memory) then on_missing e t;
+                [])
+        | None -> []
+      else []
+    in
+    let resolved_supers = List.filter_map resolve_ref supers in
+    (* Resolve own children first, so the final merge output needs no
+       further resolution. *)
+    let e = { e with children = List.map (resolve_element ~in_domain ~visiting) e.children } in
+    let flattened =
+      match resolved_supers with
+      | [] -> { e with extends = [] }
+      | first :: rest ->
+          (* rightmost = weakest: fold so that leftmost super overrides *)
+          let super_merged = List.fold_left (fun acc s -> merge ~super:s ~sub:acc) first rest in
+          let m = merge ~super:super_merged ~sub:{ e with extends = [] } in
+          { m with id = e.id }
+    in
+    if keep_type_ref then flattened else { flattened with type_ref = None }
+  in
+  resolve_element ~in_domain:false ~visiting:[] root
+
+(** [resolve lookup e] resolves all [extends] and [type] references in the
+    subtree of [e], fully flattening inheritance.  Raises {!Unresolved} if
+    a referenced name cannot be found and {!Cycle} on cyclic inheritance.
+
+    [keep_type_ref] (default true) retains the [type] attribute on
+    instances after expansion, so queries can still ask "is this a
+    Nvidia_K20c"; the inherited content is merged in regardless. *)
+let resolve ?(keep_type_ref = true) (lookup : lookup) (root : Model.element) : Model.element =
+  resolve_generic ~keep_type_ref
+    ~on_missing:(fun e name -> raise (Unresolved { referer = e; missing = name }))
+    ~on_cycle:(fun _ trail -> raise (Cycle trail))
+    lookup root
+
+(** Like {!resolve} but collecting failures as diagnostics instead of
+    raising; unresolved references are left in place. *)
+let resolve_lenient lookup root =
+  let diags = ref [] in
+  let r =
+    resolve_generic ~keep_type_ref:true
+      ~on_missing:(fun (e : Model.element) name ->
+        diags :=
+          Diagnostic.error ~pos:e.pos "unresolved reference to meta-model %S" name :: !diags)
+      ~on_cycle:(fun (e : Model.element) trail ->
+        diags :=
+          Diagnostic.error ~pos:e.pos "cyclic inheritance through %s"
+            (String.concat " -> " trail)
+          :: !diags)
+      lookup root
+  in
+  (r, List.rev !diags)

@@ -1,0 +1,29 @@
+(** Resolution of [extends] inheritance and [type] meta-model references
+    (Sec. III-A).
+
+    Merge rules, highest priority first: the element's own attributes and
+    children; supertypes left to right.  Children merge by (kind,
+    identifier) key — [<param name="num_SM" value="13"/>] refines the
+    inherited declaration.  [type] on memory elements doubles as a
+    technology label when unresolvable, and [type] inside power domains
+    is a member selector, never resolved. *)
+
+exception Unresolved of { referer : Model.element; missing : string }
+exception Cycle of string list
+
+(** Source of meta-model definitions by name; the repository provides
+    this. *)
+type lookup = string -> Model.element option
+
+(** Merge [sub] over [super] (sub's fields win); exposed for tests. *)
+val merge : super:Model.element -> sub:Model.element -> Model.element
+
+(** Fully flatten all [extends]/[type] references in the subtree.
+    Raises {!Unresolved} / {!Cycle}.  [keep_type_ref] (default [true])
+    retains the [type] attribute on instances so queries can still ask
+    "is this a Nvidia_K20c". *)
+val resolve : ?keep_type_ref:bool -> lookup -> Model.element -> Model.element
+
+(** Like {!resolve} but collecting failures as diagnostics; unresolved
+    references are left in place. *)
+val resolve_lenient : lookup -> Model.element -> Model.element * Diagnostic.t list

@@ -1,0 +1,301 @@
+(** Instantiation: parameter binding, group expansion, constraint checking.
+
+    After inheritance is flattened ({!Inheritance}), a model may still
+    contain the configurability machinery of Sec. III-B:
+
+    - [<const>] definitions ([shmtotalsize] in Listing 8);
+    - [<param>] declarations, possibly [configurable], possibly with a
+      [range] of admissible values, given concrete values by subtypes
+      (Listing 9) or instances (Listing 10);
+    - attribute values that are expressions over those names
+      ([size="L1size"], [quantity="num_SM"]);
+    - [<constraint expr="..."/>] elements that must hold for the chosen
+      configuration ([L1size + shmsize == shmtotalsize]).
+
+    Instantiation walks the tree top-down with a scoped environment,
+    substitutes parameter values into attribute expressions, verifies
+    ranges and constraints, and expands [group] elements: a group with
+    [quantity=n] becomes [n] sibling scope copies; with a [prefix], the
+    copies are identified [prefix0 .. prefix(n-1)] (Listing 1: [core0 ..
+    core3]).  Expanded groups remain in the tree as scope nodes because
+    hierarchical scoping defines cache sharing (L2 shared by the two cores
+    of its group). *)
+
+open Xpdl_units
+
+type env = (string * Xpdl_expr.Expr.value) list
+
+let quantity_value (q : Units.t) = Xpdl_expr.Expr.Num (Units.value q)
+
+(* The value a <param>/<const> contributes to the environment: its [value]
+   expression, or its metric attribute (size/frequency), normalized SI. *)
+let binding_value env (e : Model.element) : Xpdl_expr.Expr.value option =
+  let eval_expr ex =
+    match Xpdl_expr.Expr.eval (Xpdl_expr.Expr.env_of_list env) ex with
+    | v -> Some v
+    | exception Xpdl_expr.Expr.Error _ -> None
+  in
+  match Model.attr e "value" with
+  | Some (Model.Expr (ex, _)) -> eval_expr ex
+  | Some (Model.Int i) -> Some (Xpdl_expr.Expr.Num (float_of_int i))
+  | Some (Model.Float f) -> Some (Xpdl_expr.Expr.Num f)
+  | Some (Model.Str s) -> Some (Xpdl_expr.Expr.Str s)
+  | Some (Model.Quantity (q, _)) -> Some (quantity_value q)
+  | Some (Model.Bool b) -> Some (Xpdl_expr.Expr.Bool b)
+  | Some Model.Unknown | None -> (
+      match (Model.attr_quantity e "size", Model.attr_quantity e "frequency") with
+      | Some q, _ | None, Some q -> Some (quantity_value q)
+      | None, None -> None)
+
+(* Check a param's bound value against its declared range (a
+   comma-separated list interpreted in the param's [unit]). *)
+let check_range diags env (p : Model.element) =
+  match (Model.attr_string p "range", List.assoc_opt (Option.value ~default:"" p.name) env) with
+  | Some range_s, Some (Xpdl_expr.Expr.Num v) -> (
+      (* the unit spelling: an explicit [unit] attribute, or the spelling
+         the param's metric value was written in (elaboration consumes the
+         companion [unit] into the quantity) *)
+      let quantity_spelling =
+        List.find_map
+          (fun key ->
+            match Model.attr p key with
+            | Some (Model.Quantity (_, spelling)) -> Some spelling
+            | _ -> None)
+          [ "value"; "size"; "frequency" ]
+      in
+      let unit_spelling =
+        match Model.attr_string p "unit" with Some u -> Some u | None -> quantity_spelling
+      in
+      let parse_item s =
+        let s = String.trim s in
+        match unit_spelling with
+        | Some u when Units.is_known_unit u -> (
+            match Units.of_string_opt s u with Some q -> Some (Units.value q) | None -> None)
+        | Some _ | None -> float_of_string_opt s
+      in
+      let items = String.split_on_char ',' range_s |> List.filter_map parse_item in
+      match items with
+      | [] -> ()
+      | _ ->
+          if not (List.exists (fun x -> Float.abs (x -. v) <= 1e-9 *. Float.max 1. (Float.abs x)) items)
+          then
+            diags :=
+              Diagnostic.error ~pos:p.pos "param %s: value %g outside declared range {%s}"
+                (Option.value ~default:"?" p.name)
+                v range_s
+              :: !diags)
+  | _ -> ()
+
+let canonical_unit = function
+  | Units.Size -> "B"
+  | Units.Frequency -> "Hz"
+  | Units.Power -> "W"
+  | Units.Energy -> "J"
+  | Units.Time -> "s"
+  | Units.Bandwidth -> "B/s"
+  | Units.Voltage -> "V"
+  | Units.Temperature -> "K"
+  | Units.Scalar -> ""
+
+(* Substitute expression-valued attributes using [env]; the schema's
+   declared dimension rewraps plain numbers into quantities. *)
+let substitute_attrs diags env (e : Model.element) : Model.element =
+  let subst (key, v) =
+    match v with
+    | Model.Expr (ex, src) -> (
+        let ids = Xpdl_expr.Expr.free_idents ex in
+        let all_bound = List.for_all (fun i -> List.mem_assoc i env) ids in
+        if not all_bound then (key, v)
+        else
+          match Xpdl_expr.Expr.eval (Xpdl_expr.Expr.env_of_list env) ex with
+          | Xpdl_expr.Expr.Num f -> (
+              match Schema.attr_spec e.kind key with
+              | Some { a_type = Schema.A_quantity dim; _ } ->
+                  (* env values are SI-normalized *)
+                  (key, Model.Quantity (Units.make f dim, canonical_unit dim))
+              | Some { a_type = Schema.A_int; _ } -> (key, Model.Int (int_of_float f))
+              | _ ->
+                  if Float.is_integer f && List.length ids > 0 then (key, Model.Float f)
+                  else if ids = [] then (key, Model.Expr (ex, src)) (* pure literal: keep *)
+                  else (key, Model.Float f))
+          | Xpdl_expr.Expr.Bool b -> (key, Model.Bool b)
+          | Xpdl_expr.Expr.Str s -> (key, Model.Str s)
+          | exception Xpdl_expr.Expr.Error msg ->
+              diags :=
+                Diagnostic.error ~pos:e.pos "attribute %s: cannot evaluate %S: %s" key src msg
+                :: !diags;
+              (key, v))
+    | _ -> (key, v)
+  in
+  { e with attrs = List.map subst e.attrs }
+
+let eval_quantity diags env (g : Model.element) : int option =
+  match Model.attr g "quantity" with
+  | None -> None
+  | Some (Model.Int i) -> Some i
+  | Some (Model.Float f) -> Some (int_of_float f)
+  | Some (Model.Expr (ex, src)) -> (
+      match Xpdl_expr.Expr.eval_num (Xpdl_expr.Expr.env_of_list env) ex with
+      | f ->
+          if f < 0. then begin
+            diags :=
+              Diagnostic.error ~pos:g.pos "group quantity %S evaluates to negative %g" src f
+              :: !diags;
+            None
+          end
+          else Some (int_of_float f)
+      | exception Xpdl_expr.Expr.Error msg ->
+          diags :=
+            Diagnostic.error ~pos:g.pos "group quantity %S: %s (unbound parameter?)" src msg
+            :: !diags;
+          None)
+  | Some v ->
+      diags :=
+        Diagnostic.error ~pos:g.pos "group quantity has non-numeric value %a" Model.pp_attr_value
+          v
+        :: !diags;
+      None
+
+(* Does this subtree still contain an unexpanded quantity group? *)
+let check_constraints diags env (e : Model.element) =
+  List.iter
+    (fun (cs : Model.element) ->
+      List.iter
+        (fun (c : Model.element) ->
+          match Model.attr c "expr" with
+          | Some (Model.Expr (ex, src)) -> (
+              match Xpdl_expr.Expr.eval_bool (Xpdl_expr.Expr.env_of_list env) ex with
+              | true -> ()
+              | false ->
+                  diags :=
+                    Diagnostic.error ~pos:c.pos "constraint violated: %s" src :: !diags
+              | exception Xpdl_expr.Expr.Error msg ->
+                  diags :=
+                    Diagnostic.warning ~pos:c.pos
+                      "constraint %S not checkable: %s" src msg
+                    :: !diags)
+          | _ -> ())
+        (Model.children_of_kind cs Schema.Constraint))
+    (Model.children_of_kind e Schema.Constraints)
+
+(** [run ?env root] instantiates [root]: binds consts/params scope-wise,
+    substitutes expressions, checks ranges and constraints, and expands
+    groups.  [env] provides external configuration overrides (name →
+    value, SI-normalized), e.g. choosing [L1size] at deployment time.
+    Returns the expanded tree and diagnostics; the tree is usable even
+    with diagnostics present (erroneous parts are left unexpanded). *)
+let run ?(env : env = []) (root : Model.element) : Model.element * Diagnostic.t list =
+  let diags = ref [] in
+  (* names fixed by external deployment configuration: these override any
+     declaration in the tree; everything else follows lexical scoping
+     (an inner <param> shadows an enclosing scope's) *)
+  let external_names = List.map fst env in
+  let rec walk env (e : Model.element) : Model.element =
+    (* 1. gather const/param bindings declared directly under [e] *)
+    let env =
+      List.fold_left
+        (fun env (c : Model.element) ->
+          match c.kind with
+          | Schema.Const | Schema.Param -> (
+              match c.name with
+              | Some n -> (
+                  if List.mem n external_names && c.kind = Schema.Param then env
+                  else
+                    match binding_value env c with
+                    | Some v -> (n, v) :: env
+                    | None -> env)
+              | None ->
+                  diags :=
+                    Diagnostic.error ~pos:c.pos "<%s> requires a name"
+                      (Schema.tag_of_kind c.kind)
+                    :: !diags;
+                  env)
+          | _ -> env)
+        env e.children
+    in
+    (* 2. range checks for params in scope *)
+    List.iter
+      (fun (c : Model.element) ->
+        if c.kind = Schema.Param then check_range diags env c)
+      e.children;
+    (* 3. substitute this element's expression attributes *)
+    let e = substitute_attrs diags env e in
+    (* 4. constraints attached here *)
+    check_constraints diags env e;
+    (* 5. recurse into children, expanding groups *)
+    let children = List.concat_map (expand env) e.children in
+    { e with children }
+  and expand env (c : Model.element) : Model.element list =
+    match c.kind with
+    | Schema.Group -> (
+        let c = substitute_attrs diags env c in
+        match eval_quantity diags env c with
+        | None ->
+            (* plain grouping scope, no replication *)
+            [ walk env { c with attrs = List.remove_assoc "quantity" c.attrs } ]
+        | Some n ->
+            let prefix = Model.attr_string c "prefix" in
+            let base_attrs =
+              List.filter
+                (fun (k, _) -> not (List.mem k [ "quantity"; "prefix" ]))
+                c.attrs
+            in
+            let copies =
+              List.init n (fun i ->
+                  let member_ident =
+                    match prefix with
+                    | Some p -> Some (p ^ string_of_int i)
+                    | None -> None
+                  in
+                  let rename_children (children : Model.element list) =
+                    (* Assign the member identifier to the single
+                       unidentified principal child, if any; suffix names
+                       of named children when replicating without prefix
+                       so definitions stay unique (Shave_pd0..7). *)
+                    let unidentified =
+                      List.filter (fun (ch : Model.element) -> Model.identifier ch = None) children
+                    in
+                    List.map
+                      (fun (ch : Model.element) ->
+                        match (member_ident, Model.identifier ch) with
+                        | Some ident, None when List.length unidentified = 1 ->
+                            { ch with id = Some ident }
+                        | None, Some _ when n > 1 && ch.name <> None ->
+                            { ch with name = Option.map (fun s -> s ^ string_of_int i) ch.name }
+                        | _ -> ch)
+                      children
+                  in
+                  let scope =
+                    {
+                      c with
+                      kind = Schema.Group;
+                      id = member_ident;
+                      name = (if n > 1 then None else c.name);
+                      attrs = base_attrs;
+                      children = rename_children c.children;
+                    }
+                  in
+                  walk env scope)
+            in
+            if n > 1 && c.name <> None then
+              (* keep a named wrapper so the group itself stays
+                 addressable (switchoffCondition "Shave_pds off") *)
+              [ { c with attrs = base_attrs; children = copies; id = None } ]
+            else copies)
+    | _ -> [ walk env c ]
+  in
+  let result = walk env root in
+  (result, List.rev !diags)
+
+(** All parameter names still unbound (declared without value and not
+    substituted) in the subtree; useful to report required configuration. *)
+let unbound_params (root : Model.element) : string list =
+  List.rev
+    (Model.fold
+       (fun acc (e : Model.element) ->
+         if e.kind = Schema.Param && Model.attr e "value" = None
+            && Model.attr_quantity e "size" = None
+            && Model.attr_quantity e "frequency" = None
+         then match e.name with Some n when not (List.mem n acc) -> n :: acc | _ -> acc
+         else acc)
+       [] root)

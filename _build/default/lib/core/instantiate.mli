@@ -1,0 +1,20 @@
+(** Instantiation: parameter binding, group expansion, constraint
+    checking (Sec. III-B).
+
+    Walks an inheritance-flattened model top-down with a scoped
+    environment of [<const>]/[<param>] bindings, substitutes parameter
+    values into attribute expressions, verifies declared [range]s and
+    [<constraint>]s, and expands [group] elements: [quantity=n] becomes
+    [n] sibling scope copies, identified [prefix0 .. prefix(n-1)]
+    (Listing 1's [core0..core3]). *)
+
+(** External configuration overrides: name → SI-normalized value. *)
+type env = (string * Xpdl_expr.Expr.value) list
+
+(** Instantiate; the tree is usable even with diagnostics present
+    (erroneous parts are left unexpanded). *)
+val run : ?env:env -> Model.element -> Model.element * Diagnostic.t list
+
+(** Parameter names still unbound in the subtree (required deployment
+    configuration). *)
+val unbound_params : Model.element -> string list

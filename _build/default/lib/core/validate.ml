@@ -1,0 +1,171 @@
+(** Static validation of XPDL models against the {!Schema}.
+
+    PDL models everything beyond its fixed blocks as free-form string
+    properties, which "can lead to inconsistencies and confusion" (Sec.
+    II-C); XPDL's answer is predefined tags and attributes that permit
+    static checking.  This module implements those checks on elaborated
+    models:
+
+    - required attributes present, identifiers well-formed;
+    - interconnect [head]/[tail] endpoints resolve to component ids within
+      the enclosing system (Listing 4);
+    - instance trees have unique ids per scope;
+    - power state machines well-formed ({!Power.validate_state_machine});
+    - microbenchmark references ([mb]) resolve to a benchmark or suite;
+    - meta-models referenced by [type]/[extends] exist when a lookup is
+      supplied. *)
+
+let is_valid_identifier s =
+  String.length s > 0
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' -> true | _ -> false)
+       s
+
+let check_identifiers (root : Model.element) =
+  let diags = ref [] in
+  Model.iter
+    (fun (e : Model.element) ->
+      List.iter
+        (fun ident ->
+          if not (is_valid_identifier ident) then
+            diags :=
+              Diagnostic.error ~pos:e.pos "ill-formed identifier %S on <%s>" ident
+                (Schema.tag_of_kind e.kind)
+              :: !diags)
+        (Option.to_list e.name @ Option.to_list e.id))
+    root;
+  List.rev !diags
+
+let check_required_attrs (root : Model.element) =
+  let diags = ref [] in
+  Model.iter
+    (fun (e : Model.element) ->
+      List.iter
+        (fun (spec : Schema.attr_spec) ->
+          if spec.a_required && Model.attr e spec.a_name = None then
+            diags :=
+              Diagnostic.error ~pos:e.pos "<%s> is missing required attribute %S"
+                (Schema.tag_of_kind e.kind) spec.a_name
+              :: !diags)
+        (Schema.specific_attrs e.kind))
+    root;
+  List.rev !diags
+
+(* Ids must be unique among siblings of the same scope (global uniqueness
+   is a repository concern; within an instance tree, expanded groups make
+   path-scoped uniqueness the right notion). *)
+let check_unique_ids (root : Model.element) =
+  let diags = ref [] in
+  let check_scope (e : Model.element) =
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun (c : Model.element) ->
+        match c.id with
+        | Some ident ->
+            if Hashtbl.mem seen ident then
+              diags :=
+                Diagnostic.error ~pos:c.pos "duplicate id %S within <%s>" ident
+                  (Schema.tag_of_kind e.kind)
+                :: !diags
+            else Hashtbl.add seen ident ()
+        | None -> ())
+      e.children
+  in
+  Model.iter check_scope root;
+  List.rev !diags
+
+(* head/tail of interconnect instances must name components reachable in
+   the same system/node scope. *)
+let check_interconnect_endpoints (root : Model.element) =
+  let diags = ref [] in
+  let ids_in scope =
+    Model.fold
+      (fun acc (e : Model.element) ->
+        match (e.id, e.name) with
+        | Some i, _ -> i :: acc
+        | None, Some n -> n :: acc
+        | None, None -> acc)
+      [] scope
+  in
+  let check_in_scope (scope : Model.element) =
+    let known = ids_in scope in
+    Model.iter
+      (fun (e : Model.element) ->
+        if e.kind = Schema.Interconnect then
+          List.iter
+            (fun key ->
+              match Model.attr_string e key with
+              | Some endpoint when not (List.mem endpoint known) ->
+                  diags :=
+                    Diagnostic.error ~pos:e.pos
+                      "interconnect %s: %s endpoint %S does not name a component in this system"
+                      (Option.value ~default:"?" (Model.identifier e))
+                      key endpoint
+                    :: !diags
+              | _ -> ())
+            [ "head"; "tail" ])
+      scope
+  in
+  (* endpoints are resolved within the closest enclosing system; for
+     stand-alone fragments, within the root *)
+  let systems = Model.elements_of_kind Schema.System root in
+  (match systems with [] -> check_in_scope root | _ -> List.iter check_in_scope systems);
+  List.rev !diags
+
+let check_power_models (root : Model.element) =
+  let pm = Power.of_element root in
+  List.concat_map Power.validate_state_machine pm.pm_machines
+
+let check_microbenchmark_refs (root : Model.element) =
+  let diags = ref [] in
+  let pm = Power.of_element root in
+  let suite_ids = List.map (fun s -> s.Power.su_id) pm.pm_suites in
+  let bench_ids = List.concat_map (fun s -> List.map (fun b -> b.Power.mb_id) s.Power.su_benches) pm.pm_suites in
+  List.iter
+    (fun isa ->
+      (match isa.Power.isa_default_mb with
+      | Some mb when (not (List.mem mb suite_ids)) && not (List.mem mb bench_ids) ->
+          diags :=
+            Diagnostic.warning "instruction set %s references unknown microbenchmark suite %S"
+              isa.Power.isa_name mb
+            :: !diags
+      | _ -> ());
+      List.iter
+        (fun i ->
+          match i.Power.in_mb with
+          | Some mb when (not (List.mem mb bench_ids)) && not (List.mem mb suite_ids) ->
+              diags :=
+                Diagnostic.warning "instruction %s references unknown microbenchmark %S"
+                  i.Power.in_name mb
+                :: !diags
+          | _ -> ())
+        isa.Power.isa_instructions)
+    pm.pm_isas;
+  List.rev !diags
+
+(* When a lookup into the repository is available, referenced meta-models
+   must exist. *)
+let check_references ?(lookup : Inheritance.lookup option) (root : Model.element) =
+  match lookup with
+  | None -> []
+  | Some lookup ->
+      let defined_here name = Model.find_by_name name root <> None in
+      List.filter_map
+        (fun name ->
+          if defined_here name || lookup name <> None then None
+          else Some (Diagnostic.error ~pos:root.pos "unresolved meta-model reference %S" name))
+        (Model.referenced_types root)
+
+(** Run every check.  [lookup] enables cross-descriptor reference checks. *)
+let run ?lookup (root : Model.element) : Diagnostic.t list =
+  check_identifiers root
+  @ check_required_attrs root
+  @ check_unique_ids root
+  @ check_interconnect_endpoints root
+  @ check_power_models root
+  @ check_microbenchmark_refs root
+  @ check_references ?lookup root
+
+(** True if [run] yields no errors (warnings allowed). *)
+let is_valid ?lookup root = Diagnostic.all_ok (run ?lookup root)

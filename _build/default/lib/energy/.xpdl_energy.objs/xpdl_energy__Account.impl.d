@@ -1,0 +1,1 @@
+lib/energy/account.ml: Aggregate Float Fmt List Model Option Power Predict Psm Schema String Xpdl_core Xpdl_units

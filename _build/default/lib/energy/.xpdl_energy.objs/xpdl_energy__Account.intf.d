@@ -1,0 +1,1 @@
+lib/energy/account.mli: Format Model Predict Xpdl_core

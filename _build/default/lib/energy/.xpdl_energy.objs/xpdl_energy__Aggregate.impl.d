@@ -1,0 +1,1 @@
+lib/energy/aggregate.ml: Float List Model Option Schema Units Xpdl_core Xpdl_units

@@ -1,0 +1,1 @@
+lib/energy/aggregate.mli: Model Xpdl_core

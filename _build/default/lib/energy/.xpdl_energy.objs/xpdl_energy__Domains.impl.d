@@ -1,0 +1,1 @@
+lib/energy/domains.ml: Fmt Hashtbl List Model Option Power Schema String Xpdl_core Xpdl_units

@@ -1,0 +1,1 @@
+lib/energy/domains.mli: Model Power Xpdl_core

@@ -1,0 +1,1 @@
+lib/energy/dvfs.ml: Float Fmt Fun Int List Option Power Psm String Xpdl_core

@@ -1,0 +1,1 @@
+lib/energy/dvfs.mli: Format Power Xpdl_core

@@ -1,0 +1,1 @@
+lib/energy/predict.ml: Aggregate Fmt Hashtbl List Model Option Power Schema Xpdl_core Xpdl_units

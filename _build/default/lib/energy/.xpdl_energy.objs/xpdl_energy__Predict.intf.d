@@ -1,0 +1,1 @@
+lib/energy/predict.mli: Format Model Xpdl_core

@@ -1,0 +1,1 @@
+lib/energy/psm.ml: Fmt Hashtbl List Option Power String Xpdl_core

@@ -1,0 +1,1 @@
+lib/energy/psm.mli: Power Xpdl_core

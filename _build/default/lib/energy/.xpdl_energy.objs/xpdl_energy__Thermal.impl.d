@@ -1,0 +1,1 @@
+lib/energy/thermal.ml: Float Fmt List Model Option Schema String Xpdl_core

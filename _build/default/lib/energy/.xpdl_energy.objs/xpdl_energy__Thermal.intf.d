@@ -1,0 +1,1 @@
+lib/energy/thermal.mli: Model Xpdl_core

@@ -1,0 +1,42 @@
+(** System-wide energy accounting for multi-phase applications: price a
+    schedule of compute phases, transfers, DVFS switches and idle gaps
+    against a composed (bootstrapped) XPDL model, attributing energy to
+    components — the EXCESS "energy compositionality" premise [7]
+    implemented over the platform model. *)
+
+open Xpdl_core
+
+type step =
+  | Compute of {
+      label : string;
+      component : string;  (** hardware component id *)
+      hz : float;  (** clock during the phase *)
+      phase : Predict.phase;
+    }
+  | Transfer of { label : string; link : string; bytes : int }
+  | Switch of { machine_name : string; from_state : string; to_state : string }
+  | Idle of { label : string; duration : float }
+
+type step_cost = {
+  sc_label : string;
+  sc_component : string;
+  sc_time : float;  (** s *)
+  sc_energy : float;  (** J, dynamic + switching *)
+}
+
+type report = {
+  rp_steps : step_cost list;  (** in schedule order *)
+  rp_duration : float;
+  rp_dynamic_energy : float;
+  rp_static_energy : float;  (** machine static power × duration *)
+  rp_total_energy : float;
+  rp_by_component : (string * float) list;  (** dynamic shares, largest first *)
+}
+
+exception Account_error of string
+
+(** Raises {!Account_error} on unknown components, links or power-state
+    machines. *)
+val run : Model.element -> step list -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,189 @@
+(** Runtime power-domain state tracking (Sec. III-C, Listing 12).
+
+    Power domains are groups of components switched together.  This module
+    tracks which domains are on or off, enforces the language's switching
+    rules — [enableSwitchOff="false"] islands can never be turned off, and
+    [switchoffCondition="G off"] islands only once every domain of group
+    [G] is off — and computes the idle power of a configuration, matching
+    domain member selectors against the concrete hardware tree. *)
+
+open Xpdl_core
+
+type status = On | Off
+
+type t = {
+  domains : Power.domain list;
+  groups : (string * string list) list;  (** group name → member domain names *)
+  state : (string, status) Hashtbl.t;
+  model : Model.element option;  (** hardware tree for member matching *)
+}
+
+exception Switch_error of string
+
+let error fmt = Fmt.kstr (fun m -> raise (Switch_error m)) fmt
+
+(* Collect (group name → domain names) from the power_domains element:
+   Listing 12's <group name="Shave_pds"> wrapper. *)
+let collect_groups (e : Model.element) : (string * string list) list =
+  let rec domain_names (x : Model.element) =
+    match x.Model.kind with
+    | Schema.Power_domain -> Option.to_list (Model.identifier x)
+    | Schema.Group | Schema.Power_domains -> List.concat_map domain_names x.Model.children
+    | _ -> []
+  in
+  List.rev
+    (Model.fold
+       (fun acc (x : Model.element) ->
+         if Schema.equal_kind x.Model.kind Schema.Group then
+           match Model.identifier x with
+           | Some g -> (g, domain_names x) :: acc
+           | None -> acc
+         else acc)
+       [] e)
+
+(** Build the domain tracker from a model subtree containing a
+    [<power_domains>] specification.  All domains start [On]. *)
+let create ?model (power_domains_element : Model.element) : t =
+  let domains = Power.extract_domains power_domains_element in
+  let state = Hashtbl.create 16 in
+  List.iter (fun (d : Power.domain) -> Hashtbl.replace state d.pd_name On) domains;
+  { domains; groups = collect_groups power_domains_element; state; model }
+
+(** Build from any model: aggregates every [<power_domains>] specification
+    found (a heterogeneous system has one per power-modeled component —
+    the host CPU's and the accelerator's). *)
+let of_model (model : Model.element) : t option =
+  match Model.elements_of_kind Schema.Power_domains model with
+  | [] -> None
+  | pds ->
+      let domains = List.concat_map Power.extract_domains pds in
+      let groups =
+        List.concat_map collect_groups pds
+        |> List.filter (fun (_, members) -> members <> [])
+      in
+      let state = Hashtbl.create 16 in
+      List.iter (fun (d : Power.domain) -> Hashtbl.replace state d.Power.pd_name On) domains;
+      Some { domains; groups; state; model = Some model }
+
+let find_domain t name = List.find_opt (fun (d : Power.domain) -> String.equal d.Power.pd_name name) t.domains
+
+let status t name =
+  match Hashtbl.find_opt t.state name with
+  | Some s -> s
+  | None -> error "unknown power domain %S" name
+
+let is_off t name = status t name = Off
+
+let group_members t g =
+  match List.assoc_opt g t.groups with
+  | Some members -> members
+  | None ->
+      (* a bare domain name may be used where a group is expected *)
+      if Hashtbl.mem t.state g then [ g ] else error "unknown power-domain group %S" g
+
+(** Can [name] be switched off right now?  Checks [enableSwitchOff] and
+    the [switchoffCondition]. *)
+let can_switch_off t name =
+  match find_domain t name with
+  | None -> error "unknown power domain %S" name
+  | Some d ->
+      if not d.Power.pd_switchable then Ok false
+      else (
+        match d.Power.pd_condition with
+        | None -> Ok true
+        | Some cond ->
+            let members = group_members t cond.Power.requires_group in
+            let required = match cond.Power.required_state with `Off -> Off | `On -> On in
+            if List.for_all (fun m -> status t m = required) members then Ok true
+            else
+              Error
+                (Fmt.str "domain %s requires group %s to be %s" name cond.Power.requires_group
+                   (match required with Off -> "off" | On -> "on")))
+
+(** Switch a domain off; raises {!Switch_error} if the language rules
+    forbid it (main domain, or unmet [switchoffCondition]). *)
+let switch_off t name =
+  match can_switch_off t name with
+  | Ok true -> Hashtbl.replace t.state name Off
+  | Ok false -> error "power domain %S cannot be switched off (enableSwitchOff=false)" name
+  | Error msg -> error "%s" msg
+
+(** Switching a domain back on: legal unless turning it on would violate
+    nothing (always allowed in XPDL). *)
+let switch_on t name =
+  if not (Hashtbl.mem t.state name) then error "unknown power domain %S" name;
+  (* a domain that conditionally switched off may not constrain power-on *)
+  Hashtbl.replace t.state name On
+
+(** Switch off every domain in a group (Listing 12's "Shave_pds off"
+    precondition is established by switching each Shave_pd). *)
+let switch_off_group t g = List.iter (switch_off t) (group_members t g)
+
+let switch_on_group t g = List.iter (switch_on t) (group_members t g)
+
+(** {1 Idle power of a configuration} *)
+
+(* Does domain member selector [sel] match hardware element [hw]?  By
+   kind, then by type/id/name when the selector carries a [type]. *)
+let member_matches (sel : Model.element) (hw : Model.element) =
+  Schema.equal_kind sel.Model.kind hw.Model.kind
+  &&
+  match sel.Model.type_ref with
+  | None -> true
+  | Some ty ->
+      let eq = function Some s -> String.equal s ty | None -> false in
+      eq hw.Model.type_ref || eq hw.Model.id || eq hw.Model.name
+
+(** Hardware elements of the model belonging to [domain].  With [index]
+    given (the domain's position within its replicated group), the i-th
+    match is selected — one Shave core per Shave_pd{i}. *)
+let members_in_model t (domain : Power.domain) ?index () : Model.element list =
+  match t.model with
+  | None -> []
+  | Some model ->
+      let matches sel =
+        List.rev
+          (Model.fold (fun acc hw -> if member_matches sel hw then hw :: acc else acc) [] model)
+      in
+      List.concat_map
+        (fun sel ->
+          let all = matches sel in
+          match index with
+          | None -> all
+          | Some i -> ( match List.nth_opt all i with Some x -> [ x ] | None -> []))
+        domain.Power.pd_members
+
+(* Index of a domain within its replication group: Shave_pd3 → 3. *)
+let replica_index name =
+  let len = String.length name in
+  let rec digits i = if i > 0 && name.[i - 1] >= '0' && name.[i - 1] <= '9' then digits (i - 1) else i in
+  let start = digits len in
+  if start = len then None else int_of_string_opt (String.sub name start (len - start))
+
+(** Idle (static) power of the current configuration in W: domains that
+    are [On] contribute their [idle_power] (or the static power of their
+    members when not declared); [Off] domains contribute nothing. *)
+let idle_power t : float =
+  List.fold_left
+    (fun acc (d : Power.domain) ->
+      if status t d.Power.pd_name = Off then acc
+      else
+        let idle =
+          match d.Power.pd_idle_power with
+          | Some w -> w
+          | None ->
+              (* fall back to the members' declared static power *)
+              let members = members_in_model t d ?index:(replica_index d.Power.pd_name) () in
+              List.fold_left
+                (fun a m ->
+                  match Model.attr_quantity m "static_power" with
+                  | Some q -> a +. Xpdl_units.Units.value q
+                  | None -> a)
+                0. members
+        in
+        acc +. idle)
+    0. t.domains
+
+(** Names of all domains with their current status. *)
+let snapshot t : (string * status) list =
+  List.map (fun (d : Power.domain) -> (d.Power.pd_name, status t d.Power.pd_name)) t.domains

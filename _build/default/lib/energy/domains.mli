@@ -1,0 +1,52 @@
+(** Runtime power-domain state tracking (Sec. III-C, Listing 12):
+    on/off state per island, enforcement of [enableSwitchOff] and
+    [switchoffCondition], and idle power of a configuration. *)
+
+open Xpdl_core
+
+type status = On | Off
+
+type t
+
+exception Switch_error of string
+
+(** Build from a [<power_domains>] subtree; all domains start [On].
+    [model] supplies the hardware tree for member matching. *)
+val create : ?model:Model.element -> Model.element -> t
+
+(** Aggregate every [<power_domains>] specification found in the model
+    (one per power-modeled component); [None] if there are none. *)
+val of_model : Model.element -> t option
+
+val find_domain : t -> string -> Power.domain option
+
+(** Raises {!Switch_error} on unknown domains. *)
+val status : t -> string -> status
+
+val is_off : t -> string -> bool
+
+(** Domain names of a group (a bare domain name stands for itself). *)
+val group_members : t -> string -> string list
+
+(** [Ok true] if switchable now; [Ok false] if [enableSwitchOff=false];
+    [Error reason] if a [switchoffCondition] is unmet. *)
+val can_switch_off : t -> string -> (bool, string) result
+
+(** Raises {!Switch_error} if the language rules forbid it. *)
+val switch_off : t -> string -> unit
+
+val switch_on : t -> string -> unit
+val switch_off_group : t -> string -> unit
+val switch_on_group : t -> string -> unit
+
+(** Hardware elements of the model belonging to a domain; [index] selects
+    the i-th match for domains replicated by a group. *)
+val members_in_model : t -> Power.domain -> ?index:int -> unit -> Model.element list
+
+(** Idle power (W) of the current configuration: [On] domains contribute
+    their declared [idle_power] (or their members' static power);
+    [Off] domains contribute nothing. *)
+val idle_power : t -> float
+
+(** All domains with their current status. *)
+val snapshot : t -> (string * status) list

@@ -1,0 +1,203 @@
+(** DVFS energy optimization over XPDL power state machines.
+
+    The use case that motivates modeling power states with their
+    transition costs (Sec. III-C): given a computation of [cycles] clock
+    cycles and a [deadline], choose the power-state schedule of minimal
+    energy.  Policies compared (experiment E7):
+
+    - {b race-to-idle}: run at the fastest P state, then drop to the
+      deepest sleep state until the deadline;
+    - {b pace (single state)}: the slowest single P state that still meets
+      the deadline, idling in place afterwards;
+    - {b optimal}: exhaustive search over single states and ordered pairs
+      of P states with the split point chosen optimally — with convex
+      power curves the optimal schedule uses at most two (adjacent)
+      speeds, so this search is exact for the machines XPDL models — all
+      including the modeled switching time/energy.
+
+    Energy here is the domain's static/state power integrated over time
+    plus transition energies; per-instruction dynamic energy is orthogonal
+    (added by the caller from the instruction tables). *)
+
+open Xpdl_core
+
+type schedule_step = { step_state : string; step_duration : float (* s *) }
+
+type plan = {
+  policy : string;
+  steps : schedule_step list;
+  total_time : float;  (** s, including switching *)
+  total_energy : float;  (** J, state residency + switching *)
+  feasible : bool;  (** meets the deadline *)
+}
+
+let p_states (sm : Power.state_machine) =
+  List.filter (fun (s : Power.power_state) -> s.Power.ps_frequency > 0.) sm.Power.sm_states
+
+let sleep_states (sm : Power.state_machine) =
+  List.filter (fun (s : Power.power_state) -> s.Power.ps_frequency <= 0.) sm.Power.sm_states
+  |> List.sort (fun a b -> Float.compare a.Power.ps_power b.Power.ps_power)
+
+let fastest sm =
+  match
+    List.sort (fun a b -> Float.compare b.Power.ps_frequency a.Power.ps_frequency) (p_states sm)
+  with
+  | [] -> None
+  | s :: _ -> Some s
+
+(* Cost of: switch from [start] to [s1], run c1 cycles, optionally switch
+   to [s2] and run the rest, then park in [park] until the deadline (or
+   just idle in the last state if no park state is cheaper). *)
+let evaluate sm ~start ~cycles ~deadline (segments : (Power.power_state * float) list) :
+    plan option =
+  let rec run current time energy steps = function
+    | [] -> Some (current, time, energy, steps)
+    | ((s : Power.power_state), c) :: rest ->
+        if c <= 0. then run current time energy steps rest
+        else
+          (match Psm.switch_cost sm ~from_state:current ~to_state:s.Power.ps_name with
+          | None -> None
+          | Some (st, se) ->
+              let exec_t = c /. s.Power.ps_frequency in
+              let step = { step_state = s.Power.ps_name; step_duration = exec_t } in
+              run s.Power.ps_name
+                (time +. st +. exec_t)
+                (energy +. se +. (s.Power.ps_power *. exec_t))
+                (step :: steps) rest)
+  in
+  ignore cycles;
+  match run start 0. 0. [] segments with
+  | None -> None
+  | Some (final_state, time, energy, steps) ->
+      let slack = deadline -. time in
+      if slack < 0. then
+        Some
+          {
+            policy = "";
+            steps = List.rev steps;
+            total_time = time;
+            total_energy = energy;
+            feasible = false;
+          }
+      else begin
+        (* spend the slack as cheaply as possible: stay, or pay the switch
+           into a sleep state if the saving over the slack outweighs it *)
+        let stay_power =
+          match Power.find_state sm final_state with
+          | Some s -> s.Power.ps_power
+          | None -> 0.
+        in
+        let candidates =
+          (final_state, stay_power *. slack, 0.)
+          :: List.filter_map
+               (fun (sl : Power.power_state) ->
+                 match Psm.switch_cost sm ~from_state:final_state ~to_state:sl.Power.ps_name with
+                 | Some (st, se) when st <= slack ->
+                     Some (sl.Power.ps_name, se +. (sl.Power.ps_power *. (slack -. st)), st)
+                 | Some _ | None -> None)
+               (sleep_states sm)
+        in
+        let best_state, park_energy, park_switch_time =
+          List.fold_left
+            (fun ((_, be, _) as best) ((_, e, _) as cand) -> if e < be then cand else best)
+            (List.hd candidates) (List.tl candidates)
+        in
+        let steps =
+          if slack > 0. then
+            List.rev
+              ({ step_state = best_state; step_duration = slack -. park_switch_time } :: steps)
+          else List.rev steps
+        in
+        Some
+          {
+            policy = "";
+            steps;
+            total_time = deadline;
+            total_energy = energy +. park_energy;
+            feasible = true;
+          }
+      end
+
+let named policy = Option.map (fun p -> { p with policy })
+
+(** Race-to-idle: fastest P state for all cycles, then park. *)
+let race_to_idle sm ~start ~cycles ~deadline : plan option =
+  Option.bind (fastest sm) (fun s ->
+      named "race-to-idle" (evaluate sm ~start ~cycles ~deadline [ (s, cycles) ]))
+
+(** Slowest feasible single P state. *)
+let pace sm ~start ~cycles ~deadline : plan option =
+  let feasible_plans =
+    List.filter_map
+      (fun s -> named "pace" (evaluate sm ~start ~cycles ~deadline [ (s, cycles) ]))
+      (p_states sm)
+    |> List.filter (fun p -> p.feasible)
+  in
+  match List.sort (fun a b -> Float.compare a.total_energy b.total_energy) feasible_plans with
+  | [] -> None
+  | best :: _ -> Some best
+
+(** Exact optimum over one- and two-state schedules with optimal split.
+    For two states (f₁ > f₂) the split solves
+    c₁/f₁ + c₂/f₂ = available time; we search the split on a fine grid,
+    which is exact to grid resolution and robust to switching costs. *)
+let optimal ?(grid = 64) sm ~start ~cycles ~deadline : plan option =
+  let ps = p_states sm in
+  let singles =
+    List.filter_map (fun s -> evaluate sm ~start ~cycles ~deadline [ (s, cycles) ]) ps
+  in
+  let pairs =
+    List.concat_map
+      (fun s1 ->
+        List.concat_map
+          (fun s2 ->
+            if String.equal s1.Power.ps_name s2.Power.ps_name then []
+            else
+              List.filter_map
+                (fun i ->
+                  let frac = float_of_int i /. float_of_int grid in
+                  let c1 = cycles *. frac in
+                  evaluate sm ~start ~cycles ~deadline [ (s1, c1); (s2, cycles -. c1) ])
+                (List.init (grid - 1) (fun i -> i + 1)))
+          ps)
+      ps
+  in
+  let feasible = List.filter (fun p -> p.feasible) (singles @ pairs) in
+  match List.sort (fun a b -> Float.compare a.total_energy b.total_energy) feasible with
+  | [] -> None
+  | best :: _ -> Some { best with policy = "optimal" }
+
+(** Compare the three policies on one problem. *)
+type comparison = {
+  cycles : float;
+  deadline : float;
+  plans : plan list;  (** feasible plans, best energy first *)
+}
+
+let compare_policies ?grid sm ~start ~cycles ~deadline : comparison =
+  (* ties go to the more general policy: the optimal search subsumes the
+     single-state plans, so equal energy should rank it first *)
+  let rank p =
+    match p.policy with "optimal" -> 0 | "pace" -> 1 | "race-to-idle" -> 2 | _ -> 3
+  in
+  let plans =
+    List.filter_map Fun.id
+      [
+        race_to_idle sm ~start ~cycles ~deadline;
+        pace sm ~start ~cycles ~deadline;
+        optimal ?grid sm ~start ~cycles ~deadline;
+      ]
+    |> List.filter (fun p -> p.feasible)
+    |> List.sort (fun a b ->
+           match Float.compare a.total_energy b.total_energy with
+           | 0 -> Int.compare (rank a) (rank b)
+           | c -> if Float.abs (a.total_energy -. b.total_energy) < 1e-12 then Int.compare (rank a) (rank b) else c)
+  in
+  { cycles; deadline; plans }
+
+let pp_plan ppf p =
+  Fmt.pf ppf "%-13s %8.3f ms %10.4f mJ%s  [%a]" p.policy (p.total_time *. 1e3)
+    (p.total_energy *. 1e3)
+    (if p.feasible then "" else " INFEASIBLE")
+    Fmt.(list ~sep:(any " -> ") (fun ppf s -> Fmt.pf ppf "%s:%.2fms" s.step_state (s.step_duration *. 1e3)))
+    p.steps

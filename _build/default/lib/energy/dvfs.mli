@@ -1,0 +1,51 @@
+(** DVFS energy optimization over XPDL power state machines (experiment
+    E7): choose the power-state schedule of minimal energy for a job of
+    [cycles] under a [deadline], with all modeled switching costs, and
+    park the slack in the cheapest reachable state. *)
+
+open Xpdl_core
+
+type schedule_step = { step_state : string; step_duration : float  (** s *) }
+
+type plan = {
+  policy : string;
+  steps : schedule_step list;
+  total_time : float;  (** s, including switching *)
+  total_energy : float;  (** J, state residency + switching *)
+  feasible : bool;  (** meets the deadline *)
+}
+
+(** Run at the fastest P state, then park. *)
+val race_to_idle :
+  Power.state_machine -> start:string -> cycles:float -> deadline:float -> plan option
+
+(** The cheapest feasible single P state, then park. *)
+val pace :
+  Power.state_machine -> start:string -> cycles:float -> deadline:float -> plan option
+
+(** Exact optimum over one- and two-state schedules with the split
+    searched on a [grid] (default 64) — with convex power curves optimal
+    schedules use at most two speeds. *)
+val optimal :
+  ?grid:int ->
+  Power.state_machine ->
+  start:string ->
+  cycles:float ->
+  deadline:float ->
+  plan option
+
+type comparison = {
+  cycles : float;
+  deadline : float;
+  plans : plan list;  (** feasible plans, best energy first; ties rank optimal first *)
+}
+
+val compare_policies :
+  ?grid:int ->
+  Power.state_machine ->
+  start:string ->
+  cycles:float ->
+  deadline:float ->
+  comparison
+
+val pp_plan : Format.formatter -> plan -> unit

@@ -1,0 +1,139 @@
+(** Model-based time/energy prediction — what the bootstrapped platform
+    model is {e for}.
+
+    Once the toolchain has filled in the per-instruction energy tables
+    (Sec. III-C) the upper optimization layers can predict "the expected
+    communication time or the energy cost" (Sec. IV) of a computation
+    phase without running it.  This module prices an abstract phase —
+    instruction counts, memory traffic, parallelism — against a composed
+    model: instruction energies from the ISA tables (interpolated by
+    frequency), latencies from the declared pipeline metadata, memory
+    costs from the memory descriptors, static power from the synthesized
+    aggregate.
+
+    Tests validate predictions against the simulated machine: both derive
+    from the same platform parameters, so agreement is bounded by the
+    bootstrap's measurement error. *)
+
+open Xpdl_core
+
+(** An abstract computation phase. *)
+type phase = {
+  ph_instructions : (string * int) list;  (** instruction name → count *)
+  ph_memory_accesses : int;  (** cache-missing accesses *)
+  ph_parallel_fraction : float;
+  ph_cores_used : int;
+}
+
+let phase ?(memory_accesses = 0) ?(parallel_fraction = 0.) ?(cores_used = 1) instructions =
+  {
+    ph_instructions = instructions;
+    ph_memory_accesses = memory_accesses;
+    ph_parallel_fraction = parallel_fraction;
+    ph_cores_used = max 1 cores_used;
+  }
+
+type prediction = {
+  pr_time : float;  (** s *)
+  pr_dynamic_energy : float;  (** J *)
+  pr_static_energy : float;  (** J = machine static power × time *)
+  pr_total_energy : float;  (** J *)
+  pr_unmodeled : string list;  (** instructions with no energy entry *)
+}
+
+(* ISA lookup tables assembled once per model. *)
+type tables = {
+  tb_energy : (string, Power.instruction) Hashtbl.t;
+  tb_static_power : float;
+  tb_mem_energy : float;
+  tb_mem_latency : float;
+}
+
+let mean default = function
+  | [] -> default
+  | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+
+(** Build the pricing tables from a composed (ideally bootstrapped)
+    model. *)
+let tables_of_model (model : Model.element) : tables =
+  let tb_energy = Hashtbl.create 32 in
+  List.iter
+    (fun isa ->
+      List.iter
+        (fun (i : Power.instruction) ->
+          if not (Hashtbl.mem tb_energy i.Power.in_name) then
+            Hashtbl.add tb_energy i.Power.in_name i)
+        isa.Power.isa_instructions)
+    (Power.of_element model).Power.pm_isas;
+  let mems = Model.elements_of_kind Schema.Memory model in
+  let q key m = Option.map Xpdl_units.Units.value (Model.attr_quantity m key) in
+  {
+    tb_energy;
+    tb_static_power = Aggregate.static_power model;
+    tb_mem_energy = mean 5e-9 (List.filter_map (q "energy_per_access") mems);
+    tb_mem_latency = mean 60e-9 (List.filter_map (q "latency") mems);
+  }
+
+(** Predict the cost of [ph] at clock [hz].  Instructions without an
+    energy entry (un-bootstrapped ["?"]) contribute zero energy and are
+    reported in [pr_unmodeled] — run the bootstrap first. *)
+let predict (tb : tables) ~(hz : float) (ph : phase) : prediction =
+  let unmodeled = ref [] in
+  let cycles, energy =
+    List.fold_left
+      (fun (cy, en) (name, count) ->
+        let c = float_of_int count in
+        match Hashtbl.find_opt tb.tb_energy name with
+        | Some i ->
+            let lat = float_of_int (Option.value ~default:4 i.Power.in_latency) in
+            let e =
+              match Power.instruction_energy_at i ~hz with
+              | Some e -> e
+              | None ->
+                  unmodeled := name :: !unmodeled;
+                  0.
+            in
+            (cy +. (c *. lat), en +. (c *. e))
+        | None ->
+            unmodeled := name :: !unmodeled;
+            (cy +. (c *. 4.), en))
+      (0., 0.) ph.ph_instructions
+  in
+  let serial =
+    (cycles /. hz) +. (float_of_int ph.ph_memory_accesses *. tb.tb_mem_latency)
+  in
+  let pf = ph.ph_parallel_fraction in
+  let time = (serial *. (1. -. pf)) +. (serial *. pf /. float_of_int ph.ph_cores_used) in
+  let dynamic =
+    energy +. (float_of_int ph.ph_memory_accesses *. tb.tb_mem_energy)
+  in
+  let static = tb.tb_static_power *. time in
+  {
+    pr_time = time;
+    pr_dynamic_energy = dynamic;
+    pr_static_energy = static;
+    pr_total_energy = dynamic +. static;
+    pr_unmodeled = List.rev !unmodeled;
+  }
+
+(** One-shot convenience: tables + predict. *)
+let predict_on_model model ~hz ph = predict (tables_of_model model) ~hz ph
+
+(** Energy-to-solution comparison of running the same phase at different
+    frequencies (uses the per-frequency tables when the bootstrap swept
+    them): returns (hz, time, total energy) triples. *)
+let frequency_sweep (tb : tables) ~(frequencies : float list) (ph : phase) :
+    (float * float * float) list =
+  List.map
+    (fun hz ->
+      let p = predict tb ~hz ph in
+      (hz, p.pr_time, p.pr_total_energy))
+    frequencies
+
+let pp_prediction ppf p =
+  Fmt.pf ppf "time %.3g ms, energy %.3g mJ (dyn %.3g + static %.3g)%a" (p.pr_time *. 1e3)
+    (p.pr_total_energy *. 1e3) (p.pr_dynamic_energy *. 1e3) (p.pr_static_energy *. 1e3)
+    (fun ppf -> function
+      | [] -> ()
+      | l -> Fmt.pf ppf " [unmodeled: %a]" Fmt.(list ~sep:comma string) l)
+    p.pr_unmodeled

@@ -1,0 +1,48 @@
+(** Model-based time/energy prediction from a bootstrapped platform
+    model: prices an abstract computation phase against the ISA energy
+    tables (frequency-interpolated), declared latencies, memory
+    descriptors and the synthesized static power.  Agreement with the
+    simulated machine is bounded by the bootstrap's measurement error
+    (experiment E11). *)
+
+open Xpdl_core
+
+type phase = {
+  ph_instructions : (string * int) list;  (** instruction name → count *)
+  ph_memory_accesses : int;
+  ph_parallel_fraction : float;
+  ph_cores_used : int;
+}
+
+val phase :
+  ?memory_accesses:int ->
+  ?parallel_fraction:float ->
+  ?cores_used:int ->
+  (string * int) list ->
+  phase
+
+type prediction = {
+  pr_time : float;  (** s *)
+  pr_dynamic_energy : float;  (** J *)
+  pr_static_energy : float;  (** J = machine static power × time *)
+  pr_total_energy : float;  (** J *)
+  pr_unmodeled : string list;  (** instructions with no energy entry *)
+}
+
+(** Pricing tables assembled once per model. *)
+type tables
+
+val tables_of_model : Model.element -> tables
+
+(** Predict the cost of a phase at clock [hz].  Un-bootstrapped
+    instructions contribute zero energy and are reported in
+    [pr_unmodeled]. *)
+val predict : tables -> hz:float -> phase -> prediction
+
+val predict_on_model : Model.element -> hz:float -> phase -> prediction
+
+(** (hz, time, total energy) for each frequency (uses per-frequency
+    [<data>] tables when the bootstrap swept them). *)
+val frequency_sweep : tables -> frequencies:float list -> phase -> (float * float * float) list
+
+val pp_prediction : Format.formatter -> prediction -> unit

@@ -1,0 +1,150 @@
+(** Power-state-machine simulation (Sec. III-C, Listing 13).
+
+    A {!t} tracks the current power state of one domain and accounts for
+    every cost the language models: static power while residing in a
+    state, and the time/energy overheads of transitions.  Transitions not
+    modeled directly are routed over the cheapest multi-hop path ("a power
+    state machine ... must model all possible transitions that the
+    programmer can initiate" — so a missing edge means the switch must go
+    through intermediate states). *)
+
+open Xpdl_core
+
+type t = {
+  machine : Power.state_machine;
+  mutable current : string;
+  mutable clock : float;  (** s, simulated time *)
+  mutable consumed : float;  (** J, accumulated *)
+  mutable switches : int;
+  log : (float * string) list ref;  (** (time, state) history, newest first *)
+}
+
+exception Psm_error of string
+
+let error fmt = Fmt.kstr (fun m -> raise (Psm_error m)) fmt
+
+(** Start in [initial] (default: the machine's first declared state). *)
+let create ?initial (machine : Power.state_machine) : t =
+  let initial =
+    match initial with
+    | Some s -> s
+    | None -> (
+        match machine.Power.sm_states with
+        | s :: _ -> s.Power.ps_name
+        | [] -> error "power state machine %s has no states" machine.Power.sm_name)
+  in
+  if Power.find_state machine initial = None then
+    error "no state %S in machine %s" initial machine.Power.sm_name;
+  { machine; current = initial; clock = 0.; consumed = 0.; switches = 0; log = ref [ (0., initial) ] }
+
+let state t = t.current
+let clock t = t.clock
+let consumed t = t.consumed
+let switch_count t = t.switches
+let history t = List.rev !(t.log)
+
+let current_state t =
+  match Power.find_state t.machine t.current with
+  | Some s -> s
+  | None -> assert false
+
+let frequency t = (current_state t).Power.ps_frequency
+let power t = (current_state t).Power.ps_power
+
+(** Cheapest transition path [from → ... → to] minimizing switching
+    energy (Dijkstra over the transition graph); returns the edge list. *)
+let transition_path (machine : Power.state_machine) ~from_state ~to_state :
+    Power.transition list option =
+  if String.equal from_state to_state then Some []
+  else begin
+    let dist = Hashtbl.create 8 and via = Hashtbl.create 8 in
+    Hashtbl.replace dist from_state 0.;
+    let visited = Hashtbl.create 8 in
+    let rec loop () =
+      (* extract the unvisited state with the smallest distance *)
+      let best =
+        Hashtbl.fold
+          (fun s d acc ->
+            if Hashtbl.mem visited s then acc
+            else
+              match acc with Some (_, d') when d' <= d -> acc | _ -> Some (s, d))
+          dist None
+      in
+      match best with
+      | None -> ()
+      | Some (s, d) ->
+          Hashtbl.add visited s ();
+          List.iter
+            (fun (tr : Power.transition) ->
+              if String.equal tr.Power.tr_from s then begin
+                let nd = d +. tr.Power.tr_energy in
+                let better =
+                  match Hashtbl.find_opt dist tr.Power.tr_to with
+                  | None -> true
+                  | Some old -> nd < old
+                in
+                if better then begin
+                  Hashtbl.replace dist tr.Power.tr_to nd;
+                  Hashtbl.replace via tr.Power.tr_to tr
+                end
+              end)
+            machine.Power.sm_transitions;
+          loop ()
+    in
+    loop ();
+    if not (Hashtbl.mem dist to_state) then None
+    else begin
+      let rec rebuild acc s =
+        if String.equal s from_state then acc
+        else
+          let tr = Hashtbl.find via s in
+          rebuild (tr :: acc) tr.Power.tr_from
+      in
+      Some (rebuild [] to_state)
+    end
+  end
+
+(** Total (time, energy) cost of switching between two states along the
+    cheapest path; [None] if unreachable. *)
+let switch_cost (machine : Power.state_machine) ~from_state ~to_state =
+  Option.map
+    (fun path ->
+      List.fold_left
+        (fun (ti, en) (tr : Power.transition) -> (ti +. tr.Power.tr_time, en +. tr.Power.tr_energy))
+        (0., 0.) path)
+    (transition_path machine ~from_state ~to_state)
+
+(** Reside in the current state for [duration] seconds: accumulates
+    static energy power·t. *)
+let dwell t ~duration =
+  if duration < 0. then error "negative dwell duration";
+  t.clock <- t.clock +. duration;
+  t.consumed <- t.consumed +. (power t *. duration)
+
+(** Switch to [target], paying the transition costs along the cheapest
+    modeled path.  Raises {!Psm_error} if no path is modeled. *)
+let switch_to t target =
+  if Power.find_state t.machine target = None then
+    error "no state %S in machine %s" target t.machine.Power.sm_name;
+  match transition_path t.machine ~from_state:t.current ~to_state:target with
+  | None -> error "no modeled transition path %s -> %s" t.current target
+  | Some path ->
+      List.iter
+        (fun (tr : Power.transition) ->
+          t.clock <- t.clock +. tr.Power.tr_time;
+          t.consumed <- t.consumed +. tr.Power.tr_energy;
+          t.switches <- t.switches + 1;
+          t.current <- tr.Power.tr_to;
+          t.log := (t.clock, t.current) :: !(t.log))
+        path
+
+(** Execute [cycles] of work in the current state: time = cycles/f,
+    energy = P·t (+ [dynamic_energy] if given).  In a C state (f = 0)
+    this is an error. *)
+let execute t ~cycles ?(dynamic_energy = 0.) () =
+  let f = frequency t in
+  if f <= 0. then error "cannot execute in sleep state %s" t.current;
+  let duration = cycles /. f in
+  dwell t ~duration;
+  t.consumed <- t.consumed +. dynamic_energy;
+  duration

@@ -1,0 +1,46 @@
+(** Power-state-machine simulation (Sec. III-C, Listing 13): state
+    residency power plus modeled transition time/energy; unmodeled
+    direct transitions are routed over the cheapest multi-hop path. *)
+
+open Xpdl_core
+
+type t
+
+exception Psm_error of string
+
+(** Start in [initial] (default: the machine's first declared state). *)
+val create : ?initial:string -> Power.state_machine -> t
+
+val state : t -> string
+val clock : t -> float
+val consumed : t -> float
+val switch_count : t -> int
+
+(** (time, state) history, oldest first. *)
+val history : t -> (float * string) list
+
+val frequency : t -> float
+val power : t -> float
+
+(** Cheapest transition path minimizing switching energy (Dijkstra);
+    [None] if unreachable, [Some []] for from = to. *)
+val transition_path :
+  Power.state_machine ->
+  from_state:string ->
+  to_state:string ->
+  Power.transition list option
+
+(** Total (time, energy) cost of switching along the cheapest path. *)
+val switch_cost :
+  Power.state_machine -> from_state:string -> to_state:string -> (float * float) option
+
+(** Reside in the current state for [duration] s (accrues power·t). *)
+val dwell : t -> duration:float -> unit
+
+(** Switch to a target state, paying the costs along the cheapest path;
+    raises {!Psm_error} if no path is modeled. *)
+val switch_to : t -> string -> unit
+
+(** Execute [cycles] of work in the current state (time = cycles/f);
+    raises {!Psm_error} in a sleep state.  Returns the duration. *)
+val execute : t -> cycles:float -> ?dynamic_energy:float -> unit -> float

@@ -1,0 +1,143 @@
+(** A lumped-RC thermal extension to the energy model.
+
+    The paper motivates hardware-structural organization partly because
+    "power consumption and temperature metrics and measurement values
+    naturally can be attributed to coarse-grain hardware blocks"; thermal
+    modeling itself is future work there.  This extension gives each
+    hardware block the classic single-node RC model used by HotSpot-style
+    tools at coarse grain:
+
+    {v  C dT/dt = P(t) − (T − T_amb) / R  v}
+
+    with thermal resistance R (K/W) and capacitance C (J/K) either taken
+    from [thermal_resistance]/[thermal_capacitance] attributes (an
+    extensibility demonstration: unknown attributes elaborate to typed
+    strings and are read back here) or defaulted from the block's size
+    class.  Integration is exact per piecewise-constant power step:
+
+    {v  T(t+dt) = T_ss + (T(t) − T_ss)·exp(−dt/RC),  T_ss = T_amb + P·R  v} *)
+
+open Xpdl_core
+
+type block = {
+  th_ident : string;
+  th_resistance : float;  (** K/W *)
+  th_capacitance : float;  (** J/K *)
+  mutable th_temperature : float;  (** K *)
+}
+
+type t = { ambient : float; blocks : block list }
+
+(* Default RC per component kind: bigger silicon → lower R, higher C. *)
+let default_rc = function
+  | Schema.Cpu -> (0.45, 60.)
+  | Schema.Device -> (0.30, 120.)
+  | Schema.Core -> (4.0, 2.5)
+  | Schema.Memory -> (1.2, 30.)
+  | Schema.Cache -> (6.0, 1.0)
+  | _ -> (1.0, 10.)
+
+let attr_float_string (e : Model.element) key =
+  (* extension attributes elaborate to Str; accept plain numbers *)
+  match Model.attr e key with
+  | Some (Model.Float f) -> Some f
+  | Some (Model.Str s) -> float_of_string_opt s
+  | Some (Model.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+(** Build the thermal network for the coarse blocks (CPUs, devices,
+    memories) of a composed model, all starting at ambient. *)
+let create ?(ambient = 298.15) (model : Model.element) : t =
+  let interesting (e : Model.element) =
+    match e.Model.kind with Schema.Cpu | Schema.Device | Schema.Memory -> true | _ -> false
+  in
+  let blocks =
+    List.filteri (fun _ _ -> true)
+      (Model.hardware_fold
+         (fun acc (e : Model.element) ->
+           if interesting e then
+             let r_default, c_default = default_rc e.Model.kind in
+             {
+               th_ident =
+                 Option.value ~default:(Schema.tag_of_kind e.Model.kind)
+                   (Model.identifier e);
+               th_resistance =
+                 Option.value ~default:r_default (attr_float_string e "thermal_resistance");
+               th_capacitance =
+                 Option.value ~default:c_default (attr_float_string e "thermal_capacitance");
+               th_temperature = ambient;
+             }
+             :: acc
+           else acc)
+         [] model)
+  in
+  { ambient; blocks = List.rev blocks }
+
+let find t ident = List.find_opt (fun b -> String.equal b.th_ident ident) t.blocks
+
+let temperature t ident =
+  match find t ident with
+  | Some b -> b.th_temperature
+  | None -> Fmt.invalid_arg "Thermal.temperature: unknown block %S" ident
+
+(** Advance one block by [dt] seconds under constant dissipation
+    [power] W. *)
+let step_block t (b : block) ~power ~dt =
+  let t_ss = t.ambient +. (power *. b.th_resistance) in
+  let tau = b.th_resistance *. b.th_capacitance in
+  b.th_temperature <- t_ss +. ((b.th_temperature -. t_ss) *. Float.exp (-.dt /. tau))
+
+(** Advance the whole network by [dt] under the per-block power map
+    (W; blocks absent from the map dissipate 0). *)
+let step t ~(powers : (string * float) list) ~dt =
+  List.iter
+    (fun b ->
+      let p = Option.value ~default:0. (List.assoc_opt b.th_ident powers) in
+      step_block t b ~power:p ~dt)
+    t.blocks
+
+(** Steady-state temperature of a block under constant power. *)
+let steady_state t ident ~power =
+  match find t ident with
+  | Some b -> t.ambient +. (power *. b.th_resistance)
+  | None -> Fmt.invalid_arg "Thermal.steady_state: unknown block %S" ident
+
+(** Simulate a piecewise-constant power trace for one block; returns the
+    (time, temperature) series sampled after each segment. *)
+let simulate t ident ~(trace : (float * float) list) : (float * float) list =
+  match find t ident with
+  | None -> Fmt.invalid_arg "Thermal.simulate: unknown block %S" ident
+  | Some b ->
+      let clock = ref 0. in
+      List.map
+        (fun (duration, power) ->
+          step_block t b ~power ~dt:duration;
+          clock := !clock +. duration;
+          (!clock, b.th_temperature))
+        trace
+
+(** Hottest block of the network. *)
+let hottest t =
+  match t.blocks with
+  | [] -> None
+  | b :: rest ->
+      Some
+        (List.fold_left
+           (fun best x -> if x.th_temperature > best.th_temperature then x else best)
+           b rest)
+
+(** Time for [ident] at constant [power] to reach [limit] K, if ever
+    ([None] when the steady state stays below the limit). *)
+let time_to_limit t ident ~power ~limit =
+  match find t ident with
+  | None -> Fmt.invalid_arg "Thermal.time_to_limit: unknown block %S" ident
+  | Some b ->
+      let t_ss = t.ambient +. (power *. b.th_resistance) in
+      if t_ss <= limit then None
+      else begin
+        (* limit = t_ss + (T0 - t_ss) exp(-t/tau) *)
+        let tau = b.th_resistance *. b.th_capacitance in
+        let ratio = (limit -. t_ss) /. (b.th_temperature -. t_ss) in
+        if ratio <= 0. || ratio >= 1. then Some 0.
+        else Some (-.tau *. Float.log ratio)
+      end

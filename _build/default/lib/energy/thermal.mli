@@ -1,0 +1,43 @@
+(** A lumped-RC thermal extension: each coarse hardware block (CPU,
+    device, memory) gets the classic single-node model
+    [C dT/dt = P − (T − T_amb)/R], with R/C from
+    [thermal_resistance]/[thermal_capacitance] extension attributes or
+    kind-based defaults.  Integration is exact per piecewise-constant
+    power step. *)
+
+open Xpdl_core
+
+type block = {
+  th_ident : string;
+  th_resistance : float;  (** K/W *)
+  th_capacitance : float;  (** J/K *)
+  mutable th_temperature : float;  (** K *)
+}
+
+type t = { ambient : float; blocks : block list }
+
+(** Build the network for the CPUs, devices and memories of a composed
+    model, all starting at [ambient] (default 298.15 K). *)
+val create : ?ambient:float -> Model.element -> t
+
+val find : t -> string -> block option
+
+(** Raises [Invalid_argument] on unknown blocks. *)
+val temperature : t -> string -> float
+
+(** Advance the whole network by [dt] s under the per-block power map
+    (W; absent blocks dissipate 0). *)
+val step : t -> powers:(string * float) list -> dt:float -> unit
+
+(** Steady-state temperature of a block under constant power. *)
+val steady_state : t -> string -> power:float -> float
+
+(** Simulate a piecewise-constant (duration, power) trace for one block;
+    returns the (time, temperature) series after each segment. *)
+val simulate : t -> string -> trace:(float * float) list -> (float * float) list
+
+val hottest : t -> block option
+
+(** Time for a block at constant power to reach [limit] K; [None] when
+    the steady state stays below it. *)
+val time_to_limit : t -> string -> power:float -> limit:float -> float option

@@ -1,0 +1,1 @@
+lib/expr/expr.ml: Bool Float Fmt Hashtbl List String

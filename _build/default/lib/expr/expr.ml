@@ -1,0 +1,357 @@
+(** Expression language for XPDL constraints and derived-attribute rules.
+
+    The paper uses expressions in two places: [<constraint expr="L1size +
+    shmsize == shmtotalsize" />] inside meta-models (Listing 8), and the
+    attribute-grammar style rules that synthesize attributes bottom-up over
+    the model tree (Sec. III-D).  This module provides the shared syntax:
+
+    {v
+      e ::= number | string | ident | '(' e ')'
+          | '-' e | '!' e
+          | e ('*'|'/'|'%') e
+          | e ('+'|'-') e
+          | e ('=='|'!='|'<'|'<='|'>'|'>=') e
+          | e '&&' e | e '||' e
+          | ident '(' e (',' e)* ')'          function call
+      ident ::= [A-Za-z_][A-Za-z0-9_.]*        dots allow path-like names
+    v}
+
+    Evaluation is over an environment mapping identifiers to {!value}s plus
+    a table of named functions (used by the energy library for [sum],
+    [count], [min], [max] over model subtrees). *)
+
+type value = Num of float | Bool of bool | Str of string
+
+let pp_value ppf = function
+  | Num f -> Fmt.pf ppf "%g" f
+  | Bool b -> Fmt.bool ppf b
+  | Str s -> Fmt.pf ppf "%S" s
+
+let value_equal a b =
+  match (a, b) with
+  | Num x, Num y -> Float.equal x y || Float.abs (x -. y) < 1e-12
+  | Bool x, Bool y -> Bool.equal x y
+  | Str x, Str y -> String.equal x y
+  | (Num _ | Bool _ | Str _), _ -> false
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop = Neg | Not
+
+type t =
+  | Number of float
+  | String of string
+  | Ident of string
+  | Unary of unop * t
+  | Binary of binop * t * t
+  | Call of string * t list
+
+exception Error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Error m)) fmt
+
+(** {1 Lexer} *)
+
+type token =
+  | TNum of float
+  | TStr of string
+  | TId of string
+  | TOp of string
+  | TLparen
+  | TRparen
+  | TComma
+  | TEof
+
+let tokenize s =
+  let len = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  let is_id_char c = is_id_start c || (c >= '0' && c <= '9') || c = '.' in
+  let is_digit c = c >= '0' && c <= '9' in
+  while !i < len do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_digit c then begin
+      let start = !i in
+      while !i < len && (is_digit s.[!i] || s.[!i] = '.' || s.[!i] = 'e' || s.[!i] = 'E'
+                         || ((s.[!i] = '+' || s.[!i] = '-') && !i > start
+                             && (s.[!i - 1] = 'e' || s.[!i - 1] = 'E')))
+      do incr i done;
+      let lit = String.sub s start (!i - start) in
+      match float_of_string_opt lit with
+      | Some f -> toks := TNum f :: !toks
+      | None -> fail "malformed number %S" lit
+    end
+    else if is_id_start c then begin
+      let start = !i in
+      while !i < len && is_id_char s.[!i] do incr i done;
+      toks := TId (String.sub s start (!i - start)) :: !toks
+    end
+    else if c = '"' || c = '\'' then begin
+      let quote = c in
+      incr i;
+      let start = !i in
+      while !i < len && s.[!i] <> quote do incr i done;
+      if !i >= len then fail "unterminated string literal";
+      toks := TStr (String.sub s start (!i - start)) :: !toks;
+      incr i
+    end
+    else if c = '(' then (toks := TLparen :: !toks; incr i)
+    else if c = ')' then (toks := TRparen :: !toks; incr i)
+    else if c = ',' then (toks := TComma :: !toks; incr i)
+    else begin
+      let two = if !i + 1 < len then String.sub s !i 2 else "" in
+      match two with
+      | "==" | "!=" | "<=" | ">=" | "&&" | "||" ->
+          toks := TOp two :: !toks;
+          i := !i + 2
+      | _ -> (
+          match c with
+          | '+' | '-' | '*' | '/' | '%' | '<' | '>' | '!' | '=' ->
+              toks := TOp (String.make 1 c) :: !toks;
+              incr i
+          | _ -> fail "unexpected character %C in expression %S" c s)
+    end
+  done;
+  List.rev (TEof :: !toks)
+
+(** {1 Pratt parser} *)
+
+let binop_of_string = function
+  | "+" -> Add | "-" -> Sub | "*" -> Mul | "/" -> Div | "%" -> Mod
+  | "==" | "=" -> Eq | "!=" -> Neq
+  | "<" -> Lt | "<=" -> Le | ">" -> Gt | ">=" -> Ge
+  | "&&" -> And | "||" -> Or
+  | op -> fail "unknown operator %S" op
+
+let precedence = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Neq -> 3
+  | Lt | Le | Gt | Ge -> 4
+  | Add | Sub -> 5
+  | Mul | Div | Mod -> 6
+
+type parser_state = { mutable toks : token list }
+
+let peek ps = match ps.toks with [] -> TEof | t :: _ -> t
+let advance ps = match ps.toks with [] -> () | _ :: rest -> ps.toks <- rest
+
+let rec parse_primary ps =
+  match peek ps with
+  | TNum f ->
+      advance ps;
+      Number f
+  | TStr s ->
+      advance ps;
+      String s
+  | TId name -> (
+      advance ps;
+      match peek ps with
+      | TLparen ->
+          advance ps;
+          let args = parse_args ps in
+          Call (name, args)
+      | _ -> Ident name)
+  | TLparen ->
+      advance ps;
+      let e = parse_expr ps 0 in
+      (match peek ps with
+      | TRparen -> advance ps
+      | _ -> fail "expected ')'");
+      e
+  | TOp "-" ->
+      advance ps;
+      Unary (Neg, parse_primary ps)
+  | TOp "!" ->
+      advance ps;
+      Unary (Not, parse_primary ps)
+  | TOp op -> fail "unexpected operator %S" op
+  | TRparen -> fail "unexpected ')'"
+  | TComma -> fail "unexpected ','"
+  | TEof -> fail "unexpected end of expression"
+
+and parse_args ps =
+  match peek ps with
+  | TRparen ->
+      advance ps;
+      []
+  | _ ->
+      let rec loop acc =
+        let e = parse_expr ps 0 in
+        match peek ps with
+        | TComma ->
+            advance ps;
+            loop (e :: acc)
+        | TRparen ->
+            advance ps;
+            List.rev (e :: acc)
+        | _ -> fail "expected ',' or ')' in argument list"
+      in
+      loop []
+
+and parse_expr ps min_prec =
+  let lhs = parse_primary ps in
+  let rec loop lhs =
+    match peek ps with
+    | TOp op_s ->
+        let op = binop_of_string op_s in
+        let prec = precedence op in
+        if prec < min_prec then lhs
+        else begin
+          advance ps;
+          let rhs = parse_expr ps (prec + 1) in
+          loop (Binary (op, lhs, rhs))
+        end
+    | _ -> lhs
+  in
+  loop lhs
+
+(** Parse an expression string.  Raises {!Error} on malformed input. *)
+let parse s =
+  let ps = { toks = tokenize s } in
+  let e = parse_expr ps 0 in
+  match peek ps with
+  | TEof -> e
+  | _ -> fail "trailing tokens in expression %S" s
+
+let parse_opt s = match parse s with e -> Some e | exception Error _ -> None
+
+(** {1 Evaluation} *)
+
+(** Variable environment: identifier → value. *)
+type env = {
+  lookup : string -> value option;
+  call : string -> value list -> value option;
+      (** named functions; return [None] for unknown names *)
+}
+
+let empty_env = { lookup = (fun _ -> None); call = (fun _ _ -> None) }
+
+(** Environment from an association list, no functions. *)
+let env_of_list l =
+  { empty_env with lookup = (fun name -> List.assoc_opt name l) }
+
+let num = function
+  | Num f -> f
+  | Bool _ -> fail "expected a number, got a boolean"
+  | Str s -> (
+      match float_of_string_opt s with
+      | Some f -> f
+      | None -> fail "expected a number, got string %S" s)
+
+let boolean = function
+  | Bool b -> b
+  | Num f -> f <> 0.
+  | Str _ -> fail "expected a boolean, got a string"
+
+let rec eval env e =
+  match e with
+  | Number f -> Num f
+  | String s -> Str s
+  | Ident name -> (
+      match env.lookup name with
+      | Some v -> v
+      | None -> (
+          (* permit bare true/false *)
+          match name with
+          | "true" -> Bool true
+          | "false" -> Bool false
+          | _ -> fail "unbound identifier %S" name))
+  | Unary (Neg, e1) -> Num (-.num (eval env e1))
+  | Unary (Not, e1) -> Bool (not (boolean (eval env e1)))
+  | Binary (op, l, r) -> eval_binary env op l r
+  | Call (name, args) -> (
+      let vals = List.map (eval env) args in
+      match env.call name vals with
+      | Some v -> v
+      | None -> eval_builtin name vals)
+
+and eval_binary env op l r =
+  match op with
+  | And -> Bool (boolean (eval env l) && boolean (eval env r))
+  | Or -> Bool (boolean (eval env l) || boolean (eval env r))
+  | Add -> Num (num (eval env l) +. num (eval env r))
+  | Sub -> Num (num (eval env l) -. num (eval env r))
+  | Mul -> Num (num (eval env l) *. num (eval env r))
+  | Div ->
+      let d = num (eval env r) in
+      if d = 0. then fail "division by zero" else Num (num (eval env l) /. d)
+  | Mod ->
+      let d = num (eval env r) in
+      if d = 0. then fail "modulo by zero" else Num (Float.rem (num (eval env l)) d)
+  | Eq -> Bool (value_equal (eval env l) (eval env r))
+  | Neq -> Bool (not (value_equal (eval env l) (eval env r)))
+  | Lt | Le | Gt | Ge ->
+      let a = num (eval env l) and b = num (eval env r) in
+      Bool
+        (match op with
+        | Lt -> a < b
+        | Le -> a <= b
+        | Gt -> a > b
+        | Ge -> a >= b
+        | _ -> assert false)
+
+and eval_builtin name vals =
+  let nums () = List.map num vals in
+  match (name, vals) with
+  | "min", _ :: _ -> Num (List.fold_left Float.min Float.infinity (nums ()))
+  | "max", _ :: _ -> Num (List.fold_left Float.max Float.neg_infinity (nums ()))
+  | "sum", _ -> Num (List.fold_left ( +. ) 0. (nums ()))
+  | "abs", [ v ] -> Num (Float.abs (num v))
+  | "floor", [ v ] -> Num (Float.round (Float.of_int (int_of_float (num v))))
+  | "ceil", [ v ] -> Num (Float.of_int (int_of_float (Float.ceil (num v))))
+  | "sqrt", [ v ] -> Num (Float.sqrt (num v))
+  | "log2", [ v ] -> Num (Float.log (num v) /. Float.log 2.)
+  | "pow", [ a; b ] -> Num (Float.pow (num a) (num b))
+  | "if", [ c; t; e ] -> if boolean c then t else e
+  | _ -> fail "unknown function %S/%d" name (List.length vals)
+
+(** Evaluate to a boolean; the usual entry point for constraints. *)
+let eval_bool env e = boolean (eval env e)
+
+(** Evaluate to a number. *)
+let eval_num env e = num (eval env e)
+
+(** Free identifiers of an expression (without duplicates, in first-use
+    order); used to check that all constraint parameters are bound. *)
+let free_idents e =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec go = function
+    | Number _ | String _ -> ()
+    | Ident name ->
+        if (not (Hashtbl.mem seen name)) && name <> "true" && name <> "false" then begin
+          Hashtbl.add seen name ();
+          acc := name :: !acc
+        end
+    | Unary (_, e1) -> go e1
+    | Binary (_, l, r) ->
+        go l;
+        go r
+    | Call (_, args) -> List.iter go args
+  in
+  go e;
+  List.rev !acc
+
+(** {1 Printing} *)
+
+let string_of_binop = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "==" | Neq -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "&&" | Or -> "||"
+
+let rec pp ppf = function
+  | Number f -> Fmt.pf ppf "%g" f
+  | String s -> Fmt.pf ppf "%S" s
+  | Ident s -> Fmt.string ppf s
+  | Unary (Neg, e) -> Fmt.pf ppf "-(%a)" pp e
+  | Unary (Not, e) -> Fmt.pf ppf "!(%a)" pp e
+  | Binary (op, l, r) -> Fmt.pf ppf "(%a %s %a)" pp l (string_of_binop op) pp r
+  | Call (name, args) -> Fmt.pf ppf "%s(%a)" name Fmt.(list ~sep:comma pp) args
+
+let to_string e = Fmt.str "%a" pp e

@@ -1,0 +1,68 @@
+(** Expression language for XPDL constraints and derived-attribute rules.
+
+    Used by [<constraint expr="L1size + shmsize == shmtotalsize"/>]
+    (Listing 8) and by the attribute-grammar rules of Sec. III-D.  Plain
+    arithmetic/boolean expressions over identifiers (dots allowed, so
+    path-like names work), with a small builtin function library and
+    caller-supplied named functions. *)
+
+type value = Num of float | Bool of bool | Str of string
+
+val pp_value : Format.formatter -> value -> unit
+val value_equal : value -> value -> bool
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop = Neg | Not
+
+type t =
+  | Number of float
+  | String of string
+  | Ident of string
+  | Unary of unop * t
+  | Binary of binop * t * t
+  | Call of string * t list
+
+(** Raised on parse or evaluation failures, with a printable message. *)
+exception Error of string
+
+(** Parse an expression string.  Raises {!Error} on malformed input. *)
+val parse : string -> t
+
+val parse_opt : string -> t option
+
+(** Variable environment: identifier → value, plus named functions
+    (return [None] for unknown names to fall back to the builtins:
+    [min], [max], [sum], [abs], [floor], [ceil], [sqrt], [log2], [pow],
+    [if]). *)
+type env = {
+  lookup : string -> value option;
+  call : string -> value list -> value option;
+}
+
+val empty_env : env
+
+(** Environment from an association list, no functions. *)
+val env_of_list : (string * value) list -> env
+
+(** Evaluate; raises {!Error} on unbound identifiers, type mismatches,
+    division by zero, or unknown functions.  The bare identifiers [true]
+    and [false] evaluate to booleans when unbound. *)
+val eval : env -> t -> value
+
+(** Evaluate to a boolean; the usual entry point for constraints. *)
+val eval_bool : env -> t -> bool
+
+(** Evaluate to a number. *)
+val eval_num : env -> t -> float
+
+(** Free identifiers (without duplicates, first-use order, [true]/[false]
+    excluded); used to check that all constraint parameters are bound. *)
+val free_idents : t -> string list
+
+val string_of_binop : binop -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

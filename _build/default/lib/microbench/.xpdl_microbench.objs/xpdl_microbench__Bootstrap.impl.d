@@ -1,0 +1,1 @@
+lib/microbench/bootstrap.ml: Array Float List Model Option Power Schema Stats String Xpdl_core Xpdl_simhw Xpdl_units

@@ -1,0 +1,1 @@
+lib/microbench/bootstrap.mli: Model Power Stats Xpdl_core Xpdl_simhw

@@ -1,0 +1,1 @@
+lib/microbench/driver.ml: Buffer Filename Fmt Fun List Option Power Sys Xpdl_core

@@ -1,0 +1,1 @@
+lib/microbench/driver.mli: Power Xpdl_core

@@ -1,0 +1,1 @@
+lib/microbench/stats.ml: Array Float Fmt List

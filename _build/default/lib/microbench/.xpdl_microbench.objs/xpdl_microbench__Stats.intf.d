@@ -1,0 +1,1 @@
+lib/microbench/stats.mli: Format

@@ -1,0 +1,68 @@
+(** Deployment-time bootstrap of the energy model (Sec. III-C, IV): run
+    the microbenchmark for every ["?"] energy entry on the target
+    platform, reduce repeated meter readings with {!Stats}, and write the
+    derived values back into the model (optionally as per-frequency
+    [<data>] tables like Listing 14's [divsd]).  Channel offsets declared
+    ["?"] (Listing 3) are calibrated with 1-byte transfers. *)
+
+open Xpdl_core
+
+type options = {
+  repetitions : int;  (** meter readings per benchmark *)
+  frequencies : float list;  (** Hz sweep; [] = current frequency only *)
+  force : bool;  (** re-measure even specified energies ("on request") *)
+}
+
+(** 9 repetitions, no sweep, no force. *)
+val default_options : options
+
+(** One derived energy entry. *)
+type result = {
+  instruction : string;
+  benchmark : string;  (** microbenchmark id used *)
+  energy : Stats.summary;  (** J per instruction at the current frequency *)
+  per_frequency : (float * float) list;  (** (Hz, J) when a sweep ran *)
+  runs : int;
+}
+
+(** Measure J/instruction on the machine at its current clocks. *)
+val measure :
+  Xpdl_simhw.Machine.t -> opts:options -> name:string -> iterations:int -> Stats.summary
+
+(** Adaptive measurement: sample until the 95% CI half-width is within
+    [target_rci] of the mean (default 1%) or [max_samples] (default 200)
+    is reached; at least 3 samples are taken. *)
+val measure_adaptive :
+  ?target_rci:float ->
+  ?max_samples:int ->
+  Xpdl_simhw.Machine.t ->
+  name:string ->
+  iterations:int ->
+  Stats.summary
+
+(** Bootstrap one ISA. *)
+val run_isa :
+  ?opts:options ->
+  Xpdl_simhw.Machine.t ->
+  Power.isa ->
+  Power.suite list ->
+  result list
+
+(** Write derived entries back into the model tree, replacing the ["?"]
+    placeholders. *)
+val apply_results : result list -> Model.element -> Model.element
+
+(** Calibrate interconnect-channel ["?"] offsets on the machine. *)
+val resolve_link_offsets :
+  ?opts:options -> Xpdl_simhw.Machine.t -> Model.element -> Model.element
+
+(** Full bootstrap of a composed model: instruction energies and link
+    offsets.  [machine] defaults to a machine built from the model. *)
+val run :
+  ?opts:options ->
+  ?machine:Xpdl_simhw.Machine.t ->
+  Model.element ->
+  Model.element * result list
+
+(** Instructions still unresolved (empty after a successful bootstrap). *)
+val remaining_placeholders : Model.element -> string list

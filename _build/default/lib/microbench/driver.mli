@@ -1,0 +1,25 @@
+(** Microbenchmark driver-code generation (Sec. IV, Listing 15): the C
+    driver per instruction (pin, warm up, unrolled loop between meter
+    reads) and the suite's build-and-run script.  On the simulated
+    platform the drivers are "executed" by the bootstrap; the generated
+    sources are what a hardware deployment would compile. *)
+
+open Xpdl_core
+
+(** Loop unrolling factor used in generated drivers. *)
+val unroll_factor : int
+
+(** Representative inline-asm body for one instruction (a volatile no-op
+    for unknown names, so generated code always compiles). *)
+val asm_for_instruction : string -> string
+
+(** The C source of one driver. *)
+val generate_driver : suite:Power.suite -> bench:Power.microbenchmark -> string
+
+(** The suite's [mbscript.sh]: builds and runs every driver, appending
+    one [instruction iterations joules] line per benchmark. *)
+val generate_script : Power.suite -> string
+
+(** Write all drivers and the script into [dir] (created if missing);
+    returns the generated file names. *)
+val emit_suite : dir:string -> Power.suite -> string list

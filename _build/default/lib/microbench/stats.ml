@@ -1,0 +1,82 @@
+(** Robust statistics over repeated microbenchmark measurements.
+
+    Deployment-time microbenchmarking observes noisy samples of a true
+    per-instruction energy; the harness reduces them to a point estimate
+    with a confidence interval, after rejecting outliers (a run perturbed
+    by a simulated background blip should not skew the model). *)
+
+type summary = {
+  n : int;  (** samples kept after outlier rejection *)
+  rejected : int;  (** samples discarded as outliers *)
+  mean : float;
+  median : float;
+  stddev : float;
+  ci95_half_width : float;  (** half-width of the 95% CI of the mean *)
+  minimum : float;
+  maximum : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let median xs =
+  match List.sort Float.compare xs with
+  | [] -> nan
+  | sorted ->
+      let a = Array.of_list sorted in
+      let n = Array.length a in
+      if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+      let m = mean xs in
+      let n = float_of_int (List.length xs) in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+      Float.sqrt (ss /. (n -. 1.))
+
+(** Median absolute deviation, the robust scale estimate used for
+    outlier rejection. *)
+let mad xs =
+  let m = median xs in
+  median (List.map (fun x -> Float.abs (x -. m)) xs)
+
+(** Reject samples farther than [k]·MAD from the median (k = 3.5 by
+    convention ≈ 3σ for Gaussian data, MAD·1.4826 ≈ σ). *)
+let reject_outliers ?(k = 3.5) xs =
+  match xs with
+  | [] | [ _ ] | [ _; _ ] -> (xs, [])
+  | _ ->
+      let med = median xs in
+      let scale = mad xs *. 1.4826 in
+      if scale <= 0. then (xs, [])
+      else List.partition (fun x -> Float.abs (x -. med) <= k *. scale) xs
+
+(** Summarize a sample list; raises [Invalid_argument] on empty input. *)
+let summarize ?(k = 3.5) xs =
+  if xs = [] then invalid_arg "Stats.summarize: no samples";
+  let kept, out = reject_outliers ~k xs in
+  let kept = if kept = [] then xs else kept in
+  let n = List.length kept in
+  let sd = stddev kept in
+  {
+    n;
+    rejected = List.length out;
+    mean = mean kept;
+    median = median kept;
+    stddev = sd;
+    ci95_half_width = 1.96 *. sd /. Float.sqrt (float_of_int n);
+    minimum = List.fold_left Float.min Float.infinity kept;
+    maximum = List.fold_left Float.max Float.neg_infinity kept;
+  }
+
+(** Relative error of an estimate against a reference value. *)
+let relative_error ~estimate ~truth =
+  if truth = 0. then Float.abs estimate else Float.abs (estimate -. truth) /. Float.abs truth
+
+let pp_summary ppf s =
+  Fmt.pf ppf "mean=%.4g median=%.4g sd=%.3g ci95=±%.3g n=%d rej=%d" s.mean s.median s.stddev
+    s.ci95_half_width s.n s.rejected

@@ -1,0 +1,31 @@
+(** Robust statistics over repeated microbenchmark measurements: point
+    estimates with confidence intervals after MAD-based outlier
+    rejection. *)
+
+type summary = {
+  n : int;  (** samples kept after outlier rejection *)
+  rejected : int;
+  mean : float;
+  median : float;
+  stddev : float;
+  ci95_half_width : float;  (** half-width of the 95% CI of the mean *)
+  minimum : float;
+  maximum : float;
+}
+
+val mean : float list -> float
+val median : float list -> float
+val stddev : float list -> float
+
+(** Median absolute deviation. *)
+val mad : float list -> float
+
+(** Partition into (kept, rejected): samples farther than [k]·MAD·1.4826
+    from the median are rejected (k = 3.5 ≈ 3σ for Gaussian data). *)
+val reject_outliers : ?k:float -> float list -> float list * float list
+
+(** Summarize; raises [Invalid_argument] on an empty sample. *)
+val summarize : ?k:float -> float list -> summary
+
+val relative_error : estimate:float -> truth:float -> float
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,1 @@
+lib/pdl/pdl.ml: Char Dom Fmt List Model Option Parse Print Schema String Xpdl_core Xpdl_xml

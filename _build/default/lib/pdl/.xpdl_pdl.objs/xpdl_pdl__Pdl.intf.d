@@ -1,0 +1,1 @@
+lib/pdl/pdl.mli: Format Xpdl_core Xpdl_xml

@@ -1,0 +1,377 @@
+(** PEPPHER PDL — the predecessor platform description language
+    (Sandrieser et al. [1]), implemented as the baseline for the paper's
+    Sec. II comparison (experiment E9).
+
+    PDL models a single-node heterogeneous system as a {e control
+    hierarchy} of processing units — one [Master] (root), inner [Hybrid]
+    PUs, leaf [Worker] PUs — plus memory regions and interconnects.
+    Everything else (installed software, clock frequencies, cache sizes,
+    ...) is expressed as free-form string key-value {e properties}, looked
+    up through a basic query language.  The design points the paper
+    criticizes are visible in the types: control role as the overarching
+    structure, strings everywhere (no units, no static checking), and one
+    monolithic document (no cross-file reuse). *)
+
+type role = Master | Hybrid | Worker
+
+let role_name = function Master -> "Master" | Hybrid -> "Hybrid" | Worker -> "Worker"
+
+let pp_role ppf r = Fmt.string ppf (role_name r)
+
+(** A property: both key and value are strings (footnote 1 of the paper). *)
+type property = { p_name : string; p_value : string; p_mandatory : bool }
+
+(** A processing unit in the control hierarchy. *)
+type pu = {
+  pu_id : string;
+  pu_role : role;
+  pu_type : string option;  (** free-form hardware hint, e.g. "CPU", "GPU" *)
+  pu_properties : property list;
+  pu_children : pu list;  (** PUs this one can launch computations on *)
+}
+
+type memory_region = {
+  mr_id : string;
+  mr_scope : string option;  (** e.g. "global", "device" *)
+  mr_properties : property list;
+}
+
+type interconnect = {
+  ic_id : string;
+  ic_endpoints : string list;  (** PU / memory region ids *)
+  ic_properties : property list;
+}
+
+type t = {
+  platform_id : string;
+  control : pu;  (** the control tree rooted at the Master *)
+  memory_regions : memory_region list;
+  interconnects : interconnect list;
+  platform_properties : property list;
+}
+
+exception Pdl_error of string
+
+let error fmt = Fmt.kstr (fun m -> raise (Pdl_error m)) fmt
+
+(** {1 Parsing}
+
+    PDL document shape (after [1]):
+    {v
+    <Platform id="...">
+      <Master id="cpu0" type="CPU">
+        <Property name="x86_MAX_CLOCK_FREQUENCY" value="2000000000"/>
+        <Worker id="gpu0" type="GPU"> <Property .../> </Worker>
+        <Hybrid id="..."> ... </Hybrid>
+      </Master>
+      <MemoryRegion id="main" scope="global"> <Property .../> </MemoryRegion>
+      <Interconnect id="pcie" endpoints="cpu0 gpu0"> ... </Interconnect>
+      <Property name="..." value="..."/>
+    </Platform>
+    v} *)
+
+open Xpdl_xml
+
+let parse_property (e : Dom.element) : property =
+  {
+    p_name = Option.value ~default:"" (Dom.attribute e "name");
+    p_value = Option.value ~default:"" (Dom.attribute e "value");
+    p_mandatory =
+      (match Dom.attribute e "mandatory" with Some "true" -> true | _ -> false);
+  }
+
+let properties_of (e : Dom.element) =
+  List.map parse_property (Dom.children_named e "Property")
+
+let rec parse_pu (e : Dom.element) : pu =
+  let role =
+    match e.Dom.tag with
+    | "Master" -> Master
+    | "Hybrid" -> Hybrid
+    | "Worker" -> Worker
+    | tag -> error "unknown PU element <%s>" tag
+  in
+  let children =
+    List.filter_map
+      (fun (c : Dom.element) ->
+        match c.Dom.tag with
+        | "Master" -> error "Master PU cannot be nested"
+        | "Hybrid" | "Worker" -> Some (parse_pu c)
+        | _ -> None)
+      (Dom.child_elements e)
+  in
+  (match (role, children) with
+  | Worker, _ :: _ -> error "Worker PU %S cannot control other PUs"
+                        (Option.value ~default:"?" (Dom.attribute e "id"))
+  | _ -> ());
+  {
+    pu_id = Option.value ~default:"?" (Dom.attribute e "id");
+    pu_role = role;
+    pu_type = Dom.attribute e "type";
+    pu_properties = properties_of e;
+    pu_children = children;
+  }
+
+let parse_memory_region (e : Dom.element) : memory_region =
+  {
+    mr_id = Option.value ~default:"?" (Dom.attribute e "id");
+    mr_scope = Dom.attribute e "scope";
+    mr_properties = properties_of e;
+  }
+
+let parse_interconnect (e : Dom.element) : interconnect =
+  {
+    ic_id = Option.value ~default:"?" (Dom.attribute e "id");
+    ic_endpoints =
+      (match Dom.attribute e "endpoints" with
+      | Some s -> String.split_on_char ' ' s |> List.filter (fun x -> x <> "")
+      | None -> []);
+    ic_properties = properties_of e;
+  }
+
+(** Parse a PDL platform document. *)
+let of_xml (root : Dom.element) : t =
+  if not (String.equal root.Dom.tag "Platform") then
+    error "PDL document must be rooted at <Platform>, found <%s>" root.Dom.tag;
+  let masters = Dom.children_named root "Master" in
+  let control =
+    match masters with
+    | [ m ] -> parse_pu m
+    | [] -> error "PDL platform has no Master PU (exactly one required)"
+    | _ -> error "PDL platform has %d Master PUs (exactly one required)" (List.length masters)
+  in
+  {
+    platform_id = Option.value ~default:"?" (Dom.attribute root "id");
+    control;
+    memory_regions = List.map parse_memory_region (Dom.children_named root "MemoryRegion");
+    interconnects = List.map parse_interconnect (Dom.children_named root "Interconnect");
+    platform_properties = properties_of root;
+  }
+
+let of_string s =
+  match Parse.string ~lenient:true s with
+  | Ok x -> of_xml x
+  | Error msg -> error "%s" msg
+
+let of_file path =
+  match Parse.file ~lenient:true path with
+  | Ok x -> of_xml x
+  | Error msg -> error "%s" msg
+
+(** {1 Navigation and the property query language} *)
+
+let rec fold_pus f acc pu = List.fold_left (fold_pus f) (f acc pu) pu.pu_children
+
+let all_pus t = List.rev (fold_pus (fun acc p -> p :: acc) [] t.control)
+
+let find_pu t ident = List.find_opt (fun p -> String.equal p.pu_id ident) (all_pus t)
+
+let pus_with_role t role = List.filter (fun p -> p.pu_role = role) (all_pus t)
+
+let property_value props name =
+  List.find_map (fun p -> if String.equal p.p_name name then Some p.p_value else None) props
+
+(** Property lookup on a PU by id; [None] if PU or property is absent —
+    note that a misspelled property name is indistinguishable from an
+    absent one (the weakness the paper's Sec. II-C discusses). *)
+let pu_property t ~pu ~name =
+  Option.bind (find_pu t pu) (fun p -> property_value p.pu_properties name)
+
+let platform_property t name = property_value t.platform_properties name
+
+(** The "basic query language" for property existence/values:
+    {v
+      query ::= "exists(" entity "." key ")"
+              | "value("  entity "." key ")"
+              | "count("  role ")"
+      entity ::= "platform" | PU id | memory region id
+    v} *)
+type query_result = QBool of bool | QString of string | QInt of int
+
+let query t q : query_result =
+  let q = String.trim q in
+  let parse_call fname =
+    let plen = String.length fname + 1 in
+    if
+      String.length q > plen + 1
+      && String.equal (String.sub q 0 (plen - 1)) fname
+      && Char.equal q.[plen - 1] '('
+      && Char.equal q.[String.length q - 1] ')'
+    then Some (String.sub q plen (String.length q - plen - 1))
+    else None
+  in
+  let entity_props entity =
+    if String.equal entity "platform" then Some t.platform_properties
+    else
+      match find_pu t entity with
+      | Some p -> Some p.pu_properties
+      | None -> (
+          match List.find_opt (fun m -> String.equal m.mr_id entity) t.memory_regions with
+          | Some m -> Some m.mr_properties
+          | None -> None)
+  in
+  let split_entity_key arg =
+    match String.index_opt arg '.' with
+    | Some i -> (String.sub arg 0 i, String.sub arg (i + 1) (String.length arg - i - 1))
+    | None -> error "malformed query argument %S (expected entity.key)" arg
+  in
+  match parse_call "exists" with
+  | Some arg ->
+      let entity, key = split_entity_key arg in
+      QBool
+        (match entity_props entity with
+        | Some props -> property_value props key <> None
+        | None -> false)
+  | None -> (
+      match parse_call "value" with
+      | Some arg -> (
+          let entity, key = split_entity_key arg in
+          match Option.bind (entity_props entity) (fun props -> property_value props key) with
+          | Some v -> QString v
+          | None -> error "no value for %s" arg)
+      | None -> (
+          match parse_call "count" with
+          | Some "master" -> QInt (List.length (pus_with_role t Master))
+          | Some "hybrid" -> QInt (List.length (pus_with_role t Hybrid))
+          | Some "worker" -> QInt (List.length (pus_with_role t Worker))
+          | Some other -> error "count(%s): unknown role" other
+          | None -> error "malformed query %S" q))
+
+(** {1 Printing} *)
+
+let property_to_xml (p : property) : Dom.element =
+  Dom.element "Property"
+    ~attrs:
+      ([ Dom.attr "name" p.p_name; Dom.attr "value" p.p_value ]
+      @ if p.p_mandatory then [ Dom.attr "mandatory" "true" ] else [])
+
+let rec pu_to_xml (p : pu) : Dom.element =
+  Dom.element (role_name p.pu_role)
+    ~attrs:
+      (Dom.attr "id" p.pu_id
+      :: (match p.pu_type with Some ty -> [ Dom.attr "type" ty ] | None -> []))
+    ~children:
+      (List.map (fun pr -> Dom.Element (property_to_xml pr)) p.pu_properties
+      @ List.map (fun c -> Dom.Element (pu_to_xml c)) p.pu_children)
+
+let to_xml (t : t) : Dom.element =
+  Dom.element "Platform"
+    ~attrs:[ Dom.attr "id" t.platform_id ]
+    ~children:
+      ((Dom.Element (pu_to_xml t.control)
+       :: List.map
+            (fun m ->
+              Dom.Element
+                (Dom.element "MemoryRegion"
+                   ~attrs:
+                     (Dom.attr "id" m.mr_id
+                     :: (match m.mr_scope with Some s -> [ Dom.attr "scope" s ] | None -> []))
+                   ~children:(List.map (fun p -> Dom.Element (property_to_xml p)) m.mr_properties)))
+            t.memory_regions)
+      @ List.map
+          (fun ic ->
+            Dom.Element
+              (Dom.element "Interconnect"
+                 ~attrs:
+                   [ Dom.attr "id" ic.ic_id; Dom.attr "endpoints" (String.concat " " ic.ic_endpoints) ]
+                 ~children:(List.map (fun p -> Dom.Element (property_to_xml p)) ic.ic_properties)))
+          t.interconnects
+      @ List.map (fun p -> Dom.Element (property_to_xml p)) t.platform_properties)
+
+let to_string t = Print.to_string (to_xml t)
+
+(** {1 Conversion from XPDL}
+
+    Downgrade a composed XPDL model to a monolithic PDL document: CPUs
+    become the Master (first) and further PUs, devices become Workers, all
+    typed attributes collapse into string properties.  Used by E9 to
+    compare specification size, reuse and the loss of static checking. *)
+
+let property_of_attr prefix (k, v) =
+  {
+    p_name = String.uppercase_ascii (prefix ^ "_" ^ k);
+    p_value = Fmt.str "%a" Xpdl_core.Model.pp_attr_value v;
+    p_mandatory = false;
+  }
+
+let of_xpdl (model : Xpdl_core.Model.element) : t =
+  let open Xpdl_core in
+  let cpus = Model.elements_of_kind Schema.Cpu model in
+  let devices = Model.elements_of_kind Schema.Device model in
+  let pu_of_element role (e : Model.element) i =
+    let ident =
+      match Model.identifier e with
+      | Some x -> x
+      | None -> Fmt.str "%s%d" (Schema.tag_of_kind e.Model.kind) i
+    in
+    {
+      pu_id = ident;
+      pu_role = role;
+      pu_type = Some (Schema.tag_of_kind e.Model.kind |> String.uppercase_ascii);
+      pu_properties =
+        List.map (property_of_attr ident) e.Model.attrs
+        @ [
+            {
+              p_name = String.uppercase_ascii (ident ^ "_NUM_CORES");
+              p_value = string_of_int (List.length (Model.elements_of_kind Schema.Core e));
+              p_mandatory = false;
+            };
+          ];
+      pu_children = [];
+    }
+  in
+  let workers =
+    List.mapi (fun i d -> pu_of_element Worker d i) devices
+    @ List.mapi (fun i c -> pu_of_element Hybrid c (i + 1000)) (match cpus with [] -> [] | _ :: rest -> rest)
+  in
+  let master =
+    match cpus with
+    | m :: _ -> { (pu_of_element Master m 0) with pu_children = workers }
+    | [] -> { pu_id = "master"; pu_role = Master; pu_type = None; pu_properties = []; pu_children = workers }
+  in
+  let memory_regions =
+    List.mapi
+      (fun i (m : Model.element) ->
+        {
+          mr_id = Option.value ~default:(Fmt.str "mem%d" i) (Model.identifier m);
+          mr_scope = Some "global";
+          mr_properties = List.map (property_of_attr "MEM") m.Model.attrs;
+        })
+      (Model.elements_of_kind Schema.Memory model)
+  in
+  let interconnects =
+    List.filter_map
+      (fun (ic : Model.element) ->
+        Option.map
+          (fun ident ->
+            {
+              ic_id = ident;
+              ic_endpoints =
+                Option.to_list (Model.attr_string ic "head")
+                @ Option.to_list (Model.attr_string ic "tail");
+              ic_properties = List.map (property_of_attr ident) ic.Model.attrs;
+            })
+          (Model.identifier ic))
+      (Model.elements_of_kind Schema.Interconnect model)
+  in
+  let software_props =
+    List.map
+      (fun (sw : Model.element) ->
+        {
+          p_name =
+            String.uppercase_ascii
+              ("INSTALLED_"
+              ^ Option.value ~default:"UNKNOWN"
+                  (match sw.Model.type_ref with Some t -> Some t | None -> Model.identifier sw));
+          p_value = Option.value ~default:"" (Model.attr_string sw "path");
+          p_mandatory = false;
+        })
+      (Model.elements_of_kind Schema.Installed model)
+  in
+  {
+    platform_id = Option.value ~default:"pdl_platform" (Model.identifier model);
+    control = master;
+    memory_regions;
+    interconnects;
+    platform_properties = software_props;
+  }

@@ -1,0 +1,77 @@
+(** PEPPHER PDL — the predecessor platform description language
+    (Sandrieser et al. [1]), the baseline for the paper's Sec. II
+    comparison: a control hierarchy of processing units (one Master,
+    inner Hybrids, leaf Workers), memory regions, interconnects, and
+    free-form string key-value properties with a basic query language. *)
+
+type role = Master | Hybrid | Worker
+
+val role_name : role -> string
+val pp_role : Format.formatter -> role -> unit
+
+(** Both key and value are strings (footnote 1 of the paper). *)
+type property = { p_name : string; p_value : string; p_mandatory : bool }
+
+type pu = {
+  pu_id : string;
+  pu_role : role;
+  pu_type : string option;  (** free-form hardware hint *)
+  pu_properties : property list;
+  pu_children : pu list;  (** PUs this one can launch computations on *)
+}
+
+type memory_region = {
+  mr_id : string;
+  mr_scope : string option;
+  mr_properties : property list;
+}
+
+type interconnect = {
+  ic_id : string;
+  ic_endpoints : string list;
+  ic_properties : property list;
+}
+
+type t = {
+  platform_id : string;
+  control : pu;  (** the control tree rooted at the Master *)
+  memory_regions : memory_region list;
+  interconnects : interconnect list;
+  platform_properties : property list;
+}
+
+exception Pdl_error of string
+
+(** Parse a [<Platform>] document; raises {!Pdl_error} on control-rule
+    violations (no/multiple Masters, nested Masters, Workers with
+    children). *)
+val of_xml : Xpdl_xml.Dom.element -> t
+
+val of_string : string -> t
+val of_file : string -> t
+
+val fold_pus : ('a -> pu -> 'a) -> 'a -> pu -> 'a
+val all_pus : t -> pu list
+val find_pu : t -> string -> pu option
+val pus_with_role : t -> role -> pu list
+
+(** Property lookup on a PU; a misspelled name is indistinguishable from
+    an absent one — the Sec. II-C weakness. *)
+val pu_property : t -> pu:string -> name:string -> string option
+
+val platform_property : t -> string -> string option
+
+(** The basic query language:
+    [exists(entity.key)], [value(entity.key)], [count(role)] where
+    entity is ["platform"], a PU id, or a memory-region id. *)
+type query_result = QBool of bool | QString of string | QInt of int
+
+val query : t -> string -> query_result
+
+val to_xml : t -> Xpdl_xml.Dom.element
+val to_string : t -> string
+
+(** Downgrade a composed XPDL model to a monolithic PDL document: CPUs
+    and devices become PUs, typed attributes collapse into string
+    properties, everything else is lost (experiment E9). *)
+val of_xpdl : Xpdl_core.Model.element -> t

@@ -1,0 +1,1 @@
+lib/query/query.ml: Array Float Fmt List Option Schema String Xpdl_core Xpdl_toolchain Xpdl_units Xpdl_xml

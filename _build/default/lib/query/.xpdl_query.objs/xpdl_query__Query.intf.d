@@ -1,0 +1,1 @@
+lib/query/query.mli: Model Schema Xpdl_core Xpdl_toolchain Xpdl_units

@@ -1,0 +1,369 @@
+(** The XPDL runtime query API (Sec. IV).
+
+    This is the OCaml twin of the generated C++ API (see
+    {!Xpdl_toolchain.Cpp_codegen}).  It provides the paper's four function
+    categories over the serialized runtime model:
+
+    {ol
+    {- {b Initialization}: {!init} loads the runtime-model file written by
+       the toolchain — the OCaml [int xpdl_init(char *filename)].}
+    {- {b Model browsing}: {!children}, {!parent}, {!find_by_id},
+       {!find_by_path}, {!all_of_kind} look up inner elements and return
+       handles (or [None]) for navigating the model object tree.}
+    {- {b Attribute getters}: typed lookups ({!get_string}, {!get_int},
+       {!get_quantity}, ...) corresponding to the generated
+       [m.get_<attr>()] functions.}
+    {- {b Model analysis for derived attributes}: {!count_cores},
+       {!count_cuda_devices}, {!total_static_power}, {!min_frequency},
+       {!installed_software}, ... — the manually implemented aggregation
+       functions the schema cannot generate.}}
+
+    Handles are nodes of the flat {!Xpdl_toolchain.Ir} runtime structure,
+    so every operation here is array/hash lookups — no XML in sight at
+    run time, which is the point measured by experiment E5. *)
+
+open Xpdl_core
+module Ir = Xpdl_toolchain.Ir
+
+type t = { ir : Ir.t; source : string }
+
+type element = Ir.node
+
+exception Query_error of string
+
+let error fmt = Fmt.kstr (fun m -> raise (Query_error m)) fmt
+
+(** {1 Initialization} *)
+
+(** Load a runtime-model file produced by the XPDL processing tool. *)
+let init path : t =
+  match Ir.of_file path with
+  | ir -> { ir; source = path }
+  | exception Ir.Corrupt msg -> error "cannot load runtime model %s: %s" path msg
+  | exception Sys_error msg -> error "cannot load runtime model: %s" msg
+
+(** Wrap an in-memory runtime model (composition-time introspection). *)
+let of_ir ?(source = "<memory>") ir = { ir; source }
+
+(** Build directly from a composed model element (tests, tools). *)
+let of_model ?(source = "<model>") m = { ir = Ir.of_model m; source }
+
+let source t = t.source
+let size t = Ir.size t.ir
+
+(** {1 Model browsing} *)
+
+(* Power models, ISAs, microbenchmark suites and software subtrees are
+   metadata: the selector elements inside them (e.g. <core/> in a
+   power_domain) must not be counted as physical hardware. *)
+let is_metadata_kind = function
+  | Schema.Power_model | Schema.Power_domains | Schema.Power_domain
+  | Schema.Power_state_machine | Schema.Instructions | Schema.Microbenchmarks
+  | Schema.Software | Schema.Properties | Schema.Constraints ->
+      true
+  | _ -> false
+
+let root t : element = Ir.root t.ir
+let parent t (e : element) = Ir.parent t.ir e
+let children t (e : element) = Ir.children t.ir e
+
+let children_of_kind t (e : element) kind =
+  List.filter (fun (c : element) -> Schema.equal_kind c.Ir.n_kind kind) (children t e)
+
+(** Find a model element anywhere by its identifier (name or id). *)
+let find_by_id t ident : element option = Ir.find_by_ident t.ir ident
+
+let find_by_id_exn t ident =
+  match find_by_id t ident with
+  | Some e -> e
+  | None -> error "no element %S in model %s" ident t.source
+
+(** Find by scope path, e.g. ["liu_gpu_server/gpu1/SM0"]. *)
+let find_by_path t path : element option =
+  let n = Ir.size t.ir in
+  let rec scan i =
+    if i >= n then None
+    else
+      let node = Ir.node t.ir i in
+      if String.equal node.Ir.n_path path then Some node else scan (i + 1)
+  in
+  scan 0
+
+(** All elements of one kind, in document order. *)
+let all_of_kind t kind : element list = Ir.all_of_kind t.ir kind
+
+(** Physical hardware elements of one kind: excludes power-domain member
+    selectors and other metadata subtrees. *)
+let hardware_of_kind ?within t kind : element list =
+  let within = match within with Some e -> e | None -> Ir.root t.ir in
+  let rec go acc (n : element) =
+    if is_metadata_kind n.Ir.n_kind then acc
+    else
+      let acc = if Schema.equal_kind n.Ir.n_kind kind then n :: acc else acc in
+      Array.fold_left (fun acc i -> go acc (Ir.node t.ir i)) acc n.Ir.n_children
+  in
+  List.rev (go [] within)
+
+(** All elements in the subtree rooted at [e] (including [e]). *)
+let subtree t (e : element) : element list =
+  List.rev (Ir.fold_subtree t.ir (fun acc n -> n :: acc) [] e)
+
+let kind (e : element) = e.Ir.n_kind
+let ident (e : element) = e.Ir.n_ident
+let path (e : element) = e.Ir.n_path
+
+(** The retained [type] reference ("is this device a Nvidia_K20c?"). *)
+let type_of (e : element) = e.Ir.n_type
+
+(** {1 Attribute getters} *)
+
+let get (e : element) key = Ir.attr e key
+
+let get_string (e : element) key =
+  match Ir.attr e key with
+  | Some (Ir.VStr s) -> Some s
+  | Some (Ir.VInt i) -> Some (string_of_int i)
+  | Some (Ir.VFloat f) -> Some (Fmt.str "%g" f)
+  | Some (Ir.VBool b) -> Some (string_of_bool b)
+  | Some (Ir.VQty (v, _)) -> Some (Fmt.str "%g" v)
+  | Some Ir.VUnknown | None -> None
+
+let get_int (e : element) key =
+  match Ir.attr e key with
+  | Some (Ir.VInt i) -> Some i
+  | Some (Ir.VFloat f) -> Some (int_of_float f)
+  | Some (Ir.VStr s) -> int_of_string_opt s
+  | _ -> None
+
+let get_float (e : element) key =
+  match Ir.attr e key with
+  | Some (Ir.VFloat f) -> Some f
+  | Some (Ir.VInt i) -> Some (float_of_int i)
+  | Some (Ir.VQty (v, _)) -> Some v
+  | Some (Ir.VStr s) -> float_of_string_opt s
+  | _ -> None
+
+let get_bool (e : element) key =
+  match Ir.attr e key with
+  | Some (Ir.VBool b) -> Some b
+  | Some (Ir.VStr s) -> bool_of_string_opt s
+  | _ -> None
+
+(** SI-normalized quantity with dimension check. *)
+let get_quantity (e : element) key ~dim =
+  match Ir.attr e key with
+  | Some (Ir.VQty (v, d)) when d = dim -> Some v
+  | Some (Ir.VQty (_, d)) ->
+      error "attribute %s has dimension %s, expected %s" key
+        (Xpdl_units.Units.dimension_name d)
+        (Xpdl_units.Units.dimension_name dim)
+  | _ -> None
+
+(** True if the attribute survived as an unresolved ["?"]. *)
+let is_unknown (e : element) key =
+  match Ir.attr e key with Some Ir.VUnknown -> true | _ -> false
+
+(** {1 Model analysis functions (derived attributes)} *)
+
+let fold t (e : element) f acc = Ir.fold_subtree t.ir f acc e
+
+(** Depth-first fold over the {e physical hardware} of the subtree,
+    skipping power-model/software metadata. *)
+let hardware_fold t (e : element) f acc =
+  let rec go acc (n : element) =
+    if is_metadata_kind n.Ir.n_kind then acc
+    else Array.fold_left (fun acc i -> go acc (Ir.node t.ir i)) (f acc n) n.Ir.n_children
+  in
+  go acc e
+
+let count t ~within p =
+  hardware_fold t within (fun acc n -> if p n then acc + 1 else acc) 0
+
+(** Number of cores in the subtree — the paper's canonical example of a
+    synthesized attribute. *)
+let count_cores ?within t =
+  let within = match within with Some e -> e | None -> root t in
+  count t ~within (fun n -> Schema.equal_kind n.Ir.n_kind Schema.Core)
+
+(** Devices supporting the CUDA programming model in the subtree. *)
+let count_cuda_devices ?within t =
+  let within = match within with Some e -> e | None -> root t in
+  count t ~within (fun n ->
+      Schema.equal_kind n.Ir.n_kind Schema.Device
+      && List.exists
+           (fun (c : element) ->
+             Schema.equal_kind c.Ir.n_kind Schema.Programming_model
+             && (match c.Ir.n_type with
+                | Some ty ->
+                    String.length ty >= 4 && String.lowercase_ascii (String.sub ty 0 4) = "cuda"
+                | None -> false))
+           (children t n))
+
+(** Total static power (W) over hardware components of the subtree —
+    the bottom-up aggregation of Sec. III-D. *)
+let total_static_power ?within t =
+  let within = match within with Some e -> e | None -> root t in
+  hardware_fold t within
+    (fun acc n ->
+      if Schema.is_hardware n.Ir.n_kind then
+        match Ir.attr n "static_power" with Some (Ir.VQty (v, _)) -> acc +. v | _ -> acc
+      else acc)
+    0.
+
+(** Total memory capacity (bytes) of the subtree's memory modules. *)
+let total_memory_bytes ?within t =
+  let within = match within with Some e -> e | None -> root t in
+  hardware_fold t within
+    (fun acc n ->
+      if Schema.equal_kind n.Ir.n_kind Schema.Memory then
+        match Ir.attr n "size" with Some (Ir.VQty (v, _)) -> acc +. v | _ -> acc
+      else acc)
+    0.
+
+let core_frequencies ?within t =
+  let within = match within with Some e -> e | None -> root t in
+  List.rev
+    (hardware_fold t within
+       (fun acc n ->
+         if Schema.equal_kind n.Ir.n_kind Schema.Core then
+           match Ir.attr n "frequency" with Some (Ir.VQty (v, _)) -> v :: acc | _ -> acc
+         else acc)
+       [])
+
+(** Minimum / maximum core clock (Hz) in the subtree. *)
+let min_frequency ?within t =
+  match core_frequencies ?within t with
+  | [] -> None
+  | l -> Some (List.fold_left Float.min Float.infinity l)
+
+let max_frequency ?within t =
+  match core_frequencies ?within t with
+  | [] -> None
+  | l -> Some (List.fold_left Float.max 0. l)
+
+(** Installed software descriptors of the model ([<installed>], [<hostOS>],
+    [<programming_model>] under [<software>]). *)
+let installed_software t : element list =
+  List.concat_map
+    (fun sw ->
+      List.filter
+        (fun (c : element) ->
+          match c.Ir.n_kind with
+          | Schema.Installed | Schema.Host_os | Schema.Programming_model -> true
+          | _ -> false)
+        (children t sw))
+    (all_of_kind t Schema.Software)
+
+(** Is a software package installed?  Matches the [type] reference or the
+    resolved name, e.g. [has_installed q "CUDA_6.0"].  Conditional
+    composition's selectability constraints are built on this (Sec. II). *)
+let has_installed t package =
+  List.exists
+    (fun (e : element) ->
+      (match e.Ir.n_type with Some ty -> String.equal ty package | None -> false)
+      || match e.Ir.n_ident with Some i -> String.equal i package | None -> false)
+    (installed_software t)
+
+(** Installation path of a package, if modeled. *)
+let installed_path t package =
+  List.find_map
+    (fun (e : element) ->
+      let matches =
+        (match e.Ir.n_type with Some ty -> String.equal ty package | None -> false)
+        || match e.Ir.n_ident with Some i -> String.equal i package | None -> false
+      in
+      if matches then get_string e "path" else None)
+    (installed_software t)
+
+(** Free-form [<property>] lookup by name (the PDL-style escape hatch). *)
+let property t name =
+  List.find_map
+    (fun (props : element) ->
+      List.find_map
+        (fun (p : element) ->
+          match p.Ir.n_ident with
+          | Some n when String.equal n name -> (
+              match get_string p "value" with Some v -> Some v | None -> get_string p "command")
+          | _ -> None)
+        (children t props))
+    (all_of_kind t Schema.Properties)
+
+(** Effective bandwidth (B/s) of an interconnect, as computed by the
+    static analysis; falls back to the declared channel bandwidth. *)
+let link_bandwidth t link_ident =
+  Option.bind (find_by_id t link_ident) (fun e ->
+      match Ir.attr e "effective_bandwidth" with
+      | Some (Ir.VQty (v, _)) -> Some v
+      | _ ->
+          List.find_map
+            (fun (c : element) ->
+              match Ir.attr c "max_bandwidth" with
+              | Some (Ir.VQty (v, _)) -> Some v
+              | _ -> None)
+            (children_of_kind t e Schema.Channel))
+
+(** Devices of the model (accelerators), with their type references. *)
+let devices t = all_of_kind t Schema.Device
+
+(** Single-node or multi-node? (the paper's top-level distinction). *)
+let is_multi_node t = all_of_kind t Schema.Cluster <> [] || List.length (all_of_kind t Schema.Node) > 1
+
+(** {1 Path expressions}
+
+    The {!Xpdl_xml.Path} selector language evaluated over the runtime
+    model, e.g. [select q "//cache[@level=3]"] or
+    [select q "system/device/group"].  Attribute predicates compare
+    against the attribute's string rendering. *)
+
+let node_matches_step (st : Xpdl_xml.Path.step) (e : element) =
+  let tag_ok =
+    String.equal st.Xpdl_xml.Path.step_tag "*"
+    || String.equal st.Xpdl_xml.Path.step_tag (Schema.tag_of_kind e.Ir.n_kind)
+  in
+  tag_ok
+  && List.for_all
+       (fun (p : Xpdl_xml.Path.pred) ->
+         match p with
+         | Xpdl_xml.Path.Position _ -> true
+         | Xpdl_xml.Path.Attr_present name ->
+             name = "id" && e.Ir.n_ident <> None
+             || name = "type" && e.Ir.n_type <> None
+             || Ir.attr e name <> None
+         | Xpdl_xml.Path.Attr_equals (name, v) -> (
+             match name with
+             | "id" | "name" -> e.Ir.n_ident = Some v
+             | "type" -> e.Ir.n_type = Some v
+             | _ -> get_string e name = Some v))
+       st.Xpdl_xml.Path.preds
+
+let apply_position (st : Xpdl_xml.Path.step) candidates =
+  List.fold_left
+    (fun cs p ->
+      match p with
+      | Xpdl_xml.Path.Position n -> (
+          match List.nth_opt cs (n - 1) with Some c -> [ c ] | None -> [])
+      | _ -> cs)
+    candidates st.Xpdl_xml.Path.preds
+
+(** Evaluate a path selector over the runtime model. *)
+let select t path : element list =
+  let parsed = Xpdl_xml.Path.parse path in
+  let initial =
+    if parsed.Xpdl_xml.Path.descend then
+      List.rev (fold t (root t) (fun acc n -> n :: acc) [])
+    else [ root t ]
+  in
+  let rec walk steps candidates =
+    match steps with
+    | [] -> candidates
+    | st :: rest ->
+        let matched = apply_position st (List.filter (node_matches_step st) candidates) in
+        if rest = [] then matched else walk rest (List.concat_map (children t) matched)
+  in
+  match parsed.Xpdl_xml.Path.steps with
+  | [] -> []
+  | first :: rest ->
+      let matched = apply_position first (List.filter (node_matches_step first) initial) in
+      if rest = [] then matched else walk rest (List.concat_map (children t) matched)
+
+let select_one t path = match select t path with [] -> None | e :: _ -> Some e

@@ -1,0 +1,138 @@
+(** The XPDL runtime query API (Sec. IV) — the OCaml twin of the
+    generated C++ API, over the serialized runtime model.  Four function
+    categories: initialization, model browsing, attribute getters, and
+    model-analysis functions for derived attributes.  All operations are
+    array/hash lookups; no XML is touched at run time (experiment E5). *)
+
+open Xpdl_core
+module Ir = Xpdl_toolchain.Ir
+
+type t
+
+(** A handle into the runtime model tree. *)
+type element = Ir.node
+
+exception Query_error of string
+
+(** {1 Initialization} *)
+
+(** Load a runtime-model file written by the toolchain — the OCaml
+    [int xpdl_init(char *filename)].  Raises {!Query_error}. *)
+val init : string -> t
+
+(** Wrap an in-memory runtime model. *)
+val of_ir : ?source:string -> Ir.t -> t
+
+(** Build directly from a composed model element (tools, tests). *)
+val of_model : ?source:string -> Model.element -> t
+
+val source : t -> string
+val size : t -> int
+
+(** {1 Model browsing} *)
+
+(** Metadata kinds (power models, ISAs, suites, software) whose contents
+    are not physical hardware. *)
+val is_metadata_kind : Schema.kind -> bool
+
+val root : t -> element
+val parent : t -> element -> element option
+val children : t -> element -> element list
+val children_of_kind : t -> element -> Schema.kind -> element list
+
+(** Find a model element anywhere by its identifier (name or id). *)
+val find_by_id : t -> string -> element option
+
+val find_by_id_exn : t -> string -> element
+
+(** Find by scope path, e.g. ["liu_gpu_server/gpu1/SMs/SM0"]. *)
+val find_by_path : t -> string -> element option
+
+(** All elements of one kind, in document order. *)
+val all_of_kind : t -> Schema.kind -> element list
+
+(** Physical hardware elements of one kind (no power-domain selectors),
+    optionally restricted to a subtree. *)
+val hardware_of_kind : ?within:element -> t -> Schema.kind -> element list
+
+(** All elements in the subtree rooted at [e] (including [e]). *)
+val subtree : t -> element -> element list
+
+val kind : element -> Schema.kind
+val ident : element -> string option
+val path : element -> string
+
+(** The retained [type] reference ("is this device a Nvidia_K20c?"). *)
+val type_of : element -> string option
+
+(** {1 Attribute getters} *)
+
+val get : element -> string -> Ir.value option
+val get_string : element -> string -> string option
+val get_int : element -> string -> int option
+val get_float : element -> string -> float option
+val get_bool : element -> string -> bool option
+
+(** SI-normalized quantity; raises {!Query_error} on a dimension
+    mismatch. *)
+val get_quantity : element -> string -> dim:Xpdl_units.Units.dimension -> float option
+
+(** True if the attribute survived as an unresolved ["?"]. *)
+val is_unknown : element -> string -> bool
+
+(** {1 Model analysis (derived attributes)} *)
+
+val fold : t -> element -> ('a -> element -> 'a) -> 'a -> 'a
+
+(** Depth-first fold over the {e physical hardware} of the subtree. *)
+val hardware_fold : t -> element -> ('a -> element -> 'a) -> 'a -> 'a
+
+val count : t -> within:element -> (element -> bool) -> int
+
+(** Number of cores — the paper's canonical synthesized attribute. *)
+val count_cores : ?within:element -> t -> int
+
+(** Devices declaring a CUDA programming model. *)
+val count_cuda_devices : ?within:element -> t -> int
+
+(** Total static power (W) over hardware components (Sec. III-D). *)
+val total_static_power : ?within:element -> t -> float
+
+(** Total memory capacity (bytes). *)
+val total_memory_bytes : ?within:element -> t -> float
+
+val core_frequencies : ?within:element -> t -> float list
+val min_frequency : ?within:element -> t -> float option
+val max_frequency : ?within:element -> t -> float option
+
+(** Installed software descriptors ([<installed>], [<hostOS>],
+    [<programming_model>] under [<software>]). *)
+val installed_software : t -> element list
+
+(** Is a package installed?  Conditional composition's selectability
+    constraints build on this (Sec. II). *)
+val has_installed : t -> string -> bool
+
+val installed_path : t -> string -> string option
+
+(** Free-form [<property>] lookup by name (the PDL-style escape hatch). *)
+val property : t -> string -> string option
+
+(** Effective bandwidth (B/s) of an interconnect: the static analysis'
+    annotation, falling back to the declared channel bandwidth. *)
+val link_bandwidth : t -> string -> float option
+
+val devices : t -> element list
+
+(** Single-node or multi-node (the paper's top-level distinction). *)
+val is_multi_node : t -> bool
+
+(** {1 Path expressions}
+
+    The {!Xpdl_xml.Path} selector language over the runtime model, e.g.
+    [select q "//cache[@level=3]"].  [@id]/[@name] predicates match the
+    identifier, [@type] the type reference; other attributes compare
+    against their string rendering. *)
+
+val select : t -> string -> element list
+val select_one : t -> string -> element option

@@ -1,0 +1,1 @@
+lib/repo/repo.ml: Array Diagnostic Elaborate Filename Fmt Hashtbl Inheritance Instantiate List Model Option String Sys Validate Xpdl_core Xpdl_xml

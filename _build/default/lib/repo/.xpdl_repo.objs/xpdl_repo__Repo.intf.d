@@ -1,0 +1,1 @@
+lib/repo/repo.mli: Diagnostic Inheritance Instantiate Model Xpdl_core

@@ -1,0 +1,214 @@
+(** The distributed XPDL model repository (Sec. III).
+
+    XPDL descriptors are ".xpdl" files — machine-readable data sheets —
+    placed in a model repository.  Models are retrieved by unique [name]
+    (meta-models) or [id] (concrete models) via a model search path; the
+    paper envisions descriptors "even provided for download e.g. at
+    hardware manufacturer web sites".  This module implements:
+
+    - multiple repository roots (the search path), scanned recursively for
+      [.xpdl] descriptor files;
+    - hyperlink resolution: [xpdl://authority/name] references map to
+      registered roots, giving the distributed-library semantics without
+      network access (see DESIGN.md substitutions);
+    - an in-memory index name/id → descriptor, with duplicate detection;
+    - recursive composition: resolving every meta-model reference
+      reachable from a concrete model ({!compose}), the first stage of
+      the toolchain pipeline (Sec. IV). *)
+
+open Xpdl_core
+
+type entry = {
+  ent_ident : string;
+  ent_element : Model.element;
+  ent_file : string;  (** source descriptor file, or ["<memory>"] *)
+}
+
+type t = {
+  mutable entries : (string, entry) Hashtbl.t;
+  mutable remotes : (string * string) list;  (** authority → local root *)
+  mutable diags : Diagnostic.t list;
+}
+
+let create () = { entries = Hashtbl.create 64; remotes = []; diags = [] }
+
+let diagnostics t = List.rev t.diags
+
+let add_diag t d = t.diags <- d :: t.diags
+
+(** Number of indexed descriptors. *)
+let size t = Hashtbl.length t.entries
+
+(** All indexed identifiers, sorted. *)
+let identifiers t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.entries [] |> List.sort String.compare
+
+let find t ident = Option.map (fun e -> e.ent_element) (Hashtbl.find_opt t.entries ident)
+
+let find_entry t ident = Hashtbl.find_opt t.entries ident
+
+(** Register one elaborated element under its identifier. *)
+let add_element t ?(file = "<memory>") (e : Model.element) =
+  match Model.identifier e with
+  | None ->
+      add_diag t
+        (Diagnostic.error ~pos:e.pos "descriptor in %s has neither name nor id; not indexed" file)
+  | Some ident ->
+      (match Hashtbl.find_opt t.entries ident with
+      | Some prev when prev.ent_file <> file ->
+          add_diag t
+            (Diagnostic.warning ~pos:e.pos "identifier %S in %s shadows definition from %s" ident
+               file prev.ent_file)
+      | _ -> ());
+      Hashtbl.replace t.entries ident { ent_ident = ident; ent_element = e; ent_file = file }
+
+(* A descriptor file holds one model, or several under a <xpdl>/<repository>
+   wrapper element. *)
+let add_xml t ~file (x : Xpdl_xml.Dom.element) =
+  let elaborate_and_add node =
+    let e, diags = Elaborate.of_xml node in
+    List.iter (add_diag t) diags;
+    add_element t ~file e
+  in
+  match x.Xpdl_xml.Dom.tag with
+  | "xpdl" | "repository" ->
+      List.iter elaborate_and_add (Xpdl_xml.Dom.child_elements x)
+  | _ -> elaborate_and_add x
+
+(** Parse and index a single descriptor string (used by tests and by the
+    microbenchmark bootstrap to register generated descriptors). *)
+let add_string t ?(file = "<memory>") s =
+  match Xpdl_xml.Parse.string ~file ~lenient:true s with
+  | Ok x -> add_xml t ~file x
+  | Error msg -> add_diag t (Diagnostic.error "%s" msg)
+
+let add_file t path =
+  match Xpdl_xml.Parse.file ~lenient:true path with
+  | Ok x -> add_xml t ~file:path x
+  | Error msg -> add_diag t (Diagnostic.error "cannot load %s: %s" path msg)
+
+let rec scan_dir t dir =
+  match Sys.readdir dir with
+  | entries ->
+      Array.sort String.compare entries;
+      Array.iter
+        (fun name ->
+          let path = Filename.concat dir name in
+          if Sys.is_directory path then scan_dir t path
+          else if Filename.check_suffix name ".xpdl" || Filename.check_suffix name ".xml" then
+            add_file t path)
+        entries
+  | exception Sys_error msg -> add_diag t (Diagnostic.error "cannot scan %s: %s" dir msg)
+
+(** Add a repository root (an element of the model search path); every
+    [.xpdl] file beneath it is parsed and indexed immediately. *)
+let add_root t dir = scan_dir t dir
+
+(** Register a remote authority: hyperlinks [xpdl://authority/name] will
+    resolve against descriptors indexed from [root].  In this offline
+    reproduction the authority's content must already be local; the point
+    is to preserve reference syntax and resolution semantics. *)
+let add_remote t ~authority ~root =
+  t.remotes <- (authority, root) :: t.remotes;
+  scan_dir t root
+
+(* "xpdl://authority/name" → name (content is pre-indexed from the
+   authority's registered root). *)
+let resolve_hyperlink t ref_string =
+  let prefix = "xpdl://" in
+  let plen = String.length prefix in
+  if String.length ref_string > plen && String.equal (String.sub ref_string 0 plen) prefix then begin
+    let rest = String.sub ref_string plen (String.length ref_string - plen) in
+    match String.index_opt rest '/' with
+    | Some i ->
+        let authority = String.sub rest 0 i in
+        let name = String.sub rest (i + 1) (String.length rest - i - 1) in
+        if List.mem_assoc authority t.remotes then Some name
+        else begin
+          add_diag t (Diagnostic.error "unknown repository authority %S in %S" authority ref_string);
+          None
+        end
+    | None -> None
+  end
+  else None
+
+(** The name-resolution function handed to {!Xpdl_core.Inheritance}. *)
+let lookup t : Inheritance.lookup =
+ fun ident ->
+  match resolve_hyperlink t ident with
+  | Some name -> find t name
+  | None -> find t ident
+
+(** {1 Composition}
+
+    [compose t root] is the toolchain's front half: starting from a
+    concrete model, recursively resolve every referenced descriptor
+    ([type]/[extends] hyperlinks), flatten inheritance, then instantiate
+    (bind params, expand groups, check constraints).  [config] provides
+    deployment-time parameter overrides. *)
+
+type composed = {
+  model : Model.element;  (** fully resolved and expanded instance tree *)
+  comp_diags : Diagnostic.t list;
+  descriptors_used : string list;  (** identifiers of all referenced descriptors *)
+}
+
+let transitive_references t (root : Model.element) =
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec visit (e : Model.element) =
+    List.iter
+      (fun name ->
+        let resolved = match resolve_hyperlink t name with Some n -> n | None -> name in
+        if not (Hashtbl.mem visited resolved) then begin
+          Hashtbl.add visited resolved ();
+          match find t resolved with
+          | Some def ->
+              order := resolved :: !order;
+              visit def
+          | None -> ()
+        end)
+      (Model.referenced_types e)
+  in
+  visit root;
+  List.rev !order
+
+let compose ?(config = []) t (root : Model.element) : composed =
+  let used = transitive_references t root in
+  let resolved, res_diags = Inheritance.resolve_lenient (lookup t) root in
+  let expanded, inst_diags = Instantiate.run ~env:config resolved in
+  let val_diags = Validate.run ~lookup:(lookup t) expanded in
+  { model = expanded; comp_diags = res_diags @ inst_diags @ val_diags; descriptors_used = used }
+
+(** Compose the concrete model registered under [ident]. *)
+let compose_by_name ?config t ident =
+  match find t ident with
+  | None -> Error (Fmt.str "no descriptor named %S in repository" ident)
+  | Some root -> Ok (compose ?config t root)
+
+(** Total parsed size of the repository in model elements, a proxy for
+    the specification-bytes comparisons of experiment E9. *)
+let total_elements t =
+  Hashtbl.fold (fun _ e acc -> acc + Model.size e.ent_element) t.entries 0
+
+(** Locate the bundled model repository from wherever the process runs:
+    honors [XPDL_MODELS], then probes [models], [../models], [../../models]
+    relative to the working directory.  Tests, examples and benches share
+    this so they work both from the workspace root and from dune's
+    sandboxed test directories. *)
+let locate_models () =
+  let candidates =
+    (match Sys.getenv_opt "XPDL_MODELS" with Some p -> [ p ] | None -> [])
+    @ [ "models"; "../models"; "../../models"; "../../../models" ]
+  in
+  List.find_opt (fun d -> Sys.file_exists d && Sys.is_directory d) candidates
+
+(** Create a repository pre-loaded with the bundled models; fails if they
+    cannot be found. *)
+let load_bundled () =
+  match locate_models () with
+  | None -> failwith "cannot locate the bundled models/ directory (set XPDL_MODELS)"
+  | Some dir ->
+      let t = create () in
+      add_root t dir;
+      t

@@ -1,0 +1,84 @@
+(** The distributed XPDL model repository (Sec. III): [.xpdl] descriptor
+    files indexed by unique [name]/[id] over a model search path, with
+    [xpdl://authority/name] hyperlinks resolving against registered
+    (locally mirrored) authorities, and recursive composition of concrete
+    systems. *)
+
+open Xpdl_core
+
+type entry = {
+  ent_ident : string;
+  ent_element : Model.element;
+  ent_file : string;  (** source descriptor file, or ["<memory>"] *)
+}
+
+type t
+
+val create : unit -> t
+
+(** Parse problems, duplicate identifiers, unknown authorities, ...
+    accumulated while loading. *)
+val diagnostics : t -> Diagnostic.t list
+
+(** Number of indexed descriptors. *)
+val size : t -> int
+
+(** All indexed identifiers, sorted. *)
+val identifiers : t -> string list
+
+val find : t -> string -> Model.element option
+val find_entry : t -> string -> entry option
+
+(** Register one elaborated element under its identifier; a descriptor
+    without [name]/[id] is diagnosed and skipped; redefinition from a
+    different file warns (the later definition wins). *)
+val add_element : t -> ?file:string -> Model.element -> unit
+
+(** Parse and index a descriptor string (a single model, or several
+    under an [<xpdl>]/[<repository>] wrapper). *)
+val add_string : t -> ?file:string -> string -> unit
+
+val add_file : t -> string -> unit
+
+(** Add a repository root (an element of the model search path); every
+    [.xpdl]/[.xml] file beneath it is parsed and indexed immediately. *)
+val add_root : t -> string -> unit
+
+(** Register a remote authority: [xpdl://authority/name] hyperlinks will
+    resolve against descriptors indexed from [root] (the authority's
+    local mirror). *)
+val add_remote : t -> authority:string -> root:string -> unit
+
+(** The name-resolution function handed to {!Xpdl_core.Inheritance};
+    resolves hyperlinks first, then plain identifiers. *)
+val lookup : t -> Inheritance.lookup
+
+type composed = {
+  model : Model.element;  (** fully resolved and expanded instance tree *)
+  comp_diags : Diagnostic.t list;
+  descriptors_used : string list;  (** identifiers of referenced descriptors *)
+}
+
+(** The identifiers transitively referenced from a model (informational;
+    composition resolves independently). *)
+val transitive_references : t -> Model.element -> string list
+
+(** Compose: resolve every referenced descriptor, flatten inheritance,
+    instantiate (bind params — [config] provides deployment overrides —
+    expand groups, check constraints) and validate. *)
+val compose : ?config:Instantiate.env -> t -> Model.element -> composed
+
+(** Compose the concrete model registered under the given identifier. *)
+val compose_by_name :
+  ?config:Instantiate.env -> t -> string -> (composed, string) result
+
+(** Total parsed size of the repository in model elements. *)
+val total_elements : t -> int
+
+(** Locate the bundled [models/] directory from the working directory
+    (honors [XPDL_MODELS], probes parents). *)
+val locate_models : unit -> string option
+
+(** Repository pre-loaded with the bundled models; fails if they cannot
+    be found. *)
+val load_bundled : unit -> t

@@ -1,0 +1,1 @@
+lib/simhw/kernels.ml: Float List Machine

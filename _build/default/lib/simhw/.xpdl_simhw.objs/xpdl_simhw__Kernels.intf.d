@@ -1,0 +1,1 @@
+lib/simhw/kernels.mli: Machine

@@ -1,0 +1,1 @@
+lib/simhw/machine.ml: Array Filename Float Fmt Hashtbl List Model Option Power Rng Schema String Truth Xpdl_core Xpdl_units

@@ -1,0 +1,1 @@
+lib/simhw/machine.mli: Model Rng Truth Xpdl_core

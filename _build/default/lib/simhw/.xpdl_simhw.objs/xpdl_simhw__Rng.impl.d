@@ -1,0 +1,1 @@
+lib/simhw/rng.ml: Float Hashtbl Int64

@@ -1,0 +1,1 @@
+lib/simhw/rng.mli:

@@ -1,0 +1,1 @@
+lib/simhw/truth.ml: Char Hashtbl Int64 List String Xpdl_core

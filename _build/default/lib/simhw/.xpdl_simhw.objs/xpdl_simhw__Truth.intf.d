@@ -1,0 +1,1 @@
+lib/simhw/truth.mli: Hashtbl Xpdl_core

@@ -1,0 +1,80 @@
+(** Workload generators: application kernels expressed as instruction
+    bags for the simulated machine.
+
+    The conditional-composition case study of the paper (Sec. II, ref [3])
+    selects among implementation variants of a sparse matrix–vector
+    product component depending on platform properties and on the density
+    of nonzero elements.  These generators produce the instruction/memory
+    footprint of each variant so that {!Machine.run} can price them. *)
+
+(** Parameters of a sparse matrix–vector multiply [y = A·x]. *)
+type spmv = {
+  rows : int;
+  cols : int;
+  density : float;  (** fraction of nonzeros, 0 < density ≤ 1 *)
+}
+
+let spmv ?(cols = 0) ~rows ~density () =
+  if density <= 0. || density > 1. then invalid_arg "Kernels.spmv: density must be in (0,1]";
+  { rows; cols = (if cols = 0 then rows else cols); density }
+
+let nonzeros m = int_of_float (float_of_int m.rows *. float_of_int m.cols *. m.density)
+
+(** CSR SpMV on a CPU core: per nonzero one [fmul], one [fadd], one value
+    load and one column-index load; per row a result store.  Irregular
+    column accesses miss caches at a rate growing with matrix size. *)
+let spmv_csr_cpu (m : spmv) : Machine.workload =
+  let nnz = nonzeros m in
+  let miss_rate = Float.min 0.6 (0.05 +. (float_of_int m.cols /. 2e6)) in
+  Machine.workload ~parallel_fraction:0.95
+    ~memory_accesses:(int_of_float (float_of_int (2 * nnz) *. miss_rate) + m.rows)
+    [ ("fmul", nnz); ("fadd", nnz); ("ld", 2 * nnz); ("st", m.rows); ("add", nnz) ]
+
+(** Dense row-major MV on the CPU: prices every element, zero or not. *)
+let mv_dense_cpu (m : spmv) : Machine.workload =
+  let n = m.rows * m.cols in
+  let miss_rate = 0.02 in
+  Machine.workload ~parallel_fraction:0.97
+    ~memory_accesses:(int_of_float (float_of_int n *. miss_rate) + m.rows)
+    [ ("fmul", n); ("fadd", n); ("ld", n); ("st", m.rows) ]
+
+(** CSR SpMV expressed in the GPU's PTX-like ISA: fused multiply-adds,
+    global loads with coalescing losses on the irregular accesses.  Highly
+    parallel — the caller spreads it over the device's cores. *)
+let spmv_csr_gpu (m : spmv) : Machine.workload =
+  let nnz = nonzeros m in
+  (* irregular gathers coalesce poorly: effective global transactions *)
+  let transactions = int_of_float (float_of_int nnz *. 0.5) + m.rows in
+  Machine.workload ~parallel_fraction:0.999 ~memory_accesses:transactions
+    [ ("fma", nnz); ("ld_global", 2 * nnz); ("st_global", m.rows) ]
+
+(** Bytes that must cross the host↔device link for a GPU SpMV: CSR arrays
+    (values 8B + col indices 4B per nnz, row pointers 4B per row), the
+    input vector, and the result back. *)
+let spmv_transfer_bytes (m : spmv) =
+  let nnz = nonzeros m in
+  (12 * nnz) + (4 * (m.rows + 1)) + (8 * m.cols) + (8 * m.rows)
+
+(** A dense vector AXPY [y ← αx + y] of length [n] (quickstart demo). *)
+let axpy ~n : Machine.workload =
+  Machine.workload ~parallel_fraction:0.9 ~memory_accesses:(n / 8)
+    [ ("fmul", n); ("fadd", n); ("ld", 2 * n); ("st", n) ]
+
+(** A pure-compute microkernel repeating one instruction [iterations]
+    times — exactly what a generated microbenchmark driver does. *)
+let single_instruction ~name ~iterations : Machine.workload =
+  Machine.workload ~parallel_fraction:0. [ (name, iterations) ]
+
+(** Repeat a workload [n] times (an iterative solver calling the same
+    kernel each sweep): scales instruction counts and memory traffic. *)
+let repeat n (w : Machine.workload) : Machine.workload =
+  if n <= 1 then w
+  else
+    {
+      w with
+      Machine.instructions = List.map (fun (i, c) -> (i, c * n)) w.Machine.instructions;
+      memory_accesses = w.Machine.memory_accesses * n;
+    }
+
+(** Reference (noise-free) flop count of an SpMV, for throughput reports. *)
+let spmv_flops m = 2 * nonzeros m

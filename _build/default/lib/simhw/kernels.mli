@@ -1,0 +1,40 @@
+(** Workload generators: application kernels expressed as instruction
+    bags for the simulated machine — the variants of the SpMV
+    conditional-composition case study (Sec. II, ref [3]) and smaller
+    demo kernels. *)
+
+(** Parameters of a sparse matrix–vector multiply [y = A·x]. *)
+type spmv = { rows : int; cols : int; density : float }
+
+(** Raises [Invalid_argument] unless density ∈ (0, 1];
+    [cols] defaults to [rows]. *)
+val spmv : ?cols:int -> rows:int -> density:float -> unit -> spmv
+
+val nonzeros : spmv -> int
+
+(** CSR SpMV on a CPU core: irregular gathers miss caches at a rate
+    growing with the matrix size. *)
+val spmv_csr_cpu : spmv -> Machine.workload
+
+(** Dense row-major MV: prices every element, regular accesses. *)
+val mv_dense_cpu : spmv -> Machine.workload
+
+(** CSR SpMV in the GPU's PTX-like ISA: massively parallel, poorly
+    coalesced gathers. *)
+val spmv_csr_gpu : spmv -> Machine.workload
+
+(** Bytes crossing the host↔device link for a GPU SpMV (CSR arrays, the
+    input vector, the result). *)
+val spmv_transfer_bytes : spmv -> int
+
+(** Dense AXPY of length [n]. *)
+val axpy : n:int -> Machine.workload
+
+(** One instruction repeated — a microbenchmark driver's loop. *)
+val single_instruction : name:string -> iterations:int -> Machine.workload
+
+(** Repeat a workload [n] times (an iterative solver's sweeps). *)
+val repeat : int -> Machine.workload -> Machine.workload
+
+(** Flop count of an SpMV, for throughput reports. *)
+val spmv_flops : spmv -> int

@@ -1,0 +1,322 @@
+(** The simulated target machine.
+
+    A {!t} is constructed from a composed XPDL model (the output of the
+    toolchain front end) and plays the role of the physical EXCESS
+    platforms in the paper: it executes instruction workloads on its
+    cores, transfers data over its interconnects, and exposes a simulated
+    external power meter — the [ExternalPowerMeter] property of
+    Listing 11.  All observations are noisy measurements of the hidden
+    {!Truth} model, so the microbenchmarking bootstrap has something real
+    to estimate.
+
+    The execution model is deliberately simple and analytic (an in-order
+    core: cycles = Σ count·latency; energy = static + Σ count·E(f) +
+    accesses·E_access), because the paper's toolchain only needs
+    per-instruction averages, transfer costs and power samples. *)
+
+open Xpdl_core
+
+type core = {
+  core_ident : string;  (** path-like unique id *)
+  core_element : Model.element;
+  mutable hz : float;  (** current clock (DVFS state) *)
+  nominal_hz : float;
+  isa : string option;
+}
+
+type link = {
+  link_ident : string;
+  head : string option;
+  tail : string option;
+  bandwidth : float;  (** B/s *)
+  time_offset : float;  (** s per message *)
+  energy_per_byte : float;  (** J/B *)
+  energy_offset : float;  (** J per message *)
+}
+
+type t = {
+  model : Model.element;
+  cores : core array;
+  links : link array;
+  truth : Truth.t;
+  static_power : float;  (** W, whole machine, all domains on *)
+  mem_access_energy : float;  (** J per (cache-missing) memory access *)
+  mem_access_time : float;  (** s per memory access *)
+  rng : Rng.t;
+}
+
+let path_ident prefix (e : Model.element) fallback =
+  match Model.identifier e with
+  | Some i -> if prefix = "" then i else prefix ^ "/" ^ i
+  | None -> if prefix = "" then fallback else prefix ^ "/" ^ fallback
+
+(* Collect cores with their path identifiers and clock frequencies. *)
+let collect_cores (root : Model.element) : core list =
+  let acc = ref [] in
+  let counter = ref 0 in
+  let rec walk prefix (e : Model.element) =
+    if Model.is_metadata_subtree e.kind then ()
+    else begin
+    let ident = path_ident prefix e (Schema.tag_of_kind e.kind ^ string_of_int !counter) in
+    (if Schema.equal_kind e.kind Schema.Core then begin
+       incr counter;
+       let hz =
+         match Model.attr_quantity e "frequency" with
+         | Some q -> Xpdl_units.Units.value q
+         | None -> 1.0e9
+       in
+       acc :=
+         {
+           core_ident = ident;
+           core_element = e;
+           hz;
+           nominal_hz = hz;
+           isa = Model.attr_string e "isa";
+         }
+         :: !acc
+     end);
+    List.iter (walk ident) e.children
+    end
+  in
+  walk "" root;
+  List.rev !acc
+
+(* Hidden defaults for "?" link offsets, stable per link name. *)
+let default_time_offset name =
+  1e-9 *. float_of_int (200 + (Truth.stable_hash ("toff:" ^ name) mod 600))
+
+let default_energy_offset name =
+  1e-12 *. float_of_int (300 + (Truth.stable_hash ("eoff:" ^ name) mod 900))
+
+let channel_float (e : Model.element) key default =
+  match Model.attr_quantity e key with
+  | Some q -> Xpdl_units.Units.value q
+  | None -> default
+
+let collect_links (root : Model.element) : link list =
+  let links = Model.elements_of_kind Schema.Interconnect root in
+  List.filter_map
+    (fun (ic : Model.element) ->
+      let ident = Option.value ~default:"link" (Model.identifier ic) in
+      let channels = Model.elements_of_kind Schema.Channel ic in
+      (* aggregate over channels: a transfer uses one direction; take the
+         first channel as representative (they are symmetric in our
+         models) *)
+      let bw, toff, epb, eoff =
+        match channels with
+        | [] ->
+            ( channel_float ic "max_bandwidth" 1e9,
+              default_time_offset ident,
+              10e-12,
+              default_energy_offset ident )
+        | ch :: _ ->
+            ( channel_float ch "max_bandwidth" 1e9,
+              (if Model.attr_is_unknown ch "time_offset_per_message" then
+                 default_time_offset ident
+               else channel_float ch "time_offset_per_message" (default_time_offset ident)),
+              channel_float ch "energy_per_byte" 10e-12,
+              if Model.attr_is_unknown ch "energy_offset_per_message" then
+                default_energy_offset ident
+              else channel_float ch "energy_offset_per_message" (default_energy_offset ident) )
+      in
+      if bw <= 0. then None
+      else
+        Some
+          {
+            link_ident = ident;
+            head = Model.attr_string ic "head";
+            tail = Model.attr_string ic "tail";
+            bandwidth = bw;
+            time_offset = toff;
+            energy_per_byte = epb;
+            energy_offset = eoff;
+          })
+    links
+
+(** Sum of declared [static_power] over all hardware components: the
+    paper's synthesized static power of the root (Sec. III-D). *)
+let total_static_power (root : Model.element) =
+  Model.hardware_fold
+    (fun acc (e : Model.element) ->
+      if Schema.is_hardware e.kind then
+        match Model.attr_quantity e "static_power" with
+        | Some q -> acc +. Xpdl_units.Units.value q
+        | None -> acc
+      else acc)
+    0. root
+
+let mean_memory_costs (root : Model.element) =
+  let mems = Model.elements_of_kind Schema.Memory root in
+  let es, ts =
+    List.fold_left
+      (fun (es, ts) m ->
+        ( (match Model.attr_quantity m "energy_per_access" with
+          | Some q -> Xpdl_units.Units.value q :: es
+          | None -> es),
+          match Model.attr_quantity m "latency" with
+          | Some q -> Xpdl_units.Units.value q :: ts
+          | None -> ts ))
+      ([], []) mems
+  in
+  let mean default = function
+    | [] -> default
+    | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+  in
+  (mean 5e-9 es, mean 60e-9 ts)
+
+(** Build a simulated machine from a composed model.  [seed] fixes the
+    measurement-noise stream; [noise_sigma] is the relative noise of the
+    simulated power meter (2% by default, a realistic external-meter
+    figure). *)
+let create ?(seed = 42) ?(noise_sigma = 0.02) (model : Model.element) : t =
+  let isas = (Power.of_element model).pm_isas in
+  let truth =
+    match isas with
+    | isa :: _ -> Truth.of_isa ~noise_sigma isa
+    | [] -> Truth.synthetic ~noise_sigma ()
+  in
+  (* register every ISA's concrete entries *)
+  List.iter
+    (fun isa ->
+      let t2 = Truth.of_isa ~noise_sigma isa in
+      Hashtbl.iter (Hashtbl.replace truth.Truth.base_energy) t2.Truth.base_energy;
+      Hashtbl.iter (Hashtbl.replace truth.Truth.tables) t2.Truth.tables)
+    isas;
+  let mem_access_energy, mem_access_time = mean_memory_costs model in
+  {
+    model;
+    cores = Array.of_list (collect_cores model);
+    links = Array.of_list (collect_links model);
+    truth;
+    static_power = total_static_power model;
+    mem_access_energy;
+    mem_access_time;
+    rng = Rng.create ~seed;
+  }
+
+let core_count t = Array.length t.cores
+
+let find_core t ident =
+  let n = Array.length t.cores in
+  let rec scan i =
+    if i >= n then None
+    else if
+      String.equal t.cores.(i).core_ident ident
+      || Filename.basename t.cores.(i).core_ident = ident
+    then Some t.cores.(i)
+    else scan (i + 1)
+  in
+  scan 0
+
+let find_link t ident =
+  let n = Array.length t.links in
+  let rec scan i =
+    if i >= n then None
+    else if String.equal t.links.(i).link_ident ident then Some t.links.(i)
+    else scan (i + 1)
+  in
+  scan 0
+
+(** Set the clock of every core whose path contains [within] (or all cores
+    if [within] is [None]) — the effect of a DVFS power-state switch. *)
+let set_frequency ?within t hz =
+  Array.iter
+    (fun c ->
+      let applies =
+        match within with
+        | None -> true
+        | Some sub ->
+            let len = String.length sub in
+            let cl = String.length c.core_ident in
+            let rec contains i =
+              i + len <= cl && (String.equal (String.sub c.core_ident i len) sub || contains (i + 1))
+            in
+            contains 0
+      in
+      if applies then c.hz <- hz)
+    t.cores
+
+(** {1 Workload execution} *)
+
+(** A workload is a bag of instruction executions plus memory traffic. *)
+type workload = {
+  instructions : (string * int) list;  (** instruction name → count *)
+  memory_accesses : int;  (** cache-missing accesses *)
+  parallel_fraction : float;  (** Amdahl fraction that scales with cores *)
+}
+
+let workload ?(memory_accesses = 0) ?(parallel_fraction = 1.0) instructions =
+  { instructions; memory_accesses; parallel_fraction }
+
+(** Result of a run, as observed through the simulated power meter. *)
+type measurement = {
+  elapsed : float;  (** s, wall-clock of the run *)
+  dynamic_energy : float;  (** J attributed to the computation *)
+  total_energy : float;  (** J including the machine's static share *)
+  average_power : float;  (** W over the run *)
+}
+
+(* True (noise-free) serial cost of a workload on [core]. *)
+let true_serial_cost t (core : core) (w : workload) =
+  let declared_latency name =
+    let isas = (Power.of_element t.model).pm_isas in
+    List.find_map
+      (fun isa ->
+        List.find_map
+          (fun (i : Power.instruction) ->
+            if String.equal i.in_name name then i.in_latency else None)
+          isa.Power.isa_instructions)
+      isas
+  in
+  let cycles, energy =
+    List.fold_left
+      (fun (cy, en) (name, count) ->
+        let lat = Truth.latency_cycles ~declared:(declared_latency name) name in
+        ( cy +. (float_of_int count *. float_of_int lat),
+          en +. (float_of_int count *. Truth.energy t.truth ~name ~hz:core.hz) ))
+      (0., 0.) w.instructions
+  in
+  let time = (cycles /. core.hz) +. (float_of_int w.memory_accesses *. t.mem_access_time) in
+  let energy = energy +. (float_of_int w.memory_accesses *. t.mem_access_energy) in
+  (time, energy)
+
+(** Execute [w] on the core identified by [core] (default: first core).
+    [cores_used] spreads the parallel fraction over that many identical
+    cores (Amdahl).  The returned measurement includes seeded noise. *)
+let run ?core ?(cores_used = 1) t (w : workload) : measurement =
+  let c =
+    match core with
+    | Some ident -> (
+        match find_core t ident with
+        | Some c -> c
+        | None -> Fmt.invalid_arg "Machine.run: no core %S" ident)
+    | None ->
+        if Array.length t.cores = 0 then invalid_arg "Machine.run: machine has no cores";
+        t.cores.(0)
+  in
+  let serial_time, energy = true_serial_cost t c w in
+  let p = Float.max 1. (float_of_int cores_used) in
+  let time =
+    (serial_time *. (1. -. w.parallel_fraction)) +. (serial_time *. w.parallel_fraction /. p)
+  in
+  let noise = Rng.noise_factor t.rng ~sigma:t.truth.Truth.noise_sigma in
+  let noise_e = Rng.noise_factor t.rng ~sigma:t.truth.Truth.noise_sigma in
+  let elapsed = time *. noise in
+  let dynamic_energy = energy *. noise_e in
+  let total_energy = dynamic_energy +. (t.static_power *. elapsed) in
+  { elapsed; dynamic_energy; total_energy; average_power = total_energy /. Float.max 1e-12 elapsed }
+
+(** Transfer [bytes] over link [link]: (time, energy), with noise. *)
+let transfer t ~link ~bytes : float * float =
+  match find_link t link with
+  | None -> Fmt.invalid_arg "Machine.transfer: no link %S" link
+  | Some l ->
+      let time = l.time_offset +. (float_of_int bytes /. l.bandwidth) in
+      let energy = l.energy_offset +. (float_of_int bytes *. l.energy_per_byte) in
+      ( time *. Rng.noise_factor t.rng ~sigma:t.truth.Truth.noise_sigma,
+        energy *. Rng.noise_factor t.rng ~sigma:t.truth.Truth.noise_sigma )
+
+(** Sample the external power meter while the machine idles for
+    [duration] seconds: static power plus meter noise. *)
+let sample_idle_power t ~duration:_ =
+  t.static_power *. Rng.noise_factor t.rng ~sigma:t.truth.Truth.noise_sigma

@@ -1,0 +1,84 @@
+(** The simulated target machine: stands in for the physical EXCESS
+    platforms.  Built from a composed XPDL model, it executes instruction
+    workloads on its cores, transfers data over its interconnects, and
+    exposes a simulated external power meter.  All observations are
+    seeded-noisy measurements of the hidden {!Truth} model. *)
+
+open Xpdl_core
+
+type core = {
+  core_ident : string;  (** path-like unique id *)
+  core_element : Model.element;
+  mutable hz : float;  (** current clock (DVFS state) *)
+  nominal_hz : float;
+  isa : string option;
+}
+
+type link = {
+  link_ident : string;
+  head : string option;
+  tail : string option;
+  bandwidth : float;  (** B/s *)
+  time_offset : float;  (** s per message *)
+  energy_per_byte : float;  (** J/B *)
+  energy_offset : float;  (** J per message *)
+}
+
+type t = {
+  model : Model.element;
+  cores : core array;
+  links : link array;
+  truth : Truth.t;
+  static_power : float;  (** W, whole machine, all domains on *)
+  mem_access_energy : float;  (** J per (cache-missing) memory access *)
+  mem_access_time : float;  (** s per memory access *)
+  rng : Rng.t;
+}
+
+(** Sum of declared [static_power] over all physical hardware. *)
+val total_static_power : Model.element -> float
+
+(** Build a simulated machine.  [seed] fixes the noise stream;
+    [noise_sigma] is the relative meter noise (default 2%). *)
+val create : ?seed:int -> ?noise_sigma:float -> Model.element -> t
+
+val core_count : t -> int
+
+(** Find a core by its full path identifier or basename. *)
+val find_core : t -> string -> core option
+
+val find_link : t -> string -> link option
+
+(** Set the clock of every core whose path contains [within] (all cores
+    when omitted) — the effect of a DVFS power-state switch. *)
+val set_frequency : ?within:string -> t -> float -> unit
+
+(** A workload: a bag of instruction executions plus memory traffic. *)
+type workload = {
+  instructions : (string * int) list;  (** instruction name → count *)
+  memory_accesses : int;  (** cache-missing accesses *)
+  parallel_fraction : float;  (** Amdahl fraction that scales with cores *)
+}
+
+val workload :
+  ?memory_accesses:int -> ?parallel_fraction:float -> (string * int) list -> workload
+
+(** Result of a run, as observed through the simulated power meter. *)
+type measurement = {
+  elapsed : float;  (** s, wall-clock of the run *)
+  dynamic_energy : float;  (** J attributed to the computation *)
+  total_energy : float;  (** J including the machine's static share *)
+  average_power : float;  (** W over the run *)
+}
+
+(** Execute on the core identified by [core] (default: first core);
+    [cores_used] spreads the parallel fraction (Amdahl).  Raises
+    [Invalid_argument] on an unknown core or a core-less machine. *)
+val run : ?core:string -> ?cores_used:int -> t -> workload -> measurement
+
+(** Transfer [bytes] over a link: noisy (time, energy).  Raises
+    [Invalid_argument] on an unknown link. *)
+val transfer : t -> link:string -> bytes:int -> float * float
+
+(** Sample the external power meter while the machine idles. *)
+val sample_idle_power : t -> duration:float -> float

@@ -1,0 +1,42 @@
+(** Ground-truth energy/timing model of the simulated hardware: the
+    hidden quantities the microbenchmark bootstrap estimates.
+
+    Per-instruction base energy is synthesized deterministically from the
+    instruction name (stable hash → 5–80 pJ), unless the XPDL model
+    supplies a concrete value (the [divsd] table of Listing 14 is
+    reproduced exactly).  Frequency law: E(f) = E₀·(α + (1−α)·(f/f₀)²). *)
+
+(** Frequency-insensitive share of per-instruction energy. *)
+val alpha : float
+
+(** Stable non-negative string hash (FNV-1a, 62-bit). *)
+val stable_hash : string -> int
+
+(** Synthesized base energy (J) at the reference frequency, in the
+    5–80 pJ range. *)
+val synthesized_base_energy : string -> float
+
+type t = {
+  reference_hz : float;  (** frequency at which base energies are defined *)
+  base_energy : (string, float) Hashtbl.t;  (** instruction → J at reference *)
+  tables : (string, (float * float) list) Hashtbl.t;
+      (** instruction → exact (Hz, J) rows taken from the model *)
+  noise_sigma : float;  (** relative measurement noise of the power meter *)
+}
+
+(** Ground truth for one ISA: concrete model energies are authoritative;
+    ["?"] entries get synthesized values. *)
+val of_isa : ?reference_hz:float -> ?noise_sigma:float -> Xpdl_core.Power.isa -> t
+
+(** An empty truth table that synthesizes everything on demand. *)
+val synthetic : ?reference_hz:float -> ?noise_sigma:float -> unit -> t
+
+val frequency_scale : t -> hz:float -> float
+
+(** True dynamic energy (J) of one execution of [name] at frequency
+    [hz]. *)
+val energy : t -> name:string -> hz:float -> float
+
+(** True latency in cycles: the declared value if available, else
+    synthesized in 1–8 cycles. *)
+val latency_cycles : ?declared:int option -> string -> int

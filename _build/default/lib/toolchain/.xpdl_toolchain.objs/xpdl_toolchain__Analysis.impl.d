@@ -1,0 +1,1 @@
+lib/toolchain/analysis.ml: Float Hashtbl List Model Option Schema String Units Xpdl_core Xpdl_units

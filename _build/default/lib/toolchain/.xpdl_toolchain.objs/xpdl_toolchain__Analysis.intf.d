@@ -1,0 +1,1 @@
+lib/toolchain/analysis.mli: Model Xpdl_core

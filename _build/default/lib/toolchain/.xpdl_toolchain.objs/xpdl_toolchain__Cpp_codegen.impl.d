@@ -1,0 +1,1 @@
+lib/toolchain/cpp_codegen.ml: Buffer Bytes Char Fmt List Schema String Xpdl_core

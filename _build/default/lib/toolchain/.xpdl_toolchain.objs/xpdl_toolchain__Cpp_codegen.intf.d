@@ -1,0 +1,1 @@
+lib/toolchain/cpp_codegen.mli: Schema Xpdl_core

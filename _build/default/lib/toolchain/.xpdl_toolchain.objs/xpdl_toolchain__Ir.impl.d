@@ -1,0 +1,1 @@
+lib/toolchain/ir.ml: Array Buffer Fmt Fun Hashtbl Int64 List Model Option Schema String Units Xpdl_core Xpdl_units

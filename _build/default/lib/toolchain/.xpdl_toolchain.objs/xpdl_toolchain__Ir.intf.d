@@ -1,0 +1,1 @@
+lib/toolchain/ir.mli: Format Hashtbl Model Schema Xpdl_core Xpdl_units

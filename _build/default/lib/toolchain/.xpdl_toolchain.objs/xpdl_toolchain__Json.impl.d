@@ -1,0 +1,1 @@
+lib/toolchain/json.ml: Buffer Char Fmt List Model Option Schema String Xpdl_core Xpdl_units

@@ -1,0 +1,1 @@
+lib/toolchain/json.mli: Model Xpdl_core

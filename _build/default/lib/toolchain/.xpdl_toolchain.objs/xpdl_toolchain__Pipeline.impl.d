@@ -1,0 +1,1 @@
+lib/toolchain/pipeline.ml: Analysis Diagnostic Fmt Instantiate Ir List Model Power String Unix Xpdl_core Xpdl_microbench Xpdl_repo Xpdl_simhw

@@ -1,0 +1,1 @@
+lib/toolchain/pipeline.mli: Analysis Diagnostic Format Instantiate Ir Model Xpdl_core Xpdl_microbench Xpdl_repo

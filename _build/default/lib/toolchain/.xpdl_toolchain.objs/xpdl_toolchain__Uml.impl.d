@@ -1,0 +1,1 @@
+lib/toolchain/uml.ml: Buffer Cpp_codegen Fmt List Model Option Schema String Xpdl_core Xpdl_units

@@ -1,0 +1,1 @@
+lib/toolchain/uml.mli: Model Xpdl_core

@@ -1,0 +1,1 @@
+lib/toolchain/xsd.ml: Buffer Cpp_codegen Fmt Hashtbl List Schema Xpdl_core

@@ -1,0 +1,1 @@
+lib/toolchain/xsd.mli:

@@ -1,0 +1,199 @@
+(** Static model analysis (Sec. IV).
+
+    The XPDL processing tool "performs static analysis of the model (for
+    instance, downgrading bandwidth of interconnections where applicable
+    as the effective bandwidth should be determined by the slowest
+    hardware components involved in a communication link)".  This module
+    implements:
+
+    - {!effective_bandwidths}: per-interconnect effective bandwidth =
+      min of its channels' bandwidths and of the memory bandwidths of the
+      endpoint components, annotated back onto the model as an
+      [effective_bandwidth] attribute;
+    - {!path_bandwidth}: min-bandwidth along a multi-hop communication
+      path in the interconnect graph (BFS over head/tail edges);
+    - {!filter_attributes}: the configurable "filter out uninteresting
+      values" stage;
+    - {!connectivity}: reachability report over the interconnect graph
+      (isolated components are suspicious in a platform model). *)
+
+open Xpdl_core
+open Xpdl_units
+
+let quantity_value e key = Option.map Units.value (Model.attr_quantity e key)
+
+(* The memory bandwidth available at an endpoint component: the max of
+   bandwidths of memories inside it (a link cannot stream faster than the
+   fastest memory on that side can source/sink, and the fastest is the
+   natural staging target). *)
+let endpoint_bandwidth (root : Model.element) ident =
+  match Model.find_by_id ident root with
+  | None -> None
+  | Some e ->
+      let bws =
+        List.filter_map (fun m -> quantity_value m "bandwidth")
+          (Model.elements_of_kind Schema.Memory e)
+      in
+      (match bws with [] -> None | l -> Some (List.fold_left Float.max 0. l))
+
+let channel_bandwidths (ic : Model.element) =
+  List.filter_map (fun ch -> quantity_value ch "max_bandwidth")
+    (Model.elements_of_kind Schema.Channel ic)
+
+(** One analyzed link. *)
+type link_report = {
+  lr_ident : string;
+  lr_head : string option;
+  lr_tail : string option;
+  lr_declared : float option;  (** B/s: min over channel max_bandwidths *)
+  lr_effective : float option;  (** B/s after endpoint downgrade *)
+  lr_downgraded : bool;
+}
+
+(** Compute effective bandwidths for every interconnect instance in the
+    composed model and annotate the model. *)
+let effective_bandwidths (root : Model.element) : Model.element * link_report list =
+  let reports = ref [] in
+  let rec rewrite (e : Model.element) : Model.element =
+    let e = { e with children = List.map rewrite e.children } in
+    if (not (Schema.equal_kind e.kind Schema.Interconnect)) || Model.identifier e = None then e
+    else begin
+      let ident = Option.get (Model.identifier e) in
+      let head = Model.attr_string e "head" and tail = Model.attr_string e "tail" in
+      let declared =
+        match channel_bandwidths e @ Option.to_list (quantity_value e "max_bandwidth") with
+        | [] -> None
+        | l -> Some (List.fold_left Float.min Float.infinity l)
+      in
+      let endpoint_bws =
+        List.filter_map (fun ep -> Option.bind ep (endpoint_bandwidth root)) [ head; tail ]
+      in
+      let effective =
+        match (declared, endpoint_bws) with
+        | None, [] -> None
+        | None, l -> Some (List.fold_left Float.min Float.infinity l)
+        | Some d, l -> Some (List.fold_left Float.min d l)
+      in
+      let downgraded =
+        match (declared, effective) with
+        | Some d, Some eff -> eff < d -. 1e-9
+        | _ -> false
+      in
+      reports :=
+        { lr_ident = ident; lr_head = head; lr_tail = tail; lr_declared = declared;
+          lr_effective = effective; lr_downgraded = downgraded }
+        :: !reports;
+      match effective with
+      | None -> e
+      | Some eff ->
+          Model.set_attr e "effective_bandwidth"
+            (Model.Quantity (Units.bytes_per_second eff, "B/s"))
+    end
+  in
+  let rewritten = rewrite root in
+  (rewritten, List.rev !reports)
+
+(** {1 The interconnect graph} *)
+
+type graph = {
+  g_nodes : string list;  (** component identifiers *)
+  g_edges : (string * string * float) list;  (** head, tail, bandwidth B/s; bidirectional *)
+}
+
+let build_graph (root : Model.element) : graph =
+  let _, reports = effective_bandwidths root in
+  let edges =
+    List.filter_map
+      (fun r ->
+        match (r.lr_head, r.lr_tail, r.lr_effective) with
+        | Some h, Some t, Some bw -> Some (h, t, bw)
+        | Some h, Some t, None -> Some (h, t, Float.infinity)
+        | _ -> None)
+      reports
+  in
+  let nodes =
+    List.sort_uniq String.compare (List.concat_map (fun (h, t, _) -> [ h; t ]) edges)
+  in
+  { g_nodes = nodes; g_edges = edges }
+
+(** Maximum-bottleneck bandwidth between two components: the best path's
+    minimum edge bandwidth (widest-path, via iterated relaxation — graphs
+    here are tiny). *)
+let path_bandwidth (g : graph) ~src ~dst : float option =
+  if String.equal src dst then Some Float.infinity
+  else begin
+    let best = Hashtbl.create 16 in
+    Hashtbl.replace best src Float.infinity;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun (h, t, bw) ->
+          let relax a b =
+            match Hashtbl.find_opt best a with
+            | None -> ()
+            | Some wa ->
+                let w = Float.min wa bw in
+                let current = Option.value ~default:0. (Hashtbl.find_opt best b) in
+                if w > current then begin
+                  Hashtbl.replace best b w;
+                  changed := true
+                end
+          in
+          relax h t;
+          relax t h)
+        g.g_edges
+    done;
+    Hashtbl.find_opt best dst
+  end
+
+(** Connected components of the interconnect graph (sorted member lists);
+    more than one component in a single-system model usually indicates a
+    modeling mistake. *)
+let connected_components (g : graph) : string list list =
+  let adj = Hashtbl.create 16 in
+  let add a b =
+    Hashtbl.replace adj a (b :: Option.value ~default:[] (Hashtbl.find_opt adj a))
+  in
+  List.iter
+    (fun (h, t, _) ->
+      add h t;
+      add t h)
+    g.g_edges;
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun n ->
+      if Hashtbl.mem seen n then None
+      else begin
+        let comp = ref [] in
+        let rec dfs x =
+          if not (Hashtbl.mem seen x) then begin
+            Hashtbl.add seen x ();
+            comp := x :: !comp;
+            List.iter dfs (Option.value ~default:[] (Hashtbl.find_opt adj x))
+          end
+        in
+        dfs n;
+        Some (List.sort String.compare !comp)
+      end)
+    g.g_nodes
+
+(** {1 Attribute filtering}
+
+    "filters out uninteresting values ... the filtering rules ... can be
+    tailored": drop the listed attribute names everywhere (e.g. build
+    flags irrelevant at runtime) to shrink the runtime model. *)
+
+(* [path] stays: installed-software paths are runtime-relevant (the
+   conditional-composition constraints read them). *)
+let default_filtered = [ "cflags"; "lflags"; "file" ]
+
+let filter_attributes ?(drop = default_filtered) (root : Model.element) : Model.element =
+  let rec rewrite (e : Model.element) =
+    {
+      e with
+      attrs = List.filter (fun (k, _) -> not (List.mem k drop)) e.attrs;
+      children = List.map rewrite e.children;
+    }
+  in
+  rewrite root

@@ -1,0 +1,41 @@
+(** Static model analysis (Sec. IV): bandwidth downgrading, the
+    interconnect graph, and configurable attribute filtering. *)
+
+open Xpdl_core
+
+type link_report = {
+  lr_ident : string;
+  lr_head : string option;
+  lr_tail : string option;
+  lr_declared : float option;  (** B/s: min over channel max_bandwidths *)
+  lr_effective : float option;  (** B/s after endpoint downgrade *)
+  lr_downgraded : bool;
+}
+
+(** Effective bandwidth per interconnect = min of its channels' and the
+    endpoint components' memory bandwidths ("the effective bandwidth
+    should be determined by the slowest hardware components involved");
+    annotated back onto the model as [effective_bandwidth]. *)
+val effective_bandwidths : Model.element -> Model.element * link_report list
+
+type graph = {
+  g_nodes : string list;  (** component identifiers *)
+  g_edges : (string * string * float) list;  (** head, tail, B/s; bidirectional *)
+}
+
+val build_graph : Model.element -> graph
+
+(** Maximum-bottleneck (widest-path) bandwidth between two components;
+    [None] if disconnected. *)
+val path_bandwidth : graph -> src:string -> dst:string -> float option
+
+(** Connected components (sorted member lists). *)
+val connected_components : graph -> string list list
+
+(** Attributes dropped from the runtime model by default (build flags
+    and source file names; installation [path]s are kept — composition
+    constraints read them). *)
+val default_filtered : string list
+
+(** The configurable "filter out uninteresting values" stage. *)
+val filter_attributes : ?drop:string list -> Model.element -> Model.element

@@ -1,0 +1,19 @@
+(** Generation of the C++ runtime query API from the schema (Sec. IV):
+    one class per element kind with typed getters/setters and navigation,
+    plus the [xpdl_init] entry point — "generated automatically from the
+    central xpdl.xsd schema specification". *)
+
+open Xpdl_core
+
+(** C++ class name for a kind (e.g. [XpdlCpu]). *)
+val class_name : Schema.kind -> string
+
+(** Every concrete kind, in emission order (shared by the UML and XSD
+    generators). *)
+val all_kinds : Schema.kind list
+
+(** Emit the complete generated header. *)
+val generate_header : unit -> string
+
+(** Number of generated getter functions. *)
+val getter_count : unit -> int

@@ -1,0 +1,363 @@
+(** The light-weight runtime model: a flat, indexed intermediate
+    representation of a composed XPDL model, and its on-disk codec.
+
+    The XPDL processing tool "builds a light-weight run-time data
+    structure for the composed model that is finally written into a file";
+    the application loads that file at startup and introspects it through
+    the query API (Sec. IV).  Flattening the element tree into arrays with
+    integer child links and pre-built identifier/kind indexes is what
+    makes runtime queries cheap compared to re-parsing XML — measured in
+    experiment E5.
+
+    The file format is a small versioned binary codec (magic ["XPDLRT"],
+    format version 1): length-prefixed strings, varint-free fixed 64-bit
+    ints, IEEE doubles.  A hand-rolled codec rather than [Marshal] so the
+    format is stable across compiler versions and checkable. *)
+
+open Xpdl_core
+open Xpdl_units
+
+type value =
+  | VStr of string
+  | VInt of int
+  | VFloat of float
+  | VBool of bool
+  | VQty of float * Units.dimension  (** SI-normalized quantity *)
+  | VUnknown  (** an unresolved ["?"] that survived bootstrap *)
+
+let pp_value ppf = function
+  | VStr s -> Fmt.pf ppf "%S" s
+  | VInt i -> Fmt.int ppf i
+  | VFloat f -> Fmt.pf ppf "%g" f
+  | VBool b -> Fmt.bool ppf b
+  | VQty (v, d) -> Fmt.pf ppf "%a" Units.pp (Units.make v d)
+  | VUnknown -> Fmt.string ppf "?"
+
+type node = {
+  n_index : int;  (** position in {!t.nodes} *)
+  n_kind : Schema.kind;
+  n_ident : string option;  (** name or id *)
+  n_type : string option;  (** retained [type] reference *)
+  n_attrs : (string * value) array;
+  n_parent : int;  (** -1 for the root *)
+  n_children : int array;
+  n_path : string;  (** scope path, e.g. ["liu_gpu_server/gpu1/SM0"] *)
+}
+
+type t = {
+  nodes : node array;
+  root : int;
+  by_ident : (string, int list) Hashtbl.t;  (** ident → node indexes *)
+  by_kind : (string, int list) Hashtbl.t;  (** tag → node indexes *)
+}
+
+(** {1 Building from a model} *)
+
+let value_of_attr : Model.attr_value -> value = function
+  | Model.Str s -> VStr s
+  | Model.Int i -> VInt i
+  | Model.Float f -> VFloat f
+  | Model.Bool b -> VBool b
+  | Model.Quantity (q, _) -> VQty (Units.value q, Units.dim q)
+  | Model.Expr (_, src) -> VStr src
+  | Model.Unknown -> VUnknown
+
+(** Flatten a composed model into the runtime representation. *)
+let of_model (root_el : Model.element) : t =
+  let nodes = ref [] in
+  let count = ref 0 in
+  let rec build parent path (e : Model.element) : int =
+    let index = !count in
+    incr count;
+    let ident = Model.identifier e in
+    let path =
+      match ident with
+      | Some i -> if path = "" then i else path ^ "/" ^ i
+      | None -> path
+    in
+    (* reserve the slot; children fill in after *)
+    nodes := (index, e, parent, path, ref []) :: !nodes;
+    let self = List.hd !nodes in
+    let _, _, _, _, kids = self in
+    List.iter (fun c -> kids := build index path c :: !kids) e.children;
+    index
+  in
+  let root_idx = build (-1) "" root_el in
+  let arr = Array.make !count None in
+  List.iter
+    (fun (index, e, parent, path, kids) ->
+      arr.(index) <-
+        Some
+          {
+            n_index = index;
+            n_kind = e.Model.kind;
+            n_ident = Model.identifier e;
+            n_type = e.Model.type_ref;
+            n_attrs =
+              Array.of_list (List.map (fun (k, v) -> (k, value_of_attr v)) e.Model.attrs);
+            n_parent = parent;
+            n_children = Array.of_list (List.rev !kids);
+            n_path = path;
+          })
+    !nodes;
+  let nodes =
+    Array.map (function Some n -> n | None -> assert false) arr
+  in
+  let by_ident = Hashtbl.create (Array.length nodes) in
+  let by_kind = Hashtbl.create 32 in
+  Array.iter
+    (fun n ->
+      (match n.n_ident with
+      | Some i ->
+          Hashtbl.replace by_ident i (n.n_index :: Option.value ~default:[] (Hashtbl.find_opt by_ident i))
+      | None -> ());
+      let tag = Schema.tag_of_kind n.n_kind in
+      Hashtbl.replace by_kind tag (n.n_index :: Option.value ~default:[] (Hashtbl.find_opt by_kind tag)))
+    nodes;
+  (* restore document order in the indexes *)
+  Hashtbl.iter (fun k v -> Hashtbl.replace by_ident k (List.rev v)) by_ident;
+  Hashtbl.iter (fun k v -> Hashtbl.replace by_kind k (List.rev v)) by_kind;
+  { nodes; root = root_idx; by_ident; by_kind }
+
+(** {1 Accessors (used by the query API)} *)
+
+let size t = Array.length t.nodes
+let node t i = t.nodes.(i)
+let root t = t.nodes.(t.root)
+let parent t (n : node) = if n.n_parent < 0 then None else Some t.nodes.(n.n_parent)
+let children t (n : node) = Array.to_list (Array.map (fun i -> t.nodes.(i)) n.n_children)
+
+let attr (n : node) key =
+  let len = Array.length n.n_attrs in
+  let rec scan i =
+    if i >= len then None
+    else
+      let k, v = n.n_attrs.(i) in
+      if String.equal k key then Some v else scan (i + 1)
+  in
+  scan 0
+
+let find_by_ident t ident =
+  match Hashtbl.find_opt t.by_ident ident with
+  | Some (i :: _) -> Some t.nodes.(i)
+  | Some [] | None -> None
+
+let all_by_ident t ident =
+  List.map (fun i -> t.nodes.(i)) (Option.value ~default:[] (Hashtbl.find_opt t.by_ident ident))
+
+let all_of_kind t kind =
+  List.map (fun i -> t.nodes.(i))
+    (Option.value ~default:[] (Hashtbl.find_opt t.by_kind (Schema.tag_of_kind kind)))
+
+(** Depth-first fold over the subtree of [n]. *)
+let rec fold_subtree t f acc (n : node) =
+  let acc = f acc n in
+  Array.fold_left (fun acc i -> fold_subtree t f acc t.nodes.(i)) acc n.n_children
+
+(** {1 Binary codec} *)
+
+let magic = "XPDLRT"
+let format_version = 1
+
+let dim_code = function
+  | Units.Size -> 0
+  | Units.Frequency -> 1
+  | Units.Power -> 2
+  | Units.Energy -> 3
+  | Units.Time -> 4
+  | Units.Bandwidth -> 5
+  | Units.Voltage -> 6
+  | Units.Temperature -> 7
+  | Units.Scalar -> 8
+
+let dim_of_code = function
+  | 0 -> Units.Size
+  | 1 -> Units.Frequency
+  | 2 -> Units.Power
+  | 3 -> Units.Energy
+  | 4 -> Units.Time
+  | 5 -> Units.Bandwidth
+  | 6 -> Units.Voltage
+  | 7 -> Units.Temperature
+  | 8 -> Units.Scalar
+  | n -> Fmt.failwith "Ir: bad dimension code %d" n
+
+let put_int buf i = Buffer.add_int64_le buf (Int64.of_int i)
+let put_float buf f = Buffer.add_int64_le buf (Int64.bits_of_float f)
+
+let put_string buf s =
+  put_int buf (String.length s);
+  Buffer.add_string buf s
+
+let put_opt_string buf = function
+  | None -> put_int buf (-1)
+  | Some s -> put_string buf s
+
+let put_value buf = function
+  | VStr s ->
+      Buffer.add_char buf 'S';
+      put_string buf s
+  | VInt i ->
+      Buffer.add_char buf 'I';
+      put_int buf i
+  | VFloat f ->
+      Buffer.add_char buf 'F';
+      put_float buf f
+  | VBool b -> Buffer.add_char buf (if b then 'T' else 'f')
+  | VQty (v, d) ->
+      Buffer.add_char buf 'Q';
+      put_float buf v;
+      put_int buf (dim_code d)
+  | VUnknown -> Buffer.add_char buf '?'
+
+(** Serialize the runtime model to bytes. *)
+let to_bytes t : string =
+  let buf = Buffer.create (Array.length t.nodes * 64) in
+  Buffer.add_string buf magic;
+  put_int buf format_version;
+  put_int buf (Array.length t.nodes);
+  put_int buf t.root;
+  Array.iter
+    (fun n ->
+      put_string buf (Schema.tag_of_kind n.n_kind);
+      put_opt_string buf n.n_ident;
+      put_opt_string buf n.n_type;
+      put_string buf n.n_path;
+      put_int buf n.n_parent;
+      put_int buf (Array.length n.n_children);
+      Array.iter (put_int buf) n.n_children;
+      put_int buf (Array.length n.n_attrs);
+      Array.iter
+        (fun (k, v) ->
+          put_string buf k;
+          put_value buf v)
+        n.n_attrs)
+    t.nodes;
+  Buffer.contents buf
+
+exception Corrupt of string
+
+type reader = { src : string; mutable off : int }
+
+let need r n =
+  if r.off + n > String.length r.src then raise (Corrupt "truncated runtime model file")
+
+let get_int r =
+  need r 8;
+  let v = Int64.to_int (String.get_int64_le r.src r.off) in
+  r.off <- r.off + 8;
+  v
+
+let get_float r =
+  need r 8;
+  let v = Int64.float_of_bits (String.get_int64_le r.src r.off) in
+  r.off <- r.off + 8;
+  v
+
+let get_string r =
+  let n = get_int r in
+  if n < 0 || n > String.length r.src - r.off then raise (Corrupt "bad string length");
+  let s = String.sub r.src r.off n in
+  r.off <- r.off + n;
+  s
+
+let get_opt_string r =
+  need r 8;
+  let n = Int64.to_int (String.get_int64_le r.src r.off) in
+  if n = -1 then begin
+    r.off <- r.off + 8;
+    None
+  end
+  else Some (get_string r)
+
+let get_value r =
+  need r 1;
+  let tag = r.src.[r.off] in
+  r.off <- r.off + 1;
+  match tag with
+  | 'S' -> VStr (get_string r)
+  | 'I' -> VInt (get_int r)
+  | 'F' -> VFloat (get_float r)
+  | 'T' -> VBool true
+  | 'f' -> VBool false
+  | 'Q' ->
+      let v = get_float r in
+      VQty (v, dim_of_code (get_int r))
+  | '?' -> VUnknown
+  | c -> raise (Corrupt (Fmt.str "bad value tag %C" c))
+
+(** Deserialize; raises {!Corrupt} on malformed input. *)
+let of_bytes (s : string) : t =
+  let r = { src = s; off = 0 } in
+  need r (String.length magic);
+  if not (String.equal (String.sub s 0 (String.length magic)) magic) then
+    raise (Corrupt "bad magic: not a runtime model file");
+  r.off <- String.length magic;
+  let version = get_int r in
+  if version <> format_version then
+    raise (Corrupt (Fmt.str "unsupported format version %d" version));
+  let count = get_int r in
+  if count < 0 then raise (Corrupt "negative node count");
+  let root_idx = get_int r in
+  let nodes =
+    Array.init count (fun index ->
+        let kind = Schema.kind_of_tag (get_string r) in
+        let ident = get_opt_string r in
+        let ty = get_opt_string r in
+        let path = get_string r in
+        let parent = get_int r in
+        let n_children = Array.init (get_int r) (fun _ -> get_int r) in
+        let n_attrs =
+          Array.init (get_int r) (fun _ ->
+              let k = get_string r in
+              (k, get_value r))
+        in
+        {
+          n_index = index;
+          n_kind = kind;
+          n_ident = ident;
+          n_type = ty;
+          n_attrs;
+          n_parent = parent;
+          n_children;
+          n_path = path;
+        })
+  in
+  Array.iter
+    (fun n ->
+      if n.n_parent >= count || n.n_parent < -1 then raise (Corrupt "dangling parent index");
+      Array.iter
+        (fun c -> if c < 0 || c >= count then raise (Corrupt "dangling child index"))
+        n.n_children)
+    nodes;
+  if root_idx < 0 || root_idx >= count then raise (Corrupt "bad root index");
+  let by_ident = Hashtbl.create count in
+  let by_kind = Hashtbl.create 32 in
+  Array.iter
+    (fun n ->
+      (match n.n_ident with
+      | Some i ->
+          Hashtbl.replace by_ident i
+            (n.n_index :: Option.value ~default:[] (Hashtbl.find_opt by_ident i))
+      | None -> ());
+      let tag = Schema.tag_of_kind n.n_kind in
+      Hashtbl.replace by_kind tag
+        (n.n_index :: Option.value ~default:[] (Hashtbl.find_opt by_kind tag)))
+    nodes;
+  (* restore document order *)
+  Hashtbl.iter (fun k v -> Hashtbl.replace by_ident k (List.rev v)) by_ident;
+  Hashtbl.iter (fun k v -> Hashtbl.replace by_kind k (List.rev v)) by_kind;
+  { nodes; root = root_idx; by_ident; by_kind }
+
+(** Write the runtime model file consumed by [xpdl_init]. *)
+let to_file path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_bytes t))
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_bytes (really_input_string ic (in_channel_length ic)))

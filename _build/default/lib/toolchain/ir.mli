@@ -1,0 +1,69 @@
+(** The light-weight runtime model (Sec. IV): a composed XPDL model
+    flattened into arrays with integer child links and pre-built
+    identifier/kind indexes, plus a small versioned binary codec (magic
+    ["XPDLRT"]) for the file loaded by [xpdl_init] at application
+    startup. *)
+
+open Xpdl_core
+
+type value =
+  | VStr of string
+  | VInt of int
+  | VFloat of float
+  | VBool of bool
+  | VQty of float * Xpdl_units.Units.dimension  (** SI-normalized quantity *)
+  | VUnknown  (** an unresolved ["?"] that survived bootstrap *)
+
+val pp_value : Format.formatter -> value -> unit
+
+type node = {
+  n_index : int;  (** position in the node array *)
+  n_kind : Schema.kind;
+  n_ident : string option;  (** name or id *)
+  n_type : string option;  (** retained [type] reference *)
+  n_attrs : (string * value) array;
+  n_parent : int;  (** -1 for the root *)
+  n_children : int array;
+  n_path : string;  (** scope path, e.g. ["liu_gpu_server/gpu1/SMs/SM0"] *)
+}
+
+type t = {
+  nodes : node array;
+  root : int;
+  by_ident : (string, int list) Hashtbl.t;
+  by_kind : (string, int list) Hashtbl.t;
+}
+
+val value_of_attr : Model.attr_value -> value
+
+(** Flatten a composed model into the runtime representation. *)
+val of_model : Model.element -> t
+
+(** {1 Accessors} *)
+
+val size : t -> int
+val node : t -> int -> node
+val root : t -> node
+val parent : t -> node -> node option
+val children : t -> node -> node list
+val attr : node -> string -> value option
+val find_by_ident : t -> string -> node option
+val all_by_ident : t -> string -> node list
+val all_of_kind : t -> Schema.kind -> node list
+val fold_subtree : t -> ('a -> node -> 'a) -> 'a -> node -> 'a
+
+(** {1 Binary codec} *)
+
+val magic : string
+val format_version : int
+
+exception Corrupt of string
+
+val to_bytes : t -> string
+
+(** Deserialize; raises {!Corrupt} on malformed input (bad magic or
+    version, truncation, dangling indexes). *)
+val of_bytes : string -> t
+
+val to_file : string -> t -> unit
+val of_file : string -> t

@@ -1,0 +1,15 @@
+(** A JSON view of composed XPDL models, in the style of HPP-DL (the
+    JSON-based language of the paper's related work, Sec. V): typed
+    attribute values, quantities as [{"value", "unit"}] objects in SI
+    units, ["?"] as [null]. *)
+
+open Xpdl_core
+
+(** Render a model as JSON text ([indent] defaults to pretty). *)
+val to_string : ?indent:bool -> Model.element -> string
+
+exception Invalid_json of string
+
+(** Minimal JSON well-formedness check (for tests and the CLI);
+    raises {!Invalid_json}. *)
+val check : string -> unit

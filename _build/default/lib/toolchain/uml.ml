@@ -1,0 +1,104 @@
+(** The UML view of XPDL models (Sec. III: "XPDL offers multiple views:
+    XML, UML, and C++ ... semantically equivalent, and (basically)
+    convertible to each other").
+
+    Two generators, both emitting PlantUML text:
+
+    - {!metamodel_diagram}: the class diagram of the language itself —
+      one class per {!Xpdl_core.Schema.kind} with its typed attributes
+      and the containment associations (the figure [4] draws from
+      xpdl.xsd);
+    - {!model_diagram}: an object diagram of a concrete composed model
+      (instances with their identities, types and salient attributes),
+      depth-limited so cluster-scale models stay readable. *)
+
+open Xpdl_core
+
+let class_name kind = Cpp_codegen.class_name kind
+
+let attr_type_name = function
+  | Schema.A_string -> "string"
+  | Schema.A_int -> "int"
+  | Schema.A_float -> "float"
+  | Schema.A_bool -> "bool"
+  | Schema.A_ident -> "ref"
+  | Schema.A_quantity d -> Xpdl_units.Units.dimension_name d
+  | Schema.A_enum vs -> "enum{" ^ String.concat "|" vs ^ "}"
+  | Schema.A_expr -> "expr"
+
+(** PlantUML class diagram of the XPDL meta-model. *)
+let metamodel_diagram () : string =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "@startuml\ntitle XPDL core meta-model (generated from the schema)\n";
+  Buffer.add_string buf "abstract class XpdlElement {\n  name : ident\n  id : ident\n  type : ref\n  extends : ref[*]\n}\n";
+  List.iter
+    (fun kind ->
+      Fmt.kstr (Buffer.add_string buf) "class %s {\n" (class_name kind);
+      List.iter
+        (fun (spec : Schema.attr_spec) ->
+          Fmt.kstr (Buffer.add_string buf) "  %s%s : %s\n"
+            (if spec.a_required then "+" else "")
+            spec.a_name (attr_type_name spec.a_type))
+        (Schema.specific_attrs kind);
+      Buffer.add_string buf "}\n";
+      Fmt.kstr (Buffer.add_string buf) "XpdlElement <|-- %s\n" (class_name kind))
+    Cpp_codegen.all_kinds;
+  (* containment associations *)
+  List.iter
+    (fun parent ->
+      List.iter
+        (fun child ->
+          match child with
+          | Schema.Other _ -> ()
+          | _ ->
+              Fmt.kstr (Buffer.add_string buf) "%s *-- \"0..*\" %s\n" (class_name parent)
+                (class_name child))
+        (Schema.allowed_children parent))
+    Cpp_codegen.all_kinds;
+  Buffer.add_string buf "@enduml\n";
+  Buffer.contents buf
+
+let sanitize_id s =
+  String.map (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9') as c -> c | _ -> '_') s
+
+(** PlantUML object diagram of a composed model, cut off at [max_depth]
+    (deep replicated structure is summarized as a count note). *)
+let model_diagram ?(max_depth = 3) (root : Model.element) : string =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "@startuml\n";
+  Fmt.kstr (Buffer.add_string buf) "title %s (object view)\n"
+    (Option.value ~default:"model" (Model.identifier root));
+  let counter = ref 0 in
+  let rec emit depth parent_obj (e : Model.element) =
+    incr counter;
+    let obj = Fmt.str "o%d" !counter in
+    let label =
+      match Model.identifier e with
+      | Some ident -> Fmt.str "%s : %s" (sanitize_id ident) (Schema.tag_of_kind e.Model.kind)
+      | None -> Fmt.str "anon%d : %s" !counter (Schema.tag_of_kind e.Model.kind)
+    in
+    Fmt.kstr (Buffer.add_string buf) "object \"%s\" as %s {\n" label obj;
+    (match e.Model.type_ref with
+    | Some t -> Fmt.kstr (Buffer.add_string buf) "  type = %s\n" t
+    | None -> ());
+    List.iteri
+      (fun i (k, v) ->
+        if i < 4 then
+          Fmt.kstr (Buffer.add_string buf) "  %s = %s\n" k
+            (Fmt.str "%a" Model.pp_attr_value v))
+      e.Model.attrs;
+    Buffer.add_string buf "}\n";
+    (match parent_obj with
+    | Some p -> Fmt.kstr (Buffer.add_string buf) "%s *-- %s\n" p obj
+    | None -> ());
+    if depth < max_depth then List.iter (emit (depth + 1) (Some obj)) e.Model.children
+    else if e.Model.children <> [] then begin
+      incr counter;
+      Fmt.kstr (Buffer.add_string buf) "object \"... %d nested elements\" as o%d\n"
+        (Model.size e - 1) !counter;
+      Fmt.kstr (Buffer.add_string buf) "%s *-- o%d\n" obj !counter
+    end
+  in
+  emit 0 None root;
+  Buffer.add_string buf "@enduml\n";
+  Buffer.contents buf

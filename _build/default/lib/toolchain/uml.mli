@@ -1,0 +1,12 @@
+(** The UML view of XPDL (Sec. III: "XPDL offers multiple views: XML,
+    UML, and C++"), emitted as PlantUML text. *)
+
+open Xpdl_core
+
+(** Class diagram of the language itself: one class per schema kind with
+    its typed attributes and the containment associations. *)
+val metamodel_diagram : unit -> string
+
+(** Object diagram of a concrete composed model, cut off at [max_depth]
+    (deep replicated structure is summarized as a count note). *)
+val model_diagram : ?max_depth:int -> Model.element -> string

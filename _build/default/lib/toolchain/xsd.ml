@@ -1,0 +1,106 @@
+(** Generation of the central [xpdl.xsd] schema document (Sec. IV).
+
+    The paper's query API is "generated automatically from the central
+    xpdl.xsd schema specification ... As the core XPDL schema definition
+    is shared (to be made available for download on our web server), it
+    will be easy to consistently update".  In this implementation the
+    authoritative schema is {!Xpdl_core.Schema} (code); this module emits
+    the equivalent W3C XML Schema document so external XML tooling can
+    validate [.xpdl] files — the downloadable artifact. *)
+
+open Xpdl_core
+
+let xs_type = function
+  | Schema.A_string | Schema.A_ident | Schema.A_expr -> "xs:string"
+  | Schema.A_int -> "xs:integer"
+  | Schema.A_float -> "xs:decimal"
+  | Schema.A_bool -> "xs:boolean"
+  | Schema.A_quantity _ -> "xs:string" (* value + companion unit attribute *)
+  | Schema.A_enum _ -> "" (* inline simpleType below *)
+
+let emit_attribute buf (spec : Schema.attr_spec) =
+  match spec.a_type with
+  | Schema.A_enum values ->
+      Fmt.kstr (Buffer.add_string buf)
+        "      <xs:attribute name=\"%s\"%s>\n\
+        \        <xs:simpleType><xs:restriction base=\"xs:string\">\n" spec.a_name
+        (if spec.a_required then " use=\"required\"" else "");
+      List.iter
+        (fun v ->
+          Fmt.kstr (Buffer.add_string buf) "          <xs:enumeration value=\"%s\"/>\n" v)
+        values;
+      Buffer.add_string buf "        </xs:restriction></xs:simpleType>\n      </xs:attribute>\n"
+  | ty ->
+      Fmt.kstr (Buffer.add_string buf) "      <xs:attribute name=\"%s\" type=\"%s\"%s/>\n"
+        spec.a_name (xs_type ty)
+        (if spec.a_required then " use=\"required\"" else "")
+
+(* Quantity metrics admit a companion unit attribute. *)
+let emit_unit_companions buf kind =
+  List.iter
+    (fun (spec : Schema.attr_spec) ->
+      match spec.a_type with
+      | Schema.A_quantity _ ->
+          let companion =
+            match kind with
+            | Schema.Param | Schema.Const -> "unit"
+            | _ -> if spec.a_name = "size" then "unit" else spec.a_name ^ "_unit"
+          in
+          Fmt.kstr (Buffer.add_string buf)
+            "      <xs:attribute name=\"%s\" type=\"xs:string\"/>\n" companion
+      | _ -> ())
+    (Schema.specific_attrs kind)
+
+(** Emit the full xpdl.xsd document. *)
+let generate () : string =
+  let buf = Buffer.create 16384 in
+  Buffer.add_string buf
+    "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
+     <!-- xpdl.xsd - generated from the core schema by the XPDL toolchain.\n\
+    \     Regenerate with `xpdltool emit-xsd`. -->\n\
+     <xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\" elementFormDefault=\"qualified\">\n";
+  let seen_companion = Hashtbl.create 16 in
+  ignore seen_companion;
+  List.iter
+    (fun kind ->
+      let tag = Schema.tag_of_kind kind in
+      Fmt.kstr (Buffer.add_string buf) "  <xs:element name=\"%s\">\n    <xs:complexType>\n" tag;
+      (* children, any order and number (containment is checked by the
+         elaborator with positions; XSD gives coarse structure) *)
+      let children =
+        List.filter (function Schema.Other _ -> false | _ -> true)
+          (Schema.allowed_children kind)
+      in
+      if children <> [] then begin
+        Buffer.add_string buf
+          "      <xs:choice minOccurs=\"0\" maxOccurs=\"unbounded\">\n";
+        List.iter
+          (fun c ->
+            Fmt.kstr (Buffer.add_string buf) "        <xs:element ref=\"%s\"/>\n"
+              (Schema.tag_of_kind c))
+          (List.sort_uniq compare children);
+        Buffer.add_string buf "      </xs:choice>\n"
+      end;
+      (* common structural attributes *)
+      List.iter
+        (fun n ->
+          Fmt.kstr (Buffer.add_string buf)
+            "      <xs:attribute name=\"%s\" type=\"xs:string\"/>\n" n)
+        [ "name"; "id"; "type"; "extends" ];
+      List.iter (emit_attribute buf)
+        (List.filter
+           (fun (s : Schema.attr_spec) -> not (List.mem s.a_name [ "name"; "id"; "type"; "extends" ]))
+           (Schema.specific_attrs kind
+           @ List.filter
+               (fun (s : Schema.attr_spec) -> s.a_name = "role")
+               Schema.common_attrs));
+      emit_unit_companions buf kind;
+      (* the extensibility escape hatch *)
+      Buffer.add_string buf "      <xs:anyAttribute processContents=\"lax\"/>\n";
+      Buffer.add_string buf "    </xs:complexType>\n  </xs:element>\n")
+    Cpp_codegen.all_kinds;
+  Buffer.add_string buf "</xs:schema>\n";
+  Buffer.contents buf
+
+(** Number of element declarations emitted (for reporting). *)
+let element_count () = List.length Cpp_codegen.all_kinds

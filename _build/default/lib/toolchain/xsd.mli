@@ -1,0 +1,10 @@
+(** Generation of the central [xpdl.xsd] W3C XML Schema document from
+    {!Xpdl_core.Schema} — the downloadable shared schema of Sec. IV.
+    The output is well-formed XML (tested) with one element declaration
+    per kind, enumerations as restrictions, unit-companion attributes,
+    and [xs:anyAttribute] as the extensibility escape hatch. *)
+
+val generate : unit -> string
+
+(** Number of element declarations emitted. *)
+val element_count : unit -> int

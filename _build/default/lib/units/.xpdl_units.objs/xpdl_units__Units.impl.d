@@ -1,0 +1,1 @@
+lib/units/units.ml: Float Fmt Option String

@@ -1,0 +1,1 @@
+lib/units/units.mli: Format

@@ -1,0 +1,252 @@
+(** Physical quantities with units, as used in XPDL attributes.
+
+    XPDL attaches a unit to every metric attribute in [metric_unit] form
+    (e.g. [static_power="4" static_power_unit="W"]; the unit for [size] is
+    the bare attribute [unit]).  This module parses those unit strings,
+    normalizes values to SI base units, converts between units and checks
+    dimensions in arithmetic.
+
+    Base units per dimension: size → bytes; frequency → Hz; power → W;
+    energy → J; time → s; bandwidth → bytes/s; voltage → V;
+    temperature → K. *)
+
+type dimension =
+  | Size
+  | Frequency
+  | Power
+  | Energy
+  | Time
+  | Bandwidth
+  | Voltage
+  | Temperature
+  | Scalar  (** dimensionless *)
+
+let dimension_name = function
+  | Size -> "size"
+  | Frequency -> "frequency"
+  | Power -> "power"
+  | Energy -> "energy"
+  | Time -> "time"
+  | Bandwidth -> "bandwidth"
+  | Voltage -> "voltage"
+  | Temperature -> "temperature"
+  | Scalar -> "scalar"
+
+let pp_dimension ppf d = Fmt.string ppf (dimension_name d)
+
+(** A quantity: a value normalized to the base unit of its dimension. *)
+type t = { value : float; dim : dimension }
+
+exception Unit_error of string
+
+let error fmt = Fmt.kstr (fun m -> raise (Unit_error m)) fmt
+
+(* Table of recognized unit spellings: (spelling, dimension, factor to base).
+   Size units follow IEC (KiB = 2^10) vs SI (kB = 10^3) conventions; the
+   paper mixes "KB"/"kB" freely, which historically mean 1024 in datasheet
+   context, so KB/kB are binary here (and kiB etc. obviously too), while
+   MB/GB follow the same datasheet convention. *)
+let table : (string * dimension * float) list =
+  let kib = 1024. in
+  let mib = kib *. 1024. in
+  let gib = mib *. 1024. in
+  let tib = gib *. 1024. in
+  [
+    (* sizes *)
+    ("B", Size, 1.);
+    ("byte", Size, 1.);
+    ("bytes", Size, 1.);
+    ("kB", Size, kib);
+    ("KB", Size, kib);
+    ("KiB", Size, kib);
+    ("kiB", Size, kib);
+    ("MB", Size, mib);
+    ("MiB", Size, mib);
+    ("GB", Size, gib);
+    ("GiB", Size, gib);
+    ("TB", Size, tib);
+    ("TiB", Size, tib);
+    (* frequency *)
+    ("Hz", Frequency, 1.);
+    ("kHz", Frequency, 1e3);
+    ("KHz", Frequency, 1e3);
+    ("MHz", Frequency, 1e6);
+    ("GHz", Frequency, 1e9);
+    (* power *)
+    ("W", Power, 1.);
+    ("mW", Power, 1e-3);
+    ("uW", Power, 1e-6);
+    ("kW", Power, 1e3);
+    (* energy *)
+    ("J", Energy, 1.);
+    ("mJ", Energy, 1e-3);
+    ("uJ", Energy, 1e-6);
+    ("nJ", Energy, 1e-9);
+    ("pJ", Energy, 1e-12);
+    ("kJ", Energy, 1e3);
+    ("Wh", Energy, 3600.);
+    ("kWh", Energy, 3.6e6);
+    (* time *)
+    ("s", Time, 1.);
+    ("sec", Time, 1.);
+    ("ms", Time, 1e-3);
+    ("us", Time, 1e-6);
+    ("ns", Time, 1e-9);
+    ("ps", Time, 1e-12);
+    ("min", Time, 60.);
+    ("h", Time, 3600.);
+    (* bandwidth *)
+    ("B/s", Bandwidth, 1.);
+    ("kB/s", Bandwidth, kib);
+    ("KB/s", Bandwidth, kib);
+    ("KiB/s", Bandwidth, kib);
+    ("MB/s", Bandwidth, mib);
+    ("MiB/s", Bandwidth, mib);
+    ("GB/s", Bandwidth, gib);
+    ("GiB/s", Bandwidth, gib);
+    ("TB/s", Bandwidth, tib);
+    (* voltage *)
+    ("V", Voltage, 1.);
+    ("mV", Voltage, 1e-3);
+    (* temperature *)
+    ("K", Temperature, 1.);
+    (* scalar *)
+    ("", Scalar, 1.);
+  ]
+
+(** [lookup_unit u] is the dimension and base-unit factor of spelling [u]. *)
+let lookup_unit u =
+  let rec find = function
+    | [] -> None
+    | (spell, dim, f) :: rest -> if String.equal spell u then Some (dim, f) else find rest
+  in
+  find table
+
+let lookup_unit_exn u =
+  match lookup_unit u with
+  | Some x -> x
+  | None -> error "unknown unit %S" u
+
+(** [is_known_unit u] is true if [u] is a recognized unit spelling. *)
+let is_known_unit u = Option.is_some (lookup_unit u)
+
+(** {1 Construction} *)
+
+let make value dim = { value; dim }
+let scalar v = { value = v; dim = Scalar }
+let bytes v = { value = v; dim = Size }
+let hertz v = { value = v; dim = Frequency }
+let watts v = { value = v; dim = Power }
+let joules v = { value = v; dim = Energy }
+let seconds v = { value = v; dim = Time }
+let bytes_per_second v = { value = v; dim = Bandwidth }
+
+(** [of_value v unit] interprets numeric [v] in unit [unit]. *)
+let of_value v u =
+  let dim, f = lookup_unit_exn u in
+  { value = v *. f; dim }
+
+(** [of_string s unit] parses the numeric string [s] with unit [unit].
+    Raises {!Unit_error} on a malformed number or unknown unit. *)
+let of_string s u =
+  match float_of_string_opt (String.trim s) with
+  | Some v -> of_value v u
+  | None -> error "malformed numeric value %S" s
+
+let of_string_opt s u =
+  match of_string s u with q -> Some q | exception Unit_error _ -> None
+
+(** {1 Observation} *)
+
+let value t = t.value
+let dim t = t.dim
+
+(** [to_unit t u] converts [t] to unit [u]; dimensions must agree. *)
+let to_unit t u =
+  let dim, f = lookup_unit_exn u in
+  if dim <> t.dim then
+    error "cannot express %s quantity in unit %S (%s)" (dimension_name t.dim) u
+      (dimension_name dim);
+  t.value /. f
+
+(** {1 Arithmetic (dimension-checked)} *)
+
+let require_same op a b =
+  if a.dim <> b.dim then
+    error "%s: dimension mismatch (%s vs %s)" op (dimension_name a.dim) (dimension_name b.dim)
+
+let add a b =
+  require_same "add" a b;
+  { a with value = a.value +. b.value }
+
+let sub a b =
+  require_same "sub" a b;
+  { a with value = a.value -. b.value }
+
+let scale k t = { t with value = k *. t.value }
+
+let neg t = { t with value = -.t.value }
+
+(** Dimensionless ratio of two same-dimension quantities. *)
+let ratio a b =
+  require_same "ratio" a b;
+  a.value /. b.value
+
+let compare a b =
+  require_same "compare" a b;
+  Float.compare a.value b.value
+
+let equal ?(eps = 1e-9) a b =
+  a.dim = b.dim && Float.abs (a.value -. b.value) <= eps *. Float.max 1.0 (Float.abs a.value)
+
+(* Structured products/quotients that arise in energy modeling. *)
+
+(** energy = power × time *)
+let energy_of_power_time p t =
+  if p.dim <> Power || t.dim <> Time then error "energy_of_power_time: need power × time";
+  { value = p.value *. t.value; dim = Energy }
+
+(** power = energy ÷ time *)
+let power_of_energy_time e t =
+  if e.dim <> Energy || t.dim <> Time then error "power_of_energy_time: need energy ÷ time";
+  { value = e.value /. t.value; dim = Power }
+
+(** time = size ÷ bandwidth *)
+let time_of_size_bandwidth s bw =
+  if s.dim <> Size || bw.dim <> Bandwidth then error "time_of_size_bandwidth: need size ÷ bandwidth";
+  { value = s.value /. bw.value; dim = Time }
+
+(** time = cycles ÷ frequency *)
+let time_of_cycles_frequency cycles f =
+  if f.dim <> Frequency then error "time_of_cycles_frequency: need scalar ÷ frequency";
+  { value = cycles /. f.value; dim = Time }
+
+(** {1 Printing} *)
+
+(* Preferred display units per dimension, largest first. *)
+let display_units = function
+  | Size -> [ ("TiB", 1024. ** 4.); ("GiB", 1024. ** 3.); ("MiB", 1024. ** 2.); ("KiB", 1024.); ("B", 1.) ]
+  | Frequency -> [ ("GHz", 1e9); ("MHz", 1e6); ("kHz", 1e3); ("Hz", 1.) ]
+  | Power -> [ ("kW", 1e3); ("W", 1.); ("mW", 1e-3); ("uW", 1e-6) ]
+  | Energy -> [ ("kJ", 1e3); ("J", 1.); ("mJ", 1e-3); ("uJ", 1e-6); ("nJ", 1e-9); ("pJ", 1e-12) ]
+  | Time -> [ ("s", 1.); ("ms", 1e-3); ("us", 1e-6); ("ns", 1e-9); ("ps", 1e-12) ]
+  | Bandwidth -> [ ("GiB/s", 1024. ** 3.); ("MiB/s", 1024. ** 2.); ("KiB/s", 1024.); ("B/s", 1.) ]
+  | Voltage -> [ ("V", 1.); ("mV", 1e-3) ]
+  | Temperature -> [ ("K", 1.) ]
+  | Scalar -> [ ("", 1.) ]
+
+(** Human-friendly printer: picks the largest unit in which the magnitude
+    is at least 1 (or the smallest available). *)
+let pp ppf t =
+  let abs = Float.abs t.value in
+  let units = display_units t.dim in
+  let rec choose = function
+    | [] -> ("", 1.)
+    | [ last ] -> last
+    | (u, f) :: rest -> if abs >= f then (u, f) else choose rest
+  in
+  let u, f = choose units in
+  if String.equal u "" then Fmt.pf ppf "%g" t.value
+  else Fmt.pf ppf "%g %s" (t.value /. f) u
+
+let to_string t = Fmt.str "%a" pp t

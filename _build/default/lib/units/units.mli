@@ -1,0 +1,107 @@
+(** Physical quantities with units, as used in XPDL attributes.
+
+    XPDL attaches a unit to every metric attribute in [metric_unit] form
+    (e.g. [static_power="4" static_power_unit="W"]; the unit for [size]
+    is the bare attribute [unit]).  This module parses those unit
+    strings, normalizes values to SI base units, converts between units
+    and checks dimensions in arithmetic.
+
+    Base units per dimension: size → bytes; frequency → Hz; power → W;
+    energy → J; time → s; bandwidth → bytes/s; voltage → V;
+    temperature → K. *)
+
+type dimension =
+  | Size
+  | Frequency
+  | Power
+  | Energy
+  | Time
+  | Bandwidth
+  | Voltage
+  | Temperature
+  | Scalar  (** dimensionless *)
+
+val dimension_name : dimension -> string
+val pp_dimension : Format.formatter -> dimension -> unit
+
+(** A quantity: a value normalized to the base unit of its dimension. *)
+type t
+
+exception Unit_error of string
+
+(** [lookup_unit u] is the dimension and base-unit factor of spelling [u],
+    if recognized. *)
+val lookup_unit : string -> (dimension * float) option
+
+val lookup_unit_exn : string -> dimension * float
+
+(** [is_known_unit u] is true if [u] is a recognized unit spelling. *)
+val is_known_unit : string -> bool
+
+(** {1 Construction} *)
+
+val make : float -> dimension -> t
+val scalar : float -> t
+val bytes : float -> t
+val hertz : float -> t
+val watts : float -> t
+val joules : float -> t
+val seconds : float -> t
+val bytes_per_second : float -> t
+
+(** [of_value v unit] interprets numeric [v] in unit [unit].
+    Raises {!Unit_error} on an unknown unit. *)
+val of_value : float -> string -> t
+
+(** [of_string s unit] parses the numeric string [s] with unit [unit].
+    Raises {!Unit_error} on a malformed number or unknown unit. *)
+val of_string : string -> string -> t
+
+val of_string_opt : string -> string -> t option
+
+(** {1 Observation} *)
+
+(** The value in the dimension's SI base unit. *)
+val value : t -> float
+
+val dim : t -> dimension
+
+(** [to_unit t u] converts [t] to unit [u]; raises {!Unit_error} unless
+    the dimensions agree. *)
+val to_unit : t -> string -> float
+
+(** {1 Arithmetic (dimension-checked; {!Unit_error} on mismatch)} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val neg : t -> t
+
+(** Dimensionless ratio of two same-dimension quantities. *)
+val ratio : t -> t -> float
+
+val compare : t -> t -> int
+
+(** Relative-tolerance equality ([eps] defaults to [1e-9]); quantities of
+    different dimensions are never equal. *)
+val equal : ?eps:float -> t -> t -> bool
+
+(** energy = power × time *)
+val energy_of_power_time : t -> t -> t
+
+(** power = energy ÷ time *)
+val power_of_energy_time : t -> t -> t
+
+(** time = size ÷ bandwidth *)
+val time_of_size_bandwidth : t -> t -> t
+
+(** time = cycles ÷ frequency *)
+val time_of_cycles_frequency : float -> t -> t
+
+(** {1 Printing} *)
+
+(** Human-friendly printer: picks the largest display unit in which the
+    magnitude is at least 1. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

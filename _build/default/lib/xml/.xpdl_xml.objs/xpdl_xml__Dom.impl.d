@@ -1,0 +1,1 @@
+lib/xml/dom.ml: Buffer Fmt List Option String

@@ -1,0 +1,1 @@
+lib/xml/path.ml: Char Dom Fmt List Option String

@@ -1,0 +1,1 @@
+lib/xml/print.ml: Buffer Dom Fmt Fun List String

@@ -1,0 +1,163 @@
+(** DOM-lite document tree for the XML 1.0 subset used by XPDL.
+
+    XPDL descriptors are plain element/attribute documents; this module is
+    the in-memory representation shared by the parser, the printer and the
+    XPDL elaborator.  Nodes carry source positions so that every later
+    stage (validation, elaboration, constraint checking) can report errors
+    pointing back into the [.xpdl] file. *)
+
+type position = {
+  file : string;  (** source file name, or ["<string>"] for inline input *)
+  line : int;  (** 1-based line *)
+  column : int;  (** 1-based column *)
+}
+
+let no_position = { file = "<none>"; line = 0; column = 0 }
+
+let pp_position ppf p =
+  if p.line = 0 then Fmt.string ppf p.file
+  else Fmt.pf ppf "%s:%d:%d" p.file p.line p.column
+
+(** An attribute is a [name="value"] pair, value fully entity-decoded. *)
+type attribute = { attr_name : string; attr_value : string; attr_pos : position }
+
+type node =
+  | Element of element
+  | Text of string * position  (** character data, entity-decoded *)
+  | Cdata of string * position  (** CDATA section contents, verbatim *)
+  | Comment of string * position
+
+and element = {
+  tag : string;
+  attrs : attribute list;  (** in document order *)
+  children : node list;  (** in document order *)
+  pos : position;
+}
+
+(** {1 Constructors} *)
+
+let element ?(pos = no_position) ?(attrs = []) ?(children = []) tag =
+  { tag; attrs; children; pos }
+
+let attr ?(pos = no_position) name value =
+  { attr_name = name; attr_value = value; attr_pos = pos }
+
+let text ?(pos = no_position) s = Text (s, pos)
+
+(** {1 Accessors} *)
+
+(** [attribute e name] is the value of attribute [name] on [e], if any. *)
+let attribute e name =
+  let rec find = function
+    | [] -> None
+    | a :: rest -> if String.equal a.attr_name name then Some a.attr_value else find rest
+  in
+  find e.attrs
+
+let attribute_exn e name =
+  match attribute e name with
+  | Some v -> v
+  | None ->
+      Fmt.invalid_arg "Dom.attribute_exn: element <%s> at %a has no attribute %S" e.tag
+        pp_position e.pos name
+
+let has_attribute e name = Option.is_some (attribute e name)
+
+(** [set_attribute e name value] returns [e] with [name] bound to [value],
+    replacing an existing binding in place or appending a new one. *)
+let set_attribute e name value =
+  let replaced = ref false in
+  let attrs =
+    List.map
+      (fun a ->
+        if String.equal a.attr_name name then begin
+          replaced := true;
+          { a with attr_value = value }
+        end
+        else a)
+      e.attrs
+  in
+  if !replaced then { e with attrs }
+  else { e with attrs = e.attrs @ [ attr name value ] }
+
+let remove_attribute e name =
+  { e with attrs = List.filter (fun a -> not (String.equal a.attr_name name)) e.attrs }
+
+(** Child elements, in document order, ignoring text/comments. *)
+let child_elements e =
+  List.filter_map (function Element el -> Some el | Text _ | Cdata _ | Comment _ -> None)
+    e.children
+
+(** Child elements with the given tag. *)
+let children_named e tag_name =
+  List.filter (fun el -> String.equal el.tag tag_name) (child_elements e)
+
+(** First child element with the given tag, if any. *)
+let child_named e tag_name =
+  let rec find = function
+    | [] -> None
+    | el :: rest -> if String.equal el.tag tag_name then Some el else find rest
+  in
+  find (child_elements e)
+
+(** Concatenated text content of the element (direct text/CDATA children). *)
+let text_content e =
+  let buf = Buffer.create 16 in
+  List.iter
+    (function
+      | Text (s, _) | Cdata (s, _) -> Buffer.add_string buf s
+      | Element _ | Comment _ -> ())
+    e.children;
+  Buffer.contents buf
+
+(** Depth-first fold over an element and all its descendant elements. *)
+let rec fold_elements f acc e =
+  let acc = f acc e in
+  List.fold_left
+    (fun acc -> function Element el -> fold_elements f acc el | _ -> acc)
+    acc e.children
+
+let iter_elements f e = fold_elements (fun () el -> f el) () e
+
+(** Number of elements in the subtree rooted at [e], including [e]. *)
+let element_count e = fold_elements (fun n _ -> n + 1) 0 e
+
+(** [find_element p e] is the first element in document order (depth-first,
+    [e] included) satisfying [p]. *)
+let find_element p e =
+  let exception Found of element in
+  try
+    iter_elements (fun el -> if p el then raise (Found el)) e;
+    None
+  with Found el -> Some el
+
+(** All elements in the subtree satisfying [p], in document order. *)
+let filter_elements p e =
+  List.rev (fold_elements (fun acc el -> if p el then el :: acc else acc) [] e)
+
+(** {1 Structural equality ignoring positions and comments} *)
+
+let rec equal_element a b =
+  String.equal a.tag b.tag
+  && List.length a.attrs = List.length b.attrs
+  && List.for_all2
+       (fun x y -> String.equal x.attr_name y.attr_name && String.equal x.attr_value y.attr_value)
+       a.attrs b.attrs
+  &&
+  let significant ns =
+    List.filter_map
+      (function
+        | Element el -> Some (`E el)
+        | Text (s, _) | Cdata (s, _) -> if String.trim s = "" then None else Some (`T (String.trim s))
+        | Comment _ -> None)
+      ns
+  in
+  let ca = significant a.children and cb = significant b.children in
+  List.length ca = List.length cb
+  && List.for_all2
+       (fun x y ->
+         match (x, y) with
+         | `E ea, `E eb -> equal_element ea eb
+         | `T ta, `T tb -> String.equal ta tb
+         | `E _, `T _ | `T _, `E _ -> false)
+       ca cb

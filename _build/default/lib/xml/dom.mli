@@ -1,0 +1,81 @@
+(** DOM-lite document tree for the XML 1.0 subset used by XPDL.
+
+    Nodes carry source positions so later stages (validation,
+    elaboration, constraint checking) can report errors pointing back
+    into the [.xpdl] file. *)
+
+type position = {
+  file : string;  (** source file name, or ["<string>"] for inline input *)
+  line : int;  (** 1-based line *)
+  column : int;  (** 1-based column *)
+}
+
+val no_position : position
+val pp_position : Format.formatter -> position -> unit
+
+(** An attribute is a [name="value"] pair, value fully entity-decoded. *)
+type attribute = { attr_name : string; attr_value : string; attr_pos : position }
+
+type node =
+  | Element of element
+  | Text of string * position  (** character data, entity-decoded *)
+  | Cdata of string * position  (** CDATA section contents, verbatim *)
+  | Comment of string * position
+
+and element = {
+  tag : string;
+  attrs : attribute list;  (** in document order *)
+  children : node list;  (** in document order *)
+  pos : position;
+}
+
+(** {1 Constructors} *)
+
+val element :
+  ?pos:position -> ?attrs:attribute list -> ?children:node list -> string -> element
+
+val attr : ?pos:position -> string -> string -> attribute
+val text : ?pos:position -> string -> node
+
+(** {1 Accessors} *)
+
+val attribute : element -> string -> string option
+
+(** Raises [Invalid_argument] with the element position on a missing
+    attribute. *)
+val attribute_exn : element -> string -> string
+
+val has_attribute : element -> string -> bool
+
+(** [set_attribute e name value] replaces an existing binding in place or
+    appends a new one. *)
+val set_attribute : element -> string -> string -> element
+
+val remove_attribute : element -> string -> element
+
+(** Child elements, in document order, ignoring text/comments. *)
+val child_elements : element -> element list
+
+val children_named : element -> string -> element list
+val child_named : element -> string -> element option
+
+(** Concatenated text of the direct text/CDATA children. *)
+val text_content : element -> string
+
+(** Depth-first fold over an element and all its descendant elements. *)
+val fold_elements : ('a -> element -> 'a) -> 'a -> element -> 'a
+
+val iter_elements : (element -> unit) -> element -> unit
+
+(** Number of elements in the subtree, including the root. *)
+val element_count : element -> int
+
+(** First element in document order (depth-first, root included)
+    satisfying the predicate. *)
+val find_element : (element -> bool) -> element -> element option
+
+val filter_elements : (element -> bool) -> element -> element list
+
+(** Structural equality ignoring positions, comments and insignificant
+    whitespace. *)
+val equal_element : element -> element -> bool

@@ -1,0 +1,404 @@
+(** Recursive-descent parser for the XML 1.0 subset used by XPDL.
+
+    Supported: prolog ([<?xml ...?>] and other processing instructions),
+    comments, elements with attributes, character data with the five
+    predefined entities plus numeric character references, and CDATA
+    sections.  Not supported (not used by XPDL): DTDs, namespaces beyond
+    plain colon-in-name, parameter entities.
+
+    A [lenient] mode additionally accepts unquoted attribute values
+    ([quantity=2]), which appear in the paper's listings (Listing 1). *)
+
+exception Parse_error of Dom.position * string
+
+type state = {
+  src : string;
+  file : string;
+  lenient : bool;
+  mutable off : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of beginning of current line *)
+}
+
+let position st = { Dom.file = st.file; line = st.line; column = st.off - st.bol + 1 }
+
+let error st fmt =
+  Fmt.kstr (fun msg -> raise (Parse_error (position st, msg))) fmt
+
+let eof st = st.off >= String.length st.src
+let peek st = if eof st then '\000' else st.src.[st.off]
+let peek2 st = if st.off + 1 >= String.length st.src then '\000' else st.src.[st.off + 1]
+
+let advance st =
+  (if not (eof st) then
+     let c = st.src.[st.off] in
+     st.off <- st.off + 1;
+     if Char.equal c '\n' then begin
+       st.line <- st.line + 1;
+       st.bol <- st.off
+     end)
+
+let next st =
+  let c = peek st in
+  advance st;
+  c
+
+let expect st c =
+  let got = peek st in
+  if Char.equal got c then advance st
+  else if eof st then error st "unexpected end of input, expected %C" c
+  else error st "expected %C but found %C" c got
+
+let expect_string st s =
+  String.iter (fun c -> expect st c) s
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | _ -> false
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' | '-' | '.' -> true
+  | _ -> false
+
+let skip_space st = while (not (eof st)) && is_space (peek st) do advance st done
+
+let parse_name st =
+  if not (is_name_start (peek st)) then error st "expected a name, found %C" (peek st);
+  let start = st.off in
+  while (not (eof st)) && is_name_char (peek st) do advance st done;
+  String.sub st.src start (st.off - start)
+
+(* Decode one entity reference; the leading '&' has been consumed. *)
+let parse_entity st =
+  let start_pos = position st in
+  let start = st.off in
+  let rec scan () =
+    if eof st then raise (Parse_error (start_pos, "unterminated entity reference"))
+    else if Char.equal (peek st) ';' then begin
+      let name = String.sub st.src start (st.off - start) in
+      advance st;
+      name
+    end
+    else if st.off - start > 10 then raise (Parse_error (start_pos, "entity reference too long"))
+    else begin
+      advance st;
+      scan ()
+    end
+  in
+  let name = scan () in
+  match name with
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "amp" -> "&"
+  | "quot" -> "\""
+  | "apos" -> "'"
+  | _ ->
+      if String.length name > 1 && Char.equal name.[0] '#' then begin
+        let code =
+          try
+            if Char.equal name.[1] 'x' || Char.equal name.[1] 'X' then
+              int_of_string ("0x" ^ String.sub name 2 (String.length name - 2))
+            else int_of_string (String.sub name 1 (String.length name - 1))
+          with _ -> raise (Parse_error (start_pos, "malformed character reference &" ^ name ^ ";"))
+        in
+        if code < 0 || code > 0x10FFFF then
+          raise (Parse_error (start_pos, "character reference out of range"));
+        (* UTF-8 encode. *)
+        let b = Buffer.create 4 in
+        if code < 0x80 then Buffer.add_char b (Char.chr code)
+        else if code < 0x800 then begin
+          Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+          Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else if code < 0x10000 then begin
+          Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+          Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else begin
+          Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+          Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+          Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+        end;
+        Buffer.contents b
+      end
+      else raise (Parse_error (start_pos, "unknown entity &" ^ name ^ ";"))
+
+let parse_attr_value st =
+  let quote = peek st in
+  if Char.equal quote '"' || Char.equal quote '\'' then begin
+    advance st;
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if eof st then error st "unterminated attribute value"
+      else
+        let c = next st in
+        if Char.equal c quote then ()
+        else if Char.equal c '&' then begin
+          Buffer.add_string buf (parse_entity st);
+          loop ()
+        end
+        else if Char.equal c '<' then error st "'<' not allowed in attribute value"
+        else begin
+          Buffer.add_char buf c;
+          loop ()
+        end
+    in
+    loop ();
+    Buffer.contents buf
+  end
+  else if st.lenient then begin
+    (* Unquoted value: run of characters up to whitespace, '>', or '/'. *)
+    let start = st.off in
+    while
+      (not (eof st))
+      && (not (is_space (peek st)))
+      && (not (Char.equal (peek st) '>'))
+      && not (Char.equal (peek st) '/' && Char.equal (peek2 st) '>')
+    do
+      advance st
+    done;
+    if st.off = start then error st "empty unquoted attribute value";
+    String.sub st.src start (st.off - start)
+  end
+  else error st "attribute value must be quoted"
+
+let parse_attributes st =
+  let rec loop acc =
+    skip_space st;
+    if is_name_start (peek st) then begin
+      let pos = position st in
+      let name = parse_name st in
+      skip_space st;
+      expect st '=';
+      skip_space st;
+      let value = parse_attr_value st in
+      if List.exists (fun a -> String.equal a.Dom.attr_name name) acc then
+        error st "duplicate attribute %S" name;
+      loop ({ Dom.attr_name = name; attr_value = value; attr_pos = pos } :: acc)
+    end
+    else List.rev acc
+  in
+  loop []
+
+let parse_comment st =
+  (* '<!--' consumed *)
+  let pos = position st in
+  let start = st.off in
+  let rec loop () =
+    if eof st then raise (Parse_error (pos, "unterminated comment"))
+    else if Char.equal (peek st) '-' && Char.equal (peek2 st) '-' then begin
+      let body = String.sub st.src start (st.off - start) in
+      advance st;
+      advance st;
+      expect st '>';
+      body
+    end
+    else begin
+      advance st;
+      loop ()
+    end
+  in
+  (loop (), pos)
+
+let parse_cdata st =
+  (* '<![CDATA[' consumed *)
+  let pos = position st in
+  let start = st.off in
+  let rec loop () =
+    if eof st then raise (Parse_error (pos, "unterminated CDATA section"))
+    else if
+      Char.equal (peek st) ']' && Char.equal (peek2 st) ']'
+      && st.off + 2 < String.length st.src
+      && Char.equal st.src.[st.off + 2] '>'
+    then begin
+      let body = String.sub st.src start (st.off - start) in
+      advance st;
+      advance st;
+      advance st;
+      body
+    end
+    else begin
+      advance st;
+      loop ()
+    end
+  in
+  (loop (), pos)
+
+(* Skip '<?...?>' (already consumed '<?'). *)
+let skip_pi st =
+  let pos = position st in
+  let rec loop () =
+    if eof st then raise (Parse_error (pos, "unterminated processing instruction"))
+    else if Char.equal (peek st) '?' && Char.equal (peek2 st) '>' then begin
+      advance st;
+      advance st
+    end
+    else begin
+      advance st;
+      loop ()
+    end
+  in
+  loop ()
+
+(* Skip '<!DOCTYPE ...>' including bracketed internal subset. *)
+let skip_doctype st =
+  let pos = position st in
+  let depth = ref 0 in
+  let rec loop () =
+    if eof st then raise (Parse_error (pos, "unterminated DOCTYPE"))
+    else
+      match next st with
+      | '[' ->
+          incr depth;
+          loop ()
+      | ']' ->
+          decr depth;
+          loop ()
+      | '>' -> if !depth > 0 then loop ()
+      | _ -> loop ()
+  in
+  loop ()
+
+let parse_text st =
+  let pos = position st in
+  let buf = Buffer.create 32 in
+  let rec loop () =
+    if eof st || Char.equal (peek st) '<' then ()
+    else
+      let c = next st in
+      if Char.equal c '&' then begin
+        Buffer.add_string buf (parse_entity st);
+        loop ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        loop ()
+      end
+  in
+  loop ();
+  (Buffer.contents buf, pos)
+
+let rec parse_element st =
+  (* '<' consumed, name starts here *)
+  let pos = position st in
+  let tag = parse_name st in
+  let attrs = parse_attributes st in
+  skip_space st;
+  if Char.equal (peek st) '/' then begin
+    advance st;
+    expect st '>';
+    { Dom.tag; attrs; children = []; pos }
+  end
+  else begin
+    expect st '>';
+    let children = parse_content st tag in
+    { Dom.tag; attrs; children; pos }
+  end
+
+and parse_content st parent_tag =
+  let rec loop acc =
+    if eof st then error st "unterminated element <%s>" parent_tag
+    else if Char.equal (peek st) '<' then begin
+      advance st;
+      match peek st with
+      | '/' ->
+          advance st;
+          let close = parse_name st in
+          skip_space st;
+          expect st '>';
+          if not (String.equal close parent_tag) then
+            error st "mismatched closing tag </%s>, expected </%s>" close parent_tag;
+          List.rev acc
+      | '!' ->
+          advance st;
+          if Char.equal (peek st) '-' then begin
+            expect_string st "--";
+            let body, pos = parse_comment st in
+            loop (Dom.Comment (body, pos) :: acc)
+          end
+          else begin
+            expect_string st "[CDATA[";
+            let body, pos = parse_cdata st in
+            loop (Dom.Cdata (body, pos) :: acc)
+          end
+      | '?' ->
+          advance st;
+          skip_pi st;
+          loop acc
+      | _ ->
+          let el = parse_element st in
+          loop (Dom.Element el :: acc)
+    end
+    else begin
+      let s, pos = parse_text st in
+      loop (Dom.Text (s, pos) :: acc)
+    end
+  in
+  loop []
+
+(* Top level: prolog, misc, exactly one root element, trailing misc. *)
+let parse_document st =
+  let root = ref None in
+  let rec loop () =
+    skip_space st;
+    if eof st then ()
+    else begin
+      if not (Char.equal (peek st) '<') then error st "text outside of root element";
+      advance st;
+      (match peek st with
+      | '?' ->
+          advance st;
+          skip_pi st
+      | '!' ->
+          advance st;
+          if Char.equal (peek st) '-' then begin
+            expect_string st "--";
+            ignore (parse_comment st)
+          end
+          else if Char.equal (peek st) 'D' then skip_doctype st
+          else error st "unexpected markup declaration"
+      | _ ->
+          let el = parse_element st in
+          (match !root with
+          | None -> root := Some el
+          | Some _ -> error st "multiple root elements"));
+      loop ()
+    end
+  in
+  loop ();
+  match !root with
+  | Some el -> el
+  | None -> error st "no root element found"
+
+(** [string_exn ?file ?lenient s] parses [s] into its root element.
+    Raises {!Parse_error} on malformed input. *)
+let string_exn ?(file = "<string>") ?(lenient = false) s =
+  let st = { src = s; file; lenient; off = 0; line = 1; bol = 0 } in
+  parse_document st
+
+(** Like {!string_exn} but returning a result with a printable message. *)
+let string ?file ?lenient s =
+  match string_exn ?file ?lenient s with
+  | el -> Ok el
+  | exception Parse_error (pos, msg) ->
+      Error (Fmt.str "%a: %s" Dom.pp_position pos msg)
+
+(** Parse the contents of a file. *)
+let file_exn ?lenient path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      string_exn ~file:path ?lenient s)
+
+let file ?lenient path =
+  match file_exn ?lenient path with
+  | el -> Ok el
+  | exception Parse_error (pos, msg) -> Error (Fmt.str "%a: %s" Dom.pp_position pos msg)
+  | exception Sys_error msg -> Error msg

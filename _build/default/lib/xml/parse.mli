@@ -1,0 +1,20 @@
+(** Recursive-descent parser for the XML 1.0 subset used by XPDL.
+
+    Supported: prolog and processing instructions, comments, elements
+    with attributes, character data with the five predefined entities
+    plus numeric character references, CDATA sections, and DOCTYPE
+    skipping.  A [lenient] mode additionally accepts unquoted attribute
+    values ([quantity=2]), which appear in the paper's listings. *)
+
+exception Parse_error of Dom.position * string
+
+(** Parse a string into its root element; raises {!Parse_error}. *)
+val string_exn : ?file:string -> ?lenient:bool -> string -> Dom.element
+
+(** Like {!string_exn} with the error rendered as ["file:line:col: msg"]. *)
+val string : ?file:string -> ?lenient:bool -> string -> (Dom.element, string) result
+
+(** Parse the contents of a file; raises {!Parse_error} or [Sys_error]. *)
+val file_exn : ?lenient:bool -> string -> Dom.element
+
+val file : ?lenient:bool -> string -> (Dom.element, string) result

@@ -1,0 +1,135 @@
+(** A tiny XPath-like selector language over {!Dom} trees.
+
+    Grammar (subset of XPath sufficient for XPDL tooling and tests):
+
+    {v
+      path  ::= step ('/' step)*  |  '//' step ('/' step)*
+      step  ::= name pred*  |  '*' pred*
+      pred  ::= '[' '@' name '=' value ']'   attribute equality
+              | '[' '@' name ']'             attribute presence
+              | '[' int ']'                  1-based position among matches
+    v}
+
+    A leading ["//"] matches the first step against every descendant
+    element (and the root itself); otherwise the first step must match the
+    root element. *)
+
+type pred =
+  | Attr_equals of string * string
+  | Attr_present of string
+  | Position of int
+
+type step = { step_tag : string (* "*" matches any *); preds : pred list }
+
+type t = { descend : bool; steps : step list }
+
+exception Syntax_error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Syntax_error m)) fmt
+
+(* Parse one step: name, then zero or more [...] predicates. *)
+let parse_step s =
+  let len = String.length s in
+  let bracket = try Some (String.index s '[') with Not_found -> None in
+  let tag, rest_off =
+    match bracket with
+    | None -> (s, len)
+    | Some i -> (String.sub s 0 i, i)
+  in
+  if String.equal tag "" then fail "empty step in path";
+  let preds = ref [] in
+  let off = ref rest_off in
+  while !off < len do
+    if not (Char.equal s.[!off] '[') then fail "expected '[' in predicate of %S" s;
+    let close =
+      match String.index_from_opt s !off ']' with
+      | Some j -> j
+      | None -> fail "unterminated predicate in %S" s
+    in
+    let body = String.sub s (!off + 1) (close - !off - 1) in
+    let pred =
+      if String.length body > 0 && Char.equal body.[0] '@' then begin
+        match String.index_opt body '=' with
+        | Some eq ->
+            let name = String.sub body 1 (eq - 1) in
+            let v = String.sub body (eq + 1) (String.length body - eq - 1) in
+            let v =
+              (* strip optional quotes *)
+              let n = String.length v in
+              if n >= 2 && (Char.equal v.[0] '"' || Char.equal v.[0] '\'') then String.sub v 1 (n - 2)
+              else v
+            in
+            Attr_equals (name, v)
+        | None -> Attr_present (String.sub body 1 (String.length body - 1))
+      end
+      else
+        match int_of_string_opt (String.trim body) with
+        | Some n when n >= 1 -> Position n
+        | Some _ | None -> fail "bad predicate [%s]" body
+    in
+    preds := pred :: !preds;
+    off := close + 1
+  done;
+  { step_tag = tag; preds = List.rev !preds }
+
+(** Parse a selector; raises {!Syntax_error} on malformed input. *)
+let parse path =
+  if String.equal path "" then fail "empty path";
+  let descend, body =
+    if String.length path >= 2 && String.equal (String.sub path 0 2) "//" then
+      (true, String.sub path 2 (String.length path - 2))
+    else (false, path)
+  in
+  if String.equal body "" then fail "path %S has no steps" path;
+  let steps = String.split_on_char '/' body |> List.map parse_step in
+  { descend; steps }
+
+let attr_pred_holds (el : Dom.element) = function
+  | Attr_equals (name, v) -> (
+      match Dom.attribute el name with Some v' -> String.equal v v' | None -> false)
+  | Attr_present name -> Dom.has_attribute el name
+  | Position _ -> true (* handled separately over the candidate list *)
+
+let step_matches st (el : Dom.element) =
+  (String.equal st.step_tag "*" || String.equal st.step_tag el.tag)
+  && List.for_all (attr_pred_holds el) st.preds
+
+let apply_position st candidates =
+  let positions =
+    List.filter_map (function Position n -> Some n | Attr_equals _ | Attr_present _ -> None)
+      st.preds
+  in
+  List.fold_left
+    (fun cs n -> match List.nth_opt cs (n - 1) with Some c -> [ c ] | None -> [])
+    candidates positions
+
+(** [select path root] is every element matched by [path] starting at
+    [root], in document order, without duplicates. *)
+let select_parsed t (root : Dom.element) =
+  let initial =
+    if t.descend then Dom.filter_elements (fun _ -> true) root else [ root ]
+  in
+  let rec walk steps (candidates : Dom.element list) =
+    match steps with
+    | [] -> candidates
+    | st :: rest ->
+        let matched = List.filter (step_matches st) candidates in
+        let matched = apply_position st matched in
+        if rest = [] then matched
+        else walk rest (List.concat_map Dom.child_elements matched)
+  in
+  match t.steps with
+  | [] -> []
+  | first :: rest ->
+      let matched = apply_position first (List.filter (step_matches first) initial) in
+      if rest = [] then matched else walk rest (List.concat_map Dom.child_elements matched)
+
+let select path root = select_parsed (parse path) root
+
+(** First match of [path] under [root], if any. *)
+let select_one path root =
+  match select path root with [] -> None | el :: _ -> Some el
+
+(** Value of attribute [attr] on the first match of [path]. *)
+let select_attr path attr root =
+  Option.bind (select_one path root) (fun el -> Dom.attribute el attr)

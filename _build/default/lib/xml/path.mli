@@ -1,0 +1,38 @@
+(** A tiny XPath-like selector language over {!Dom} trees.
+
+    {v
+      path  ::= step ('/' step)*  |  '//' step ('/' step)*
+      step  ::= name pred*  |  '*' pred*
+      pred  ::= '[' '@' name '=' value ']'   attribute equality
+              | '[' '@' name ']'             attribute presence
+              | '[' int ']'                  1-based position among matches
+    v}
+
+    A leading ["//"] matches the first step against every descendant
+    element (and the root itself); otherwise the first step must match
+    the root element. *)
+
+type pred =
+  | Attr_equals of string * string
+  | Attr_present of string
+  | Position of int
+
+type step = { step_tag : string  (** ["*"] matches any *); preds : pred list }
+
+type t = { descend : bool; steps : step list }
+
+exception Syntax_error of string
+
+(** Parse a selector; raises {!Syntax_error} on malformed input. *)
+val parse : string -> t
+
+(** All elements matched by the (pre-parsed) selector, document order. *)
+val select_parsed : t -> Dom.element -> Dom.element list
+
+(** [select path root]: parse and evaluate in one step. *)
+val select : string -> Dom.element -> Dom.element list
+
+val select_one : string -> Dom.element -> Dom.element option
+
+(** Value of [attr] on the first match of [path]. *)
+val select_attr : string -> string -> Dom.element -> string option

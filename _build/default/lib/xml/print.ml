@@ -1,0 +1,128 @@
+(** Serialization of {!Dom} trees back to XML text.
+
+    [to_string] produces a canonical pretty-printed form (2-space indent,
+    attributes in document order, self-closing empty elements); it
+    round-trips through {!Parse} up to insignificant whitespace, which the
+    property tests rely on. *)
+
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | _ -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\n' -> Buffer.add_string buf "&#10;"
+      | '\t' -> Buffer.add_string buf "&#9;"
+      | _ -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_attrs buf attrs =
+  List.iter
+    (fun a ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf a.Dom.attr_name;
+      Buffer.add_string buf "=\"";
+      Buffer.add_string buf (escape_attr a.Dom.attr_value);
+      Buffer.add_char buf '"')
+    attrs
+
+(* An element is "inline" if its only children are text: printed on one
+   line so that <const>42</const> stays readable. *)
+let is_inline el =
+  List.for_all (function Dom.Text _ | Dom.Cdata _ -> true | _ -> false) el.Dom.children
+
+let rec add_element buf ~indent depth (el : Dom.element) =
+  let pad = if indent then String.make (2 * depth) ' ' else "" in
+  Buffer.add_string buf pad;
+  Buffer.add_char buf '<';
+  Buffer.add_string buf el.tag;
+  add_attrs buf el.attrs;
+  let significant =
+    List.filter
+      (function
+        | Dom.Text (s, _) -> String.trim s <> ""
+        | Dom.Cdata _ | Dom.Element _ | Dom.Comment _ -> true)
+      el.children
+  in
+  if significant = [] then Buffer.add_string buf " />"
+  else if is_inline el then begin
+    Buffer.add_char buf '>';
+    List.iter
+      (function
+        | Dom.Text (s, _) -> Buffer.add_string buf (escape_text s)
+        | Dom.Cdata (s, _) ->
+            Buffer.add_string buf "<![CDATA[";
+            Buffer.add_string buf s;
+            Buffer.add_string buf "]]>"
+        | Dom.Element _ | Dom.Comment _ -> assert false)
+      significant;
+    Buffer.add_string buf "</";
+    Buffer.add_string buf el.tag;
+    Buffer.add_char buf '>'
+  end
+  else begin
+    Buffer.add_char buf '>';
+    if indent then Buffer.add_char buf '\n';
+    List.iter
+      (fun child ->
+        (match child with
+        | Dom.Element e -> add_element buf ~indent (depth + 1) e
+        | Dom.Text (s, _) ->
+            if String.trim s <> "" then begin
+              if indent then Buffer.add_string buf (String.make (2 * (depth + 1)) ' ');
+              Buffer.add_string buf (escape_text (String.trim s))
+            end
+        | Dom.Cdata (s, _) ->
+            if indent then Buffer.add_string buf (String.make (2 * (depth + 1)) ' ');
+            Buffer.add_string buf "<![CDATA[";
+            Buffer.add_string buf s;
+            Buffer.add_string buf "]]>"
+        | Dom.Comment (s, _) ->
+            if indent then Buffer.add_string buf (String.make (2 * (depth + 1)) ' ');
+            Buffer.add_string buf "<!--";
+            Buffer.add_string buf s;
+            Buffer.add_string buf "-->");
+        match child with
+        | Dom.Text (s, _) when String.trim s = "" -> ()
+        | _ -> if indent then Buffer.add_char buf '\n')
+      el.children;
+    Buffer.add_string buf pad;
+    Buffer.add_string buf "</";
+    Buffer.add_string buf el.tag;
+    Buffer.add_char buf '>'
+  end
+
+(** Pretty-print an element tree.  [decl] (default true) prepends the
+    [<?xml version="1.0"?>] declaration; [indent] (default true) selects
+    pretty layout versus a single line. *)
+let to_string ?(decl = false) ?(indent = true) el =
+  let buf = Buffer.create 1024 in
+  if decl then Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  add_element buf ~indent 0 el;
+  if indent then Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let pp ppf el = Fmt.string ppf (to_string el)
+
+(** Write an element tree to [path] as a standalone XML document. *)
+let to_file path el =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ~decl:true el))

@@ -1,0 +1,15 @@
+(** Serialization of {!Dom} trees back to XML text.
+
+    The pretty-printed form (2-space indent, self-closing empty elements)
+    round-trips through {!Parse} up to insignificant whitespace; the
+    property tests rely on this. *)
+
+(** [to_string ?decl ?indent el] renders [el].  [decl] (default [false])
+    prepends the XML declaration; [indent] (default [true]) selects
+    pretty layout versus a single line. *)
+val to_string : ?decl:bool -> ?indent:bool -> Dom.element -> string
+
+val pp : Format.formatter -> Dom.element -> unit
+
+(** Write an element tree to a file as a standalone XML document. *)
+val to_file : string -> Dom.element -> unit

@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Array Filename Fmt List String Sys Xpdl_pdl Xpdl_toolchain Xpdl_xml

@@ -1,0 +1,1 @@
+test/test_compose.ml: Alcotest Compose Float Fmt Lazy List Option Spmv Xpdl_compose Xpdl_query Xpdl_repo Xpdl_simhw

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Diagnostic Elaborate Inheritance Instantiate List Model Option Power Schema Validate Xpdl_core Xpdl_expr Xpdl_units

@@ -1,0 +1,1 @@
+test/test_energy.ml: Aggregate Alcotest Domains Dvfs Elaborate Fmt Lazy List Option Power Psm QCheck2 QCheck_alcotest Xpdl_core Xpdl_energy Xpdl_repo

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Expr Float Fmt List QCheck2 QCheck_alcotest Xpdl_expr

@@ -1,0 +1,1 @@
+test/test_listings.ml: Alcotest Diagnostic Elaborate Instantiate Lazy List Model Option Power Schema String Xpdl_core Xpdl_repo Xpdl_toolchain Xpdl_units

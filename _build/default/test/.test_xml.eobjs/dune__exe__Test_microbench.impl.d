@@ -1,0 +1,1 @@
+test/test_microbench.ml: Alcotest Array Bootstrap Driver Filename Float Lazy List Option Stats String Sys Xpdl_core Xpdl_microbench Xpdl_repo Xpdl_simhw Xpdl_units

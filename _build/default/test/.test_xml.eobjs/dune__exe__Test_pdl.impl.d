@@ -1,0 +1,1 @@
+test/test_pdl.ml: Alcotest Filename Lazy List Pdl String Sys Xpdl_core Xpdl_pdl Xpdl_repo

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Filename Lazy List Option String Sys Xpdl_core Xpdl_energy Xpdl_query Xpdl_repo Xpdl_toolchain Xpdl_units

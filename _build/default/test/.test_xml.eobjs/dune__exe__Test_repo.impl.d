@@ -1,0 +1,1 @@
+test/test_repo.ml: Alcotest Diagnostic Filename Fmt List Model Option QCheck2 QCheck_alcotest Schema Sys Xpdl_core Xpdl_energy Xpdl_expr Xpdl_query Xpdl_repo Xpdl_units

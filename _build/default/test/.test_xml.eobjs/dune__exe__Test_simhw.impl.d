@@ -1,0 +1,1 @@
+test/test_simhw.ml: Alcotest Array Float Hashtbl Kernels Lazy List Machine Option QCheck2 QCheck_alcotest Rng String Truth Xpdl_core Xpdl_repo Xpdl_simhw

@@ -1,0 +1,1 @@
+test/test_toolchain.ml: Alcotest Analysis Array Bytes Cpp_codegen Filename Fmt Ir Lazy List Option Pipeline QCheck2 QCheck_alcotest String Sys Xpdl_core Xpdl_repo Xpdl_toolchain Xpdl_units

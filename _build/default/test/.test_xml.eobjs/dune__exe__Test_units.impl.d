@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Float List QCheck2 QCheck_alcotest Units Xpdl_units

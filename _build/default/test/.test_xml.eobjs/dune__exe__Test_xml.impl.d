@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Buffer Dom Fmt List Parse Path Print QCheck2 QCheck_alcotest String Xpdl_xml

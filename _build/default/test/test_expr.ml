@@ -1,0 +1,206 @@
+(* Tests for the constraint/rule expression language. *)
+
+open Xpdl_expr
+
+let eval_num env s = Expr.eval_num env (Expr.parse s)
+let eval_bool env s = Expr.eval_bool env (Expr.parse s)
+let empty = Expr.empty_env
+let approx = Alcotest.float 1e-9
+
+let test_literals () =
+  Alcotest.check approx "int" 42. (eval_num empty "42");
+  Alcotest.check approx "float" 3.5 (eval_num empty "3.5");
+  Alcotest.check approx "scientific" 1.5e3 (eval_num empty "1.5e3")
+
+let test_arithmetic () =
+  Alcotest.check approx "add" 7. (eval_num empty "3 + 4");
+  Alcotest.check approx "precedence" 14. (eval_num empty "2 + 3 * 4");
+  Alcotest.check approx "parens" 20. (eval_num empty "(2 + 3) * 4");
+  Alcotest.check approx "sub assoc" (-5.) (eval_num empty "2 - 3 - 4");
+  Alcotest.check approx "div" 2.5 (eval_num empty "5 / 2");
+  Alcotest.check approx "mod" 1. (eval_num empty "7 % 3");
+  Alcotest.check approx "unary minus" (-6.) (eval_num empty "-2 * 3")
+
+let test_comparisons () =
+  Alcotest.(check bool) "lt" true (eval_bool empty "1 < 2");
+  Alcotest.(check bool) "le" true (eval_bool empty "2 <= 2");
+  Alcotest.(check bool) "gt" false (eval_bool empty "1 > 2");
+  Alcotest.(check bool) "eq" true (eval_bool empty "3 == 3");
+  Alcotest.(check bool) "neq" true (eval_bool empty "3 != 4");
+  Alcotest.(check bool) "chain with arith" true (eval_bool empty "2 + 2 == 4")
+
+let test_boolean_ops () =
+  Alcotest.(check bool) "and" false (eval_bool empty "1 < 2 && 2 < 1");
+  Alcotest.(check bool) "or" true (eval_bool empty "1 < 2 || 2 < 1");
+  Alcotest.(check bool) "not" true (eval_bool empty "!(1 > 2)");
+  Alcotest.(check bool) "precedence and over or" true (eval_bool empty "true || false && false")
+
+let test_identifiers () =
+  let env = Expr.env_of_list [ ("L1size", Expr.Num 32.); ("shmsize", Expr.Num 32.) ] in
+  Alcotest.check approx "lookup" 64. (eval_num env "L1size + shmsize");
+  Alcotest.(check bool) "paper constraint" true
+    (eval_bool
+       (Expr.env_of_list
+          [ ("L1size", Expr.Num 32.); ("shmsize", Expr.Num 32.); ("shmtotalsize", Expr.Num 64.) ])
+       "L1size + shmsize == shmtotalsize")
+
+let test_unbound_identifier () =
+  match eval_num empty "nope + 1" with
+  | exception Expr.Error _ -> ()
+  | _ -> Alcotest.fail "unbound identifier must raise"
+
+let test_true_false () =
+  Alcotest.(check bool) "true" true (eval_bool empty "true");
+  Alcotest.(check bool) "false" false (eval_bool empty "false")
+
+let test_strings () =
+  Alcotest.(check bool) "string eq" true (eval_bool empty {|"LRU" == "LRU"|});
+  Alcotest.(check bool) "string neq" true (eval_bool empty {|"LRU" != "FIFO"|})
+
+let test_functions () =
+  Alcotest.check approx "min" 2. (eval_num empty "min(5, 2, 7)");
+  Alcotest.check approx "max" 7. (eval_num empty "max(5, 2, 7)");
+  Alcotest.check approx "sum" 14. (eval_num empty "sum(5, 2, 7)");
+  Alcotest.check approx "abs" 3. (eval_num empty "abs(-3)");
+  Alcotest.check approx "sqrt" 3. (eval_num empty "sqrt(9)");
+  Alcotest.check approx "log2" 10. (eval_num empty "log2(1024)");
+  Alcotest.check approx "pow" 8. (eval_num empty "pow(2, 3)");
+  Alcotest.check approx "if" 5. (eval_num empty "if(1 < 2, 5, 6)")
+
+let test_custom_functions () =
+  let env =
+    {
+      Expr.empty_env with
+      Expr.call =
+        (fun name args ->
+          match (name, args) with
+          | "count_cores", [] -> Some (Expr.Num 16.)
+          | _ -> None);
+    }
+  in
+  Alcotest.check approx "custom call" 17. (Expr.eval_num env (Expr.parse "count_cores() + 1"))
+
+let test_unknown_function () =
+  match eval_num empty "frobnicate(1)" with
+  | exception Expr.Error _ -> ()
+  | _ -> Alcotest.fail "unknown function must raise"
+
+let test_division_by_zero () =
+  match eval_num empty "1 / 0" with
+  | exception Expr.Error _ -> ()
+  | _ -> Alcotest.fail "division by zero must raise"
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      match Expr.parse s with
+      | exception Expr.Error _ -> ()
+      | _ -> Alcotest.failf "%S must fail to parse" s)
+    [ ""; "1 +"; "(1"; "1 ++ 2"; "min(1,"; "@foo"; "1 2" ]
+
+let test_parse_opt () =
+  Alcotest.(check bool) "ok" true (Expr.parse_opt "1+1" <> None);
+  Alcotest.(check bool) "error" true (Expr.parse_opt "1+" = None)
+
+let test_free_idents () =
+  Alcotest.(check (list string)) "free" [ "L1size"; "shmsize"; "shmtotalsize" ]
+    (Expr.free_idents (Expr.parse "L1size + shmsize == shmtotalsize"));
+  Alcotest.(check (list string)) "dedup" [ "x" ] (Expr.free_idents (Expr.parse "x * x + x"));
+  Alcotest.(check (list string)) "true/false excluded" []
+    (Expr.free_idents (Expr.parse "true || false"));
+  Alcotest.(check (list string)) "in calls" [ "a"; "b" ]
+    (Expr.free_idents (Expr.parse "min(a, b, 3)"))
+
+let test_dotted_identifiers () =
+  let env = Expr.env_of_list [ ("gpu1.num_SM", Expr.Num 13.) ] in
+  Alcotest.check approx "dotted name" 13. (Expr.eval_num env (Expr.parse "gpu1.num_SM"))
+
+let test_print_reparse () =
+  let roundtrip s =
+    let e = Expr.parse s in
+    let e2 = Expr.parse (Expr.to_string e) in
+    Alcotest.check approx ("roundtrip " ^ s)
+      (Expr.eval_num (Expr.env_of_list [ ("x", Expr.Num 3.) ]) e)
+      (Expr.eval_num (Expr.env_of_list [ ("x", Expr.Num 3.) ]) e2)
+  in
+  List.iter roundtrip [ "1 + 2 * 3"; "(1 + 2) * 3"; "-x + 4"; "min(x, 2) * max(x, 5)" ]
+
+let test_precedence_table () =
+  (* the full precedence ladder: || < && < ==,!= < comparisons < +,- < *,/,% *)
+  List.iter
+    (fun (src, expected) ->
+      Alcotest.(check bool) src expected (eval_bool empty src))
+    [
+      ("1 + 2 * 3 == 7", true);
+      ("(1 + 2) * 3 == 9", true);
+      ("10 - 4 / 2 == 8", true);
+      ("1 < 2 == true", true);
+      ("2 + 2 == 4 && 3 * 3 == 9", true);
+      ("false && true || true", true);  (* (false && true) || true *)
+      ("!(1 == 2) && 1 <= 1", true);
+      ("7 % 3 + 1 == 2", true);
+      ("2 * 3 % 4 == 2", true);
+    ]
+
+let test_mixed_type_errors () =
+  (match eval_num empty {|"abc" + 1|} with
+  | exception Expr.Error _ -> ()
+  | _ -> Alcotest.fail "non-numeric string in arithmetic must raise");
+  match eval_bool empty {|"abc" && true|} with
+  | exception Expr.Error _ -> ()
+  | _ -> Alcotest.fail "string as boolean must raise"
+
+(* property tests *)
+
+let gen_small_float = QCheck2.Gen.(map (fun i -> float_of_int i) (-100 -- 100))
+
+let prop_eval_total_on_literals =
+  QCheck2.Test.make ~name:"literal arithmetic evaluates" ~count:200
+    QCheck2.Gen.(triple gen_small_float gen_small_float (oneofl [ "+"; "-"; "*" ]))
+    (fun (a, b, op) ->
+      let s = Fmt.str "%g %s %g" a op b in
+      let expected = match op with "+" -> a +. b | "-" -> a -. b | _ -> a *. b in
+      Float.abs (eval_num empty s -. expected) < 1e-6)
+
+let prop_print_parse_same_value =
+  QCheck2.Test.make ~name:"pp/parse preserves value" ~count:200
+    QCheck2.Gen.(triple gen_small_float gen_small_float gen_small_float)
+    (fun (a, b, c) ->
+      let s = Fmt.str "%g + %g * %g - (%g + %g)" a b c c a in
+      let e = Expr.parse s in
+      let v1 = Expr.eval_num empty e in
+      let v2 = Expr.eval_num empty (Expr.parse (Expr.to_string e)) in
+      Float.abs (v1 -. v2) < 1e-6)
+
+let () =
+  Alcotest.run "expr"
+    [
+      ( "eval",
+        [
+          Alcotest.test_case "literals" `Quick test_literals;
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "comparisons" `Quick test_comparisons;
+          Alcotest.test_case "boolean ops" `Quick test_boolean_ops;
+          Alcotest.test_case "identifiers" `Quick test_identifiers;
+          Alcotest.test_case "unbound identifier" `Quick test_unbound_identifier;
+          Alcotest.test_case "true/false" `Quick test_true_false;
+          Alcotest.test_case "strings" `Quick test_strings;
+          Alcotest.test_case "builtin functions" `Quick test_functions;
+          Alcotest.test_case "custom functions" `Quick test_custom_functions;
+          Alcotest.test_case "unknown function" `Quick test_unknown_function;
+          Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+        ] );
+      ( "syntax",
+        [
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "parse_opt" `Quick test_parse_opt;
+          Alcotest.test_case "free identifiers" `Quick test_free_idents;
+          Alcotest.test_case "dotted identifiers" `Quick test_dotted_identifiers;
+          Alcotest.test_case "print/reparse" `Quick test_print_reparse;
+          Alcotest.test_case "precedence table" `Quick test_precedence_table;
+          Alcotest.test_case "mixed-type errors" `Quick test_mixed_type_errors;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_eval_total_on_literals; prop_print_parse_same_value ] );
+    ]

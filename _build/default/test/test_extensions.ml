@@ -1,0 +1,492 @@
+(* Tests for the extension surface: control relations & platform patterns
+   (Sec. II), the UML and XSD views, model-based energy prediction, the
+   thermal extension, runtime path selectors, and the big.LITTLE model. *)
+
+open Xpdl_core
+
+let repo = lazy (Xpdl_repo.Repo.load_bundled ())
+
+let model name =
+  match Xpdl_repo.Repo.compose_by_name (Lazy.force repo) name with
+  | Ok c ->
+      if not (Diagnostic.all_ok c.Xpdl_repo.Repo.comp_diags) then
+        Alcotest.failf "compose %s: %a" name Diagnostic.pp_list
+          (Diagnostic.errors c.Xpdl_repo.Repo.comp_diags);
+      c.Xpdl_repo.Repo.model
+  | Error msg -> Alcotest.failf "compose %s: %s" name msg
+
+let contains ~affix s =
+  let al = String.length affix and sl = String.length s in
+  let rec go i = i + al <= sl && (String.sub s i al = affix || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Control relations and platform patterns *)
+
+let test_control_explicit_master () =
+  (* Listing 4 declares role="master" on the host *)
+  let t = Control.derive (model "myriad_server") in
+  Alcotest.(check string) "master" "myriad_host" t.Control.ct_root.Control.cu_ident;
+  Alcotest.(check bool) "explicit" true t.Control.ct_root.Control.cu_explicit;
+  Alcotest.(check int) "board is the worker" 1 (List.length (Control.workers t))
+
+let test_control_inferred_master () =
+  (* the GPU server has no role attributes on the host: a lone CPU is
+     promoted, the device defaults to worker (role=worker inherited from
+     Nvidia_GPU actually makes it explicit) *)
+  let t = Control.derive (model "liu_gpu_server") in
+  Alcotest.(check string) "promoted host" "gpu_host" t.Control.ct_root.Control.cu_ident;
+  Alcotest.(check bool) "inferred" false t.Control.ct_root.Control.cu_explicit;
+  match Control.workers t with
+  | [ w ] ->
+      Alcotest.(check string) "gpu is worker" "gpu1" w.Control.cu_ident;
+      Alcotest.(check bool) "worker role explicit (inherited)" true w.Control.cu_explicit
+  | l -> Alcotest.failf "expected 1 worker, got %d" (List.length l)
+
+let test_control_dual_cpu_synthetic_root () =
+  (* the paper's dual-CPU argument: no unique master exists *)
+  let src =
+    {|<system id="dual"><socket><cpu id="cpu0"><core/></cpu></socket>
+        <socket><cpu id="cpu1"><core/></cpu></socket></system>|}
+  in
+  let m = Elaborate.of_string_exn src in
+  let t = Control.derive m in
+  Alcotest.(check string) "synthetic root" "runtime_system" t.Control.ct_root.Control.cu_ident;
+  Alcotest.(check int) "both hybrids" 2 (List.length (Control.hybrids t))
+
+let test_control_no_pus () =
+  match Control.derive (Elaborate.of_string_exn {|<system id="empty"/>|}) with
+  | exception Control.Control_error _ -> ()
+  | _ -> Alcotest.fail "empty system has no control hierarchy"
+
+let test_pattern_host_accelerator () =
+  let t = Control.derive (model "liu_gpu_server") in
+  Alcotest.(check bool) "matches host_accelerator" true
+    (Control.matches Control.host_accelerator t);
+  Alcotest.(check bool) "matches multi_gpu_node" false
+    (Control.matches Control.multi_gpu_node t)
+
+let test_pattern_multi_gpu () =
+  (* one XScluster node seen standalone has 2 Nvidia workers *)
+  let node = List.hd (Model.elements_of_kind Schema.Node (model "XScluster")) in
+  let t = Control.derive node in
+  Alcotest.(check bool) "matches multi_gpu_node" true
+    (Control.matches Control.multi_gpu_node t);
+  match Control.assign Control.multi_gpu_node t with
+  | Some bindings ->
+      let _, gpus = List.nth bindings 1 in
+      Alcotest.(check int) "2 gpus bound" 2 (List.length gpus)
+  | None -> Alcotest.fail "assignment"
+
+let test_pattern_symmetric () =
+  let t = Control.derive (model "odroid_xu3") in
+  Alcotest.(check bool) "odroid is symmetric multicore" true
+    (Control.matches Control.symmetric_multicore t);
+  match Control.classify t with
+  | Some p -> Alcotest.(check string) "classified" "symmetric_multicore" p.Control.pat_name
+  | None -> Alcotest.fail "classify"
+
+let test_pattern_host_coprocessor () =
+  (* the Xeon Phi server: explicit master + a hybrid coprocessor *)
+  let t = Control.derive (model "phi_server") in
+  Alcotest.(check string) "master" "phi_host" t.Control.ct_root.Control.cu_ident;
+  (match Control.hybrids t with
+  | [ h ] ->
+      Alcotest.(check string) "mic0 hybrid" "mic0" h.Control.cu_ident;
+      Alcotest.(check bool) "explicit role" true h.Control.cu_explicit
+  | l -> Alcotest.failf "expected 1 hybrid, got %d" (List.length l));
+  match Control.classify t with
+  | Some p -> Alcotest.(check string) "classified" "host_coprocessor" p.Control.pat_name
+  | None -> Alcotest.fail "classify"
+
+let test_phi_server_structure () =
+  let m = model "phi_server" in
+  let mic = Option.get (Model.find_by_id "mic0" m) in
+  Alcotest.(check int) "60 mic cores" 60
+    (List.length (Model.hardware_elements_of_kind Schema.Core mic));
+  Alcotest.(check int) "64 cores total" 64
+    (List.length (Model.hardware_elements_of_kind Schema.Core m))
+
+(* ------------------------------------------------------------------ *)
+(* UML and XSD views *)
+
+let test_uml_metamodel () =
+  let uml = Xpdl_toolchain.Uml.metamodel_diagram () in
+  Alcotest.(check bool) "plantuml" true (contains ~affix:"@startuml" uml && contains ~affix:"@enduml" uml);
+  Alcotest.(check bool) "cpu class" true (contains ~affix:"class XpdlCpu" uml);
+  Alcotest.(check bool) "containment" true (contains ~affix:"XpdlCpu *--" uml);
+  Alcotest.(check bool) "inheritance root" true (contains ~affix:"XpdlElement <|-- XpdlCache" uml);
+  Alcotest.(check bool) "typed attr" true (contains ~affix:"size : size" uml)
+
+let test_uml_model_diagram () =
+  let uml = Xpdl_toolchain.Uml.model_diagram ~max_depth:2 (model "myriad_server") in
+  Alcotest.(check bool) "object for host" true (contains ~affix:"myriad_host" uml);
+  Alcotest.(check bool) "depth cut note" true (contains ~affix:"nested elements" uml);
+  Alcotest.(check bool) "well formed" true (contains ~affix:"@enduml" uml)
+
+let test_json_view () =
+  (* the JSON rendering of every bundled system is well-formed and keeps
+     the structure *)
+  List.iter
+    (fun name ->
+      let json = Xpdl_toolchain.Json.to_string (model name) in
+      (match Xpdl_toolchain.Json.check json with
+      | () -> ()
+      | exception Xpdl_toolchain.Json.Invalid_json msg ->
+          Alcotest.failf "%s JSON invalid: %s" name msg);
+      Alcotest.(check bool) "mentions the system id" true
+        (contains ~affix:(Fmt.str "\"id\": \"%s\"" name) json))
+    [ "myriad_server"; "liu_gpu_server"; "odroid_xu3"; "phi_server" ];
+  (* compact mode is also valid *)
+  Xpdl_toolchain.Json.check (Xpdl_toolchain.Json.to_string ~indent:false (model "myriad_server"));
+  (* quantities are value/unit objects, ? is null *)
+  let pcie =
+    Xpdl_toolchain.Json.to_string
+      (Option.get (Xpdl_repo.Repo.find (Lazy.force repo) "pcie3"))
+  in
+  Xpdl_toolchain.Json.check pcie;
+  Alcotest.(check bool) "quantity object" true (contains ~affix:"\"unit\": \"B/s\"" pcie);
+  Alcotest.(check bool) "? is null" true
+    (contains ~affix:"\"time_offset_per_message\": null" pcie)
+
+let test_xsd_generation () =
+  let xsd = Xpdl_toolchain.Xsd.generate () in
+  (* it must itself be well-formed XML *)
+  (match Xpdl_xml.Parse.string xsd with
+  | Ok root -> Alcotest.(check string) "schema root" "xs:schema" root.Xpdl_xml.Dom.tag
+  | Error msg -> Alcotest.failf "generated xsd does not parse: %s" msg);
+  Alcotest.(check bool) "cpu element" true (contains ~affix:{|<xs:element name="cpu">|} xsd);
+  Alcotest.(check bool) "enum restriction" true (contains ~affix:{|<xs:enumeration value="LRU"/>|} xsd);
+  Alcotest.(check bool) "unit companion" true (contains ~affix:{|name="frequency_unit"|} xsd);
+  Alcotest.(check bool) "extensibility" true (contains ~affix:"xs:anyAttribute" xsd)
+
+(* ------------------------------------------------------------------ *)
+(* Energy prediction *)
+
+let bootstrapped_liu =
+  lazy
+    (let m = model "liu_gpu_server" in
+     let machine = Xpdl_simhw.Machine.create ~seed:23 m in
+     let m', _ = Xpdl_microbench.Bootstrap.run ~machine m in
+     (m', machine))
+
+let axpy_phase n =
+  Xpdl_energy.Predict.phase ~memory_accesses:(n / 8) ~parallel_fraction:0.9 ~cores_used:4
+    [ ("fmul", n); ("fadd", n); ("ld", 2 * n); ("st", n) ]
+
+let test_predict_matches_simulation () =
+  let m, machine = Lazy.force bootstrapped_liu in
+  let n = 200_000 in
+  let p = Xpdl_energy.Predict.predict_on_model m ~hz:2e9 (axpy_phase n) in
+  Alcotest.(check (list string)) "fully modeled" [] p.Xpdl_energy.Predict.pr_unmodeled;
+  (* run the same thing on a noise-free machine *)
+  let quiet = Xpdl_simhw.Machine.create ~noise_sigma:0. machine.Xpdl_simhw.Machine.model in
+  let meas = Xpdl_simhw.Machine.run ~cores_used:4 quiet (Xpdl_simhw.Kernels.axpy ~n) in
+  let terr =
+    Xpdl_microbench.Stats.relative_error ~estimate:p.Xpdl_energy.Predict.pr_time
+      ~truth:meas.Xpdl_simhw.Machine.elapsed
+  in
+  let eerr =
+    Xpdl_microbench.Stats.relative_error
+      ~estimate:p.Xpdl_energy.Predict.pr_dynamic_energy
+      ~truth:meas.Xpdl_simhw.Machine.dynamic_energy
+  in
+  if terr > 0.05 then Alcotest.failf "time error %.1f%%" (terr *. 100.);
+  if eerr > 0.05 then Alcotest.failf "energy error %.1f%%" (eerr *. 100.)
+
+let test_predict_unbootstrapped_reports_gaps () =
+  let m = model "liu_gpu_server" in
+  let p = Xpdl_energy.Predict.predict_on_model m ~hz:2e9 (axpy_phase 1000) in
+  Alcotest.(check bool) "unmodeled instructions listed" true
+    (List.mem "fmul" p.Xpdl_energy.Predict.pr_unmodeled)
+
+let test_predict_energy_decomposition () =
+  let m, _ = Lazy.force bootstrapped_liu in
+  let p = Xpdl_energy.Predict.predict_on_model m ~hz:2e9 (axpy_phase 50_000) in
+  Alcotest.(check (Alcotest.float 1e-9)) "total = dyn + static"
+    (p.Xpdl_energy.Predict.pr_dynamic_energy +. p.Xpdl_energy.Predict.pr_static_energy)
+    p.Xpdl_energy.Predict.pr_total_energy
+
+let test_predict_frequency_sweep () =
+  let m, _ = Lazy.force bootstrapped_liu in
+  let tb = Xpdl_energy.Predict.tables_of_model m in
+  let sweep =
+    Xpdl_energy.Predict.frequency_sweep tb ~frequencies:[ 1.2e9; 1.6e9; 2.0e9 ]
+      (axpy_phase 100_000)
+  in
+  let times = List.map (fun (_, t, _) -> t) sweep in
+  Alcotest.(check bool) "time decreases with f" true
+    (List.sort (fun a b -> Float.compare b a) times = times)
+
+(* ------------------------------------------------------------------ *)
+(* Thermal *)
+
+let test_thermal_steady_state () =
+  let th = Xpdl_energy.Thermal.create ~ambient:300. (model "liu_gpu_server") in
+  Alcotest.(check (Alcotest.float 1e-9)) "ambient start" 300.
+    (Xpdl_energy.Thermal.temperature th "gpu_host");
+  (* Xeon default R = 0.45 K/W at 60 W -> 327 K steady state *)
+  Alcotest.(check (Alcotest.float 1e-6)) "steady state" 327.
+    (Xpdl_energy.Thermal.steady_state th "gpu_host" ~power:60.)
+
+let test_thermal_approach_curve () =
+  let th = Xpdl_energy.Thermal.create ~ambient:300. (model "liu_gpu_server") in
+  (* one long step is equivalent to many short ones (exact integration) *)
+  let series = Xpdl_energy.Thermal.simulate th "gpu_host" ~trace:[ (10., 60.); (10., 60.) ] in
+  let th2 = Xpdl_energy.Thermal.create ~ambient:300. (model "liu_gpu_server") in
+  let series2 = Xpdl_energy.Thermal.simulate th2 "gpu_host" ~trace:[ (20., 60.) ] in
+  let _, t_a = List.nth series 1 and _, t_b = List.hd series2 in
+  Alcotest.(check (Alcotest.float 1e-9)) "piecewise consistency" t_b t_a;
+  Alcotest.(check bool) "below steady state" true (t_a < 327.);
+  Alcotest.(check bool) "heated up" true (t_a > 310.)
+
+let test_thermal_cooldown () =
+  let th = Xpdl_energy.Thermal.create ~ambient:300. (model "liu_gpu_server") in
+  ignore (Xpdl_energy.Thermal.simulate th "gpu_host" ~trace:[ (100., 60.) ]);
+  let hot = Xpdl_energy.Thermal.temperature th "gpu_host" in
+  ignore (Xpdl_energy.Thermal.simulate th "gpu_host" ~trace:[ (1000., 0.) ]);
+  let cold = Xpdl_energy.Thermal.temperature th "gpu_host" in
+  Alcotest.(check bool) "cooled" true (cold < hot);
+  Alcotest.(check (Alcotest.float 0.1)) "back to ambient" 300. cold
+
+let test_thermal_time_to_limit () =
+  let th = Xpdl_energy.Thermal.create ~ambient:300. (model "liu_gpu_server") in
+  (match Xpdl_energy.Thermal.time_to_limit th "gpu_host" ~power:60. ~limit:320. with
+  | Some t -> Alcotest.(check bool) "finite, positive" true (t > 0. && t < 1000.)
+  | None -> Alcotest.fail "60 W must eventually exceed 320 K");
+  match Xpdl_energy.Thermal.time_to_limit th "gpu_host" ~power:10. ~limit:320. with
+  | None -> ()
+  | Some _ -> Alcotest.fail "10 W steady state (304.5 K) never reaches 320 K"
+
+let test_thermal_hottest () =
+  let th = Xpdl_energy.Thermal.create ~ambient:300. (model "liu_gpu_server") in
+  Xpdl_energy.Thermal.step th ~powers:[ ("gpu1", 120.) ] ~dt:50.;
+  match Xpdl_energy.Thermal.hottest th with
+  | Some b -> Alcotest.(check string) "gpu runs hottest" "gpu1" b.Xpdl_energy.Thermal.th_ident
+  | None -> Alcotest.fail "blocks exist"
+
+(* ------------------------------------------------------------------ *)
+(* System-wide energy accounting *)
+
+let gpu_phase nnz =
+  Xpdl_energy.Predict.phase
+    ~memory_accesses:(nnz / 2)
+    ~parallel_fraction:0.999 ~cores_used:2496
+    [ ("fma", nnz); ("ld_global", 2 * nnz); ("st_global", nnz / 10) ]
+
+let test_account_schedule () =
+  let m, _ = Lazy.force bootstrapped_liu in
+  let steps =
+    [
+      Xpdl_energy.Account.Compute
+        { label = "assemble"; component = "gpu_host"; hz = 2e9; phase = axpy_phase 100_000 };
+      Xpdl_energy.Account.Transfer { label = "upload"; link = "connection1"; bytes = 2_000_000 };
+      Xpdl_energy.Account.Compute
+        { label = "solve"; component = "gpu1"; hz = 706e6; phase = gpu_phase 40_000 };
+      Xpdl_energy.Account.Transfer { label = "download"; link = "connection1"; bytes = 32_000 };
+      Xpdl_energy.Account.Switch
+        { machine_name = "E5_2630L_psm"; from_state = "P3"; to_state = "P1" };
+      Xpdl_energy.Account.Idle { label = "wait"; duration = 0.001 };
+    ]
+  in
+  let r = Xpdl_energy.Account.run m steps in
+  Alcotest.(check int) "6 step costs" 6 (List.length r.Xpdl_energy.Account.rp_steps);
+  Alcotest.(check bool) "positive duration" true (r.Xpdl_energy.Account.rp_duration > 0.);
+  (* totals decompose *)
+  Alcotest.(check (Alcotest.float 1e-9)) "total = dyn + static"
+    (r.Xpdl_energy.Account.rp_dynamic_energy +. r.Xpdl_energy.Account.rp_static_energy)
+    r.Xpdl_energy.Account.rp_total_energy;
+  (* per-component shares sum to the dynamic total *)
+  let share_sum = List.fold_left (fun a (_, e) -> a +. e) 0. r.Xpdl_energy.Account.rp_by_component in
+  Alcotest.(check (Alcotest.float 1e-12)) "shares sum" r.Xpdl_energy.Account.rp_dynamic_energy
+    share_sum;
+  (* the idle step costs time but no dynamic energy *)
+  let idle = List.find (fun c -> c.Xpdl_energy.Account.sc_label = "wait") r.Xpdl_energy.Account.rp_steps in
+  Alcotest.(check (Alcotest.float 0.)) "idle energy" 0. idle.Xpdl_energy.Account.sc_energy
+
+let test_account_compositionality () =
+  (* the predicted schedule total must match the simulated machine
+     executing the same schedule (compute + transfer steps), within the
+     bootstrap's measurement error *)
+  let m, machine = Lazy.force bootstrapped_liu in
+  let n = 150_000 in
+  let steps =
+    [
+      Xpdl_energy.Account.Compute
+        { label = "cpu"; component = "gpu_host"; hz = 2e9; phase = axpy_phase n };
+      Xpdl_energy.Account.Transfer { label = "xfer"; link = "connection1"; bytes = 1_000_000 };
+    ]
+  in
+  let predicted = Xpdl_energy.Account.run m steps in
+  let quiet = Xpdl_simhw.Machine.create ~noise_sigma:0. machine.Xpdl_simhw.Machine.model in
+  let meas = Xpdl_simhw.Machine.run ~cores_used:4 quiet (Xpdl_simhw.Kernels.axpy ~n) in
+  let xfer_t, xfer_e = Xpdl_simhw.Machine.transfer quiet ~link:"connection1" ~bytes:1_000_000 in
+  let sim_time = meas.Xpdl_simhw.Machine.elapsed +. xfer_t in
+  let sim_dyn = meas.Xpdl_simhw.Machine.dynamic_energy +. xfer_e in
+  let terr =
+    Xpdl_microbench.Stats.relative_error ~estimate:predicted.Xpdl_energy.Account.rp_duration
+      ~truth:sim_time
+  in
+  let eerr =
+    Xpdl_microbench.Stats.relative_error
+      ~estimate:predicted.Xpdl_energy.Account.rp_dynamic_energy ~truth:sim_dyn
+  in
+  if terr > 0.05 then Alcotest.failf "time error %.1f%%" (terr *. 100.);
+  if eerr > 0.05 then Alcotest.failf "energy error %.1f%%" (eerr *. 100.)
+
+let test_account_errors () =
+  let m, _ = Lazy.force bootstrapped_liu in
+  (match
+     Xpdl_energy.Account.run m
+       [ Xpdl_energy.Account.Compute
+           { label = "x"; component = "ghost"; hz = 1e9; phase = axpy_phase 10 } ]
+   with
+  | exception Xpdl_energy.Account.Account_error _ -> ()
+  | _ -> Alcotest.fail "unknown component");
+  (match
+     Xpdl_energy.Account.run m
+       [ Xpdl_energy.Account.Transfer { label = "x"; link = "ghost"; bytes = 1 } ]
+   with
+  | exception Xpdl_energy.Account.Account_error _ -> ()
+  | _ -> Alcotest.fail "unknown link");
+  match
+    Xpdl_energy.Account.run m
+      [ Xpdl_energy.Account.Switch
+          { machine_name = "ghost_psm"; from_state = "a"; to_state = "b" } ]
+  with
+  | exception Xpdl_energy.Account.Account_error _ -> ()
+  | _ -> Alcotest.fail "unknown machine"
+
+(* ------------------------------------------------------------------ *)
+(* Query path selectors *)
+
+let test_query_select () =
+  let q = Xpdl_query.Query.of_model (model "liu_gpu_server") in
+  (* 20 physical caches (7 Xeon + 13 Kepler L1) plus the uncore power
+     domain's <cache type="L3"/> selector: select walks the raw tree *)
+  Alcotest.(check int) "all caches" 21
+    (List.length (Xpdl_query.Query.select q "//cache"));
+  Alcotest.(check int) "L3 by level" 1
+    (List.length (Xpdl_query.Query.select q "//cache[@level=3]"));
+  (match Xpdl_query.Query.select_one q "//device[@id=gpu1]" with
+  | Some e -> Alcotest.(check (option string)) "gpu1" (Some "gpu1") (Xpdl_query.Query.ident e)
+  | None -> Alcotest.fail "select device");
+  Alcotest.(check int) "typed memories" 13
+    (List.length (Xpdl_query.Query.select q "//memory[@name=shm]"));
+  Alcotest.(check int) "rooted path" 1
+    (List.length (Xpdl_query.Query.select q "system/device"));
+  Alcotest.(check int) "no match" 0 (List.length (Xpdl_query.Query.select q "//cluster"))
+
+(* ------------------------------------------------------------------ *)
+(* The big.LITTLE platform *)
+
+let test_odroid_structure () =
+  let m = model "odroid_xu3" in
+  Alcotest.(check int) "8 cores" 8 (List.length (Model.hardware_elements_of_kind Schema.Core m));
+  let soc = Option.get (Model.find_by_id "soc" m) in
+  let big = Option.get (Model.find_by_id "big_cluster" soc) in
+  let little = Option.get (Model.find_by_id "little_cluster" soc) in
+  Alcotest.(check int) "4 big" 4 (List.length (Model.hardware_elements_of_kind Schema.Core big));
+  Alcotest.(check int) "4 little" 4
+    (List.length (Model.hardware_elements_of_kind Schema.Core little));
+  (* heterogeneous clocks *)
+  let freq_of cluster =
+    match Model.hardware_elements_of_kind Schema.Core cluster with
+    | c :: _ -> Xpdl_units.Units.value (Option.get (Model.attr_quantity c "frequency"))
+    | [] -> 0.
+  in
+  Alcotest.(check (Alcotest.float 1.)) "big at 2 GHz" 2e9 (freq_of big);
+  Alcotest.(check (Alcotest.float 1.)) "little at 1.4 GHz" 1.4e9 (freq_of little)
+
+let test_odroid_biglittle_domains () =
+  let m = model "odroid_xu3" in
+  let d = Option.get (Xpdl_energy.Domains.of_model m) in
+  (* the big cluster may be shut down (LITTLE-only mode); LITTLE may not *)
+  Xpdl_energy.Domains.switch_off d "big_pd";
+  Alcotest.(check bool) "big off" true (Xpdl_energy.Domains.is_off d "big_pd");
+  match Xpdl_energy.Domains.switch_off d "little_pd" with
+  | exception Xpdl_energy.Domains.Switch_error _ -> ()
+  | _ -> Alcotest.fail "little_pd hosts the OS and must refuse"
+
+let test_odroid_bootstrap_and_race_vs_pace () =
+  let m = model "odroid_xu3" in
+  let machine = Xpdl_simhw.Machine.create ~seed:3 m in
+  let m', results = Xpdl_microbench.Bootstrap.run ~machine m in
+  Alcotest.(check int) "5 armv7 instructions measured" 5 (List.length results);
+  Alcotest.(check (list string)) "none left" []
+    (Xpdl_microbench.Bootstrap.remaining_placeholders m');
+  (* big cluster PSM: both policies exploit the 0.05 W 'off' state to
+     park their slack, so with the convex power curve pacing still wins;
+     what the deep sleep state changes is that both plans end parked off *)
+  let pm = Power.of_element m' in
+  let sm = List.find (fun s -> s.Power.sm_name = "big_psm") pm.Power.pm_machines in
+  let race =
+    Option.get (Xpdl_energy.Dvfs.race_to_idle sm ~start:"P0" ~cycles:1e9 ~deadline:4.)
+  in
+  let pace = Option.get (Xpdl_energy.Dvfs.pace sm ~start:"P0" ~cycles:1e9 ~deadline:4.) in
+  let parks_off (p : Xpdl_energy.Dvfs.plan) =
+    match List.rev p.Xpdl_energy.Dvfs.steps with
+    | last :: _ -> last.Xpdl_energy.Dvfs.step_state = "off"
+    | [] -> false
+  in
+  Alcotest.(check bool) "race parks in off" true (parks_off race);
+  Alcotest.(check bool) "pace parks in off" true (parks_off pace);
+  Alcotest.(check bool) "convex curve: pace beats race" true
+    (pace.Xpdl_energy.Dvfs.total_energy < race.Xpdl_energy.Dvfs.total_energy);
+  let opt = Option.get (Xpdl_energy.Dvfs.optimal sm ~start:"P0" ~cycles:1e9 ~deadline:4.) in
+  Alcotest.(check bool) "optimal <= pace" true
+    (opt.Xpdl_energy.Dvfs.total_energy <= pace.Xpdl_energy.Dvfs.total_energy +. 1e-9)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "control",
+        [
+          case "explicit master (Listing 4)" test_control_explicit_master;
+          case "inferred master" test_control_inferred_master;
+          case "dual-CPU synthetic root" test_control_dual_cpu_synthetic_root;
+          case "no processing units" test_control_no_pus;
+          case "host_accelerator pattern" test_pattern_host_accelerator;
+          case "multi_gpu_node pattern" test_pattern_multi_gpu;
+          case "symmetric pattern + classify" test_pattern_symmetric;
+          case "host_coprocessor pattern" test_pattern_host_coprocessor;
+          case "phi server structure" test_phi_server_structure;
+        ] );
+      ( "views",
+        [
+          case "UML meta-model" test_uml_metamodel;
+          case "UML object diagram" test_uml_model_diagram;
+          case "xpdl.xsd generation" test_xsd_generation;
+          case "JSON view (HPP-DL style)" test_json_view;
+        ] );
+      ( "predict",
+        [
+          case "matches simulation" test_predict_matches_simulation;
+          case "unbootstrapped gaps" test_predict_unbootstrapped_reports_gaps;
+          case "energy decomposition" test_predict_energy_decomposition;
+          case "frequency sweep" test_predict_frequency_sweep;
+        ] );
+      ( "thermal",
+        [
+          case "steady state" test_thermal_steady_state;
+          case "approach curve" test_thermal_approach_curve;
+          case "cooldown" test_thermal_cooldown;
+          case "time to limit" test_thermal_time_to_limit;
+          case "hottest block" test_thermal_hottest;
+        ] );
+      ( "account",
+        [
+          case "schedule pricing" test_account_schedule;
+          case "compositionality vs simulation" test_account_compositionality;
+          case "error reporting" test_account_errors;
+        ] );
+      ("select", [ case "path expressions" test_query_select ]);
+      ( "biglittle",
+        [
+          case "odroid structure" test_odroid_structure;
+          case "big.LITTLE domains" test_odroid_biglittle_domains;
+          case "bootstrap + race vs pace" test_odroid_bootstrap_and_race_vs_pace;
+        ] );
+    ]

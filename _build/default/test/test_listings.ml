@@ -1,0 +1,352 @@
+(* End-to-end reproduction of every listing in the paper (L1–L15 of the
+   per-experiment index): each descriptor from the bundled model
+   repository parses, composes and answers the structural queries the
+   paper's prose promises. *)
+
+open Xpdl_core
+
+let repo = lazy (Xpdl_repo.Repo.load_bundled ())
+
+let compose name =
+  match Xpdl_repo.Repo.compose_by_name (Lazy.force repo) name with
+  | Ok c -> c
+  | Error msg -> Alcotest.failf "compose %s: %s" name msg
+
+let compose_clean name =
+  let c = compose name in
+  let errors = Diagnostic.errors c.Xpdl_repo.Repo.comp_diags in
+  if errors <> [] then
+    Alcotest.failf "compose %s has errors: %a" name Diagnostic.pp_list errors;
+  c.Xpdl_repo.Repo.model
+
+let find name =
+  match Xpdl_repo.Repo.find (Lazy.force repo) name with
+  | Some e -> e
+  | None -> Alcotest.failf "descriptor %S not in repository" name
+
+let approx = Alcotest.float 1e-6
+
+let quantity e key =
+  match Model.attr_quantity e key with
+  | Some q -> Xpdl_units.Units.value q
+  | None -> Alcotest.failf "no quantity attribute %s" key
+
+let named_caches model name =
+  List.filter (fun (c : Model.element) -> c.Model.name = Some name)
+    (Model.elements_of_kind Schema.Cache model)
+
+(* Listing 1: the Xeon E5-2630L meta-model — L1 private, L2 shared by 2
+   cores, L3 shared by all, expressed by scoping. *)
+let test_listing1 () =
+  let m, diags = Instantiate.run (find "Intel_Xeon_E5_2630L") in
+  Alcotest.(check bool) "no errors" true (Diagnostic.all_ok diags);
+  Alcotest.(check int) "4 cores" 4 (List.length (Model.elements_of_kind Schema.Core m));
+  Alcotest.(check int) "4 private L1" 4 (List.length (named_caches m "L1"));
+  Alcotest.(check int) "2 shared L2" 2 (List.length (named_caches m "L2"));
+  Alcotest.(check int) "1 shared L3" 1 (List.length (named_caches m "L3"));
+  let l3 = List.hd (named_caches m "L3") in
+  Alcotest.check approx "L3 = 15 MiB" (15. *. 1024. *. 1024.) (quantity l3 "size");
+  (* scoping: each L2 shares a scope with exactly 2 cores *)
+  let outer_groups = Model.children_of_kind m Schema.Group in
+  List.iter
+    (fun g ->
+      Alcotest.(check int) "L2 per core pair" 1 (List.length (Model.children_of_kind g Schema.Cache));
+      Alcotest.(check int) "2 cores under L2 scope" 2
+        (List.length (Model.elements_of_kind Schema.Core g)))
+    outer_groups
+
+(* Listing 2: the two memory-module descriptor files. *)
+let test_listing2 () =
+  let l2 = find "ShaveL2" in
+  Alcotest.check approx "128 KiB" (128. *. 1024.) (quantity l2 "size");
+  Alcotest.(check (option int)) "sets" (Some 2) (Model.attr_int l2 "sets");
+  Alcotest.(check (option string)) "replacement" (Some "LRU") (Model.attr_string l2 "replacement");
+  Alcotest.(check (option string)) "write policy" (Some "copyback")
+    (Model.attr_string l2 "write_policy");
+  let ddr = find "DDR3_16G" in
+  Alcotest.(check (option string)) "technology label" (Some "DDR3") ddr.Model.type_ref;
+  Alcotest.check approx "16 GB" (16. *. (1024. ** 3.)) (quantity ddr "size");
+  Alcotest.check approx "4 W static" 4. (quantity ddr "static_power")
+
+(* Listing 3: PCIe3 with separate up/down channels carrying "?" offsets. *)
+let test_listing3 () =
+  let pcie = find "pcie3" in
+  let channels = Model.children_of_kind pcie Schema.Channel in
+  Alcotest.(check (list string)) "channels" [ "up_link"; "down_link" ]
+    (List.filter_map (fun (c : Model.element) -> c.Model.name) channels);
+  let up = List.hd channels in
+  Alcotest.check approx "6 GiB/s" (6. *. (1024. ** 3.)) (quantity up "max_bandwidth");
+  Alcotest.(check bool) "time offset unknown" true (Model.attr_is_unknown up "time_offset_per_message");
+  Alcotest.check approx "8 pJ/B" 8e-12 (quantity up "energy_per_byte");
+  Alcotest.(check bool) "energy offset unknown" true
+    (Model.attr_is_unknown up "energy_offset_per_message")
+
+(* Listing 4: the concrete Myriad server with four host-board links. *)
+let test_listing4 () =
+  let m = compose_clean "myriad_server" in
+  Alcotest.(check bool) "host present" true (Model.find_by_id "myriad_host" m <> None);
+  Alcotest.(check bool) "board present" true (Model.find_by_id "mv153board" m <> None);
+  let links = Model.elements_of_kind Schema.Interconnect m in
+  Alcotest.(check int) "4 links" 4 (List.length links);
+  List.iter
+    (fun (l : Model.element) ->
+      Alcotest.(check (option string)) "head" (Some "myriad_host") (Model.attr_string l "head");
+      Alcotest.(check (option string)) "tail" (Some "mv153board") (Model.attr_string l "tail"))
+    links;
+  let types = List.filter_map (fun (l : Model.element) -> l.Model.type_ref) links in
+  Alcotest.(check (list string)) "link technologies" [ "SPI"; "usb_2.0"; "hdmi"; "JTAG" ] types;
+  (* the host resolves through the Xeon1 alias chain to the E5-2630L *)
+  let host = Option.get (Model.find_by_id "myriad_host" m) in
+  Alcotest.(check int) "host has 4 cores" 4
+    (List.length (Model.hardware_elements_of_kind Schema.Core host));
+  Alcotest.(check (option string)) "role survives" (Some "master") (Model.attr_string host "role")
+
+(* Listing 5 + 6: the MV153 board containing the Myriad1: one Leon core,
+   8 Shave cores with per-core caches, CMX/LRAM/DDR memories. *)
+let test_listing5_6 () =
+  let m = compose_clean "myriad_server" in
+  let board = Option.get (Model.find_by_id "mv153board" m) in
+  let myriad_cores = Model.hardware_elements_of_kind Schema.Core board in
+  Alcotest.(check int) "1 Leon + 8 Shaves" 9 (List.length myriad_cores);
+  let leon = Option.get (Model.find_by_id "Leon" board) in
+  Alcotest.(check (option string)) "Leon is SPARC V8" (Some "Sparc_V8") leon.Model.type_ref;
+  Alcotest.(check (option string)) "Leon big-endian" (Some "BE") (Model.attr_string leon "endian");
+  Alcotest.(check int) "Leon I+D caches" 2 (List.length (Model.elements_of_kind Schema.Cache leon));
+  let shave_ids =
+    List.filter_map (fun (c : Model.element) -> c.Model.id) myriad_cores
+    |> List.filter (fun i -> String.length i >= 5 && String.sub i 0 5 = "shave")
+  in
+  Alcotest.(check (list string)) "shave0..7"
+    [ "shave0"; "shave1"; "shave2"; "shave3"; "shave4"; "shave5"; "shave6"; "shave7" ]
+    shave_ids;
+  let mems = Model.elements_of_kind Schema.Memory board in
+  let mem_names = List.filter_map (fun (x : Model.element) -> x.Model.name) mems in
+  Alcotest.(check bool) "CMX" true (List.mem "Movidius_CMX" mem_names);
+  Alcotest.(check bool) "LRAM" true (List.mem "LRAM" mem_names);
+  Alcotest.(check bool) "DDR" true (List.mem "DDR" mem_names);
+  let cmx = Option.get (Model.find_by_name "Movidius_CMX" board) in
+  Alcotest.(check (option int)) "8 CMX slices" (Some 8) (Model.attr_int cmx "slices");
+  Alcotest.(check (option string)) "CMX little-endian" (Some "LE") (Model.attr_string cmx "endian")
+
+(* Listing 7 + 10: the LiU GPU server with the K20c fixed at 32+32 KB. *)
+let test_listing7_10 () =
+  let m = compose_clean "liu_gpu_server" in
+  let gpu = Option.get (Model.find_by_id "gpu1" m) in
+  Alcotest.(check (option string)) "typed as K20c" (Some "Nvidia_K20c") gpu.Model.type_ref;
+  (* the fixed configuration must satisfy the Kepler constraint (checked
+     during compose — compose_clean would have failed otherwise) and
+     appear in the expanded caches *)
+  let l1s =
+    List.filter (fun (c : Model.element) -> c.Model.name = Some "L1")
+      (Model.elements_of_kind Schema.Cache gpu)
+  in
+  Alcotest.(check int) "13 SMs' L1" 13 (List.length l1s);
+  List.iter (fun l1 -> Alcotest.check approx "L1 = 32 KB" (32. *. 1024.) (quantity l1 "size")) l1s;
+  let shms =
+    List.filter (fun (x : Model.element) -> x.Model.name = Some "shm")
+      (Model.elements_of_kind Schema.Memory gpu)
+  in
+  Alcotest.(check int) "13 shm" 13 (List.length shms);
+  List.iter (fun s -> Alcotest.check approx "shm = 32 KB" (32. *. 1024.) (quantity s "size")) shms
+
+(* Listing 8 + 9: inheritance within the Nvidia family. *)
+let test_listing8_9 () =
+  let m = compose_clean "liu_gpu_server" in
+  let gpu = Option.get (Model.find_by_id "gpu1" m) in
+  (* K20c overrides compute_capability 3.0 -> 3.5 *)
+  Alcotest.(check (option (float 1e-9))) "cc override" (Some 3.5)
+    (Model.attr_float gpu "compute_capability");
+  (* role worker inherited from Nvidia_GPU via Nvidia_Kepler *)
+  Alcotest.(check (option string)) "role inherited" (Some "worker") (Model.attr_string gpu "role");
+  (* num_SM=13 x coresperSM=192 *)
+  Alcotest.(check int) "2496 SP cores" (13 * 192)
+    (List.length (Model.hardware_elements_of_kind Schema.Core gpu));
+  (* cfrq=706 MHz reached the cores *)
+  let one_core = List.hd (Model.hardware_elements_of_kind Schema.Core gpu) in
+  Alcotest.check approx "core at 706 MHz" 7.06e8 (quantity one_core "frequency");
+  (* gmsz=5 GB global memory *)
+  let gmem = Option.get (Model.find_by_name "gmem" gpu) in
+  Alcotest.check approx "5 GB" (5. *. (1024. ** 3.)) (quantity gmem "size");
+  (* programming models are labels, preserved *)
+  let pms = Model.elements_of_kind Schema.Programming_model gpu in
+  Alcotest.(check bool) "cuda6.0 label" true
+    (List.exists (fun (p : Model.element) -> p.Model.type_ref = Some "cuda6.0") pms)
+
+(* Listing 8's constraint: a bad configuration must be rejected. *)
+let test_listing8_constraint_violation () =
+  let c =
+    Xpdl_repo.Repo.compose (Lazy.force repo)
+      (Elaborate.of_string_exn ~lenient:true
+         {|<device id="bad_gpu" type="Nvidia_K20c">
+             <param name="L1size" size="48" unit="KB"/>
+             <param name="shmsize" size="48" unit="KB"/>
+           </device>|})
+  in
+  Alcotest.(check bool) "48+48 != 64 rejected" true
+    (List.exists Diagnostic.is_error c.Xpdl_repo.Repo.comp_diags)
+
+let test_listing8_range_violation () =
+  let c =
+    Xpdl_repo.Repo.compose (Lazy.force repo)
+      (Elaborate.of_string_exn ~lenient:true
+         {|<device id="bad_gpu" type="Nvidia_K20c">
+             <param name="L1size" size="24" unit="KB"/>
+             <param name="shmsize" size="40" unit="KB"/>
+           </device>|})
+  in
+  Alcotest.(check bool) "24 outside {16,32,48}" true
+    (List.exists Diagnostic.is_error c.Xpdl_repo.Repo.comp_diags)
+
+(* Listing 11: the XScluster. *)
+let test_listing11 () =
+  let m = compose_clean "XScluster" in
+  let nodes = Model.elements_of_kind Schema.Node m in
+  Alcotest.(check int) "4 nodes" 4 (List.length nodes);
+  let node0 = List.hd nodes in
+  Alcotest.(check int) "2 CPUs per node" 2 (List.length (Model.elements_of_kind Schema.Cpu node0));
+  Alcotest.(check int) "4 memory modules" 4
+    (List.length
+       (List.filter (fun (x : Model.element) -> x.Model.type_ref = Some "DDR3_4G")
+          (Model.elements_of_kind Schema.Memory node0)));
+  Alcotest.(check int) "2 GPUs per node" 2 (List.length (Model.children_of_kind node0 Schema.Device));
+  (* node scopes n0..n3 exist, and inter-node InfiniBand links bind them *)
+  List.iter
+    (fun n -> Alcotest.(check bool) n true (Model.find_by_id n m <> None))
+    [ "n0"; "n1"; "n2"; "n3" ];
+  let ib =
+    List.filter (fun (l : Model.element) -> l.Model.type_ref = Some "infiniband1")
+      (Model.elements_of_kind Schema.Interconnect m)
+  in
+  Alcotest.(check int) "4 IB links" 4 (List.length ib);
+  (* software: StarPU and CUDA are declared installed *)
+  let installed = Model.elements_of_kind Schema.Installed m in
+  let types = List.filter_map (fun (i : Model.element) -> i.Model.type_ref) installed in
+  Alcotest.(check bool) "StarPU installed" true (List.mem "StarPU_1.0" types);
+  Alcotest.(check bool) "CUDA installed" true (List.mem "CUDA_6.0" types)
+
+(* Listing 12: Myriad power domains. *)
+let test_listing12 () =
+  let pd, diags = Instantiate.run (find "Myriad1_power_domains") in
+  Alcotest.(check bool) "expands clean" true (Diagnostic.all_ok diags);
+  let domains = Power.extract_domains pd in
+  Alcotest.(check int) "1 main + 8 shave + 1 CMX" 10 (List.length domains);
+  let main = List.find (fun d -> d.Power.pd_name = "main_pd") domains in
+  Alcotest.(check bool) "main cannot switch off" false main.Power.pd_switchable;
+  let cmx = List.find (fun d -> d.Power.pd_name = "CMX_pd") domains in
+  (match cmx.Power.pd_condition with
+  | Some cond ->
+      Alcotest.(check string) "requires Shave_pds" "Shave_pds" cond.Power.requires_group;
+      Alcotest.(check bool) "off required" true (cond.Power.required_state = `Off)
+  | None -> Alcotest.fail "CMX_pd needs a switchoffCondition");
+  let shave_domains =
+    List.filter (fun d ->
+        String.length d.Power.pd_name >= 8 && String.sub d.Power.pd_name 0 8 = "Shave_pd"
+        && d.Power.pd_name <> "Shave_pds")
+      domains
+  in
+  Alcotest.(check int) "8 shave domains" 8 (List.length shave_domains)
+
+(* Listing 13: the pseudo-CPU power state machine descriptor. *)
+let test_listing13 () =
+  let pm = Power.of_element (find "power_state_machine1") in
+  let sm = List.hd pm.Power.pm_machines in
+  Alcotest.(check (option string)) "domain ref" (Some "xyCPU_core_pd") sm.Power.sm_domain;
+  Alcotest.(check int) "3 P states" 3 (List.length sm.Power.sm_states);
+  Alcotest.(check int) "3 transitions" 3 (List.length sm.Power.sm_transitions);
+  (* the paper's cycle P1->P3->P2->P1 is modeled; P1->P2 only via P3? no:
+     P2->P1 direct, P1->P2 must route P1->P3->P2 *)
+  Alcotest.(check bool) "P2->P1 direct" true
+    (Power.find_transition sm ~from_state:"P2" ~to_state:"P1" <> None);
+  Alcotest.(check bool) "P1->P2 not direct" true
+    (Power.find_transition sm ~from_state:"P1" ~to_state:"P2" = None)
+
+(* Listing 14: the x86 instruction energy table with ? placeholders and
+   the measured divsd frequency table. *)
+let test_listing14 () =
+  let pm = Power.of_element (find "x86_base_isa") in
+  let isa = List.hd pm.Power.pm_isas in
+  Alcotest.(check string) "isa name" "x86_base_isa" isa.Power.isa_name;
+  Alcotest.(check (option string)) "suite ref" (Some "mb_x86_base_1") isa.Power.isa_default_mb;
+  let unresolved = List.map (fun i -> i.Power.in_name) (Power.unresolved_instructions isa) in
+  Alcotest.(check bool) "fmul needs benchmarking" true (List.mem "fmul" unresolved);
+  Alcotest.(check bool) "divsd has data" false (List.mem "divsd" unresolved);
+  let divsd = List.find (fun i -> i.Power.in_name = "divsd") isa.Power.isa_instructions in
+  (match divsd.Power.in_energy with
+  | Power.By_frequency rows ->
+      Alcotest.(check int) "7 rows" 7 (List.length rows);
+      let f0, e0 = List.hd rows in
+      Alcotest.check approx "2.8 GHz row" 2.8e9 f0;
+      Alcotest.check (Alcotest.float 1e-12) "18.625 nJ" 18.625e-9 e0
+  | _ -> Alcotest.fail "divsd must carry a frequency table");
+  let fmul = List.find (fun i -> i.Power.in_name = "fmul") isa.Power.isa_instructions in
+  Alcotest.(check (option string)) "fmul mb ref" (Some "fm1") fmul.Power.in_mb
+
+(* Listing 15: the microbenchmark suite. *)
+let test_listing15 () =
+  let pm = Power.of_element (find "mb_x86_base_1") in
+  let suite = List.hd pm.Power.pm_suites in
+  Alcotest.(check string) "id" "mb_x86_base_1" suite.Power.su_id;
+  Alcotest.(check (option string)) "instruction_set" (Some "x86_base_isa")
+    suite.Power.su_instruction_set;
+  Alcotest.(check (option string)) "command" (Some "mbscript.sh") suite.Power.su_command;
+  Alcotest.(check bool) "has fa1" true
+    (List.exists (fun b -> b.Power.mb_id = "fa1") suite.Power.su_benches);
+  let fa1 = List.find (fun b -> b.Power.mb_id = "fa1") suite.Power.su_benches in
+  Alcotest.(check string) "measures fadd" "fadd" fa1.Power.mb_instruction;
+  Alcotest.(check (option string)) "source file" (Some "fadd.c") fa1.Power.mb_file;
+  Alcotest.(check (option string)) "cflags" (Some "-O0") fa1.Power.mb_cflags
+
+(* The heterogeneous EXCESS-style cluster (beyond the paper's listings):
+   mixed GPU and Phi nodes plus a big.LITTLE login node in one model. *)
+let test_excess_cluster () =
+  let m = compose_clean "excess_cluster" in
+  Alcotest.(check int) "5 nodes" 5 (List.length (Model.elements_of_kind Schema.Node m));
+  (* 2 gpu nodes: 8 + 2496; 2 phi nodes: 8 + 60; login: 8 big.LITTLE *)
+  Alcotest.(check int) "5152 cores" ((2 * (8 + 2496)) + (2 * (8 + 60)) + 8)
+    (List.length (Model.hardware_elements_of_kind Schema.Core m));
+  let devices = Model.elements_of_kind Schema.Device m in
+  Alcotest.(check int) "4 accelerators" 4 (List.length devices);
+  Alcotest.(check int) "2 K20c" 2
+    (List.length
+       (List.filter (fun (d : Model.element) -> d.Model.type_ref = Some "Nvidia_K20c") devices));
+  Alcotest.(check int) "2 Phi" 2
+    (List.length
+       (List.filter (fun (d : Model.element) -> d.Model.type_ref = Some "Xeon_Phi_5110P") devices));
+  (* the IB chain connects gpu nodes to the login node *)
+  let g = Xpdl_toolchain.Analysis.build_graph m in
+  (match Xpdl_toolchain.Analysis.path_bandwidth g ~src:"gpu_node0" ~dst:"login" with
+  | Some bw -> Alcotest.(check (Alcotest.float 1e6)) "IB bottleneck" (5. *. (1024. ** 3.)) bw
+  | None -> Alcotest.fail "gpu_node0 must reach login")
+
+(* Whole-repository health: every descriptor parses without errors. *)
+let test_repository_clean () =
+  let r = Lazy.force repo in
+  let errors = Diagnostic.errors (Xpdl_repo.Repo.diagnostics r) in
+  if errors <> [] then Alcotest.failf "repository has errors: %a" Diagnostic.pp_list errors;
+  Alcotest.(check bool) "dozens of descriptors" true (Xpdl_repo.Repo.size r >= 40)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "listings"
+    [
+      ( "paper",
+        [
+          case "listing 1: Xeon scoping" test_listing1;
+          case "listing 2: memory modules" test_listing2;
+          case "listing 3: PCIe channels" test_listing3;
+          case "listing 4: Myriad server" test_listing4;
+          case "listings 5-6: MV153 + Myriad1" test_listing5_6;
+          case "listings 7+10: GPU server" test_listing7_10;
+          case "listings 8-9: Kepler inheritance" test_listing8_9;
+          case "listing 8: constraint violation" test_listing8_constraint_violation;
+          case "listing 8: range violation" test_listing8_range_violation;
+          case "listing 11: XScluster" test_listing11;
+          case "listing 12: power domains" test_listing12;
+          case "listing 13: power state machine" test_listing13;
+          case "listing 14: instruction energy" test_listing14;
+          case "listing 15: microbenchmarks" test_listing15;
+          case "heterogeneous excess cluster" test_excess_cluster;
+          case "repository health" test_repository_clean;
+        ] );
+    ]

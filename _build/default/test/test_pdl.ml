@@ -1,0 +1,245 @@
+(* Tests for the PEPPHER PDL baseline: parsing, control-relation rules,
+   the property query language, conversion from XPDL, and the Sec. II
+   comparison points (what PDL cannot check statically). *)
+
+open Xpdl_pdl
+
+let sample =
+  {|<Platform id="gpu_server">
+      <Master id="cpu0" type="CPU">
+        <Property name="x86_MAX_CLOCK_FREQUENCY" value="2000000000"/>
+        <Property name="NUM_CORES" value="4" mandatory="true"/>
+        <Worker id="gpu0" type="GPU">
+          <Property name="CUDA_CC" value="3.5"/>
+        </Worker>
+        <Hybrid id="mic0" type="MIC">
+          <Worker id="mic0_core" type="CORE"/>
+        </Hybrid>
+      </Master>
+      <MemoryRegion id="main" scope="global">
+        <Property name="SIZE_BYTES" value="17179869184"/>
+      </MemoryRegion>
+      <Interconnect id="pcie" endpoints="cpu0 gpu0">
+        <Property name="BW" value="6442450944"/>
+      </Interconnect>
+      <Property name="INSTALLED_CUDA" value="/usr/local/cuda"/>
+    </Platform>|}
+
+let platform = lazy (Pdl.of_string sample)
+
+let test_parse_structure () =
+  let p = Lazy.force platform in
+  Alcotest.(check string) "id" "gpu_server" p.Pdl.platform_id;
+  Alcotest.(check bool) "master root" true (p.Pdl.control.Pdl.pu_role = Pdl.Master);
+  Alcotest.(check int) "all PUs" 4 (List.length (Pdl.all_pus p));
+  Alcotest.(check int) "1 memory region" 1 (List.length (p.Pdl.memory_regions));
+  Alcotest.(check int) "1 interconnect" 1 (List.length (p.Pdl.interconnects))
+
+let test_control_roles () =
+  let p = Lazy.force platform in
+  Alcotest.(check int) "1 master" 1 (List.length (Pdl.pus_with_role p Pdl.Master));
+  Alcotest.(check int) "2 workers" 2 (List.length (Pdl.pus_with_role p Pdl.Worker));
+  Alcotest.(check int) "1 hybrid" 1 (List.length (Pdl.pus_with_role p Pdl.Hybrid))
+
+let test_exactly_one_master () =
+  (match Pdl.of_string {|<Platform id="p"><Master id="a"/><Master id="b"/></Platform>|} with
+  | exception Pdl.Pdl_error _ -> ()
+  | _ -> Alcotest.fail "two masters rejected");
+  match Pdl.of_string {|<Platform id="p"><Worker id="w"/></Platform>|} with
+  | exception Pdl.Pdl_error _ -> ()
+  | _ -> Alcotest.fail "no master rejected"
+
+let test_worker_is_leaf () =
+  match
+    Pdl.of_string
+      {|<Platform id="p"><Master id="m"><Worker id="w"><Worker id="x"/></Worker></Master></Platform>|}
+  with
+  | exception Pdl.Pdl_error _ -> ()
+  | _ -> Alcotest.fail "workers cannot control other PUs"
+
+let test_no_nested_master () =
+  match
+    Pdl.of_string
+      {|<Platform id="p"><Master id="m"><Master id="m2"/></Master></Platform>|}
+  with
+  | exception Pdl.Pdl_error _ -> ()
+  | _ -> Alcotest.fail "nested master rejected"
+
+let test_property_lookup () =
+  let p = Lazy.force platform in
+  Alcotest.(check (option string)) "frequency" (Some "2000000000")
+    (Pdl.pu_property p ~pu:"cpu0" ~name:"x86_MAX_CLOCK_FREQUENCY");
+  Alcotest.(check (option string)) "platform prop" (Some "/usr/local/cuda")
+    (Pdl.platform_property p "INSTALLED_CUDA");
+  (* the Sec. II-C weakness: a typo silently looks like absence *)
+  Alcotest.(check (option string)) "typo undetected" None
+    (Pdl.pu_property p ~pu:"cpu0" ~name:"x86_MAX_CLOCK_FREQENCY")
+
+let test_query_language () =
+  let p = Lazy.force platform in
+  Alcotest.(check bool) "exists" true
+    (Pdl.query p "exists(cpu0.NUM_CORES)" = Pdl.QBool true);
+  Alcotest.(check bool) "not exists" true
+    (Pdl.query p "exists(cpu0.GHOST)" = Pdl.QBool false);
+  Alcotest.(check bool) "value" true
+    (Pdl.query p "value(gpu0.CUDA_CC)" = Pdl.QString "3.5");
+  Alcotest.(check bool) "memory region entity" true
+    (Pdl.query p "value(main.SIZE_BYTES)" = Pdl.QString "17179869184");
+  Alcotest.(check bool) "count workers" true (Pdl.query p "count(worker)" = Pdl.QInt 2);
+  Alcotest.(check bool) "count master" true (Pdl.query p "count(master)" = Pdl.QInt 1)
+
+let test_query_errors () =
+  let p = Lazy.force platform in
+  (match Pdl.query p "value(cpu0.GHOST)" with
+  | exception Pdl.Pdl_error _ -> ()
+  | _ -> Alcotest.fail "value of absent property");
+  (match Pdl.query p "count(alien)" with
+  | exception Pdl.Pdl_error _ -> ()
+  | _ -> Alcotest.fail "unknown role");
+  match Pdl.query p "gibberish" with
+  | exception Pdl.Pdl_error _ -> ()
+  | _ -> Alcotest.fail "malformed query"
+
+let test_print_reparse () =
+  let p = Lazy.force platform in
+  let p2 = Pdl.of_string (Pdl.to_string p) in
+  Alcotest.(check int) "same PUs" (List.length (Pdl.all_pus p)) (List.length (Pdl.all_pus p2));
+  Alcotest.(check (option string)) "props survive" (Some "3.5")
+    (Pdl.pu_property p2 ~pu:"gpu0" ~name:"CUDA_CC")
+
+(* --- PDL's untypedness: the comparison points of experiment E9 --- *)
+
+let test_pdl_accepts_nonsense_values () =
+  (* XPDL rejects "MRU" replacement and "GHz"-dimensioned cache sizes at
+     elaboration; PDL accepts any string as a property value *)
+  let p =
+    Pdl.of_string
+      {|<Platform id="p"><Master id="m">
+          <Property name="CACHE_REPLACEMENT" value="MRU_NOT_A_POLICY"/>
+          <Property name="L1_SIZE" value="thirty-two kibibytes"/>
+        </Master></Platform>|}
+  in
+  Alcotest.(check (option string)) "nonsense accepted"
+    (Some "thirty-two kibibytes")
+    (Pdl.pu_property p ~pu:"m" ~name:"L1_SIZE")
+
+let test_xpdl_rejects_same_nonsense () =
+  match Xpdl_core.Elaborate.of_string {|<cache name="L1" size="thirty-two" unit="KiB"/>|} with
+  | Ok (_, diags) ->
+      Alcotest.(check bool) "xpdl flags it" true
+        (List.exists Xpdl_core.Diagnostic.is_error diags)
+  | Error _ -> ()
+
+(* --- conversion from XPDL (monolithic downgrade) --- *)
+
+let repo = lazy (Xpdl_repo.Repo.load_bundled ())
+
+let xpdl_model name =
+  match Xpdl_repo.Repo.compose_by_name (Lazy.force repo) name with
+  | Ok c -> c.Xpdl_repo.Repo.model
+  | Error msg -> Alcotest.failf "compose: %s" msg
+
+let test_of_xpdl () =
+  let m = xpdl_model "liu_gpu_server" in
+  let p = Pdl.of_xpdl m in
+  Alcotest.(check string) "platform id" "liu_gpu_server" p.Pdl.platform_id;
+  Alcotest.(check int) "one master" 1 (List.length (Pdl.pus_with_role p Pdl.Master));
+  Alcotest.(check bool) "gpu became a worker" true
+    (List.exists (fun pu -> pu.Pdl.pu_id = "gpu1") (Pdl.pus_with_role p Pdl.Worker));
+  (* installed software became string properties *)
+  Alcotest.(check bool) "software flattened" true
+    (Pdl.platform_property p "INSTALLED_CUDA_6.0" <> None);
+  (* parses back *)
+  let p2 = Pdl.of_string (Pdl.to_string p) in
+  Alcotest.(check int) "round-trips" (List.length (Pdl.all_pus p)) (List.length (Pdl.all_pus p2))
+
+let test_of_xpdl_cluster () =
+  (* the whole XScluster flattens into one monolithic control tree: the
+     8 GPUs become workers, the 7 further CPUs hybrids *)
+  let m = xpdl_model "XScluster" in
+  let p = Pdl.of_xpdl m in
+  Alcotest.(check int) "8 workers" 8 (List.length (Pdl.pus_with_role p Pdl.Worker));
+  Alcotest.(check int) "7 hybrids" 7 (List.length (Pdl.pus_with_role p Pdl.Hybrid));
+  Alcotest.(check int) "1 master" 1 (List.length (Pdl.pus_with_role p Pdl.Master));
+  (* round-trip of the large document *)
+  let p2 = Pdl.of_string (Pdl.to_string p) in
+  Alcotest.(check int) "round-trips" (List.length (Pdl.all_pus p)) (List.length (Pdl.all_pus p2))
+
+let test_standalone_no_hybrid () =
+  (* "the Cell/B.E., if used stand-alone ... has no hybrid PUs" (Sec. II-A) *)
+  let p =
+    Pdl.of_string
+      {|<Platform id="cell_standalone">
+          <Master id="ppe" type="PPE">
+            <Worker id="spe0" type="SPE"/><Worker id="spe1" type="SPE"/>
+            <Worker id="spe2" type="SPE"/><Worker id="spe3" type="SPE"/>
+            <Worker id="spe4" type="SPE"/><Worker id="spe5" type="SPE"/>
+            <Worker id="spe6" type="SPE"/><Worker id="spe7" type="SPE"/>
+          </Master>
+        </Platform>|}
+  in
+  Alcotest.(check int) "no hybrids" 0 (List.length (Pdl.pus_with_role p Pdl.Hybrid));
+  Alcotest.(check int) "8 SPEs" 8 (List.length (Pdl.pus_with_role p Pdl.Worker));
+  Alcotest.(check bool) "count query agrees" true (Pdl.query p "count(worker)" = Pdl.QInt 8)
+
+let test_monolithic_size_penalty () =
+  (* E9 shape check: the monolithic PDL dump of a composed system is much
+     larger than the modular XPDL source that generated it, because XPDL
+     reuses descriptors (the K20c content is written once, referenced
+     everywhere) while PDL must inline everything *)
+  let m = xpdl_model "XScluster" in
+  let pdl_bytes = String.length (Pdl.to_string (Pdl.of_xpdl m)) in
+  let xpdl_source_bytes =
+    List.fold_left
+      (fun acc f ->
+        let ic = open_in f in
+        let n = in_channel_length ic in
+        close_in ic;
+        acc + n)
+      0
+      (List.filter_map
+         (fun name ->
+           let paths =
+             [ "../models/hardware"; "../models/systems"; "../models/software";
+               "../models/microbench" ]
+           in
+           List.find_map
+             (fun dir ->
+               let base = String.lowercase_ascii name ^ ".xpdl" in
+               let p = Filename.concat dir base in
+               if Sys.file_exists p then Some p else None)
+             paths)
+         [ "xscluster" ])
+  in
+  Alcotest.(check bool) "modular source is smaller" true (xpdl_source_bytes * 5 < pdl_bytes)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "pdl"
+    [
+      ( "parse",
+        [
+          case "structure" test_parse_structure;
+          case "control roles" test_control_roles;
+          case "exactly one master" test_exactly_one_master;
+          case "workers are leaves" test_worker_is_leaf;
+          case "no nested master" test_no_nested_master;
+          case "print/reparse" test_print_reparse;
+        ] );
+      ( "query",
+        [
+          case "property lookup" test_property_lookup;
+          case "query language" test_query_language;
+          case "query errors" test_query_errors;
+        ] );
+      ( "comparison",
+        [
+          case "PDL accepts nonsense" test_pdl_accepts_nonsense_values;
+          case "XPDL rejects it" test_xpdl_rejects_same_nonsense;
+          case "downgrade from XPDL" test_of_xpdl;
+          case "cluster downgrade" test_of_xpdl_cluster;
+          case "standalone Cell has no hybrids" test_standalone_no_hybrid;
+          case "monolithic size penalty" test_monolithic_size_penalty;
+        ] );
+    ]

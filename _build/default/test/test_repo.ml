@@ -1,0 +1,214 @@
+(* Tests for the model repository: indexing, search path, hyperlinks,
+   shadowing, composition. *)
+
+open Xpdl_core
+
+let has_error diags = List.exists Diagnostic.is_error diags
+
+let mem_repo descs =
+  let r = Xpdl_repo.Repo.create () in
+  List.iter (fun (file, s) -> Xpdl_repo.Repo.add_string r ~file s) descs;
+  r
+
+let test_indexing () =
+  let r =
+    mem_repo
+      [ ("a.xpdl", {|<cpu name="A"/>|}); ("b.xpdl", {|<system id="B"><cpu id="c"/></system>|}) ]
+  in
+  Alcotest.(check int) "2 entries" 2 (Xpdl_repo.Repo.size r);
+  Alcotest.(check (list string)) "identifiers" [ "A"; "B" ] (Xpdl_repo.Repo.identifiers r);
+  Alcotest.(check bool) "find A" true (Xpdl_repo.Repo.find r "A" <> None);
+  Alcotest.(check bool) "find nothing" true (Xpdl_repo.Repo.find r "Z" = None)
+
+let test_wrapper_element () =
+  let r = mem_repo [ ("multi.xpdl", {|<xpdl><cpu name="A"/><memory name="M" type="DDR"/></xpdl>|}) ] in
+  Alcotest.(check int) "both indexed" 2 (Xpdl_repo.Repo.size r)
+
+let test_anonymous_descriptor_rejected () =
+  let r = mem_repo [ ("anon.xpdl", {|<cpu frequency="1" frequency_unit="GHz"/>|}) ] in
+  Alcotest.(check int) "not indexed" 0 (Xpdl_repo.Repo.size r);
+  Alcotest.(check bool) "diagnosed" true (has_error (Xpdl_repo.Repo.diagnostics r))
+
+let test_shadowing_warns () =
+  let r = mem_repo [ ("a.xpdl", {|<cpu name="X"/>|}); ("b.xpdl", {|<cpu name="X" vendor="V"/>|}) ] in
+  Alcotest.(check int) "one entry" 1 (Xpdl_repo.Repo.size r);
+  Alcotest.(check bool) "warned" true (List.length (Xpdl_repo.Repo.diagnostics r) > 0);
+  (* later definition wins *)
+  let x = Option.get (Xpdl_repo.Repo.find r "X") in
+  Alcotest.(check (option string)) "later wins" (Some "V") (Model.attr_string x "vendor")
+
+let test_malformed_file_diagnosed () =
+  let r = mem_repo [ ("bad.xpdl", "<cpu name=\"X\"") ] in
+  Alcotest.(check bool) "parse error recorded" true (has_error (Xpdl_repo.Repo.diagnostics r))
+
+let test_hyperlinks () =
+  let dir = Filename.temp_file "xpdlrepo" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let oc = open_out (Filename.concat dir "vendor_cpu.xpdl") in
+  output_string oc {|<cpu name="VendorCPU" frequency="3" frequency_unit="GHz"/>|};
+  close_out oc;
+  let r = Xpdl_repo.Repo.create () in
+  Xpdl_repo.Repo.add_remote r ~authority:"vendor.example.com" ~root:dir;
+  Xpdl_repo.Repo.add_string r
+    {|<system id="sys"><socket><cpu id="c0" type="xpdl://vendor.example.com/VendorCPU"/></socket></system>|};
+  (match Xpdl_repo.Repo.compose_by_name r "sys" with
+  | Ok c ->
+      Alcotest.(check bool) "no errors" false (has_error c.Xpdl_repo.Repo.comp_diags);
+      let cpu = Option.get (Model.find_by_id "c0" c.Xpdl_repo.Repo.model) in
+      Alcotest.(check (option (Alcotest.float 1.)) )
+        "merged remote content" (Some 3e9)
+        (Option.map Xpdl_units.Units.value (Model.attr_quantity cpu "frequency"))
+  | Error msg -> Alcotest.fail msg);
+  Sys.remove (Filename.concat dir "vendor_cpu.xpdl");
+  Sys.rmdir dir
+
+let test_unknown_authority () =
+  let r = Xpdl_repo.Repo.create () in
+  Xpdl_repo.Repo.add_string r
+    {|<system id="sys"><cpu id="c0" type="xpdl://nowhere.example/X"/></system>|};
+  match Xpdl_repo.Repo.compose_by_name r "sys" with
+  | Ok c -> Alcotest.(check bool) "diagnosed" true (has_error c.Xpdl_repo.Repo.comp_diags
+                                                    || has_error (Xpdl_repo.Repo.diagnostics r))
+  | Error _ -> ()
+
+let test_compose_by_name_missing () =
+  let r = mem_repo [] in
+  match Xpdl_repo.Repo.compose_by_name r "ghost" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "composing an unknown model must fail"
+
+let test_descriptors_used () =
+  let r =
+    mem_repo
+      [
+        ("base.xpdl", {|<cpu name="Base"/>|});
+        ("sub.xpdl", {|<cpu name="Sub" extends="Base"/>|});
+        ("sys.xpdl", {|<system id="S"><cpu id="c" type="Sub"/></system>|});
+      ]
+  in
+  match Xpdl_repo.Repo.compose_by_name r "S" with
+  | Ok c ->
+      Alcotest.(check (list string)) "transitive closure" [ "Sub"; "Base" ]
+        c.Xpdl_repo.Repo.descriptors_used
+  | Error msg -> Alcotest.fail msg
+
+let test_config_overrides () =
+  let r =
+    mem_repo
+      [
+        ( "g.xpdl",
+          {|<device name="G"><param name="n"/><group prefix="c" quantity="n"><core/></group></device>|}
+        );
+        ("sys.xpdl", {|<system id="S"><device id="d" type="G"/></system>|});
+      ]
+  in
+  match Xpdl_repo.Repo.compose_by_name ~config:[ ("n", Xpdl_expr.Expr.Num 7.) ] r "S" with
+  | Ok c ->
+      Alcotest.(check bool) "no errors" false (has_error c.Xpdl_repo.Repo.comp_diags);
+      Alcotest.(check int) "7 cores" 7
+        (List.length (Model.elements_of_kind Schema.Core c.Xpdl_repo.Repo.model))
+  | Error msg -> Alcotest.fail msg
+
+let test_total_elements () =
+  let r = mem_repo [ ("a.xpdl", {|<cpu name="A"><core/><core/></cpu>|}) ] in
+  Alcotest.(check int) "3 elements" 3 (Xpdl_repo.Repo.total_elements r)
+
+let test_locate_bundled () =
+  (* the dune test sandbox exposes ../models *)
+  match Xpdl_repo.Repo.locate_models () with
+  | Some _ -> Alcotest.(check bool) "loads" true (Xpdl_repo.Repo.size (Xpdl_repo.Repo.load_bundled ()) > 0)
+  | None -> Alcotest.fail "bundled models not locatable"
+
+(* end-to-end property: a randomly generated repository (a CPU family
+   with inherited content, a device with parameterized SM groups, and a
+   system instantiating both) composes without errors, and the core count
+   predicted arithmetically matches the expanded model, the aggregation
+   rule, and the runtime query API *)
+let prop_random_repo_end_to_end =
+  let gen =
+    QCheck2.Gen.(
+      let* cpu_cores = 1 -- 8 in
+      let* sm_count = 1 -- 6 in
+      let* cores_per_sm = 1 -- 32 in
+      let* use_param = bool in
+      return (cpu_cores, sm_count, cores_per_sm, use_param))
+  in
+  QCheck2.Test.make ~name:"random repository composes consistently" ~count:40 gen
+    (fun (cpu_cores, sm_count, cores_per_sm, use_param) ->
+      let r = mem_repo [] in
+      Xpdl_repo.Repo.add_string r
+        (Fmt.str
+           {|<cpu name="BaseCpu" vendor="Gen" static_power="5" static_power_unit="W">
+               <group prefix="c" quantity="%d">
+                 <core frequency="2" frequency_unit="GHz"/>
+                 <cache name="L1" size="32" unit="KiB"/>
+               </group>
+             </cpu>|}
+           cpu_cores);
+      Xpdl_repo.Repo.add_string r {|<cpu name="SubCpu" extends="BaseCpu" vendor="Sub"/>|};
+      Xpdl_repo.Repo.add_string r
+        (if use_param then
+           Fmt.str
+             {|<device name="Dev" role="worker">
+                 <param name="nsm" value="%d"/>
+                 <group prefix="sm" quantity="nsm">
+                   <group prefix="u" quantity="%d"><core frequency="1" frequency_unit="GHz"/></group>
+                 </group>
+               </device>|}
+             sm_count cores_per_sm
+         else
+           Fmt.str
+             {|<device name="Dev" role="worker">
+                 <group prefix="sm" quantity="%d">
+                   <group prefix="u" quantity="%d"><core frequency="1" frequency_unit="GHz"/></group>
+                 </group>
+               </device>|}
+             sm_count cores_per_sm);
+      Xpdl_repo.Repo.add_string r
+        {|<system id="sys">
+            <socket><cpu id="cpu0" type="SubCpu"/></socket>
+            <device id="dev0" type="Dev"/>
+          </system>|};
+      match Xpdl_repo.Repo.compose_by_name r "sys" with
+      | Error msg -> QCheck2.Test.fail_reportf "compose failed: %s" msg
+      | Ok c ->
+          let expected = cpu_cores + (sm_count * cores_per_sm) in
+          let model_count =
+            List.length
+              (Xpdl_core.Model.hardware_elements_of_kind Xpdl_core.Schema.Core
+                 c.Xpdl_repo.Repo.model)
+          in
+          let agg_count = Xpdl_energy.Aggregate.core_count c.Xpdl_repo.Repo.model in
+          let query_count =
+            Xpdl_query.Query.count_cores (Xpdl_query.Query.of_model c.Xpdl_repo.Repo.model)
+          in
+          has_error c.Xpdl_repo.Repo.comp_diags = false
+          && model_count = expected && agg_count = expected && query_count = expected)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "repo"
+    [
+      ( "index",
+        [
+          case "by name and id" test_indexing;
+          case "xpdl wrapper file" test_wrapper_element;
+          case "anonymous descriptor" test_anonymous_descriptor_rejected;
+          case "shadowing warns, later wins" test_shadowing_warns;
+          case "malformed file" test_malformed_file_diagnosed;
+          case "total elements" test_total_elements;
+          case "bundled models" test_locate_bundled;
+        ] );
+      ( "hyperlinks",
+        [ case "remote authority" test_hyperlinks; case "unknown authority" test_unknown_authority ]
+      );
+      ( "compose",
+        [
+          case "missing model" test_compose_by_name_missing;
+          case "descriptors used" test_descriptors_used;
+          case "deployment config" test_config_overrides;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_random_repo_end_to_end ]);
+    ]

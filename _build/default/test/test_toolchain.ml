@@ -1,0 +1,332 @@
+(* Tests for the toolchain: runtime-model IR + codec, static analysis,
+   the end-to-end pipeline, and the C++ query-API generator. *)
+
+open Xpdl_toolchain
+
+let repo = lazy (Xpdl_repo.Repo.load_bundled ())
+
+let model name =
+  match Xpdl_repo.Repo.compose_by_name (Lazy.force repo) name with
+  | Ok c -> c.Xpdl_repo.Repo.model
+  | Error msg -> Alcotest.failf "compose %s: %s" name msg
+
+let liu_ir = lazy (Ir.of_model (model "liu_gpu_server"))
+
+(* ------------------------------------------------------------------ *)
+(* IR *)
+
+let test_ir_structure () =
+  let ir = Lazy.force liu_ir in
+  Alcotest.(check bool) "nodes" true (Ir.size ir > 5000);
+  let root = Ir.root ir in
+  Alcotest.(check (option string)) "root" (Some "liu_gpu_server") root.Ir.n_ident;
+  Alcotest.(check bool) "root has no parent" true (Ir.parent ir root = None);
+  let gpu = Option.get (Ir.find_by_ident ir "gpu1") in
+  Alcotest.(check (option string)) "typed" (Some "Nvidia_K20c") gpu.Ir.n_type;
+  let parent = Option.get (Ir.parent ir gpu) in
+  Alcotest.(check (option string)) "parent is system" (Some "liu_gpu_server") parent.Ir.n_ident
+
+let test_ir_paths () =
+  let ir = Lazy.force liu_ir in
+  let gpu = Option.get (Ir.find_by_ident ir "gpu1") in
+  Alcotest.(check string) "path" "liu_gpu_server/gpu1" gpu.Ir.n_path;
+  let sm0 = Option.get (Ir.find_by_ident ir "SM0") in
+  Alcotest.(check string) "nested path" "liu_gpu_server/gpu1/SMs/SM0" sm0.Ir.n_path
+
+let test_ir_kind_index () =
+  let ir = Lazy.force liu_ir in
+  let caches = Ir.all_of_kind ir Xpdl_core.Schema.Cache in
+  Alcotest.(check bool) "caches indexed" true (List.length caches > 15);
+  Alcotest.(check int) "one system" 1 (List.length (Ir.all_of_kind ir Xpdl_core.Schema.System))
+
+let test_ir_attr_values () =
+  let ir = Lazy.force liu_ir in
+  let gpu = Option.get (Ir.find_by_ident ir "gpu1") in
+  (match Ir.attr gpu "compute_capability" with
+  | Some (Ir.VFloat f) -> Alcotest.(check (float 1e-9)) "cc" 3.5 f
+  | _ -> Alcotest.fail "compute_capability");
+  match Ir.attr gpu "static_power" with
+  | Some (Ir.VQty (v, d)) ->
+      Alcotest.(check (float 1e-9)) "16 W" 16. v;
+      Alcotest.(check bool) "power dim" true (d = Xpdl_units.Units.Power)
+  | _ -> Alcotest.fail "static_power quantity"
+
+let test_codec_roundtrip () =
+  let ir = Lazy.force liu_ir in
+  let bytes = Ir.to_bytes ir in
+  let ir2 = Ir.of_bytes bytes in
+  Alcotest.(check int) "same size" (Ir.size ir) (Ir.size ir2);
+  let check_node i =
+    let a = Ir.node ir i and b = Ir.node ir2 i in
+    Alcotest.(check bool) ("node " ^ string_of_int i) true
+      (a.Ir.n_ident = b.Ir.n_ident && a.Ir.n_kind = b.Ir.n_kind && a.Ir.n_path = b.Ir.n_path
+     && a.Ir.n_parent = b.Ir.n_parent && a.Ir.n_attrs = b.Ir.n_attrs
+     && a.Ir.n_children = b.Ir.n_children)
+  in
+  List.iter check_node [ 0; 1; Ir.size ir / 2; Ir.size ir - 1 ]
+
+let test_codec_file_roundtrip () =
+  let ir = Lazy.force liu_ir in
+  let path = Filename.temp_file "xpdl" ".xrt" in
+  Ir.to_file path ir;
+  let ir2 = Ir.of_file path in
+  Sys.remove path;
+  Alcotest.(check int) "same size" (Ir.size ir) (Ir.size ir2);
+  Alcotest.(check bool) "gpu1 findable" true (Ir.find_by_ident ir2 "gpu1" <> None)
+
+let test_codec_rejects_garbage () =
+  (match Ir.of_bytes "not a runtime model" with
+  | exception Ir.Corrupt _ -> ()
+  | _ -> Alcotest.fail "bad magic must be rejected");
+  (* bad version *)
+  let ir = Ir.of_model (Xpdl_core.Elaborate.of_string_exn {|<cpu name="x"/>|}) in
+  let bytes = Bytes.of_string (Ir.to_bytes ir) in
+  Bytes.set bytes 6 '\xFF';
+  (match Ir.of_bytes (Bytes.to_string bytes) with
+  | exception Ir.Corrupt _ -> ()
+  | _ -> Alcotest.fail "bad version must be rejected");
+  (* truncation *)
+  let full = Ir.to_bytes ir in
+  match Ir.of_bytes (String.sub full 0 (String.length full - 8)) with
+  | exception Ir.Corrupt _ -> ()
+  | _ -> Alcotest.fail "truncated file must be rejected"
+
+let prop_codec_roundtrip =
+  (* random small models through the codec *)
+  let gen =
+    QCheck2.Gen.(
+      let* cores = 1 -- 8 in
+      let* caches = 0 -- 3 in
+      let* power = 1 -- 50 in
+      return (cores, caches, power))
+  in
+  QCheck2.Test.make ~name:"codec round-trip on random models" ~count:50 gen
+    (fun (cores, caches, power) ->
+      let src =
+        Fmt.str
+          {|<cpu name="c" static_power="%d" static_power_unit="W"><group prefix="k" quantity="%d"><core frequency="1" frequency_unit="GHz"/></group>%s</cpu>|}
+          power cores
+          (String.concat ""
+             (List.init caches (fun i ->
+                  Fmt.str {|<cache name="L%d" size="%d" unit="KiB"/>|} i (8 * (i + 1)))))
+      in
+      let m, _ = Xpdl_core.Instantiate.run (Xpdl_core.Elaborate.of_string_exn src) in
+      let ir = Ir.of_model m in
+      let ir2 = Ir.of_bytes (Ir.to_bytes ir) in
+      Ir.size ir = Ir.size ir2
+      && (Ir.root ir).Ir.n_attrs = (Ir.root ir2).Ir.n_attrs)
+
+(* ------------------------------------------------------------------ *)
+(* Static analysis *)
+
+let test_bandwidth_downgrade () =
+  (* PCIe3 declares 6 GiB/s but the host DDR3_16G memory sustains only
+     12 GiB/s and the GPU's global memory 150 GiB/s — no downgrade.
+     Craft a system where the endpoint memory is slower than the link. *)
+  let r = Xpdl_repo.Repo.create () in
+  Xpdl_repo.Repo.add_string r
+    {|<system id="slowmem">
+        <cpu id="host"><memory id="m" type="DDR" size="1" unit="GB" bandwidth="2" bandwidth_unit="GiB/s"/></cpu>
+        <device id="dev"><memory id="dm" type="x" size="1" unit="GB" bandwidth="100" bandwidth_unit="GiB/s"/></device>
+        <interconnects>
+          <interconnect id="link">
+            <channel name="ch" max_bandwidth="6" max_bandwidth_unit="GiB/s"/>
+          </interconnect>
+        </interconnects>
+      </system>|};
+  let sys = Option.get (Xpdl_repo.Repo.find r "slowmem") in
+  let sys = Xpdl_core.Model.set_attr sys "id" (Xpdl_core.Model.Str "slowmem") in
+  ignore sys;
+  let m = Option.get (Xpdl_repo.Repo.find r "slowmem") in
+  (* give the link endpoints *)
+  let m =
+    let rec fix (e : Xpdl_core.Model.element) =
+      let e = { e with Xpdl_core.Model.children = List.map fix e.Xpdl_core.Model.children } in
+      if e.Xpdl_core.Model.id = Some "link" then
+        Xpdl_core.Model.set_attr
+          (Xpdl_core.Model.set_attr e "head" (Xpdl_core.Model.Str "host"))
+          "tail" (Xpdl_core.Model.Str "dev")
+      else e
+    in
+    fix m
+  in
+  let annotated, reports = Analysis.effective_bandwidths m in
+  match reports with
+  | [ rep ] ->
+      Alcotest.(check bool) "downgraded" true rep.Analysis.lr_downgraded;
+      (match rep.Analysis.lr_effective with
+      | Some eff -> Alcotest.(check (float 1e3)) "to 2 GiB/s" (2. *. (1024. ** 3.)) eff
+      | None -> Alcotest.fail "effective bandwidth");
+      let link = Option.get (Xpdl_core.Model.find_by_id "link" annotated) in
+      Alcotest.(check bool) "annotated" true
+        (Xpdl_core.Model.attr_quantity link "effective_bandwidth" <> None)
+  | l -> Alcotest.failf "expected one report, got %d" (List.length l)
+
+let test_no_downgrade_when_fast () =
+  let m = model "liu_gpu_server" in
+  let _, reports = Analysis.effective_bandwidths m in
+  let conn = List.find (fun r -> r.Analysis.lr_ident = "connection1") reports in
+  Alcotest.(check bool) "PCIe not downgraded" false conn.Analysis.lr_downgraded
+
+let test_cluster_path_bandwidth () =
+  let m = model "XScluster" in
+  let g = Analysis.build_graph m in
+  (* path n0 -> n2 exists through the IB ring; bandwidth = 5 GiB/s *)
+  (match Analysis.path_bandwidth g ~src:"n0" ~dst:"n2" with
+  | Some bw -> Alcotest.(check (float 1e6)) "IB bottleneck" (5. *. (1024. ** 3.)) bw
+  | None -> Alcotest.fail "n0 and n2 must be connected");
+  (* cpu1 -> gpu1 inside a node over PCIe3 *)
+  match Analysis.path_bandwidth g ~src:"cpu1" ~dst:"gpu1" with
+  | Some bw -> Alcotest.(check bool) "PCIe class" true (bw > 5. *. (1024. ** 3.))
+  | None -> Alcotest.fail "cpu1 and gpu1 must be connected"
+
+let test_unreachable_path () =
+  let g = { Analysis.g_nodes = [ "a"; "b" ]; g_edges = [] } in
+  Alcotest.(check bool) "disconnected" true (Analysis.path_bandwidth g ~src:"a" ~dst:"b" = None)
+
+let test_connected_components () =
+  let m = model "myriad_server" in
+  let g = Analysis.build_graph m in
+  let comps = Analysis.connected_components g in
+  Alcotest.(check int) "one component" 1 (List.length comps)
+
+let test_filter_attributes () =
+  let m = model "liu_gpu_server" in
+  let filtered = Analysis.filter_attributes m in
+  Xpdl_core.Model.iter
+    (fun e ->
+      List.iter
+        (fun k ->
+          if List.mem_assoc k e.Xpdl_core.Model.attrs then
+            Alcotest.failf "attribute %s must be filtered" k)
+        Analysis.default_filtered)
+    filtered;
+  (* custom drop list *)
+  let f2 = Analysis.filter_attributes ~drop:[ "vendor" ] m in
+  Alcotest.(check bool) "vendor gone" true
+    (Xpdl_core.Model.fold
+       (fun acc e -> acc && not (List.mem_assoc "vendor" e.Xpdl_core.Model.attrs))
+       true f2)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline *)
+
+let test_pipeline_end_to_end () =
+  match Pipeline.run ~repo:(Lazy.force repo) ~system:"liu_gpu_server" () with
+  | Error msg -> Alcotest.fail msg
+  | Ok report ->
+      Alcotest.(check bool) "no errors" true
+        (Xpdl_core.Diagnostic.all_ok report.Pipeline.diagnostics);
+      Alcotest.(check bool) "bootstrap ran" true (report.Pipeline.bootstrap_results <> []);
+      Alcotest.(check bool) "ir built" true (Ir.size report.Pipeline.runtime_model > 5000);
+      Alcotest.(check bool) "bytes" true (report.Pipeline.runtime_model_bytes > 100_000);
+      Alcotest.(check bool) "all stages timed" true (List.length report.Pipeline.timings >= 6);
+      Alcotest.(check bool) "descriptors tracked" true
+        (List.mem "Nvidia_K20c" report.Pipeline.descriptors_used);
+      (* no ? placeholders survive in the runtime model *)
+      let survivors =
+        Array.fold_left
+          (fun acc n ->
+            Array.fold_left
+              (fun acc (_, v) -> match v with Ir.VUnknown -> acc + 1 | _ -> acc)
+              acc n.Ir.n_attrs)
+          0 report.Pipeline.runtime_model.Ir.nodes
+      in
+      Alcotest.(check int) "no unknowns left" 0 survivors
+
+let test_pipeline_without_bootstrap () =
+  let config = { Pipeline.default_config with run_bootstrap = false } in
+  match Pipeline.run ~config ~repo:(Lazy.force repo) ~system:"liu_gpu_server" () with
+  | Error msg -> Alcotest.fail msg
+  | Ok report ->
+      Alcotest.(check bool) "no bootstrap results" true (report.Pipeline.bootstrap_results = []);
+      (* unknown energies survive *)
+      let survivors =
+        Array.fold_left
+          (fun acc n ->
+            Array.fold_left
+              (fun acc (_, v) -> match v with Ir.VUnknown -> acc + 1 | _ -> acc)
+              acc n.Ir.n_attrs)
+          0 report.Pipeline.runtime_model.Ir.nodes
+      in
+      Alcotest.(check bool) "unknowns remain" true (survivors > 0)
+
+let test_pipeline_unknown_system () =
+  match Pipeline.run ~repo:(Lazy.force repo) ~system:"ghost" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown system must fail"
+
+let test_pipeline_emits_drivers () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "xpdl_pipe_drivers" in
+  let config = { Pipeline.default_config with emit_drivers_to = Some dir } in
+  (match Pipeline.run ~config ~repo:(Lazy.force repo) ~system:"liu_gpu_server" () with
+  | Error msg -> Alcotest.fail msg
+  | Ok _ ->
+      Alcotest.(check bool) "drivers written" true
+        (Sys.file_exists (Filename.concat dir "fadd.c")));
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let test_pipeline_to_file_and_query () =
+  let out = Filename.temp_file "xpdl" ".xrt" in
+  (match Pipeline.run_to_file ~repo:(Lazy.force repo) ~system:"myriad_server" ~output:out () with
+  | Error msg -> Alcotest.fail msg
+  | Ok _ ->
+      let ir = Ir.of_file out in
+      Alcotest.(check bool) "loadable" true (Ir.find_by_ident ir "mv153board" <> None));
+  Sys.remove out
+
+(* ------------------------------------------------------------------ *)
+(* C++ codegen *)
+
+let test_cpp_header () =
+  let header = Cpp_codegen.generate_header () in
+  let contains affix =
+    let al = String.length affix and sl = String.length header in
+    let rec go i = i + al <= sl && (String.sub header i al = affix || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "init entry point" true (contains "int xpdl_init(char *filename)");
+  Alcotest.(check bool) "base class" true (contains "class XpdlElement");
+  Alcotest.(check bool) "cpu class" true (contains "class XpdlCpu");
+  Alcotest.(check bool) "cache getter" true (contains "get_size()");
+  Alcotest.(check bool) "setter" true (contains "set_frequency(");
+  Alcotest.(check bool) "navigation" true (contains "children_of<XpdlCore>");
+  Alcotest.(check bool) "analysis fns" true (contains "count_cores");
+  Alcotest.(check bool) "hundreds of getters" true (Cpp_codegen.getter_count () > 150)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "toolchain"
+    [
+      ( "ir",
+        [
+          case "structure" test_ir_structure;
+          case "paths" test_ir_paths;
+          case "kind index" test_ir_kind_index;
+          case "attribute values" test_ir_attr_values;
+          case "codec round-trip" test_codec_roundtrip;
+          case "file round-trip" test_codec_file_roundtrip;
+          case "rejects corrupt input" test_codec_rejects_garbage;
+          QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+        ] );
+      ( "analysis",
+        [
+          case "bandwidth downgrade" test_bandwidth_downgrade;
+          case "no false downgrade" test_no_downgrade_when_fast;
+          case "cluster path bandwidth" test_cluster_path_bandwidth;
+          case "unreachable path" test_unreachable_path;
+          case "connected components" test_connected_components;
+          case "attribute filtering" test_filter_attributes;
+        ] );
+      ( "pipeline",
+        [
+          case "end to end" test_pipeline_end_to_end;
+          case "bootstrap off" test_pipeline_without_bootstrap;
+          case "unknown system" test_pipeline_unknown_system;
+          case "driver emission" test_pipeline_emits_drivers;
+          case "file output + reload" test_pipeline_to_file_and_query;
+        ] );
+      ("cpp", [ case "generated header" test_cpp_header ]);
+    ]

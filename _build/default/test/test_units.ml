@@ -1,0 +1,181 @@
+(* Tests for the unit system. *)
+
+open Xpdl_units
+
+let approx ?(eps = 1e-9) () = Alcotest.float eps
+
+let test_size_parsing () =
+  Alcotest.check (approx ()) "32 KiB" (32. *. 1024.) (Units.value (Units.of_string "32" "KiB"));
+  Alcotest.check (approx ()) "KB is binary (datasheet convention)" (4. *. 1024.)
+    (Units.value (Units.of_string "4" "KB"));
+  Alcotest.check (approx ()) "15 MiB" (15. *. 1024. *. 1024.)
+    (Units.value (Units.of_string "15" "MiB"));
+  Alcotest.check (approx ()) "16 GB" (16. *. (1024. ** 3.)) (Units.value (Units.of_string "16" "GB"))
+
+let test_frequency_parsing () =
+  Alcotest.check (approx ()) "2 GHz" 2e9 (Units.value (Units.of_string "2" "GHz"));
+  Alcotest.check (approx ()) "180 MHz" 1.8e8 (Units.value (Units.of_string "180" "MHz"));
+  Alcotest.check (approx ()) "706 MHz" 7.06e8 (Units.value (Units.of_string "706" "MHz"))
+
+let test_power_energy_time () =
+  Alcotest.check (approx ()) "4 W" 4. (Units.value (Units.of_string "4" "W"));
+  Alcotest.check (approx ()) "18.625 nJ" 18.625e-9 (Units.value (Units.of_string "18.625" "nJ"));
+  Alcotest.check (approx ()) "8 pJ" 8e-12 (Units.value (Units.of_string "8" "pJ"));
+  Alcotest.check (approx ()) "10 us" 1e-5 (Units.value (Units.of_string "10" "us"));
+  Alcotest.check (approx ()) "1 Wh" 3600. (Units.value (Units.of_string "1" "Wh"))
+
+let test_bandwidth () =
+  Alcotest.check (approx ()) "6 GiB/s" (6. *. (1024. ** 3.))
+    (Units.value (Units.of_string "6" "GiB/s"))
+
+let test_dimension_detect () =
+  Alcotest.(check bool) "size" true (Units.dim (Units.of_string "1" "KiB") = Units.Size);
+  Alcotest.(check bool) "freq" true (Units.dim (Units.of_string "1" "GHz") = Units.Frequency);
+  Alcotest.(check bool) "power" true (Units.dim (Units.of_string "1" "mW") = Units.Power);
+  Alcotest.(check bool) "energy" true (Units.dim (Units.of_string "1" "kWh") = Units.Energy);
+  Alcotest.(check bool) "time" true (Units.dim (Units.of_string "1" "ns") = Units.Time);
+  Alcotest.(check bool) "bandwidth" true (Units.dim (Units.of_string "1" "MB/s") = Units.Bandwidth)
+
+let test_unknown_unit () =
+  (match Units.of_string "1" "parsec" with
+  | exception Units.Unit_error _ -> ()
+  | _ -> Alcotest.fail "parsec must be rejected");
+  Alcotest.(check bool) "of_string_opt" true (Units.of_string_opt "1" "parsec" = None);
+  Alcotest.(check bool) "is_known_unit" false (Units.is_known_unit "parsec");
+  Alcotest.(check bool) "GHz known" true (Units.is_known_unit "GHz")
+
+let test_malformed_number () =
+  match Units.of_string "not-a-number" "W" with
+  | exception Units.Unit_error _ -> ()
+  | _ -> Alcotest.fail "malformed number must be rejected"
+
+let test_to_unit () =
+  let q = Units.of_string "2" "GHz" in
+  Alcotest.check (approx ()) "GHz->MHz" 2000. (Units.to_unit q "MHz");
+  let s = Units.of_string "256" "KiB" in
+  Alcotest.check (approx ()) "KiB->MiB" 0.25 (Units.to_unit s "MiB")
+
+let test_to_unit_dimension_mismatch () =
+  match Units.to_unit (Units.of_string "1" "W") "GHz" with
+  | exception Units.Unit_error _ -> ()
+  | _ -> Alcotest.fail "W cannot convert to GHz"
+
+let test_arithmetic () =
+  let a = Units.watts 3. and b = Units.watts 4. in
+  Alcotest.check (approx ()) "add" 7. (Units.value (Units.add a b));
+  Alcotest.check (approx ()) "sub" (-1.) (Units.value (Units.sub a b));
+  Alcotest.check (approx ()) "scale" 6. (Units.value (Units.scale 2. a));
+  Alcotest.check (approx ()) "neg" (-3.) (Units.value (Units.neg a));
+  Alcotest.check (approx ()) "ratio" 0.75 (Units.ratio a b)
+
+let test_arithmetic_dimension_check () =
+  match Units.add (Units.watts 1.) (Units.seconds 1.) with
+  | exception Units.Unit_error _ -> ()
+  | _ -> Alcotest.fail "adding W + s must fail"
+
+let test_derived_products () =
+  let e = Units.energy_of_power_time (Units.watts 20.) (Units.seconds 2.) in
+  Alcotest.check (approx ()) "E = P*t" 40. (Units.value e);
+  Alcotest.(check bool) "dim" true (Units.dim e = Units.Energy);
+  let p = Units.power_of_energy_time e (Units.seconds 2.) in
+  Alcotest.check (approx ()) "P = E/t" 20. (Units.value p);
+  let t = Units.time_of_size_bandwidth (Units.bytes 1024.) (Units.bytes_per_second 512.) in
+  Alcotest.check (approx ()) "t = s/bw" 2. (Units.value t);
+  let t2 = Units.time_of_cycles_frequency 2e9 (Units.hertz 2e9) in
+  Alcotest.check (approx ()) "t = c/f" 1. (Units.value t2)
+
+let test_derived_products_guards () =
+  (match Units.energy_of_power_time (Units.seconds 1.) (Units.seconds 1.) with
+  | exception Units.Unit_error _ -> ()
+  | _ -> Alcotest.fail "energy_of_power_time needs power x time");
+  match Units.time_of_size_bandwidth (Units.watts 1.) (Units.bytes_per_second 1.) with
+  | exception Units.Unit_error _ -> ()
+  | _ -> Alcotest.fail "time_of_size_bandwidth needs size / bandwidth"
+
+let test_compare_equal () =
+  Alcotest.(check int) "lt" (-1) (Units.compare (Units.watts 1.) (Units.watts 2.));
+  Alcotest.(check bool) "equal" true (Units.equal (Units.watts 1.) (Units.watts (1. +. 1e-12)));
+  Alcotest.(check bool) "not equal dims" false (Units.equal (Units.watts 1.) (Units.seconds 1.))
+
+let test_pretty_printing () =
+  Alcotest.(check string) "GHz" "2 GHz" (Units.to_string (Units.hertz 2e9));
+  Alcotest.(check string) "KiB" "32 KiB" (Units.to_string (Units.bytes (32. *. 1024.)));
+  Alcotest.(check string) "nJ" "18.625 nJ" (Units.to_string (Units.joules 18.625e-9));
+  Alcotest.(check string) "ms" "1.5 ms" (Units.to_string (Units.seconds 1.5e-3))
+
+let test_all_spellings_roundtrip () =
+  (* every unit spelling the table recognizes parses and roundtrips *)
+  List.iter
+    (fun u ->
+      Alcotest.(check bool) (u ^ " known") true (Units.is_known_unit u);
+      let q = Units.of_value 3.5 u in
+      Alcotest.check (approx ~eps:1e-9 ()) (u ^ " roundtrip") 3.5 (Units.to_unit q u))
+    [ "B"; "byte"; "bytes"; "kB"; "KB"; "KiB"; "kiB"; "MB"; "MiB"; "GB"; "GiB"; "TB"; "TiB";
+      "Hz"; "kHz"; "KHz"; "MHz"; "GHz"; "W"; "mW"; "uW"; "kW"; "J"; "mJ"; "uJ"; "nJ"; "pJ";
+      "kJ"; "Wh"; "kWh"; "s"; "sec"; "ms"; "us"; "ns"; "ps"; "min"; "h"; "B/s"; "kB/s";
+      "KB/s"; "KiB/s"; "MB/s"; "MiB/s"; "GB/s"; "GiB/s"; "TB/s"; "V"; "mV"; "K" ]
+
+(* property tests *)
+
+let gen_unit_spelling =
+  QCheck2.Gen.oneofl
+    [ "B"; "KiB"; "MiB"; "GB"; "Hz"; "MHz"; "GHz"; "W"; "mW"; "J"; "nJ"; "pJ"; "s"; "ms"; "us";
+      "ns"; "B/s"; "MB/s"; "GiB/s"; "V" ]
+
+let prop_roundtrip_unit =
+  QCheck2.Test.make ~name:"of_value/to_unit round-trip" ~count:300
+    QCheck2.Gen.(pair (float_bound_exclusive 1e6) gen_unit_spelling)
+    (fun (v, u) ->
+      let q = Units.of_value v u in
+      Float.abs (Units.to_unit q u -. v) <= 1e-9 *. Float.max 1. (Float.abs v))
+
+let prop_add_commutative =
+  QCheck2.Test.make ~name:"add commutative" ~count:200
+    QCheck2.Gen.(pair (float_bound_exclusive 1e9) (float_bound_exclusive 1e9))
+    (fun (a, b) ->
+      Units.equal (Units.add (Units.watts a) (Units.watts b))
+        (Units.add (Units.watts b) (Units.watts a)))
+
+let prop_scale_linear =
+  QCheck2.Test.make ~name:"scale distributes over add" ~count:200
+    QCheck2.Gen.(triple (float_bound_exclusive 1e3) (float_bound_exclusive 1e3) (float_bound_exclusive 100.))
+    (fun (a, b, k) ->
+      Units.equal ~eps:1e-6
+        (Units.scale k (Units.add (Units.joules a) (Units.joules b)))
+        (Units.add (Units.scale k (Units.joules a)) (Units.scale k (Units.joules b))))
+
+let () =
+  Alcotest.run "units"
+    [
+      ( "parsing",
+        [
+          Alcotest.test_case "sizes" `Quick test_size_parsing;
+          Alcotest.test_case "frequencies" `Quick test_frequency_parsing;
+          Alcotest.test_case "power/energy/time" `Quick test_power_energy_time;
+          Alcotest.test_case "bandwidth" `Quick test_bandwidth;
+          Alcotest.test_case "dimension detection" `Quick test_dimension_detect;
+          Alcotest.test_case "unknown unit" `Quick test_unknown_unit;
+          Alcotest.test_case "malformed number" `Quick test_malformed_number;
+        ] );
+      ( "conversion",
+        [
+          Alcotest.test_case "to_unit" `Quick test_to_unit;
+          Alcotest.test_case "dimension mismatch" `Quick test_to_unit_dimension_mismatch;
+        ] );
+      ( "arithmetic",
+        [
+          Alcotest.test_case "add/sub/scale/ratio" `Quick test_arithmetic;
+          Alcotest.test_case "dimension check" `Quick test_arithmetic_dimension_check;
+          Alcotest.test_case "derived products" `Quick test_derived_products;
+          Alcotest.test_case "derived product guards" `Quick test_derived_products_guards;
+          Alcotest.test_case "compare/equal" `Quick test_compare_equal;
+        ] );
+      ( "printing",
+        [
+          Alcotest.test_case "human units" `Quick test_pretty_printing;
+          Alcotest.test_case "all spellings" `Quick test_all_spellings_roundtrip;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip_unit; prop_add_commutative; prop_scale_linear ] );
+    ]

@@ -1,0 +1,348 @@
+(* Tests for the XML substrate: Dom, Parse, Print, Path. *)
+
+open Xpdl_xml
+
+let parse s = Parse.string_exn s
+let parse_lenient s = Parse.string_exn ~lenient:true s
+
+let check_parse_error ?lenient name s =
+  Alcotest.test_case name `Quick (fun () ->
+      match Parse.string ?lenient s with
+      | Ok _ -> Alcotest.failf "expected a parse error for %S" s
+      | Error _ -> ())
+
+let contains ~affix s =
+  let al = String.length affix and sl = String.length s in
+  let rec go i = i + al <= sl && (String.sub s i al = affix || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+let test_simple_element () =
+  let e = parse "<cpu/>" in
+  Alcotest.(check string) "tag" "cpu" e.Dom.tag;
+  Alcotest.(check int) "no children" 0 (List.length e.Dom.children)
+
+let test_attributes () =
+  let e = parse {|<cache name="L1" size="32" unit="KiB"/>|} in
+  Alcotest.(check (option string)) "name" (Some "L1") (Dom.attribute e "name");
+  Alcotest.(check (option string)) "size" (Some "32") (Dom.attribute e "size");
+  Alcotest.(check (option string)) "absent" None (Dom.attribute e "nope")
+
+let test_single_quotes () =
+  let e = parse {|<a x='hello world'/>|} in
+  Alcotest.(check (option string)) "value" (Some "hello world") (Dom.attribute e "x")
+
+let test_nested () =
+  let e = parse "<a><b><c/></b><d/></a>" in
+  Alcotest.(check int) "2 children" 2 (List.length (Dom.child_elements e));
+  Alcotest.(check int) "count" 4 (Dom.element_count e)
+
+let test_text_content () =
+  let e = parse "<a>hello <b>skip</b>world</a>" in
+  Alcotest.(check string) "text" "hello world" (Dom.text_content e)
+
+let test_entities () =
+  let e = parse "<a x=\"a&lt;b&amp;c&gt;d&quot;e&apos;f\">x &lt; y</a>" in
+  Alcotest.(check (option string)) "attr entities" (Some "a<b&c>d\"e'f") (Dom.attribute e "x");
+  Alcotest.(check string) "text entities" "x < y" (Dom.text_content e)
+
+let test_numeric_entities () =
+  let e = parse "<a>&#65;&#x42;&#x43;</a>" in
+  Alcotest.(check string) "decoded" "ABC" (Dom.text_content e)
+
+let test_unicode_entity () =
+  let e = parse "<a>&#956;</a>" in
+  Alcotest.(check string) "mu utf8" "\xce\xbc" (Dom.text_content e)
+
+let test_comments_skipped () =
+  let e = parse "<a><!-- a comment --><b/></a>" in
+  Alcotest.(check int) "one element child" 1 (List.length (Dom.child_elements e));
+  match e.Dom.children with
+  | [ Dom.Comment (body, _); Dom.Element _ ] ->
+      Alcotest.(check string) "comment body" " a comment " body
+  | _ -> Alcotest.fail "expected comment then element"
+
+let test_cdata () =
+  let e = parse "<a><![CDATA[<not-xml> & raw]]></a>" in
+  Alcotest.(check string) "cdata" "<not-xml> & raw" (Dom.text_content e)
+
+let test_prolog_and_doctype () =
+  let e =
+    parse "<?xml version=\"1.0\" encoding=\"UTF-8\"?><!DOCTYPE cpu [<!ELEMENT cpu ANY>]><cpu/>"
+  in
+  Alcotest.(check string) "root" "cpu" e.Dom.tag
+
+let test_processing_instruction () =
+  let e = parse "<a><?pi some data?><b/></a>" in
+  Alcotest.(check int) "pi skipped" 1 (List.length (Dom.child_elements e))
+
+let test_self_closing_with_space () =
+  let e = parse "<a x=\"1\" />" in
+  Alcotest.(check (option string)) "attr" (Some "1") (Dom.attribute e "x")
+
+let test_lenient_unquoted () =
+  let e = parse_lenient {|<group prefix="core" quantity=4><core/></group>|} in
+  Alcotest.(check (option string)) "unquoted value" (Some "4") (Dom.attribute e "quantity")
+
+let test_strict_rejects_unquoted () =
+  match Parse.string {|<group quantity=4/>|} with
+  | Ok _ -> Alcotest.fail "strict mode must reject unquoted attribute values"
+  | Error _ -> ()
+
+let test_position_tracking () =
+  let e = parse "<a>\n  <b/>\n</a>" in
+  match Dom.child_elements e with
+  | [ b ] ->
+      Alcotest.(check int) "line" 2 b.Dom.pos.Dom.line;
+      Alcotest.(check int) "column" 4 b.Dom.pos.Dom.column
+  | _ -> Alcotest.fail "expected one child"
+
+let test_error_position () =
+  match Parse.string "<a>\n<b></c>\n</a>" with
+  | Ok _ -> Alcotest.fail "mismatched tags must fail"
+  | Error msg -> Alcotest.(check bool) "mentions line 2" true (contains ~affix:":2:" msg)
+
+(* ------------------------------------------------------------------ *)
+(* Dom manipulation *)
+
+let test_set_attribute () =
+  let e = parse "<a x=\"1\"/>" in
+  let e = Dom.set_attribute e "x" "2" in
+  let e = Dom.set_attribute e "y" "3" in
+  Alcotest.(check (option string)) "replaced" (Some "2") (Dom.attribute e "x");
+  Alcotest.(check (option string)) "added" (Some "3") (Dom.attribute e "y");
+  let e = Dom.remove_attribute e "x" in
+  Alcotest.(check (option string)) "removed" None (Dom.attribute e "x")
+
+let test_children_named () =
+  let e = parse "<a><b/><c/><b/></a>" in
+  Alcotest.(check int) "two b" 2 (List.length (Dom.children_named e "b"));
+  Alcotest.(check bool) "first b" true (Dom.child_named e "b" <> None);
+  Alcotest.(check bool) "no d" true (Dom.child_named e "d" = None)
+
+let test_find_filter () =
+  let e = parse "<a><b x=\"1\"/><c><b x=\"2\"/></c></a>" in
+  let bs = Dom.filter_elements (fun el -> el.Dom.tag = "b") e in
+  Alcotest.(check int) "two bs found" 2 (List.length bs);
+  match Dom.find_element (fun el -> Dom.attribute el "x" = Some "2") e with
+  | Some el -> Alcotest.(check string) "tag" "b" el.Dom.tag
+  | None -> Alcotest.fail "should find x=2"
+
+let test_structural_equality () =
+  let a = parse "<a x=\"1\"><b/> \n <!--c--></a>" in
+  let b = parse "<a x=\"1\"><b/></a>" in
+  Alcotest.(check bool) "equal modulo whitespace+comments" true (Dom.equal_element a b);
+  let c = parse "<a x=\"2\"><b/></a>" in
+  Alcotest.(check bool) "different attr" false (Dom.equal_element a c)
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let test_print_roundtrip_simple () =
+  let e = parse {|<cpu name="x"><core frequency="2"/><cache size="32"/></cpu>|} in
+  let printed = Print.to_string e in
+  let e2 = parse printed in
+  Alcotest.(check bool) "roundtrip" true (Dom.equal_element e e2)
+
+let test_print_escapes () =
+  let e = Dom.element "a" ~attrs:[ Dom.attr "x" "<>&\"" ] ~children:[ Dom.text "a<b&c" ] in
+  let printed = Print.to_string e in
+  let e2 = parse printed in
+  Alcotest.(check (option string)) "attr survives" (Some "<>&\"") (Dom.attribute e2 "x");
+  Alcotest.(check string) "text survives" "a<b&c" (Dom.text_content e2)
+
+let test_print_decl () =
+  let e = parse "<a/>" in
+  let s = Print.to_string ~decl:true e in
+  Alcotest.(check bool) "has decl" true (String.length s > 5 && String.sub s 0 5 = "<?xml")
+
+(* ------------------------------------------------------------------ *)
+(* Path *)
+
+let sample =
+  parse
+    {|<system id="s">
+        <cpu id="c1"><cache name="L1" size="32"/><cache name="L2" size="256"/></cpu>
+        <cpu id="c2"><cache name="L1" size="64"/></cpu>
+        <device id="g"><cache name="L1" size="16"/></device>
+      </system>|}
+
+let test_path_root () =
+  Alcotest.(check int) "root match" 1 (List.length (Path.select "system" sample))
+
+let test_path_child () =
+  Alcotest.(check int) "cpus" 2 (List.length (Path.select "system/cpu" sample))
+
+let test_path_descendant () =
+  Alcotest.(check int) "all caches" 4 (List.length (Path.select "//cache" sample))
+
+let test_path_attr_pred () =
+  let l1s = Path.select "//cache[@name=L1]" sample in
+  Alcotest.(check int) "three L1" 3 (List.length l1s);
+  let quoted = Path.select {|//cache[@name="L1"]|} sample in
+  Alcotest.(check int) "quoted same" 3 (List.length quoted)
+
+let test_path_attr_presence () =
+  Alcotest.(check int) "with name" 4 (List.length (Path.select "//cache[@name]" sample))
+
+let test_path_position () =
+  match Path.select "system/cpu[2]" sample with
+  | [ e ] -> Alcotest.(check (option string)) "second cpu" (Some "c2") (Dom.attribute e "id")
+  | l -> Alcotest.failf "expected 1 element, got %d" (List.length l)
+
+let test_path_chained () =
+  match Path.select_attr "system/cpu[@id=c1]/cache[@name=L2]" "size" sample with
+  | Some v -> Alcotest.(check string) "size" "256" v
+  | None -> Alcotest.fail "L2 of c1 not found"
+
+let test_path_star () =
+  Alcotest.(check int) "all children" 3 (List.length (Path.select "system/*" sample))
+
+let test_path_no_match () =
+  Alcotest.(check int) "no gpu tag" 0 (List.length (Path.select "//gpu" sample));
+  Alcotest.(check bool) "select_one none" true (Path.select_one "//gpu" sample = None)
+
+let test_path_syntax_error () =
+  match Path.parse "" with
+  | exception Path.Syntax_error _ -> ()
+  | _ -> Alcotest.fail "empty path must be a syntax error"
+
+let test_deep_nesting () =
+  let depth = 2000 in
+  let buf = Buffer.create (depth * 8) in
+  for i = 0 to depth - 1 do
+    Fmt.kstr (Buffer.add_string buf) "<n%d>" i
+  done;
+  for i = depth - 1 downto 0 do
+    Fmt.kstr (Buffer.add_string buf) "</n%d>" i
+  done;
+  let e = parse (Buffer.contents buf) in
+  Alcotest.(check int) "all elements" depth (Dom.element_count e)
+
+let test_crlf_positions () =
+  let e = parse "<a>\r\n  <b/>\r\n</a>" in
+  match Dom.child_elements e with
+  | [ b ] -> Alcotest.(check int) "line with CRLF" 2 b.Dom.pos.Dom.line
+  | _ -> Alcotest.fail "child"
+
+(* ------------------------------------------------------------------ *)
+(* Property tests *)
+
+let gen_name =
+  QCheck2.Gen.(
+    let* first = oneofl [ 'a'; 'b'; 'x'; 'T' ] in
+    let* rest = string_size ~gen:(oneofl [ 'a'; 'z'; '0'; '_'; '-' ]) (0 -- 8) in
+    return (String.make 1 first ^ rest))
+
+let gen_text = QCheck2.Gen.(string_size ~gen:printable (0 -- 30))
+
+let gen_tree =
+  QCheck2.Gen.(
+    sized
+    @@ fix (fun self n ->
+           let* tag = gen_name in
+           let* attrs =
+             list_size (0 -- 4)
+               (let* k = gen_name in
+                let* v = gen_text in
+                return (k, v))
+           in
+           let attrs =
+             List.fold_left
+               (fun acc (k, v) -> if List.mem_assoc k acc then acc else (k, v) :: acc)
+               [] attrs
+           in
+           let attrs = List.map (fun (k, v) -> Dom.attr k v) attrs in
+           if n <= 1 then return (Dom.element tag ~attrs)
+           else
+             let* kids = list_size (0 -- 3) (self (n / 4)) in
+             let* txt = gen_text in
+             let children =
+               List.map (fun k -> Dom.Element k) kids
+               @ if String.trim txt = "" then [] else [ Dom.text txt ]
+             in
+             return (Dom.element tag ~attrs ~children)))
+
+let prop_print_parse_roundtrip =
+  QCheck2.Test.make ~name:"print/parse round-trip" ~count:200 gen_tree (fun tree ->
+      let printed = Print.to_string tree in
+      match Parse.string printed with
+      | Ok reparsed -> Dom.equal_element tree reparsed
+      | Error msg -> QCheck2.Test.fail_reportf "reparse failed: %s on %s" msg printed)
+
+let prop_compact_print_roundtrip =
+  QCheck2.Test.make ~name:"compact print round-trip" ~count:200 gen_tree (fun tree ->
+      match Parse.string (Print.to_string ~indent:false tree) with
+      | Ok reparsed -> Dom.equal_element tree reparsed
+      | Error _ -> false)
+
+let prop_element_count_positive =
+  QCheck2.Test.make ~name:"element_count >= 1" ~count:100 gen_tree (fun tree ->
+      Dom.element_count tree >= 1)
+
+let () =
+  Alcotest.run "xml"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "simple element" `Quick test_simple_element;
+          Alcotest.test_case "attributes" `Quick test_attributes;
+          Alcotest.test_case "single quotes" `Quick test_single_quotes;
+          Alcotest.test_case "nesting" `Quick test_nested;
+          Alcotest.test_case "text content" `Quick test_text_content;
+          Alcotest.test_case "predefined entities" `Quick test_entities;
+          Alcotest.test_case "numeric entities" `Quick test_numeric_entities;
+          Alcotest.test_case "unicode entity" `Quick test_unicode_entity;
+          Alcotest.test_case "comments" `Quick test_comments_skipped;
+          Alcotest.test_case "cdata" `Quick test_cdata;
+          Alcotest.test_case "prolog + doctype" `Quick test_prolog_and_doctype;
+          Alcotest.test_case "processing instruction" `Quick test_processing_instruction;
+          Alcotest.test_case "self-closing with space" `Quick test_self_closing_with_space;
+          Alcotest.test_case "lenient unquoted attr" `Quick test_lenient_unquoted;
+          Alcotest.test_case "strict rejects unquoted" `Quick test_strict_rejects_unquoted;
+          Alcotest.test_case "position tracking" `Quick test_position_tracking;
+          Alcotest.test_case "error carries position" `Quick test_error_position;
+          check_parse_error "unterminated element" "<a><b></a>";
+          check_parse_error "duplicate attribute" {|<a x="1" x="2"/>|};
+          check_parse_error "multiple roots" "<a/><b/>";
+          check_parse_error "no root" "   ";
+          check_parse_error "unknown entity" "<a>&nope;</a>";
+          check_parse_error "unterminated comment" "<a><!-- oops</a>";
+          check_parse_error "garbage after root" "<a/> trailing";
+          check_parse_error "lt in attribute" {|<a x="a<b"/>|};
+        ] );
+      ( "dom",
+        [
+          Alcotest.test_case "set/remove attribute" `Quick test_set_attribute;
+          Alcotest.test_case "children_named" `Quick test_children_named;
+          Alcotest.test_case "find/filter" `Quick test_find_filter;
+          Alcotest.test_case "structural equality" `Quick test_structural_equality;
+          Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+          Alcotest.test_case "crlf positions" `Quick test_crlf_positions;
+        ] );
+      ( "print",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_print_roundtrip_simple;
+          Alcotest.test_case "escaping" `Quick test_print_escapes;
+          Alcotest.test_case "xml decl" `Quick test_print_decl;
+        ] );
+      ( "path",
+        [
+          Alcotest.test_case "root" `Quick test_path_root;
+          Alcotest.test_case "child step" `Quick test_path_child;
+          Alcotest.test_case "descendant //" `Quick test_path_descendant;
+          Alcotest.test_case "attribute equality" `Quick test_path_attr_pred;
+          Alcotest.test_case "attribute presence" `Quick test_path_attr_presence;
+          Alcotest.test_case "position predicate" `Quick test_path_position;
+          Alcotest.test_case "chained with preds" `Quick test_path_chained;
+          Alcotest.test_case "wildcard" `Quick test_path_star;
+          Alcotest.test_case "no match" `Quick test_path_no_match;
+          Alcotest.test_case "syntax error" `Quick test_path_syntax_error;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_print_parse_roundtrip; prop_compact_print_roundtrip; prop_element_count_positive ]
+      );
+    ]
