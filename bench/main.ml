@@ -10,7 +10,9 @@
    clock); end-to-end numbers are wall-clock over repetitions.
 
    Run with:  dune exec bench/main.exe             (all experiments)
-              dune exec bench/main.exe -- E5 E6    (a subset) *)
+              dune exec bench/main.exe -- E5 E6    (a subset)
+              dune exec bench/main.exe -- --json BENCH_2026-08-06.json E5
+                  (additionally write machine-readable rows) *)
 
 open Bechamel
 open Toolkit
@@ -18,18 +20,65 @@ open Toolkit
 (* ------------------------------------------------------------------ *)
 (* harness helpers *)
 
+(* machine-readable results: {experiment, metric, value, unit} rows,
+   written as JSON when --json FILE is given, so the perf trajectory is
+   comparable across PRs *)
+let current_exp = ref ""
+let bench_rows : (string * string * float * string) list ref = ref []
+
+let record ?experiment ~metric ~value ~unit_ () =
+  let experiment = match experiment with Some e -> e | None -> !current_exp in
+  bench_rows := (experiment, metric, value, unit_) :: !bench_rows
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "[\n";
+      let rows = List.rev !bench_rows in
+      List.iteri
+        (fun i (experiment, metric, value, unit_) ->
+          Printf.fprintf oc
+            "  {\"experiment\": \"%s\", \"metric\": \"%s\", \"value\": %.6g, \"unit\": \"%s\"}%s\n"
+            (json_escape experiment) (json_escape metric) value (json_escape unit_)
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      output_string oc "]\n");
+  Fmt.pr "wrote %d bench rows to %s@." (List.length !bench_rows) path
+
 let header fmt =
   (* compact between experiments so GC pressure from one experiment does
      not distort the next one's timings *)
   Gc.compact ();
   Fmt.kstr (fun s -> Fmt.pr "@.=== %s ===@." s) fmt
 
+(* Per-test measurement quota in seconds; XPDL_BENCH_QUOTA overrides it
+   (CI smoke runs use a small value — timings are then indicative only) *)
+let quota_s =
+  match Sys.getenv_opt "XPDL_BENCH_QUOTA" with
+  | Some s -> ( match float_of_string_opt s with Some q when q > 0. -> q | _ -> 0.5)
+  | None -> 0.5
+
 (* Run a Bechamel test and return ns/run (OLS estimate vs run count). *)
 let time_ns test : (string * float) list =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ~kde:None ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota_s) ~stabilize:true ~kde:None ()
   in
   let raw = Benchmark.all cfg instances test in
   let res = Analyze.all ols Instance.monotonic_clock raw in
@@ -44,6 +93,7 @@ let time_ns test : (string * float) list =
 let pp_times rows =
   List.iter
     (fun (name, ns) ->
+      record ~metric:name ~value:ns ~unit_:"ns/run" ();
       let v, unit =
         if ns > 1e9 then (ns /. 1e9, "s")
         else if ns > 1e6 then (ns /. 1e6, "ms")
@@ -183,6 +233,93 @@ let e4 () =
 (* ------------------------------------------------------------------ *)
 (* E5: runtime query latency — the serialized-model design point *)
 
+module Ir = Xpdl_toolchain.Ir
+module Q = Xpdl_query.Query
+
+(* The seed release's O(n)/recursive query implementations, kept here as
+   the "before" baselines for the indexed fast paths (preorder spans,
+   by_path hashtable, per-handle memo, kind-index-seeded selectors). *)
+
+let naive_find_by_path ir path =
+  let n = Ir.size ir in
+  let rec scan i =
+    if i >= n then None
+    else
+      let node = Ir.node ir i in
+      if String.equal node.Ir.n_path path then Some node else scan (i + 1)
+  in
+  scan 0
+
+let naive_hardware_fold ir f acc (e : Ir.node) =
+  let rec go acc (n : Ir.node) =
+    if Q.is_metadata_kind n.Ir.n_kind then acc
+    else Array.fold_left (fun acc i -> go acc (Ir.node ir i)) (f acc n) n.Ir.n_children
+  in
+  go acc e
+
+let naive_count_cores ir =
+  naive_hardware_fold ir
+    (fun acc (n : Ir.node) ->
+      if Xpdl_core.Schema.equal_kind n.Ir.n_kind Xpdl_core.Schema.Core then acc + 1 else acc)
+    0 (Ir.root ir)
+
+let naive_total_static_power ir =
+  naive_hardware_fold ir
+    (fun acc (n : Ir.node) ->
+      if Xpdl_core.Schema.is_hardware n.Ir.n_kind then
+        match Ir.attr n "static_power" with Some (Ir.VQty (v, _)) -> acc +. v | _ -> acc
+      else acc)
+    0. (Ir.root ir)
+
+(* the seed release's //tag[@attr=v] select: materialize every node as
+   the candidate set, then filter *)
+let naive_select ir ~tag ~pred =
+  let all = List.rev (Ir.fold_subtree ir (fun acc n -> n :: acc) [] (Ir.root ir)) in
+  List.filter
+    (fun (n : Ir.node) ->
+      String.equal (Xpdl_core.Schema.tag_of_kind n.Ir.n_kind) tag && pred n)
+    all
+
+let e5_fast_paths ~system ir ~selector ~naive_selector =
+  let q = Q.of_ir ir in
+  let deep_path = (Ir.node ir (Ir.size ir - 1)).Ir.n_path in
+  Fmt.pr "  -- %s (%d nodes): indexed fast paths vs naive scans --@." system (Ir.size ir);
+  let times =
+    time_ns
+      (Test.make_grouped ~name:system ~fmt:"%s %s"
+         [
+           Test.make ~name:"find_by_path naive"
+             (Staged.stage (fun () -> naive_find_by_path ir deep_path));
+           Test.make ~name:"find_by_path fast"
+             (Staged.stage (fun () -> Q.find_by_path q deep_path));
+           Test.make ~name:"count_cores naive" (Staged.stage (fun () -> naive_count_cores ir));
+           Test.make ~name:"count_cores fast" (Staged.stage (fun () -> Q.count_cores q));
+           Test.make ~name:"total_static_power naive"
+             (Staged.stage (fun () -> naive_total_static_power ir));
+           Test.make ~name:"total_static_power fast"
+             (Staged.stage (fun () -> Q.total_static_power q));
+           Test.make ~name:"select naive" (Staged.stage (fun () -> naive_selector ir));
+           Test.make ~name:"select fast" (Staged.stage (fun () -> Q.select q selector));
+         ])
+  in
+  let get k = List.assoc_opt (system ^ " " ^ k) times in
+  Fmt.pr "  %-22s %12s %12s %9s@." "operation" "naive" "fast" "speedup";
+  List.iter
+    (fun metric ->
+      match (get (metric ^ " naive"), get (metric ^ " fast")) with
+      | Some before, Some after ->
+          let speedup = before /. after in
+          record ~metric:(Fmt.str "%s/%s/naive" system metric) ~value:before ~unit_:"ns/run" ();
+          record ~metric:(Fmt.str "%s/%s/fast" system metric) ~value:after ~unit_:"ns/run" ();
+          record ~metric:(Fmt.str "%s/%s/speedup" system metric) ~value:speedup ~unit_:"x" ();
+          Fmt.pr "  %-22s %10.2f us %10.3f us %8.1fx@." metric (before /. 1e3) (after /. 1e3)
+            speedup
+      | _ -> Fmt.pr "  %-22s (missing measurement)@." metric)
+    [ "find_by_path"; "count_cores"; "total_static_power"; "select" ]
+
+let synthetic_ir n_cores =
+  Ir.of_model (Xpdl_core.Elaborate.of_string_exn ~lenient:true (synthetic_cpu_source n_cores))
+
 let e5 () =
   header "E5: runtime query API vs re-parsing the specification";
   let report =
@@ -223,7 +360,14 @@ let e5 () =
   Sys.remove rt_file;
   Fmt.pr "  runtime model: %d nodes, %d bytes on disk; XML text %d bytes@."
     (Xpdl_toolchain.Ir.size report.Xpdl_toolchain.Pipeline.runtime_model)
-    report.Xpdl_toolchain.Pipeline.runtime_model_bytes (String.length xml_text)
+    report.Xpdl_toolchain.Pipeline.runtime_model_bytes (String.length xml_text);
+  let level3 (n : Ir.node) = Q.get_string n "level" = Some "3" in
+  e5_fast_paths ~system:"XScluster"
+    (Ir.of_model (composed "XScluster"))
+    ~selector:"//cache[@level=3]"
+    ~naive_selector:(fun ir -> naive_select ir ~tag:"cache" ~pred:level3);
+  e5_fast_paths ~system:"synthetic_10k" (synthetic_ir 3333) ~selector:"//cache"
+    ~naive_selector:(fun ir -> naive_select ir ~tag:"cache" ~pred:(fun _ -> true))
 
 (* ------------------------------------------------------------------ *)
 (* E6: the SpMV conditional-composition case study *)
@@ -564,16 +708,30 @@ let experiments =
     ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13) ]
 
 let () =
+  let json_file = ref None in
+  let rec parse_args acc = function
+    | [] -> List.rev acc
+    | "--json" :: file :: rest ->
+        json_file := Some file;
+        parse_args acc rest
+    | "--json" :: [] ->
+        Fmt.epr "--json requires a file argument@.";
+        exit 2
+    | name :: rest -> parse_args (name :: acc) rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match parse_args [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst experiments
+    | names -> names
   in
   Fmt.pr "XPDL benchmark harness — experiments %a@." Fmt.(list ~sep:sp string) requested;
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
-      | Some f -> f ()
+      | Some f ->
+          current_exp := name;
+          f ()
       | None -> Fmt.epr "unknown experiment %s@." name)
     requested;
-  Fmt.pr "@.done.@."
+  Fmt.pr "@.done.@.";
+  Option.iter write_json !json_file

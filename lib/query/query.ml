@@ -20,33 +20,75 @@
 
     Handles are nodes of the flat {!Xpdl_toolchain.Ir} runtime structure,
     so every operation here is array/hash lookups — no XML in sight at
-    run time, which is the point measured by experiment E5. *)
+    run time, which is the point measured by experiment E5.  The IR's
+    preorder layout makes every subtree aggregation a contiguous array
+    scan, and because the IR is immutable, each handle carries a memo
+    table: a derived attribute is computed at most once per subtree per
+    handle (no invalidation is ever needed). *)
 
 open Xpdl_core
 module Ir = Xpdl_toolchain.Ir
-
-type t = { ir : Ir.t; source : string }
+module Path = Xpdl_xml.Path
 
 type element = Ir.node
+
+(* Per-handle caches.  Keys are the [within] node's preorder index; the
+   IR is immutable, so entries never need invalidation.  Compiled
+   selectors are cached by source string. *)
+type memo = {
+  mc_selectors : (string, Path.compiled) Hashtbl.t;
+  mc_count_cores : (int, int) Hashtbl.t;
+  mc_cuda_devices : (int, int) Hashtbl.t;
+  mc_static_power : (int, float) Hashtbl.t;
+  mc_memory_bytes : (int, float) Hashtbl.t;
+  mc_frequencies : (int, float list) Hashtbl.t;
+  mutable mc_installed : element list option;
+}
+
+let fresh_memo () =
+  {
+    mc_selectors = Hashtbl.create 8;
+    mc_count_cores = Hashtbl.create 8;
+    mc_cuda_devices = Hashtbl.create 8;
+    mc_static_power = Hashtbl.create 8;
+    mc_memory_bytes = Hashtbl.create 8;
+    mc_frequencies = Hashtbl.create 8;
+    mc_installed = None;
+  }
+
+let memoize tbl key compute =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      Hashtbl.add tbl key v;
+      v
+
+type t = { ir : Ir.t; source : string; memo : memo }
 
 exception Query_error of string
 
 let error fmt = Fmt.kstr (fun m -> raise (Query_error m)) fmt
+
+(* Hot attribute keys, interned once at startup. *)
+let k_static_power = Ir.intern "static_power"
+let k_size = Ir.intern "size"
+let k_frequency = Ir.intern "frequency"
 
 (** {1 Initialization} *)
 
 (** Load a runtime-model file produced by the XPDL processing tool. *)
 let init path : t =
   match Ir.of_file path with
-  | ir -> { ir; source = path }
+  | ir -> { ir; source = path; memo = fresh_memo () }
   | exception Ir.Corrupt msg -> error "cannot load runtime model %s: %s" path msg
   | exception Sys_error msg -> error "cannot load runtime model: %s" msg
 
 (** Wrap an in-memory runtime model (composition-time introspection). *)
-let of_ir ?(source = "<memory>") ir = { ir; source }
+let of_ir ?(source = "<memory>") ir = { ir; source; memo = fresh_memo () }
 
 (** Build directly from a composed model element (tests, tools). *)
-let of_model ?(source = "<model>") m = { ir = Ir.of_model m; source }
+let of_model ?(source = "<model>") m = { ir = Ir.of_model m; source; memo = fresh_memo () }
 
 let source t = t.source
 let size t = Ir.size t.ir
@@ -78,31 +120,38 @@ let find_by_id_exn t ident =
   | Some e -> e
   | None -> error "no element %S in model %s" ident t.source
 
-(** Find by scope path, e.g. ["liu_gpu_server/gpu1/SM0"]. *)
-let find_by_path t path : element option =
-  let n = Ir.size t.ir in
-  let rec scan i =
-    if i >= n then None
-    else
-      let node = Ir.node t.ir i in
-      if String.equal node.Ir.n_path path then Some node else scan (i + 1)
-  in
-  scan 0
+(** Find by scope path, e.g. ["liu_gpu_server/gpu1/SM0"] — one hash
+    lookup in the IR's path index (previously an O(n) scan). *)
+let find_by_path t path : element option = Ir.find_by_path t.ir path
 
 (** All elements of one kind, in document order. *)
 let all_of_kind t kind : element list = Ir.all_of_kind t.ir kind
+
+(** Depth-first fold over the {e physical hardware} of the subtree,
+    skipping power-model/software metadata.  The preorder layout turns
+    this into a linear scan of the subtree's slice in which a metadata
+    node skips its whole span in O(1). *)
+let hardware_fold t (e : element) f acc =
+  let ir = t.ir in
+  let stop = e.Ir.n_subtree_end in
+  let rec go i acc =
+    if i >= stop then acc
+    else
+      let n = Ir.node ir i in
+      if is_metadata_kind n.Ir.n_kind then go n.Ir.n_subtree_end acc
+      else go (i + 1) (f acc n)
+  in
+  go e.Ir.n_index acc
 
 (** Physical hardware elements of one kind: excludes power-domain member
     selectors and other metadata subtrees. *)
 let hardware_of_kind ?within t kind : element list =
   let within = match within with Some e -> e | None -> Ir.root t.ir in
-  let rec go acc (n : element) =
-    if is_metadata_kind n.Ir.n_kind then acc
-    else
-      let acc = if Schema.equal_kind n.Ir.n_kind kind then n :: acc else acc in
-      Array.fold_left (fun acc i -> go acc (Ir.node t.ir i)) acc n.Ir.n_children
-  in
-  List.rev (go [] within)
+  List.rev
+    (hardware_fold t within
+       (fun acc (n : element) ->
+         if Schema.equal_kind n.Ir.n_kind kind then n :: acc else acc)
+       [])
 
 (** All elements in the subtree rooted at [e] (including [e]). *)
 let subtree t (e : element) : element list =
@@ -152,7 +201,7 @@ let get_bool (e : element) key =
 (** SI-normalized quantity with dimension check. *)
 let get_quantity (e : element) key ~dim =
   match Ir.attr e key with
-  | Some (Ir.VQty (v, d)) when d = dim -> Some v
+  | Some (Ir.VQty (v, d)) when Xpdl_units.Units.equal_dimension d dim -> Some v
   | Some (Ir.VQty (_, d)) ->
       error "attribute %s has dimension %s, expected %s" key
         (Xpdl_units.Units.dimension_name d)
@@ -163,72 +212,79 @@ let get_quantity (e : element) key ~dim =
 let is_unknown (e : element) key =
   match Ir.attr e key with Some Ir.VUnknown -> true | _ -> false
 
-(** {1 Model analysis functions (derived attributes)} *)
+(** {1 Model analysis functions (derived attributes)}
+
+    Each function memoizes its result per subtree in the handle's memo
+    table: repeated calls (optimization loops sitting on top of the
+    model, E5/E6) cost one hash probe after the first. *)
 
 let fold t (e : element) f acc = Ir.fold_subtree t.ir f acc e
-
-(** Depth-first fold over the {e physical hardware} of the subtree,
-    skipping power-model/software metadata. *)
-let hardware_fold t (e : element) f acc =
-  let rec go acc (n : element) =
-    if is_metadata_kind n.Ir.n_kind then acc
-    else Array.fold_left (fun acc i -> go acc (Ir.node t.ir i)) (f acc n) n.Ir.n_children
-  in
-  go acc e
 
 let count t ~within p =
   hardware_fold t within (fun acc n -> if p n then acc + 1 else acc) 0
 
+let resolve_within ?within t = match within with Some e -> e | None -> Ir.root t.ir
+
 (** Number of cores in the subtree — the paper's canonical example of a
     synthesized attribute. *)
 let count_cores ?within t =
-  let within = match within with Some e -> e | None -> root t in
-  count t ~within (fun n -> Schema.equal_kind n.Ir.n_kind Schema.Core)
+  let within = resolve_within ?within t in
+  memoize t.memo.mc_count_cores within.Ir.n_index (fun () ->
+      count t ~within (fun n -> Schema.equal_kind n.Ir.n_kind Schema.Core))
 
 (** Devices supporting the CUDA programming model in the subtree. *)
 let count_cuda_devices ?within t =
-  let within = match within with Some e -> e | None -> root t in
-  count t ~within (fun n ->
-      Schema.equal_kind n.Ir.n_kind Schema.Device
-      && List.exists
-           (fun (c : element) ->
-             Schema.equal_kind c.Ir.n_kind Schema.Programming_model
-             && (match c.Ir.n_type with
-                | Some ty ->
-                    String.length ty >= 4 && String.lowercase_ascii (String.sub ty 0 4) = "cuda"
-                | None -> false))
-           (children t n))
+  let within = resolve_within ?within t in
+  memoize t.memo.mc_cuda_devices within.Ir.n_index (fun () ->
+      count t ~within (fun n ->
+          Schema.equal_kind n.Ir.n_kind Schema.Device
+          && List.exists
+               (fun (c : element) ->
+                 Schema.equal_kind c.Ir.n_kind Schema.Programming_model
+                 && (match c.Ir.n_type with
+                    | Some ty ->
+                        String.length ty >= 4
+                        && String.lowercase_ascii (String.sub ty 0 4) = "cuda"
+                    | None -> false))
+               (children t n)))
 
 (** Total static power (W) over hardware components of the subtree —
     the bottom-up aggregation of Sec. III-D. *)
 let total_static_power ?within t =
-  let within = match within with Some e -> e | None -> root t in
-  hardware_fold t within
-    (fun acc n ->
-      if Schema.is_hardware n.Ir.n_kind then
-        match Ir.attr n "static_power" with Some (Ir.VQty (v, _)) -> acc +. v | _ -> acc
-      else acc)
-    0.
+  let within = resolve_within ?within t in
+  memoize t.memo.mc_static_power within.Ir.n_index (fun () ->
+      hardware_fold t within
+        (fun acc n ->
+          if Schema.is_hardware n.Ir.n_kind then
+            match Ir.attr_by_key n k_static_power with
+            | Some (Ir.VQty (v, _)) -> acc +. v
+            | _ -> acc
+          else acc)
+        0.)
 
 (** Total memory capacity (bytes) of the subtree's memory modules. *)
 let total_memory_bytes ?within t =
-  let within = match within with Some e -> e | None -> root t in
-  hardware_fold t within
-    (fun acc n ->
-      if Schema.equal_kind n.Ir.n_kind Schema.Memory then
-        match Ir.attr n "size" with Some (Ir.VQty (v, _)) -> acc +. v | _ -> acc
-      else acc)
-    0.
+  let within = resolve_within ?within t in
+  memoize t.memo.mc_memory_bytes within.Ir.n_index (fun () ->
+      hardware_fold t within
+        (fun acc n ->
+          if Schema.equal_kind n.Ir.n_kind Schema.Memory then
+            match Ir.attr_by_key n k_size with Some (Ir.VQty (v, _)) -> acc +. v | _ -> acc
+          else acc)
+        0.)
 
 let core_frequencies ?within t =
-  let within = match within with Some e -> e | None -> root t in
-  List.rev
-    (hardware_fold t within
-       (fun acc n ->
-         if Schema.equal_kind n.Ir.n_kind Schema.Core then
-           match Ir.attr n "frequency" with Some (Ir.VQty (v, _)) -> v :: acc | _ -> acc
-         else acc)
-       [])
+  let within = resolve_within ?within t in
+  memoize t.memo.mc_frequencies within.Ir.n_index (fun () ->
+      List.rev
+        (hardware_fold t within
+           (fun acc n ->
+             if Schema.equal_kind n.Ir.n_kind Schema.Core then
+               match Ir.attr_by_key n k_frequency with
+               | Some (Ir.VQty (v, _)) -> v :: acc
+               | _ -> acc
+             else acc)
+           []))
 
 (** Minimum / maximum core clock (Hz) in the subtree. *)
 let min_frequency ?within t =
@@ -244,15 +300,22 @@ let max_frequency ?within t =
 (** Installed software descriptors of the model ([<installed>], [<hostOS>],
     [<programming_model>] under [<software>]). *)
 let installed_software t : element list =
-  List.concat_map
-    (fun sw ->
-      List.filter
-        (fun (c : element) ->
-          match c.Ir.n_kind with
-          | Schema.Installed | Schema.Host_os | Schema.Programming_model -> true
-          | _ -> false)
-        (children t sw))
-    (all_of_kind t Schema.Software)
+  match t.memo.mc_installed with
+  | Some l -> l
+  | None ->
+      let l =
+        List.concat_map
+          (fun sw ->
+            List.filter
+              (fun (c : element) ->
+                match c.Ir.n_kind with
+                | Schema.Installed | Schema.Host_os | Schema.Programming_model -> true
+                | _ -> false)
+              (children t sw))
+          (all_of_kind t Schema.Software)
+      in
+      t.memo.mc_installed <- Some l;
+      l
 
 (** Is a software package installed?  Matches the [type] reference or the
     resolved name, e.g. [has_installed q "CUDA_6.0"].  Conditional
@@ -305,52 +368,64 @@ let link_bandwidth t link_ident =
 (** Devices of the model (accelerators), with their type references. *)
 let devices t = all_of_kind t Schema.Device
 
-(** Single-node or multi-node? (the paper's top-level distinction). *)
-let is_multi_node t = all_of_kind t Schema.Cluster <> [] || List.length (all_of_kind t Schema.Node) > 1
+(** Single-node or multi-node? (the paper's top-level distinction).
+    Decided on the kind index's list structure — no node lists are
+    materialized and no [List.length] over all matches. *)
+let is_multi_node t =
+  Ir.indexes_of_kind t.ir Schema.Cluster <> []
+  || (match Ir.indexes_of_kind t.ir Schema.Node with _ :: _ :: _ -> true | _ -> false)
 
 (** {1 Path expressions}
 
     The {!Xpdl_xml.Path} selector language evaluated over the runtime
     model, e.g. [select q "//cache[@level=3]"] or
     [select q "system/device/group"].  Attribute predicates compare
-    against the attribute's string rendering. *)
+    against the attribute's string rendering.
 
-let node_matches_step (st : Xpdl_xml.Path.step) (e : element) =
+    Selectors are compiled once per handle ({!Path.compile}, cached by
+    source string); a ["//tag"] first step seeds its candidates from the
+    IR's kind index instead of materializing every node. *)
+
+let node_matches_step (st : Path.step) (e : element) =
   let tag_ok =
-    String.equal st.Xpdl_xml.Path.step_tag "*"
-    || String.equal st.Xpdl_xml.Path.step_tag (Schema.tag_of_kind e.Ir.n_kind)
+    String.equal st.Path.step_tag "*"
+    || String.equal st.Path.step_tag (Schema.tag_of_kind e.Ir.n_kind)
   in
   tag_ok
   && List.for_all
-       (fun (p : Xpdl_xml.Path.pred) ->
+       (fun (p : Path.pred) ->
          match p with
-         | Xpdl_xml.Path.Position _ -> true
-         | Xpdl_xml.Path.Attr_present name ->
+         | Path.Position _ -> true
+         | Path.Attr_present name ->
              name = "id" && e.Ir.n_ident <> None
              || name = "type" && e.Ir.n_type <> None
              || Ir.attr e name <> None
-         | Xpdl_xml.Path.Attr_equals (name, v) -> (
+         | Path.Attr_equals (name, v) -> (
              match name with
              | "id" | "name" -> e.Ir.n_ident = Some v
              | "type" -> e.Ir.n_type = Some v
              | _ -> get_string e name = Some v))
-       st.Xpdl_xml.Path.preds
+       st.Path.preds
 
-let apply_position (st : Xpdl_xml.Path.step) candidates =
+let apply_position (st : Path.step) candidates =
   List.fold_left
     (fun cs p ->
       match p with
-      | Xpdl_xml.Path.Position n -> (
+      | Path.Position n -> (
           match List.nth_opt cs (n - 1) with Some c -> [ c ] | None -> [])
       | _ -> cs)
-    candidates st.Xpdl_xml.Path.preds
+    candidates st.Path.preds
 
-(** Evaluate a path selector over the runtime model. *)
-let select t path : element list =
-  let parsed = Xpdl_xml.Path.parse path in
+(** Evaluate a compiled selector over the runtime model. *)
+let select_compiled t (c : Path.compiled) : element list =
+  let sel = c.Path.c_sel in
   let initial =
-    if parsed.Xpdl_xml.Path.descend then
-      List.rev (fold t (root t) (fun acc n -> n :: acc) [])
+    if sel.Path.descend then
+      match c.Path.c_seed_tag with
+      | Some tag ->
+          (* kind-index seed: all nodes with that tag, document order *)
+          List.map (Ir.node t.ir) (Ir.indexes_of_tag t.ir tag)
+      | None -> List.rev (fold t (root t) (fun acc n -> n :: acc) [])
     else [ root t ]
   in
   let rec walk steps candidates =
@@ -360,10 +435,17 @@ let select t path : element list =
         let matched = apply_position st (List.filter (node_matches_step st) candidates) in
         if rest = [] then matched else walk rest (List.concat_map (children t) matched)
   in
-  match parsed.Xpdl_xml.Path.steps with
+  match sel.Path.steps with
   | [] -> []
   | first :: rest ->
       let matched = apply_position first (List.filter (node_matches_step first) initial) in
       if rest = [] then matched else walk rest (List.concat_map (children t) matched)
+
+let compile t path : Path.compiled =
+  memoize t.memo.mc_selectors path (fun () -> Path.compile path)
+
+(** Evaluate a path selector over the runtime model (compiled and cached
+    per handle). *)
+let select t path : element list = select_compiled t (compile t path)
 
 let select_one t path = match select t path with [] -> None | e :: _ -> Some e

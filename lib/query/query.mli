@@ -2,7 +2,12 @@
     generated C++ API, over the serialized runtime model.  Four function
     categories: initialization, model browsing, attribute getters, and
     model-analysis functions for derived attributes.  All operations are
-    array/hash lookups; no XML is touched at run time (experiment E5). *)
+    array/hash lookups; no XML is touched at run time (experiment E5).
+
+    The IR's preorder layout makes subtree aggregations contiguous array
+    scans; derived-attribute functions memoize per handle (the IR is
+    immutable, so no invalidation exists); path selectors are compiled
+    once per handle and seed ["//tag"] steps from the kind index. *)
 
 open Xpdl_core
 module Ir = Xpdl_toolchain.Ir
@@ -45,7 +50,8 @@ val find_by_id : t -> string -> element option
 
 val find_by_id_exn : t -> string -> element
 
-(** Find by scope path, e.g. ["liu_gpu_server/gpu1/SMs/SM0"]. *)
+(** Find by scope path, e.g. ["liu_gpu_server/gpu1/SMs/SM0"] — one hash
+    lookup in the IR's path index. *)
 val find_by_path : t -> string -> element option
 
 (** All elements of one kind, in document order. *)
@@ -132,7 +138,18 @@ val is_multi_node : t -> bool
     The {!Xpdl_xml.Path} selector language over the runtime model, e.g.
     [select q "//cache[@level=3]"].  [@id]/[@name] predicates match the
     identifier, [@type] the type reference; other attributes compare
-    against their string rendering. *)
+    against their string rendering.
+
+    {!select} compiles and caches the selector in the handle; a
+    ["//tag"] first step seeds candidates from the IR's kind index
+    instead of materializing every node.  For selectors built ahead of
+    time use {!Xpdl_xml.Path.compile} with {!select_compiled}. *)
+
+(** Compile a selector, caching it in the handle by source string. *)
+val compile : t -> string -> Xpdl_xml.Path.compiled
+
+(** Evaluate a pre-compiled selector over the runtime model. *)
+val select_compiled : t -> Xpdl_xml.Path.compiled -> element list
 
 val select : t -> string -> element list
 val select_one : t -> string -> element option

@@ -5,14 +5,23 @@
     structure for the composed model that is finally written into a file";
     the application loads that file at startup and introspects it through
     the query API (Sec. IV).  Flattening the element tree into arrays with
-    integer child links and pre-built identifier/kind indexes is what
+    integer child links and pre-built identifier/kind/path indexes is what
     makes runtime queries cheap compared to re-parsing XML — measured in
     experiment E5.
+
+    The node array is laid out in {e preorder}: the subtree of node [i] is
+    exactly the contiguous slice [i .. n_subtree_end-1].  Subtree folds and
+    aggregations are therefore array scans, not recursive child-index
+    chasing.  Attribute keys are interned in a global string pool and each
+    node stores its attributes sorted by key id, so {!attr} is a binary
+    search with no string hashing.
 
     The file format is a small versioned binary codec (magic ["XPDLRT"],
     format version 1): length-prefixed strings, varint-free fixed 64-bit
     ints, IEEE doubles.  A hand-rolled codec rather than [Marshal] so the
-    format is stable across compiler versions and checkable. *)
+    format is stable across compiler versions and checkable.  Spans and
+    indexes are derived, never serialized, so the wire format is unchanged
+    from the first release. *)
 
 open Xpdl_core
 open Xpdl_units
@@ -33,15 +42,56 @@ let pp_value ppf = function
   | VQty (v, d) -> Fmt.pf ppf "%a" Units.pp (Units.make v d)
   | VUnknown -> Fmt.string ppf "?"
 
+(** {1 Interned attribute keys}
+
+    Attribute names are drawn from a small vocabulary (the schema's
+    attribute tables plus extension attributes), so nodes store interned
+    key ids rather than strings.  The pool is global and append-only:
+    equal strings always map to the same id within a process. *)
+
+module Keys = struct
+  let table : (string, int) Hashtbl.t = Hashtbl.create 128
+  let names = ref (Array.make 128 "")
+  let count = ref 0
+
+  let intern s =
+    match Hashtbl.find_opt table s with
+    | Some i -> i
+    | None ->
+        let i = !count in
+        if i = Array.length !names then begin
+          let bigger = Array.make (2 * i) "" in
+          Array.blit !names 0 bigger 0 i;
+          names := bigger
+        end;
+        !names.(i) <- s;
+        incr count;
+        Hashtbl.add table s i;
+        i
+
+  let intern_opt s = Hashtbl.find_opt table s
+
+  let name i =
+    if i < 0 || i >= !count then invalid_arg "Ir.key_name: unknown key id";
+    !names.(i)
+end
+
+let intern = Keys.intern
+let intern_opt = Keys.intern_opt
+let key_name = Keys.name
+
 type node = {
-  n_index : int;  (** position in {!t.nodes} *)
+  n_index : int;  (** position in {!t.nodes}; preorder rank *)
   n_kind : Schema.kind;
   n_ident : string option;  (** name or id *)
   n_type : string option;  (** retained [type] reference *)
-  n_attrs : (string * value) array;
+  n_attrs : (int * value) array;  (** interned key id → value, sorted by key *)
   n_parent : int;  (** -1 for the root *)
   n_children : int array;
   n_path : string;  (** scope path, e.g. ["liu_gpu_server/gpu1/SM0"] *)
+  n_subtree_end : int;
+      (** exclusive end of the preorder span: the subtree of this node is
+          the node slice [n_index .. n_subtree_end - 1] *)
 }
 
 type t = {
@@ -49,6 +99,7 @@ type t = {
   root : int;
   by_ident : (string, int list) Hashtbl.t;  (** ident → node indexes *)
   by_kind : (string, int list) Hashtbl.t;  (** tag → node indexes *)
+  by_path : (string, int) Hashtbl.t;  (** scope path → first node index *)
 }
 
 (** {1 Building from a model} *)
@@ -62,30 +113,60 @@ let value_of_attr : Model.attr_value -> value = function
   | Model.Expr (_, src) -> VStr src
   | Model.Unknown -> VUnknown
 
+let compare_attr (a, _) (b, _) = Int.compare a b
+
+let attrs_of_pairs pairs =
+  let a = Array.of_list pairs in
+  Array.sort compare_attr a;
+  a
+
+(* Common to both construction paths: document order (= index order)
+   indexes over identifiers, tags and scope paths.  [by_path] keeps the
+   first node of each path, matching what a linear scan would find. *)
+let build_indexes nodes =
+  let n = Array.length nodes in
+  let by_ident = Hashtbl.create (max 16 n) in
+  let by_kind = Hashtbl.create 32 in
+  let by_path = Hashtbl.create (max 16 n) in
+  Array.iter
+    (fun nd ->
+      (match nd.n_ident with
+      | Some i ->
+          Hashtbl.replace by_ident i
+            (nd.n_index :: Option.value ~default:[] (Hashtbl.find_opt by_ident i))
+      | None -> ());
+      let tag = Schema.tag_of_kind nd.n_kind in
+      Hashtbl.replace by_kind tag
+        (nd.n_index :: Option.value ~default:[] (Hashtbl.find_opt by_kind tag));
+      if not (Hashtbl.mem by_path nd.n_path) then Hashtbl.add by_path nd.n_path nd.n_index)
+    nodes;
+  (* restore document order in the indexes *)
+  Hashtbl.iter (fun k v -> Hashtbl.replace by_ident k (List.rev v)) by_ident;
+  Hashtbl.iter (fun k v -> Hashtbl.replace by_kind k (List.rev v)) by_kind;
+  (by_ident, by_kind, by_path)
+
 (** Flatten a composed model into the runtime representation. *)
 let of_model (root_el : Model.element) : t =
-  let nodes = ref [] in
+  let items = ref [] in
   let count = ref 0 in
   let rec build parent path (e : Model.element) : int =
     let index = !count in
     incr count;
-    let ident = Model.identifier e in
     let path =
-      match ident with
+      match Model.identifier e with
       | Some i -> if path = "" then i else path ^ "/" ^ i
       | None -> path
     in
-    (* reserve the slot; children fill in after *)
-    nodes := (index, e, parent, path, ref []) :: !nodes;
-    let self = List.hd !nodes in
-    let _, _, _, _, kids = self in
-    List.iter (fun c -> kids := build index path c :: !kids) e.children;
+    let kids =
+      List.rev (List.fold_left (fun ks c -> build index path c :: ks) [] e.Model.children)
+    in
+    items := (index, e, parent, path, kids, !count) :: !items;
     index
   in
   let root_idx = build (-1) "" root_el in
   let arr = Array.make !count None in
   List.iter
-    (fun (index, e, parent, path, kids) ->
+    (fun (index, (e : Model.element), parent, path, kids, stop) ->
       arr.(index) <-
         Some
           {
@@ -94,30 +175,17 @@ let of_model (root_el : Model.element) : t =
             n_ident = Model.identifier e;
             n_type = e.Model.type_ref;
             n_attrs =
-              Array.of_list (List.map (fun (k, v) -> (k, value_of_attr v)) e.Model.attrs);
+              attrs_of_pairs
+                (List.map (fun (k, v) -> (Keys.intern k, value_of_attr v)) e.Model.attrs);
             n_parent = parent;
-            n_children = Array.of_list (List.rev !kids);
+            n_children = Array.of_list kids;
             n_path = path;
+            n_subtree_end = stop;
           })
-    !nodes;
-  let nodes =
-    Array.map (function Some n -> n | None -> assert false) arr
-  in
-  let by_ident = Hashtbl.create (Array.length nodes) in
-  let by_kind = Hashtbl.create 32 in
-  Array.iter
-    (fun n ->
-      (match n.n_ident with
-      | Some i ->
-          Hashtbl.replace by_ident i (n.n_index :: Option.value ~default:[] (Hashtbl.find_opt by_ident i))
-      | None -> ());
-      let tag = Schema.tag_of_kind n.n_kind in
-      Hashtbl.replace by_kind tag (n.n_index :: Option.value ~default:[] (Hashtbl.find_opt by_kind tag)))
-    nodes;
-  (* restore document order in the indexes *)
-  Hashtbl.iter (fun k v -> Hashtbl.replace by_ident k (List.rev v)) by_ident;
-  Hashtbl.iter (fun k v -> Hashtbl.replace by_kind k (List.rev v)) by_kind;
-  { nodes; root = root_idx; by_ident; by_kind }
+    !items;
+  let nodes = Array.map (function Some n -> n | None -> assert false) arr in
+  let by_ident, by_kind, by_path = build_indexes nodes in
+  { nodes; root = root_idx; by_ident; by_kind; by_path }
 
 (** {1 Accessors (used by the query API)} *)
 
@@ -127,15 +195,20 @@ let root t = t.nodes.(t.root)
 let parent t (n : node) = if n.n_parent < 0 then None else Some t.nodes.(n.n_parent)
 let children t (n : node) = Array.to_list (Array.map (fun i -> t.nodes.(i)) n.n_children)
 
-let attr (n : node) key =
-  let len = Array.length n.n_attrs in
-  let rec scan i =
-    if i >= len then None
+let attr_by_key (n : node) key =
+  let a = n.n_attrs in
+  let rec bs lo hi =
+    if lo >= hi then None
     else
-      let k, v = n.n_attrs.(i) in
-      if String.equal k key then Some v else scan (i + 1)
+      let mid = (lo + hi) / 2 in
+      let k, v = a.(mid) in
+      if k = key then Some v else if k < key then bs (mid + 1) hi else bs lo mid
   in
-  scan 0
+  bs 0 (Array.length a)
+
+let attr (n : node) key =
+  (* an attribute name never interned cannot occur on any node *)
+  match Keys.intern_opt key with None -> None | Some k -> attr_by_key n k
 
 let find_by_ident t ident =
   match Hashtbl.find_opt t.by_ident ident with
@@ -145,14 +218,22 @@ let find_by_ident t ident =
 let all_by_ident t ident =
   List.map (fun i -> t.nodes.(i)) (Option.value ~default:[] (Hashtbl.find_opt t.by_ident ident))
 
-let all_of_kind t kind =
-  List.map (fun i -> t.nodes.(i))
-    (Option.value ~default:[] (Hashtbl.find_opt t.by_kind (Schema.tag_of_kind kind)))
+let indexes_of_tag t tag = Option.value ~default:[] (Hashtbl.find_opt t.by_kind tag)
+let indexes_of_kind t kind = indexes_of_tag t (Schema.tag_of_kind kind)
+let all_of_kind t kind = List.map (fun i -> t.nodes.(i)) (indexes_of_kind t kind)
 
-(** Depth-first fold over the subtree of [n]. *)
-let rec fold_subtree t f acc (n : node) =
-  let acc = f acc n in
-  Array.fold_left (fun acc i -> fold_subtree t f acc t.nodes.(i)) acc n.n_children
+(** O(1) lookup of a scope path (first node in document order). *)
+let find_by_path t path =
+  match Hashtbl.find_opt t.by_path path with Some i -> Some t.nodes.(i) | None -> None
+
+(** Depth-first fold over the subtree of [n]: a scan of the contiguous
+    preorder slice [n_index .. n_subtree_end - 1]. *)
+let fold_subtree t f acc (n : node) =
+  let r = ref acc in
+  for i = n.n_index to n.n_subtree_end - 1 do
+    r := f !r t.nodes.(i)
+  done;
+  !r
 
 (** {1 Binary codec} *)
 
@@ -210,7 +291,8 @@ let put_value buf = function
       put_int buf (dim_code d)
   | VUnknown -> Buffer.add_char buf '?'
 
-(** Serialize the runtime model to bytes. *)
+(** Serialize the runtime model to bytes.  Spans and indexes are derived
+    structures and are not written; the wire format is still version 1. *)
 let to_bytes t : string =
   let buf = Buffer.create (Array.length t.nodes * 64) in
   Buffer.add_string buf magic;
@@ -229,7 +311,7 @@ let to_bytes t : string =
       put_int buf (Array.length n.n_attrs);
       Array.iter
         (fun (k, v) ->
-          put_string buf k;
+          put_string buf (Keys.name k);
           put_value buf v)
         n.n_attrs)
     t.nodes;
@@ -286,7 +368,27 @@ let get_value r =
   | '?' -> VUnknown
   | c -> raise (Corrupt (Fmt.str "bad value tag %C" c))
 
-(** Deserialize; raises {!Corrupt} on malformed input. *)
+(* Subtree spans are not on the wire: recompute them from the child
+   arrays, verifying on the way that the stored node order really is the
+   preorder of the tree (true of every file the toolchain has ever
+   written; anything else is structurally corrupt). *)
+let derive_spans ~count ~root_idx children =
+  let ends = Array.make count (-1) in
+  let next = ref 0 in
+  let rec go i =
+    if i <> !next then raise (Corrupt "node order is not the preorder of the tree");
+    incr next;
+    Array.iter go children.(i);
+    ends.(i) <- !next
+  in
+  if root_idx <> 0 then raise (Corrupt "root is not the first node");
+  go root_idx;
+  if !next <> count then raise (Corrupt "unreachable nodes in model tree");
+  ends
+
+(** Deserialize; raises {!Corrupt} on malformed input.  Accepts any
+    format-v1 file: the preorder spans, attribute-key interning and
+    path/ident/kind indexes are all rebuilt at load time. *)
 let of_bytes (s : string) : t =
   let r = { src = s; off = 0 } in
   need r (String.length magic);
@@ -299,55 +401,55 @@ let of_bytes (s : string) : t =
   let count = get_int r in
   if count < 0 then raise (Corrupt "negative node count");
   let root_idx = get_int r in
-  let nodes =
-    Array.init count (fun index ->
+  if root_idx < 0 || root_idx >= count then raise (Corrupt "bad root index");
+  let raw =
+    Array.init count (fun _ ->
         let kind = Schema.kind_of_tag (get_string r) in
         let ident = get_opt_string r in
         let ty = get_opt_string r in
         let path = get_string r in
         let parent = get_int r in
-        let n_children = Array.init (get_int r) (fun _ -> get_int r) in
-        let n_attrs =
-          Array.init (get_int r) (fun _ ->
-              let k = get_string r in
+        let n_kids = get_int r in
+        if n_kids < 0 || n_kids > count then raise (Corrupt "bad child count");
+        let children = Array.init n_kids (fun _ -> get_int r) in
+        let n_attrs = get_int r in
+        if n_attrs < 0 then raise (Corrupt "bad attribute count");
+        let attrs =
+          Array.init n_attrs (fun _ ->
+              let k = Keys.intern (get_string r) in
               (k, get_value r))
         in
+        Array.sort compare_attr attrs;
+        (kind, ident, ty, path, parent, children, attrs))
+  in
+  Array.iter
+    (fun (_, _, _, _, parent, children, _) ->
+      if parent >= count || parent < -1 then raise (Corrupt "dangling parent index");
+      Array.iter
+        (fun c -> if c < 0 || c >= count then raise (Corrupt "dangling child index"))
+        children)
+    raw;
+  let ends =
+    derive_spans ~count ~root_idx (Array.map (fun (_, _, _, _, _, c, _) -> c) raw)
+  in
+  let nodes =
+    Array.mapi
+      (fun index (kind, ident, ty, path, parent, children, attrs) ->
         {
           n_index = index;
           n_kind = kind;
           n_ident = ident;
           n_type = ty;
-          n_attrs;
+          n_attrs = attrs;
           n_parent = parent;
-          n_children;
+          n_children = children;
           n_path = path;
+          n_subtree_end = ends.(index);
         })
+      raw
   in
-  Array.iter
-    (fun n ->
-      if n.n_parent >= count || n.n_parent < -1 then raise (Corrupt "dangling parent index");
-      Array.iter
-        (fun c -> if c < 0 || c >= count then raise (Corrupt "dangling child index"))
-        n.n_children)
-    nodes;
-  if root_idx < 0 || root_idx >= count then raise (Corrupt "bad root index");
-  let by_ident = Hashtbl.create count in
-  let by_kind = Hashtbl.create 32 in
-  Array.iter
-    (fun n ->
-      (match n.n_ident with
-      | Some i ->
-          Hashtbl.replace by_ident i
-            (n.n_index :: Option.value ~default:[] (Hashtbl.find_opt by_ident i))
-      | None -> ());
-      let tag = Schema.tag_of_kind n.n_kind in
-      Hashtbl.replace by_kind tag
-        (n.n_index :: Option.value ~default:[] (Hashtbl.find_opt by_kind tag)))
-    nodes;
-  (* restore document order *)
-  Hashtbl.iter (fun k v -> Hashtbl.replace by_ident k (List.rev v)) by_ident;
-  Hashtbl.iter (fun k v -> Hashtbl.replace by_kind k (List.rev v)) by_kind;
-  { nodes; root = root_idx; by_ident; by_kind }
+  let by_ident, by_kind, by_path = build_indexes nodes in
+  { nodes; root = root_idx; by_ident; by_kind; by_path }
 
 (** Write the runtime model file consumed by [xpdl_init]. *)
 let to_file path t =

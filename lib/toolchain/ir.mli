@@ -1,8 +1,14 @@
 (** The light-weight runtime model (Sec. IV): a composed XPDL model
-    flattened into arrays with integer child links and pre-built
-    identifier/kind indexes, plus a small versioned binary codec (magic
-    ["XPDLRT"]) for the file loaded by [xpdl_init] at application
-    startup. *)
+    flattened into a {e preorder} node array with integer child links,
+    per-node subtree spans, interned attribute keys and pre-built
+    identifier/kind/path indexes, plus a small versioned binary codec
+    (magic ["XPDLRT"]) for the file loaded by [xpdl_init] at application
+    startup.
+
+    Because the array is in preorder, the subtree of node [i] is the
+    contiguous slice [i .. n_subtree_end-1]: subtree folds are array
+    scans.  Spans and indexes are derived at build/load time and never
+    serialized — the wire format is unchanged (still version 1). *)
 
 open Xpdl_core
 
@@ -16,22 +22,40 @@ type value =
 
 val pp_value : Format.formatter -> value -> unit
 
+(** {1 Interned attribute keys}
+
+    A global, append-only string pool: equal key strings map to the same
+    id within a process.  Node attribute arrays are sorted by key id. *)
+
+(** Intern an attribute name (allocates an id on first sight). *)
+val intern : string -> int
+
+(** The id of an attribute name, if it was ever interned. *)
+val intern_opt : string -> int option
+
+(** The name behind a key id; raises [Invalid_argument] on unknown ids. *)
+val key_name : int -> string
+
 type node = {
-  n_index : int;  (** position in the node array *)
+  n_index : int;  (** position in the node array; preorder rank *)
   n_kind : Schema.kind;
   n_ident : string option;  (** name or id *)
   n_type : string option;  (** retained [type] reference *)
-  n_attrs : (string * value) array;
+  n_attrs : (int * value) array;  (** interned key id → value, sorted by key *)
   n_parent : int;  (** -1 for the root *)
   n_children : int array;
   n_path : string;  (** scope path, e.g. ["liu_gpu_server/gpu1/SMs/SM0"] *)
+  n_subtree_end : int;
+      (** exclusive end of the preorder span: the subtree of this node is
+          the node slice [n_index .. n_subtree_end - 1] *)
 }
 
 type t = {
   nodes : node array;
   root : int;
-  by_ident : (string, int list) Hashtbl.t;
-  by_kind : (string, int list) Hashtbl.t;
+  by_ident : (string, int list) Hashtbl.t;  (** ident → node indexes *)
+  by_kind : (string, int list) Hashtbl.t;  (** tag → node indexes *)
+  by_path : (string, int) Hashtbl.t;  (** scope path → first node index *)
 }
 
 val value_of_attr : Model.attr_value -> value
@@ -46,10 +70,31 @@ val node : t -> int -> node
 val root : t -> node
 val parent : t -> node -> node option
 val children : t -> node -> node list
+
+(** Attribute lookup by name: interned-id binary search (no string
+    hashing beyond one pool probe). *)
 val attr : node -> string -> value option
+
+(** Attribute lookup by pre-interned key id (the fastest path; use
+    {!intern} once and reuse the id). *)
+val attr_by_key : node -> int -> value option
+
 val find_by_ident : t -> string -> node option
 val all_by_ident : t -> string -> node list
+
+(** O(1) lookup of a scope path (first node in document order). *)
+val find_by_path : t -> string -> node option
+
 val all_of_kind : t -> Schema.kind -> node list
+
+(** Node indexes of a kind/tag in document order, without materializing
+    the node list (cheap emptiness/cardinality checks, selector seeds). *)
+val indexes_of_kind : t -> Schema.kind -> int list
+
+val indexes_of_tag : t -> string -> int list
+
+(** Depth-first (= document-order) fold over the subtree of the node: a
+    scan of its contiguous preorder slice. *)
 val fold_subtree : t -> ('a -> node -> 'a) -> 'a -> node -> 'a
 
 (** {1 Binary codec} *)
@@ -62,7 +107,9 @@ exception Corrupt of string
 val to_bytes : t -> string
 
 (** Deserialize; raises {!Corrupt} on malformed input (bad magic or
-    version, truncation, dangling indexes). *)
+    version, truncation, dangling indexes, non-preorder node order).
+    Accepts any format-v1 file: spans, interning and indexes are rebuilt
+    at load time. *)
 val of_bytes : string -> t
 
 val to_file : string -> t -> unit

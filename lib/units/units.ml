@@ -32,6 +32,26 @@ let dimension_name = function
   | Temperature -> "temperature"
   | Scalar -> "scalar"
 
+(* Dedicated equality: dimensions are a closed enum of constant
+   constructors, so this compiles to an integer comparison — no
+   polymorphic structural compare on hot query paths. *)
+let equal_dimension (a : dimension) (b : dimension) =
+  match (a, b) with
+  | Size, Size
+  | Frequency, Frequency
+  | Power, Power
+  | Energy, Energy
+  | Time, Time
+  | Bandwidth, Bandwidth
+  | Voltage, Voltage
+  | Temperature, Temperature
+  | Scalar, Scalar ->
+      true
+  | ( ( Size | Frequency | Power | Energy | Time | Bandwidth | Voltage | Temperature
+      | Scalar ),
+      _ ) ->
+      false
+
 let pp_dimension ppf d = Fmt.string ppf (dimension_name d)
 
 (** A quantity: a value normalized to the base unit of its dimension. *)

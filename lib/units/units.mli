@@ -22,6 +22,11 @@ type dimension =
   | Scalar  (** dimensionless *)
 
 val dimension_name : dimension -> string
+
+(** Dedicated dimension equality (an integer comparison; avoids
+    polymorphic [=] on hot query paths). *)
+val equal_dimension : dimension -> dimension -> bool
+
 val pp_dimension : Format.formatter -> dimension -> unit
 
 (** A quantity: a value normalized to the base unit of its dimension. *)

@@ -84,6 +84,22 @@ let parse path =
   let steps = String.split_on_char '/' body |> List.map parse_step in
   { descend; steps }
 
+type compiled = { c_source : string; c_sel : t; c_seed_tag : string option }
+
+(** Compile a selector once for repeated evaluation.  For a descendant
+    selector ["//tag..."] with a concrete first tag, [c_seed_tag]
+    records that tag so evaluators with a tag index (the runtime-model
+    query API) can seed the candidate set from the index instead of
+    materializing every node; document order is preserved either way. *)
+let compile path =
+  let sel = parse path in
+  let seed =
+    match sel.steps with
+    | st :: _ when sel.descend && not (String.equal st.step_tag "*") -> Some st.step_tag
+    | _ -> None
+  in
+  { c_source = path; c_sel = sel; c_seed_tag = seed }
+
 let attr_pred_holds (el : Dom.element) = function
   | Attr_equals (name, v) -> (
       match Dom.attribute el name with Some v' -> String.equal v v' | None -> false)
@@ -124,7 +140,11 @@ let select_parsed t (root : Dom.element) =
       let matched = apply_position first (List.filter (step_matches first) initial) in
       if rest = [] then matched else walk rest (List.concat_map Dom.child_elements matched)
 
-let select path root = select_parsed (parse path) root
+(** Evaluate a compiled selector over a DOM tree (no tag index here;
+    [c_seed_tag] is exploited by the runtime-model evaluator). *)
+let select_compiled c root = select_parsed c.c_sel root
+
+let select path root = select_compiled (compile path) root
 
 (** First match of [path] under [root], if any. *)
 let select_one path root =

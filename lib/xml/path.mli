@@ -26,6 +26,18 @@ exception Syntax_error of string
 (** Parse a selector; raises {!Syntax_error} on malformed input. *)
 val parse : string -> t
 
+(** A selector compiled for repeated evaluation.  [c_seed_tag] is the
+    concrete first tag of a ["//tag..."] selector, if any: evaluators
+    with a tag index (the runtime-model query API) seed the candidate
+    set from the index instead of materializing every node. *)
+type compiled = { c_source : string; c_sel : t; c_seed_tag : string option }
+
+(** Compile once; raises {!Syntax_error} on malformed input. *)
+val compile : string -> compiled
+
+(** Evaluate a compiled selector over a DOM tree, document order. *)
+val select_compiled : compiled -> Dom.element -> Dom.element list
+
 (** All elements matched by the (pre-parsed) selector, document order. *)
 val select_parsed : t -> Dom.element -> Dom.element list
 

@@ -210,6 +210,76 @@ let test_children_of_kind_query () =
   Alcotest.(check int) "one device" 1
     (List.length (Q.children_of_kind q root Xpdl_core.Schema.Device))
 
+(* --- fast paths: path index, memoized derived attributes, compiled
+   selectors --- *)
+
+let test_find_by_path_matches_scan () =
+  let q = Lazy.force liu in
+  (* the hash index must return what a document-order scan would: the
+     first element with that path *)
+  let first = Hashtbl.create 256 in
+  ignore
+    (Q.fold q (Q.root q)
+       (fun () (e : Q.element) ->
+         if not (Hashtbl.mem first (Q.path e)) then Hashtbl.add first (Q.path e) e)
+       ());
+  Hashtbl.iter
+    (fun p (e : Q.element) ->
+      match Q.find_by_path q p with
+      | Some e' ->
+          if not (e == e') then Alcotest.failf "path %s: index disagrees with scan" p
+      | None -> Alcotest.failf "path %s not found via index" p)
+    first;
+  Alcotest.(check bool) "missing path" true (Q.find_by_path q "liu_gpu_server/ghost" = None)
+
+let test_memoized_derived_attrs () =
+  let q = Lazy.force liu in
+  (* memoized results are stable across calls and across subtrees *)
+  Alcotest.(check int) "count_cores stable" (Q.count_cores q) (Q.count_cores q);
+  Alcotest.(check (float 1e-12)) "static power stable" (Q.total_static_power q)
+    (Q.total_static_power q);
+  let gpu = Option.get (Q.find_by_id q "gpu1") in
+  let within_twice = (Q.count_cores ~within:gpu q, Q.count_cores ~within:gpu q) in
+  Alcotest.(check int) "within stable" (fst within_twice) (snd within_twice);
+  Alcotest.(check int) "gpu cores" 2496 (fst within_twice);
+  (* the memoized value agrees with an unmemoized recount *)
+  Alcotest.(check int) "memo = recount" (Q.count_cores ~within:gpu q)
+    (Q.count ~within:gpu q (fun n ->
+         Xpdl_core.Schema.equal_kind (Q.kind n) Xpdl_core.Schema.Core));
+  Alcotest.(check (option (float 1e3))) "min frequency stable" (Q.min_frequency q)
+    (Q.min_frequency q)
+
+let test_select_kind_seeded () =
+  let q = Lazy.force cluster in
+  (* a //tag selector is seeded from the kind index; it must match
+     exactly the document-order kind listing *)
+  let selected = Q.select q "//cache" in
+  let by_kind = Q.all_of_kind q Xpdl_core.Schema.Cache in
+  Alcotest.(check int) "same cardinality" (List.length by_kind) (List.length selected);
+  List.iter2
+    (fun (a : Q.element) (b : Q.element) ->
+      if not (a == b) then Alcotest.fail "seeded select out of document order")
+    by_kind selected;
+  (* predicates still apply after seeding *)
+  let l3 = Q.select q "//cache[@level=3]" in
+  Alcotest.(check bool) "some L3 caches" true (l3 <> []);
+  List.iter
+    (fun (e : Q.element) ->
+      Alcotest.(check (option string)) "level is 3" (Some "3") (Q.get_string e "level"))
+    l3;
+  (* wildcard first steps still materialize everything *)
+  match Q.select q "//*[@id=gpu1]" with
+  | [] -> Alcotest.fail "wildcard descend must still work"
+  | l -> Alcotest.(check int) "4 gpu1 instances" 4 (List.length l)
+
+let test_select_compiled_reuse () =
+  let q = Lazy.force liu in
+  let c = Q.compile q "//cache[@level=3]" in
+  Alcotest.(check bool) "compile cached" true (Q.compile q "//cache[@level=3]" == c);
+  let a = Q.select_compiled q c and b = Q.select q "//cache[@level=3]" in
+  Alcotest.(check int) "compiled = select" (List.length a) (List.length b);
+  List.iter2 (fun (x : Q.element) y -> Alcotest.(check bool) "same" true (x == y)) a b
+
 let case name f = Alcotest.test_case name `Quick f
 
 let () =
@@ -246,5 +316,12 @@ let () =
           case "query/model isomorphism" test_query_model_isomorphism;
           case "duplicate identifiers across nodes" test_all_by_ident;
           case "children_of_kind" test_children_of_kind_query;
+        ] );
+      ( "fast paths",
+        [
+          case "path index = scan" test_find_by_path_matches_scan;
+          case "memoized derived attributes" test_memoized_derived_attrs;
+          case "kind-seeded select" test_select_kind_seeded;
+          case "compiled selector reuse" test_select_compiled_reuse;
         ] );
     ]

@@ -117,6 +117,186 @@ let prop_codec_roundtrip =
       && (Ir.root ir).Ir.n_attrs = (Ir.root ir2).Ir.n_attrs)
 
 (* ------------------------------------------------------------------ *)
+(* Preorder spans, path index, interned attributes *)
+
+(* the naive recursive implementation the spans must agree with *)
+let naive_subtree ir (n : Ir.node) =
+  let rec go acc (n : Ir.node) =
+    Array.fold_left (fun acc i -> go acc (Ir.node ir i)) (n.Ir.n_index :: acc) n.Ir.n_children
+  in
+  List.rev (go [] n)
+
+let span_subtree (n : Ir.node) =
+  List.init (n.Ir.n_subtree_end - n.Ir.n_index) (fun k -> n.Ir.n_index + k)
+
+let check_spans_against_naive name ir =
+  for i = 0 to Ir.size ir - 1 do
+    let n = Ir.node ir i in
+    if naive_subtree ir n <> span_subtree n then
+      Alcotest.failf "%s: span of node %d disagrees with the recursive subtree" name i
+  done
+
+let test_spans_bundled () =
+  List.iter
+    (fun name -> check_spans_against_naive name (Ir.of_model (model name)))
+    [ "myriad_server"; "liu_gpu_server"; "XScluster" ]
+
+let test_path_index_bundled () =
+  List.iter
+    (fun name ->
+      let ir = Ir.of_model (model name) in
+      (* the index must return exactly what the old linear scan returned:
+         the first node in document order with that path *)
+      let first = Hashtbl.create 256 in
+      for i = 0 to Ir.size ir - 1 do
+        let p = (Ir.node ir i).Ir.n_path in
+        if not (Hashtbl.mem first p) then Hashtbl.add first p i
+      done;
+      Hashtbl.iter
+        (fun p i ->
+          match Ir.find_by_path ir p with
+          | Some n ->
+              if n.Ir.n_index <> i then
+                Alcotest.failf "%s: path %s resolves to node %d, scan finds %d" name p
+                  n.Ir.n_index i
+          | None -> Alcotest.failf "%s: path %s not indexed" name p)
+        first;
+      Alcotest.(check bool) "missing path" true (Ir.find_by_path ir "no/such/path" = None))
+    [ "myriad_server"; "liu_gpu_server" ]
+
+let test_interned_attrs () =
+  let ir = Lazy.force liu_ir in
+  for i = 0 to Ir.size ir - 1 do
+    let n = Ir.node ir i in
+    let prev = ref (-1) in
+    Array.iter
+      (fun (k, v) ->
+        if k <= !prev then Alcotest.failf "node %d: attrs not sorted by key id" i;
+        prev := k;
+        if Ir.attr n (Ir.key_name k) <> Some v then
+          Alcotest.failf "node %d: attr %s not found by name" i (Ir.key_name k);
+        if Ir.attr_by_key n k <> Some v then
+          Alcotest.failf "node %d: attr %s not found by key id" i (Ir.key_name k))
+      n.Ir.n_attrs
+  done;
+  let gpu = Option.get (Ir.find_by_ident ir "gpu1") in
+  Alcotest.(check bool) "absent attr by name" true (Ir.attr gpu "no_such_attribute_xyz" = None);
+  Alcotest.(check bool) "absent attr by key" true
+    (Ir.attr_by_key gpu (Ir.intern "no_such_attribute_xyz") = None)
+
+let test_codec_rebuilds_spans () =
+  let ir = Lazy.force liu_ir in
+  let ir2 = Ir.of_bytes (Ir.to_bytes ir) in
+  for i = 0 to Ir.size ir - 1 do
+    if (Ir.node ir i).Ir.n_subtree_end <> (Ir.node ir2 i).Ir.n_subtree_end then
+      Alcotest.failf "span of node %d not rebuilt identically after the codec" i
+  done;
+  check_spans_against_naive "reloaded" ir2
+
+(* a format-v1 file written by the seed release, before spans and key
+   interning existed: loading must still work, with everything derived *)
+let test_v1_fixture () =
+  let ir = Ir.of_file "fixtures/myriad_server_v1.xrt" in
+  Alcotest.(check int) "node count" 178 (Ir.size ir);
+  Alcotest.(check bool) "board findable" true (Ir.find_by_ident ir "mv153board" <> None);
+  check_spans_against_naive "fixture" ir;
+  let fresh = Ir.of_model (model "myriad_server") in
+  Alcotest.(check int) "same size" (Ir.size fresh) (Ir.size ir);
+  for i = 0 to Ir.size ir - 1 do
+    let a = Ir.node ir i and b = Ir.node fresh i in
+    if
+      not
+        (a.Ir.n_ident = b.Ir.n_ident && a.Ir.n_kind = b.Ir.n_kind && a.Ir.n_path = b.Ir.n_path
+       && a.Ir.n_parent = b.Ir.n_parent && a.Ir.n_children = b.Ir.n_children
+       && a.Ir.n_attrs = b.Ir.n_attrs && a.Ir.n_subtree_end = b.Ir.n_subtree_end)
+    then Alcotest.failf "fixture node %d differs from a fresh build" i
+  done
+
+(* hand-written v1 byte streams with structurally broken trees *)
+let put_int buf i = Buffer.add_int64_le buf (Int64.of_int i)
+
+let put_str buf s =
+  put_int buf (String.length s);
+  Buffer.add_string buf s
+
+let raw_v1 ~count ~root nodes =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "XPDLRT";
+  put_int buf 1;
+  put_int buf count;
+  put_int buf root;
+  List.iter
+    (fun (tag, path, parent, children) ->
+      put_str buf tag;
+      put_int buf (-1) (* no ident *);
+      put_int buf (-1) (* no type *);
+      put_str buf path;
+      put_int buf parent;
+      put_int buf (List.length children);
+      List.iter (put_int buf) children;
+      put_int buf 0 (* no attrs *))
+    nodes;
+  Buffer.contents buf
+
+let test_rejects_broken_trees () =
+  (* node 1 unreachable from the root *)
+  let orphan = raw_v1 ~count:2 ~root:0 [ ("cpu", "a", -1, []); ("core", "a/b", 0, []) ] in
+  (match Ir.of_bytes orphan with
+  | exception Ir.Corrupt _ -> ()
+  | _ -> Alcotest.fail "unreachable node must be rejected");
+  (* children out of document order *)
+  let swapped =
+    raw_v1 ~count:3 ~root:0
+      [ ("cpu", "a", -1, [ 2; 1 ]); ("core", "a/b", 0, []); ("core", "a/c", 0, []) ]
+  in
+  (match Ir.of_bytes swapped with
+  | exception Ir.Corrupt _ -> ()
+  | _ -> Alcotest.fail "non-preorder children must be rejected");
+  (* self-cycle *)
+  let cyclic = raw_v1 ~count:1 ~root:0 [ ("cpu", "a", -1, [ 0 ]) ] in
+  (match Ir.of_bytes cyclic with
+  | exception Ir.Corrupt _ -> ()
+  | _ -> Alcotest.fail "cyclic child link must be rejected");
+  (* root not the first node *)
+  let late_root = raw_v1 ~count:2 ~root:1 [ ("core", "a/b", 1, []); ("cpu", "a", -1, [ 0 ]) ] in
+  (match Ir.of_bytes late_root with
+  | exception Ir.Corrupt _ -> ()
+  | _ -> Alcotest.fail "non-leading root must be rejected");
+  (* a well-formed hand-written stream still loads *)
+  let ok =
+    raw_v1 ~count:3 ~root:0
+      [ ("cpu", "a", -1, [ 1; 2 ]); ("core", "a/b", 0, []); ("core", "a/c", 0, []) ]
+  in
+  let ir = Ir.of_bytes ok in
+  Alcotest.(check int) "root span" 3 (Ir.root ir).Ir.n_subtree_end
+
+let prop_spans_random_models =
+  let gen =
+    QCheck2.Gen.(
+      let* cores = 1 -- 8 in
+      let* caches = 0 -- 3 in
+      return (cores, caches))
+  in
+  QCheck2.Test.make ~name:"spans agree with recursion and survive the codec" ~count:50 gen
+    (fun (cores, caches) ->
+      let src =
+        Fmt.str
+          {|<cpu name="c"><group prefix="k" quantity="%d"><core frequency="1" frequency_unit="GHz"/></group>%s</cpu>|}
+          cores
+          (String.concat ""
+             (List.init caches (fun i ->
+                  Fmt.str {|<cache name="L%d" size="%d" unit="KiB"/>|} i (8 * (i + 1)))))
+      in
+      let m, _ = Xpdl_core.Instantiate.run (Xpdl_core.Elaborate.of_string_exn src) in
+      let ir = Ir.of_model m in
+      check_spans_against_naive "random" ir;
+      let ir2 = Ir.of_bytes (Ir.to_bytes ir) in
+      check_spans_against_naive "random reloaded" ir2;
+      Array.for_all2
+        (fun (a : Ir.node) (b : Ir.node) -> a.Ir.n_subtree_end = b.Ir.n_subtree_end)
+        ir.Ir.nodes ir2.Ir.nodes)
+
+(* ------------------------------------------------------------------ *)
 (* Static analysis *)
 
 let test_bandwidth_downgrade () =
@@ -310,6 +490,16 @@ let () =
           case "file round-trip" test_codec_file_roundtrip;
           case "rejects corrupt input" test_codec_rejects_garbage;
           QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+        ] );
+      ( "spans",
+        [
+          case "spans = recursion on bundled models" test_spans_bundled;
+          case "path index = linear scan" test_path_index_bundled;
+          case "interned attribute lookup" test_interned_attrs;
+          case "codec rebuilds spans" test_codec_rebuilds_spans;
+          case "seed-era v1 fixture loads" test_v1_fixture;
+          case "broken trees rejected" test_rejects_broken_trees;
+          QCheck_alcotest.to_alcotest prop_spans_random_models;
         ] );
       ( "analysis",
         [

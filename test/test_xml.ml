@@ -209,6 +209,25 @@ let test_path_syntax_error () =
   | exception Path.Syntax_error _ -> ()
   | _ -> Alcotest.fail "empty path must be a syntax error"
 
+let test_path_compile_seed_tag () =
+  Alcotest.(check (option string)) "//cache seeds" (Some "cache")
+    (Path.compile "//cache[@name=L1]").Path.c_seed_tag;
+  Alcotest.(check (option string)) "//* has no seed" None (Path.compile "//*").Path.c_seed_tag;
+  Alcotest.(check (option string)) "non-descend has no seed" None
+    (Path.compile "system/cpu").Path.c_seed_tag
+
+let test_path_compile_reuse () =
+  let c = Path.compile "//cache[@name=L1]" in
+  let a = Path.select_compiled c sample and b = Path.select_compiled c sample in
+  Alcotest.(check int) "same result twice" (List.length a) (List.length b);
+  Alcotest.(check int) "matches select" (List.length (Path.select "//cache[@name=L1]" sample))
+    (List.length a)
+
+let test_path_compile_syntax_error () =
+  match Path.compile "a[" with
+  | exception Path.Syntax_error _ -> ()
+  | _ -> Alcotest.fail "compile must raise on malformed selectors"
+
 let test_deep_nesting () =
   let depth = 2000 in
   let buf = Buffer.create (depth * 8) in
@@ -340,6 +359,9 @@ let () =
           Alcotest.test_case "wildcard" `Quick test_path_star;
           Alcotest.test_case "no match" `Quick test_path_no_match;
           Alcotest.test_case "syntax error" `Quick test_path_syntax_error;
+          Alcotest.test_case "compile seed tag" `Quick test_path_compile_seed_tag;
+          Alcotest.test_case "compile reuse" `Quick test_path_compile_reuse;
+          Alcotest.test_case "compile syntax error" `Quick test_path_compile_syntax_error;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
