@@ -43,9 +43,32 @@ let system_arg =
   let doc = "Name (id) of the concrete system model." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SYSTEM" ~doc)
 
-let report_diags diags =
-  List.iter (fun d -> Fmt.epr "%a@." Diagnostic.pp d) diags;
+(* --- diagnostic output options (validate / validate-all / compose) --- *)
+
+type diag_format = Text | Json
+
+let format_arg =
+  let fmt = Arg.enum [ ("text", Text); ("json", Json) ] in
+  let doc = "Diagnostic output format ('text' or 'json').  JSON goes to stdout as one report object; see docs/DIAGNOSTICS.md for the schema." in
+  Arg.(value & opt fmt Text & info [ "format" ] ~docv:"FORMAT" ~doc)
+
+let max_errors_arg =
+  let doc = "Stop reporting after $(docv) errors (an info line summarizes the rest)." in
+  Arg.(value & opt (some int) None & info [ "max-errors" ] ~docv:"N" ~doc)
+
+(* Render diagnostics in the chosen format and turn them into an exit
+   status: 0 when error-free (warnings allowed), 1 otherwise.  Text goes
+   to stderr, JSON to stdout for machine consumers (CI lint). *)
+let emit_diags ?(format = Text) ?max_errors diags =
+  let shown =
+    match max_errors with Some n -> Diagnostic.cap ~max_errors:n diags | None -> diags
+  in
+  (match format with
+  | Json -> Fmt.pr "%s@." (Diagnostic.list_to_json shown)
+  | Text -> List.iter (fun d -> Fmt.epr "%a@." Diagnostic.pp d) shown);
   if Diagnostic.all_ok diags then 0 else 1
+
+let report_diags diags = emit_diags diags
 
 (* Parse --set key=value deployment overrides; numeric values may carry
    a unit suffix separated by a colon (L1size=32:KB). *)
@@ -105,29 +128,67 @@ let list_cmd =
 
 (* --- validate --- *)
 
+(* Validate a descriptor file on disk: parse with error recovery so one
+   run reports every syntax error, then elaborate, instantiate (range and
+   constraint checks) and validate whatever could be recovered. *)
+let validate_file repo path format max_errors =
+  match Xpdl_xml.Parse.file_recover ~lenient:true path with
+  | Error msg ->
+      emit_diags ~format ?max_errors
+        [ Diagnostic.error ~code:"XPDL303" "cannot load %s: %s" path msg ]
+  | Ok (root, parse_errors) ->
+      let diags = ref (List.map Diagnostic.of_parse_error parse_errors) in
+      let push ds = diags := !diags @ ds in
+      (match root with
+      | None -> ()
+      | Some x ->
+          let nodes =
+            match x.Xpdl_xml.Dom.tag with
+            | "xpdl" | "repository" -> Xpdl_xml.Dom.child_elements x
+            | _ -> [ x ]
+          in
+          List.iter
+            (fun node ->
+              let e, ediags = Elaborate.of_xml node in
+              push ediags;
+              let expanded, idiags = Instantiate.run e in
+              push idiags;
+              push (Validate.run ~lookup:(Xpdl_repo.Repo.lookup repo) expanded))
+            nodes);
+      if format = Text && !diags = [] then Fmt.pr "%s: OK@." path;
+      emit_diags ~format ?max_errors !diags
+
 let validate_cmd =
-  let run paths name =
+  let target_arg =
+    let doc = "Name (id) of an indexed descriptor, or a path to an .xpdl file." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SYSTEM|FILE" ~doc)
+  in
+  let run paths format max_errors name =
     setup_logs ();
     let repo = repo_of_paths paths in
-    match Xpdl_repo.Repo.find repo name with
-    | None ->
-        Fmt.epr "no descriptor %S@." name;
-        1
-    | Some e ->
-        let diags = Validate.run ~lookup:(Xpdl_repo.Repo.lookup repo) e in
-        if diags = [] then Fmt.pr "%s: OK@." name;
-        report_diags diags
+    if Sys.file_exists name && not (Sys.is_directory name) then
+      validate_file repo name format max_errors
+    else
+      match Xpdl_repo.Repo.find repo name with
+      | None ->
+          Fmt.epr "no descriptor %S@." name;
+          1
+      | Some e ->
+          let diags = Validate.run ~lookup:(Xpdl_repo.Repo.lookup repo) e in
+          if format = Text && diags = [] then Fmt.pr "%s: OK@." name;
+          emit_diags ~format ?max_errors diags
   in
-  Cmd.v (Cmd.info "validate" ~doc:"Validate a descriptor against the schema")
-    Term.(const run $ models_arg $ system_arg)
+  Cmd.v (Cmd.info "validate" ~doc:"Validate a descriptor (by name or file) against the schema")
+    Term.(const run $ models_arg $ format_arg $ max_errors_arg $ target_arg)
 
 (* --- validate-all --- *)
 
 let validate_all_cmd =
-  let run paths =
+  let run paths format max_errors =
     setup_logs ();
     let repo = repo_of_paths paths in
     let failures = ref 0 in
+    let collected = ref [] in
     List.iter
       (fun ident ->
         match Xpdl_repo.Repo.find repo ident with
@@ -147,16 +208,23 @@ let validate_all_cmd =
             in
             if diags <> [] then begin
               incr failures;
-              Fmt.pr "%-28s FAIL@." ident;
-              List.iter (fun d -> Fmt.epr "  %a@." Diagnostic.pp d) diags
+              collected := !collected @ diags;
+              if format = Text then begin
+                Fmt.pr "%-28s FAIL@." ident;
+                List.iter (fun d -> Fmt.epr "  %a@." Diagnostic.pp d) diags
+              end
             end)
       (Xpdl_repo.Repo.identifiers repo);
-    Fmt.pr "%d descriptors checked, %d with errors@." (Xpdl_repo.Repo.size repo) !failures;
-    if !failures = 0 && Diagnostic.all_ok (Xpdl_repo.Repo.diagnostics repo) then 0 else 1
+    let repo_diags = Xpdl_repo.Repo.diagnostics repo in
+    match format with
+    | Text ->
+        Fmt.pr "%d descriptors checked, %d with errors@." (Xpdl_repo.Repo.size repo) !failures;
+        if !failures = 0 && Diagnostic.all_ok repo_diags then 0 else 1
+    | Json -> emit_diags ~format:Json ?max_errors (repo_diags @ !collected)
   in
   Cmd.v
     (Cmd.info "validate-all" ~doc:"Validate every descriptor in the repository")
-    Term.(const run $ models_arg)
+    Term.(const run $ models_arg $ format_arg $ max_errors_arg)
 
 (* --- compose --- *)
 
@@ -165,7 +233,7 @@ let compose_cmd =
     let doc = "Print a summary instead of the full instance tree." in
     Arg.(value & flag & info [ "summary" ] ~doc)
   in
-  let run paths name summary_only sets =
+  let run paths format max_errors name summary_only sets =
     setup_logs ();
     let repo = repo_of_paths paths in
     match parse_config sets with
@@ -178,20 +246,23 @@ let compose_cmd =
         Fmt.epr "%s@." msg;
         1
     | Ok c ->
-        if summary_only then begin
-          Fmt.pr "%s: %d elements, %d cores, %.1f W static, %d descriptors used@." name
-            (Model.size c.Xpdl_repo.Repo.model)
-            (List.length (Model.hardware_elements_of_kind Schema.Core c.Xpdl_repo.Repo.model))
-            (Xpdl_simhw.Machine.total_static_power c.Xpdl_repo.Repo.model)
-            (List.length c.Xpdl_repo.Repo.descriptors_used)
-        end
-        else
-          Fmt.pr "%s@."
-            (Xpdl_xml.Print.to_string (Model.to_xml c.Xpdl_repo.Repo.model));
-        report_diags c.Xpdl_repo.Repo.comp_diags)
+        (* in JSON mode stdout carries only the diagnostics report, so it
+           stays machine-parseable; the instance tree is not printed *)
+        if format = Text then begin
+          if summary_only then
+            Fmt.pr "%s: %d elements, %d cores, %.1f W static, %d descriptors used@." name
+              (Model.size c.Xpdl_repo.Repo.model)
+              (List.length (Model.hardware_elements_of_kind Schema.Core c.Xpdl_repo.Repo.model))
+              (Xpdl_simhw.Machine.total_static_power c.Xpdl_repo.Repo.model)
+              (List.length c.Xpdl_repo.Repo.descriptors_used)
+          else
+            Fmt.pr "%s@."
+              (Xpdl_xml.Print.to_string (Model.to_xml c.Xpdl_repo.Repo.model))
+        end;
+        emit_diags ~format ?max_errors c.Xpdl_repo.Repo.comp_diags)
   in
   Cmd.v (Cmd.info "compose" ~doc:"Compose a concrete system from the repository")
-    Term.(const run $ models_arg $ system_arg $ summary $ set_arg)
+    Term.(const run $ models_arg $ format_arg $ max_errors_arg $ system_arg $ summary $ set_arg)
 
 (* --- analyze --- *)
 

@@ -1,15 +1,45 @@
-(** Diagnostics produced by elaboration and validation, each carrying the
-    source position of the offending XML node. *)
+(** Diagnostics produced across the toolchain, each carrying the source
+    position of the offending XML node and a stable [XPDLnnn] code:
+    [XPDL0xx] parse, [XPDL1xx] elaborate, [XPDL2xx] validate/constraint,
+    [XPDL3xx] compose/repository ([XPDL000] = uncategorized). *)
 
 type severity = Error | Warning | Info
 
 val pp_severity : Format.formatter -> severity -> unit
+val severity_name : severity -> string
 
-type t = { severity : severity; pos : Xpdl_xml.Dom.position; message : string }
+type t = {
+  severity : severity;
+  code : string;  (** stable [XPDLnnn] identity, ["XPDL000"] if uncategorized *)
+  pos : Xpdl_xml.Dom.position;
+  message : string;
+}
 
-val error : ?pos:Xpdl_xml.Dom.position -> ('a, Format.formatter, unit, t) format4 -> 'a
-val warning : ?pos:Xpdl_xml.Dom.position -> ('a, Format.formatter, unit, t) format4 -> 'a
-val info : ?pos:Xpdl_xml.Dom.position -> ('a, Format.formatter, unit, t) format4 -> 'a
+(** The default code assigned when a constructor is called without one. *)
+val uncategorized : string
+
+(** Every known code with its default severity and one-line meaning;
+    mirrored by docs/DIAGNOSTICS.md. *)
+val registry : (string * severity * string) list
+
+(** One-line meaning of a code, if registered. *)
+val describe : string -> string option
+
+(** Default severity of a code, if registered. *)
+val default_severity : string -> severity option
+
+val error :
+  ?code:string -> ?pos:Xpdl_xml.Dom.position -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val warning :
+  ?code:string -> ?pos:Xpdl_xml.Dom.position -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val info :
+  ?code:string -> ?pos:Xpdl_xml.Dom.position -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+(** Convert a positioned parse error from the XML layer, preserving its
+    [XPDL0xx] code. *)
+val of_parse_error : Xpdl_xml.Parse.error -> t
 
 val is_error : t -> bool
 val pp : Format.formatter -> t -> unit
@@ -19,6 +49,17 @@ val pp_list : Format.formatter -> t list -> unit
 val all_ok : t list -> bool
 
 val errors : t list -> t list
+
+(** Truncate after the [max_errors]-th error (clamped to at least 1),
+    appending an [Info] summary of how many errors were suppressed. *)
+val cap : max_errors:int -> t list -> t list
+
+(** One diagnostic as a JSON object; see docs/DIAGNOSTICS.md. *)
+val to_json : t -> string
+
+(** A diagnostic list as [{"diagnostics": [...], "errors": n,
+    "warnings": n}]. *)
+val list_to_json : t list -> string
 
 (** Raise [Failure] with a rendered message list if any error is present. *)
 val check_exn : t list -> unit

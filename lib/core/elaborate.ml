@@ -46,7 +46,7 @@ let typed_value ctx ~kind ~pos ~unit_of name raw =
         | Schema.Property | Schema.Properties | Schema.Other _ -> ()
         | _ ->
             diag ctx
-              (Diagnostic.warning ~pos "unknown attribute %S on <%s>" name
+              (Diagnostic.warning ~code:"XPDL110" ~pos "unknown attribute %S on <%s>" name
                  (Schema.tag_of_kind kind)));
         Model.Str raw
     | Some spec -> (
@@ -56,32 +56,32 @@ let typed_value ctx ~kind ~pos ~unit_of name raw =
             match int_of_string_opt (String.trim raw) with
             | Some i -> Model.Int i
             | None ->
-                diag ctx (Diagnostic.error ~pos "attribute %s: expected an integer, got %S" name raw);
+                diag ctx (Diagnostic.error ~code:"XPDL101" ~pos "attribute %s: expected an integer, got %S" name raw);
                 Model.Str raw)
         | Schema.A_float -> (
             match float_of_string_opt (String.trim raw) with
             | Some f -> Model.Float f
             | None ->
-                diag ctx (Diagnostic.error ~pos "attribute %s: expected a number, got %S" name raw);
+                diag ctx (Diagnostic.error ~code:"XPDL101" ~pos "attribute %s: expected a number, got %S" name raw);
                 Model.Str raw)
         | Schema.A_bool -> (
             match String.lowercase_ascii (String.trim raw) with
             | "true" | "1" | "yes" -> Model.Bool true
             | "false" | "0" | "no" -> Model.Bool false
             | _ ->
-                diag ctx (Diagnostic.error ~pos "attribute %s: expected a boolean, got %S" name raw);
+                diag ctx (Diagnostic.error ~code:"XPDL101" ~pos "attribute %s: expected a boolean, got %S" name raw);
                 Model.Str raw)
         | Schema.A_enum allowed ->
             if not (List.mem raw allowed) then
               diag ctx
-                (Diagnostic.error ~pos "attribute %s: %S is not one of {%s}" name raw
+                (Diagnostic.error ~code:"XPDL102" ~pos "attribute %s: %S is not one of {%s}" name raw
                    (String.concat ", " allowed));
             Model.Str raw
         | Schema.A_expr -> (
             match Xpdl_expr.Expr.parse raw with
             | e -> Model.Expr (e, raw)
             | exception Xpdl_expr.Expr.Error msg ->
-                diag ctx (Diagnostic.error ~pos "attribute %s: bad expression %S: %s" name raw msg);
+                diag ctx (Diagnostic.error ~code:"XPDL103" ~pos "attribute %s: bad expression %S: %s" name raw msg);
                 Model.Str raw)
         | Schema.A_quantity expected_dim -> (
             match unit_of name with
@@ -90,7 +90,7 @@ let typed_value ctx ~kind ~pos ~unit_of name raw =
                 | q ->
                     if Units.dim q <> expected_dim then begin
                       diag ctx
-                        (Diagnostic.error ~pos
+                        (Diagnostic.error ~code:"XPDL104" ~pos
                            "attribute %s: unit %S has dimension %s, expected %s" name
                            unit_spelling
                            (Units.dimension_name (Units.dim q))
@@ -99,13 +99,13 @@ let typed_value ctx ~kind ~pos ~unit_of name raw =
                     end
                     else Model.Quantity (q, unit_spelling)
                 | exception Units.Unit_error msg ->
-                    diag ctx (Diagnostic.error ~pos "attribute %s: %s" name msg);
+                    diag ctx (Diagnostic.error ~code:"XPDL104" ~pos "attribute %s: %s" name msg);
                     Model.Str raw)
             | None -> (
                 match float_of_string_opt (String.trim raw) with
                 | Some f ->
                     diag ctx
-                      (Diagnostic.warning ~pos
+                      (Diagnostic.warning ~code:"XPDL105" ~pos
                          "attribute %s: metric has no %s attribute; keeping the raw number" name
                          (companion_unit_attr ~kind ~metric:name));
                     Model.Float f
@@ -164,7 +164,7 @@ let rec element ctx (x : Xpdl_xml.Dom.element) : Model.element =
             let child = element ctx c in
             if not (Schema.child_allowed ~parent:kind ~child:child.kind) then
               diag ctx
-                (Diagnostic.error ~pos:c.pos "<%s> may not appear inside <%s>"
+                (Diagnostic.error ~code:"XPDL112" ~pos:c.pos "<%s> may not appear inside <%s>"
                    (Schema.tag_of_kind child.kind) (Schema.tag_of_kind kind));
             Some child
         | Xpdl_xml.Dom.Text _ | Xpdl_xml.Dom.Cdata _ | Xpdl_xml.Dom.Comment _ -> None)
@@ -172,7 +172,7 @@ let rec element ctx (x : Xpdl_xml.Dom.element) : Model.element =
   in
   (match kind with
   | Schema.Other tag ->
-      diag ctx (Diagnostic.warning ~pos:x.pos "unknown element <%s> (kept as extension)" tag)
+      diag ctx (Diagnostic.warning ~code:"XPDL111" ~pos:x.pos "unknown element <%s> (kept as extension)" tag)
   | _ -> ());
   { Model.kind; name; id; type_ref; extends; attrs; children; pos = x.pos }
 

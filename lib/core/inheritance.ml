@@ -172,10 +172,10 @@ let resolve_lenient lookup root =
     resolve_generic ~keep_type_ref:true
       ~on_missing:(fun (e : Model.element) name ->
         diags :=
-          Diagnostic.error ~pos:e.pos "unresolved reference to meta-model %S" name :: !diags)
+          Diagnostic.error ~code:"XPDL306" ~pos:e.pos "unresolved reference to meta-model %S" name :: !diags)
       ~on_cycle:(fun (e : Model.element) trail ->
         diags :=
-          Diagnostic.error ~pos:e.pos "cyclic inheritance through %s"
+          Diagnostic.error ~code:"XPDL307" ~pos:e.pos "cyclic inheritance through %s"
             (String.concat " -> " trail)
           :: !diags)
       lookup root

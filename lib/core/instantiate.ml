@@ -33,7 +33,7 @@ let binding_value env (e : Model.element) : Xpdl_expr.Expr.value option =
   let eval_expr ex =
     match Xpdl_expr.Expr.eval (Xpdl_expr.Expr.env_of_list env) ex with
     | v -> Some v
-    | exception Xpdl_expr.Expr.Error _ -> None
+    | exception (Xpdl_expr.Expr.Error _ | Xpdl_expr.Expr.Non_finite _) -> None
   in
   match Model.attr e "value" with
   | Some (Model.Expr (ex, _)) -> eval_expr ex
@@ -80,7 +80,7 @@ let check_range diags env (p : Model.element) =
           if not (List.exists (fun x -> Float.abs (x -. v) <= 1e-9 *. Float.max 1. (Float.abs x)) items)
           then
             diags :=
-              Diagnostic.error ~pos:p.pos "param %s: value %g outside declared range {%s}"
+              Diagnostic.error ~code:"XPDL210" ~pos:p.pos "param %s: value %g outside declared range {%s}"
                 (Option.value ~default:"?" p.name)
                 v range_s
               :: !diags)
@@ -102,6 +102,10 @@ let canonical_unit = function
 let substitute_attrs diags env (e : Model.element) : Model.element =
   let subst (key, v) =
     match v with
+    (* a <constraint expr="..."> is a predicate, owned (and diagnosed)
+       by check_constraints — substituting it here would double-report
+       every failing evaluation *)
+    | Model.Expr _ when e.Model.kind = Schema.Constraint && String.equal key "expr" -> (key, v)
     | Model.Expr (ex, src) -> (
         let ids = Xpdl_expr.Expr.free_idents ex in
         let all_bound = List.for_all (fun i -> List.mem_assoc i env) ids in
@@ -120,9 +124,9 @@ let substitute_attrs diags env (e : Model.element) : Model.element =
                   else (key, Model.Float f))
           | Xpdl_expr.Expr.Bool b -> (key, Model.Bool b)
           | Xpdl_expr.Expr.Str s -> (key, Model.Str s)
-          | exception Xpdl_expr.Expr.Error msg ->
+          | exception (Xpdl_expr.Expr.Error msg | Xpdl_expr.Expr.Non_finite msg) ->
               diags :=
-                Diagnostic.error ~pos:e.pos "attribute %s: cannot evaluate %S: %s" key src msg
+                Diagnostic.error ~code:"XPDL211" ~pos:e.pos "attribute %s: cannot evaluate %S: %s" key src msg
                 :: !diags;
               (key, v))
     | _ -> (key, v)
@@ -139,19 +143,19 @@ let eval_quantity diags env (g : Model.element) : int option =
       | f ->
           if f < 0. then begin
             diags :=
-              Diagnostic.error ~pos:g.pos "group quantity %S evaluates to negative %g" src f
+              Diagnostic.error ~code:"XPDL212" ~pos:g.pos "group quantity %S evaluates to negative %g" src f
               :: !diags;
             None
           end
           else Some (int_of_float f)
-      | exception Xpdl_expr.Expr.Error msg ->
+      | exception (Xpdl_expr.Expr.Error msg | Xpdl_expr.Expr.Non_finite msg) ->
           diags :=
-            Diagnostic.error ~pos:g.pos "group quantity %S: %s (unbound parameter?)" src msg
+            Diagnostic.error ~code:"XPDL212" ~pos:g.pos "group quantity %S: %s (unbound parameter?)" src msg
             :: !diags;
           None)
   | Some v ->
       diags :=
-        Diagnostic.error ~pos:g.pos "group quantity has non-numeric value %a" Model.pp_attr_value
+        Diagnostic.error ~code:"XPDL212" ~pos:g.pos "group quantity has non-numeric value %a" Model.pp_attr_value
           v
         :: !diags;
       None
@@ -164,14 +168,38 @@ let check_constraints diags env (e : Model.element) =
         (fun (c : Model.element) ->
           match Model.attr c "expr" with
           | Some (Model.Expr (ex, src)) -> (
-              match Xpdl_expr.Expr.eval_bool (Xpdl_expr.Expr.env_of_list env) ex with
-              | true -> ()
-              | false ->
+              match Xpdl_expr.Expr.eval (Xpdl_expr.Expr.env_of_list env) ex with
+              | Xpdl_expr.Expr.Num f when not (Float.is_finite f) ->
+                  (* a NaN/inf "result" would compare arbitrarily; that is
+                     a model bug, not an unsatisfied constraint *)
                   diags :=
-                    Diagnostic.error ~pos:c.pos "constraint violated: %s" src :: !diags
+                    Diagnostic.error ~code:"XPDL215" ~pos:c.pos
+                      "constraint %S evaluates to non-finite %g" src f
+                    :: !diags
+              | Xpdl_expr.Expr.Str _ ->
+                  diags :=
+                    Diagnostic.warning ~code:"XPDL214" ~pos:c.pos
+                      "constraint %S not checkable: evaluates to a string" src
+                    :: !diags
+              | (Xpdl_expr.Expr.Bool _ | Xpdl_expr.Expr.Num _) as v ->
+                  let holds =
+                    match v with
+                    | Xpdl_expr.Expr.Bool b -> b
+                    | Xpdl_expr.Expr.Num f -> f <> 0.
+                    | Xpdl_expr.Expr.Str _ -> assert false
+                  in
+                  if not holds then
+                    diags :=
+                      Diagnostic.error ~code:"XPDL213" ~pos:c.pos "constraint violated: %s" src
+                      :: !diags
+              | exception Xpdl_expr.Expr.Non_finite msg ->
+                  diags :=
+                    Diagnostic.error ~code:"XPDL215" ~pos:c.pos
+                      "constraint %S not meaningful: %s" src msg
+                    :: !diags
               | exception Xpdl_expr.Expr.Error msg ->
                   diags :=
-                    Diagnostic.warning ~pos:c.pos
+                    Diagnostic.warning ~code:"XPDL214" ~pos:c.pos
                       "constraint %S not checkable: %s" src msg
                     :: !diags)
           | _ -> ())
@@ -206,7 +234,7 @@ let run ?(env : env = []) (root : Model.element) : Model.element * Diagnostic.t 
                     | None -> env)
               | None ->
                   diags :=
-                    Diagnostic.error ~pos:c.pos "<%s> requires a name"
+                    Diagnostic.error ~code:"XPDL216" ~pos:c.pos "<%s> requires a name"
                       (Schema.tag_of_kind c.kind)
                     :: !diags;
                   env)

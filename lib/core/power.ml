@@ -244,26 +244,26 @@ let validate_state_machine (sm : state_machine) : Diagnostic.t list =
   (match dup with
   | [] -> ()
   | n :: _ ->
-      diags := Diagnostic.error "power state machine %s: duplicate state %S" sm.sm_name n :: !diags);
+      diags := Diagnostic.error ~code:"XPDL205" "power state machine %s: duplicate state %S" sm.sm_name n :: !diags);
   List.iter
     (fun tr ->
       List.iter
         (fun endpoint ->
           if not (List.mem endpoint state_names) then
             diags :=
-              Diagnostic.error "power state machine %s: transition references unknown state %S"
+              Diagnostic.error ~code:"XPDL205" "power state machine %s: transition references unknown state %S"
                 sm.sm_name endpoint
               :: !diags)
         [ tr.tr_from; tr.tr_to ];
       if tr.tr_time < 0. || tr.tr_energy < 0. then
         diags :=
-          Diagnostic.error "power state machine %s: negative transition cost %s->%s" sm.sm_name
+          Diagnostic.error ~code:"XPDL205" "power state machine %s: negative transition cost %s->%s" sm.sm_name
             tr.tr_from tr.tr_to
           :: !diags)
     sm.sm_transitions;
   (* reachability from the first (initial) state *)
   (match sm.sm_states with
-  | [] -> diags := Diagnostic.error "power state machine %s has no states" sm.sm_name :: !diags
+  | [] -> diags := Diagnostic.error ~code:"XPDL205" "power state machine %s has no states" sm.sm_name :: !diags
   | init :: _ ->
       let reachable = Hashtbl.create 8 in
       let rec dfs n =
@@ -277,7 +277,7 @@ let validate_state_machine (sm : state_machine) : Diagnostic.t list =
         (fun s ->
           if not (Hashtbl.mem reachable s.ps_name) then
             diags :=
-              Diagnostic.warning "power state machine %s: state %S unreachable from %S" sm.sm_name
+              Diagnostic.warning ~code:"XPDL206" "power state machine %s: state %S unreachable from %S" sm.sm_name
                 s.ps_name init.ps_name
               :: !diags)
         sm.sm_states);

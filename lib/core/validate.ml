@@ -30,7 +30,7 @@ let check_identifiers (root : Model.element) =
         (fun ident ->
           if not (is_valid_identifier ident) then
             diags :=
-              Diagnostic.error ~pos:e.pos "ill-formed identifier %S on <%s>" ident
+              Diagnostic.error ~code:"XPDL201" ~pos:e.pos "ill-formed identifier %S on <%s>" ident
                 (Schema.tag_of_kind e.kind)
               :: !diags)
         (Option.to_list e.name @ Option.to_list e.id))
@@ -45,7 +45,7 @@ let check_required_attrs (root : Model.element) =
         (fun (spec : Schema.attr_spec) ->
           if spec.a_required && Model.attr e spec.a_name = None then
             diags :=
-              Diagnostic.error ~pos:e.pos "<%s> is missing required attribute %S"
+              Diagnostic.error ~code:"XPDL202" ~pos:e.pos "<%s> is missing required attribute %S"
                 (Schema.tag_of_kind e.kind) spec.a_name
               :: !diags)
         (Schema.specific_attrs e.kind))
@@ -65,7 +65,7 @@ let check_unique_ids (root : Model.element) =
         | Some ident ->
             if Hashtbl.mem seen ident then
               diags :=
-                Diagnostic.error ~pos:c.pos "duplicate id %S within <%s>" ident
+                Diagnostic.error ~code:"XPDL203" ~pos:c.pos "duplicate id %S within <%s>" ident
                   (Schema.tag_of_kind e.kind)
                 :: !diags
             else Hashtbl.add seen ident ()
@@ -98,7 +98,7 @@ let check_interconnect_endpoints (root : Model.element) =
               match Model.attr_string e key with
               | Some endpoint when not (List.mem endpoint known) ->
                   diags :=
-                    Diagnostic.error ~pos:e.pos
+                    Diagnostic.error ~code:"XPDL204" ~pos:e.pos
                       "interconnect %s: %s endpoint %S does not name a component in this system"
                       (Option.value ~default:"?" (Model.identifier e))
                       key endpoint
@@ -127,7 +127,7 @@ let check_microbenchmark_refs (root : Model.element) =
       (match isa.Power.isa_default_mb with
       | Some mb when (not (List.mem mb suite_ids)) && not (List.mem mb bench_ids) ->
           diags :=
-            Diagnostic.warning "instruction set %s references unknown microbenchmark suite %S"
+            Diagnostic.warning ~code:"XPDL207" "instruction set %s references unknown microbenchmark suite %S"
               isa.Power.isa_name mb
             :: !diags
       | _ -> ());
@@ -136,7 +136,7 @@ let check_microbenchmark_refs (root : Model.element) =
           match i.Power.in_mb with
           | Some mb when (not (List.mem mb bench_ids)) && not (List.mem mb suite_ids) ->
               diags :=
-                Diagnostic.warning "instruction %s references unknown microbenchmark %S"
+                Diagnostic.warning ~code:"XPDL207" "instruction %s references unknown microbenchmark %S"
                   i.Power.in_name mb
                 :: !diags
           | _ -> ())
@@ -154,7 +154,7 @@ let check_references ?(lookup : Inheritance.lookup option) (root : Model.element
       List.filter_map
         (fun name ->
           if defined_here name || lookup name <> None then None
-          else Some (Diagnostic.error ~pos:root.pos "unresolved meta-model reference %S" name))
+          else Some (Diagnostic.error ~code:"XPDL208" ~pos:root.pos "unresolved meta-model reference %S" name))
         (Model.referenced_types root)
 
 (** Run every check.  [lookup] enables cross-descriptor reference checks. *)

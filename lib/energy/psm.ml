@@ -97,8 +97,15 @@ let transition_path (machine : Power.state_machine) ~from_state ~to_state :
       let rec rebuild acc s =
         if String.equal s from_state then acc
         else
-          let tr = Hashtbl.find via s in
-          rebuild (tr :: acc) tr.Power.tr_from
+          match Hashtbl.find_opt via s with
+          | Some tr -> rebuild (tr :: acc) tr.Power.tr_from
+          | None ->
+              (* a reachable state always has a predecessor edge; a hole
+                 means the machine's transition table is inconsistent —
+                 diagnose it instead of escaping with Not_found *)
+              error
+                "machine %s: broken predecessor chain at state %S while routing %s -> %s"
+                machine.Power.sm_name s from_state to_state
       in
       Some (rebuild [] to_state)
     end

@@ -23,7 +23,9 @@ val frequency : t -> float
 val power : t -> float
 
 (** Cheapest transition path minimizing switching energy (Dijkstra);
-    [None] if unreachable, [Some []] for from = to. *)
+    [None] if unreachable, [Some []] for from = to.  Raises {!Psm_error}
+    (never a bare [Not_found]) if the machine's transition table is
+    internally inconsistent. *)
 val transition_path :
   Power.state_machine ->
   from_state:string ->

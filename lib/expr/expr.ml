@@ -51,7 +51,15 @@ type t =
 
 exception Error of string
 
+(** Raised when evaluation hits a NaN where a meaningful result is
+    required (NaN divisor/modulus, NaN comparison operand): [d = 0.]
+    guards miss NaN, and NaN comparisons silently yield [false], so
+    constraints would otherwise "pass" or "fail" arbitrarily. *)
+exception Non_finite of string
+
 let fail fmt = Fmt.kstr (fun m -> raise (Error m)) fmt
+
+let fail_non_finite fmt = Fmt.kstr (fun m -> raise (Non_finite m)) fmt
 
 (** {1 Lexer} *)
 
@@ -280,14 +288,20 @@ and eval_binary env op l r =
   | Mul -> Num (num (eval env l) *. num (eval env r))
   | Div ->
       let d = num (eval env r) in
-      if d = 0. then fail "division by zero" else Num (num (eval env l) /. d)
+      if d = 0. then fail "division by zero"
+      else if Float.is_nan d then fail_non_finite "division by NaN"
+      else Num (num (eval env l) /. d)
   | Mod ->
       let d = num (eval env r) in
-      if d = 0. then fail "modulo by zero" else Num (Float.rem (num (eval env l)) d)
+      if d = 0. then fail "modulo by zero"
+      else if Float.is_nan d then fail_non_finite "modulo by NaN"
+      else Num (Float.rem (num (eval env l)) d)
   | Eq -> Bool (value_equal (eval env l) (eval env r))
   | Neq -> Bool (not (value_equal (eval env l) (eval env r)))
   | Lt | Le | Gt | Ge ->
       let a = num (eval env l) and b = num (eval env r) in
+      if Float.is_nan a || Float.is_nan b then
+        fail_non_finite "comparison with a NaN operand (result would be arbitrary)";
       Bool
         (match op with
         | Lt -> a < b

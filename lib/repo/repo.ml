@@ -52,13 +52,14 @@ let add_element t ?(file = "<memory>") (e : Model.element) =
   match Model.identifier e with
   | None ->
       add_diag t
-        (Diagnostic.error ~pos:e.pos "descriptor in %s has neither name nor id; not indexed" file)
+        (Diagnostic.error ~code:"XPDL301" ~pos:e.pos
+           "descriptor in %s has neither name nor id; not indexed" file)
   | Some ident ->
       (match Hashtbl.find_opt t.entries ident with
       | Some prev when prev.ent_file <> file ->
           add_diag t
-            (Diagnostic.warning ~pos:e.pos "identifier %S in %s shadows definition from %s" ident
-               file prev.ent_file)
+            (Diagnostic.warning ~code:"XPDL302" ~pos:e.pos
+               "identifier %S in %s shadows definition from %s" ident file prev.ent_file)
       | _ -> ());
       Hashtbl.replace t.entries ident { ent_ident = ident; ent_element = e; ent_file = file }
 
@@ -75,17 +76,24 @@ let add_xml t ~file (x : Xpdl_xml.Dom.element) =
       List.iter elaborate_and_add (Xpdl_xml.Dom.child_elements x)
   | _ -> elaborate_and_add x
 
+(* Recovering parse front end shared by string and file indexing: every
+   syntax error becomes a coded diagnostic, and whatever tree could be
+   reconstructed is still indexed best-effort, so one malformed descriptor
+   neither hides its other errors nor aborts a batch. *)
+let add_recovered t ~file (root, errs) =
+  List.iter (fun e -> add_diag t (Diagnostic.of_parse_error e)) errs;
+  match root with Some x -> add_xml t ~file x | None -> ()
+
 (** Parse and index a single descriptor string (used by tests and by the
     microbenchmark bootstrap to register generated descriptors). *)
 let add_string t ?(file = "<memory>") s =
-  match Xpdl_xml.Parse.string ~file ~lenient:true s with
-  | Ok x -> add_xml t ~file x
-  | Error msg -> add_diag t (Diagnostic.error "%s" msg)
+  add_recovered t ~file (Xpdl_xml.Parse.string_recover ~file ~lenient:true s)
 
 let add_file t path =
-  match Xpdl_xml.Parse.file ~lenient:true path with
-  | Ok x -> add_xml t ~file:path x
-  | Error msg -> add_diag t (Diagnostic.error "cannot load %s: %s" path msg)
+  match Xpdl_xml.Parse.file_recover ~lenient:true path with
+  | Ok parsed -> add_recovered t ~file:path parsed
+  | Error msg ->
+      add_diag t (Diagnostic.error ~code:"XPDL303" "cannot load %s: %s" path msg)
 
 let rec scan_dir t dir =
   match Sys.readdir dir with
@@ -98,7 +106,8 @@ let rec scan_dir t dir =
           else if Filename.check_suffix name ".xpdl" || Filename.check_suffix name ".xml" then
             add_file t path)
         entries
-  | exception Sys_error msg -> add_diag t (Diagnostic.error "cannot scan %s: %s" dir msg)
+  | exception Sys_error msg ->
+      add_diag t (Diagnostic.error ~code:"XPDL304" "cannot scan %s: %s" dir msg)
 
 (** Add a repository root (an element of the model search path); every
     [.xpdl] file beneath it is parsed and indexed immediately. *)
@@ -125,7 +134,9 @@ let resolve_hyperlink t ref_string =
         let name = String.sub rest (i + 1) (String.length rest - i - 1) in
         if List.mem_assoc authority t.remotes then Some name
         else begin
-          add_diag t (Diagnostic.error "unknown repository authority %S in %S" authority ref_string);
+          add_diag t
+            (Diagnostic.error ~code:"XPDL305" "unknown repository authority %S in %S" authority
+               ref_string);
           None
         end
     | None -> None

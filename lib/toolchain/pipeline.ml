@@ -103,7 +103,7 @@ let run ?(config = default_config) ?repo ~system () : (report, string) result =
           diags :=
             !diags
             @ [
-                Diagnostic.warning "bootstrap left unresolved energy entries: %s"
+                Diagnostic.warning ~code:"XPDL310" "bootstrap left unresolved energy entries: %s"
                   (String.concat ", " missing);
               ]
       | _ -> ());

@@ -7,23 +7,88 @@
     plain colon-in-name, parameter entities.
 
     A [lenient] mode additionally accepts unquoted attribute values
-    ([quantity=2]), which appear in the paper's listings (Listing 1). *)
+    ([quantity=2]), which appear in the paper's listings (Listing 1).
+
+    Two error regimes are offered:
+
+    - strict ({!string_exn}, {!string}, {!file_exn}, {!file}): the first
+      malformed construct raises {!Parse_error} / returns [Error];
+    - recovering ({!string_recover}, {!file_recover}): a malformed
+      construct is recorded as a positioned, coded {!error} and the parser
+      resynchronizes (skips to the next ['<'], repairs mismatched closing
+      tags against the open-element stack, substitutes U+FFFD for bad
+      references) so one pass over a document yields {e all} of its syntax
+      errors plus a best-effort tree. *)
 
 exception Parse_error of Dom.position * string
+
+(** A positioned parse diagnostic with a stable [XPDL0xx] code (see
+    docs/DIAGNOSTICS.md for the registry). *)
+type error = { err_code : string; err_pos : Dom.position; err_msg : string }
+
+(* Internal control flow: [Fail] unwinds to the nearest recovery point (or
+   to the API boundary in strict mode, where it becomes [Parse_error]);
+   [Stop] aborts a recovering parse that exceeded [max_errors]. *)
+exception Fail of error
+exception Stop
 
 type state = {
   src : string;
   file : string;
   lenient : bool;
+  recover : bool;
+  max_errors : int;
   mutable off : int;
   mutable line : int;
   mutable bol : int;  (** offset of beginning of current line *)
+  mutable root : Dom.element option;
+  mutable errors : error list;  (** newest first *)
+  mutable err_count : int;
+  mutable open_tags : string list;  (** innermost first *)
+  mutable eof_reported : bool;  (** one "unterminated element" per EOF *)
+  mutable last_mismatch_off : int;  (** dedups re-read mismatched close tags *)
 }
+
+let make_state ?(file = "<string>") ?(lenient = false) ?(recover = false) ?(max_errors = 100) src =
+  {
+    src;
+    file;
+    lenient;
+    recover;
+    max_errors = max 1 max_errors;
+    off = 0;
+    line = 1;
+    bol = 0;
+    root = None;
+    errors = [];
+    err_count = 0;
+    open_tags = [];
+    eof_reported = false;
+    last_mismatch_off = -1;
+  }
 
 let position st = { Dom.file = st.file; line = st.line; column = st.off - st.bol + 1 }
 
-let error st fmt =
-  Fmt.kstr (fun msg -> raise (Parse_error (position st, msg))) fmt
+let fail_at ~code pos fmt =
+  Fmt.kstr (fun msg -> raise (Fail { err_code = code; err_pos = pos; err_msg = msg })) fmt
+
+let error ?(code = "XPDL001") st fmt = fail_at ~code (position st) fmt
+
+(* Record a diagnostic in recovery mode; aborts via [Stop] once the error
+   budget is exhausted (with a final XPDL009 marker). *)
+let record st e =
+  st.errors <- e :: st.errors;
+  st.err_count <- st.err_count + 1;
+  if st.err_count >= st.max_errors then begin
+    st.errors <-
+      {
+        err_code = "XPDL009";
+        err_pos = position st;
+        err_msg = Fmt.str "too many errors (%d); giving up on this document" st.err_count;
+      }
+      :: st.errors;
+    raise Stop
+  end
 
 let eof st = st.off >= String.length st.src
 let peek st = if eof st then '\000' else st.src.[st.off]
@@ -43,10 +108,16 @@ let next st =
   advance st;
   c
 
+(* Resynchronization point: the next markup start (or EOF). *)
+let skip_to_lt st =
+  while (not (eof st)) && not (Char.equal (peek st) '<') do
+    advance st
+  done
+
 let expect st c =
   let got = peek st in
   if Char.equal got c then advance st
-  else if eof st then error st "unexpected end of input, expected %C" c
+  else if eof st then error ~code:"XPDL002" st "unexpected end of input, expected %C" c
   else error st "expected %C but found %C" c got
 
 let expect_string st s =
@@ -70,18 +141,28 @@ let parse_name st =
   while (not (eof st)) && is_name_char (peek st) do advance st done;
   String.sub st.src start (st.off - start)
 
+(* The XML 1.0 Char production: #x9 | #xA | #xD | [#x20-#xD7FF] |
+   [#xE000-#xFFFD] | [#x10000-#x10FFFF].  Notably excludes NUL, the other
+   C0 controls, the surrogate range (which has no UTF-8 encoding) and the
+   non-characters #xFFFE/#xFFFF. *)
+let is_xml_char code =
+  code = 0x9 || code = 0xA || code = 0xD
+  || (code >= 0x20 && code <= 0xD7FF)
+  || (code >= 0xE000 && code <= 0xFFFD)
+  || (code >= 0x10000 && code <= 0x10FFFF)
+
 (* Decode one entity reference; the leading '&' has been consumed. *)
 let parse_entity st =
   let start_pos = position st in
   let start = st.off in
   let rec scan () =
-    if eof st then raise (Parse_error (start_pos, "unterminated entity reference"))
+    if eof st then fail_at ~code:"XPDL004" start_pos "unterminated entity reference"
     else if Char.equal (peek st) ';' then begin
       let name = String.sub st.src start (st.off - start) in
       advance st;
       name
     end
-    else if st.off - start > 10 then raise (Parse_error (start_pos, "entity reference too long"))
+    else if st.off - start > 10 then fail_at ~code:"XPDL004" start_pos "entity reference too long"
     else begin
       advance st;
       scan ()
@@ -96,36 +177,68 @@ let parse_entity st =
   | "apos" -> "'"
   | _ ->
       if String.length name > 1 && Char.equal name.[0] '#' then begin
-        let code =
-          try
-            if Char.equal name.[1] 'x' || Char.equal name.[1] 'X' then
-              int_of_string ("0x" ^ String.sub name 2 (String.length name - 2))
-            else int_of_string (String.sub name 1 (String.length name - 1))
-          with _ -> raise (Parse_error (start_pos, "malformed character reference &" ^ name ^ ";"))
+        (* Strict decimal/hex digits only: no sign, no '_' separators, no
+           OCaml 0o/0b prefixes ([int_of_string] accepted all of those). *)
+        let digits, base =
+          if String.length name > 2 && (Char.equal name.[1] 'x' || Char.equal name.[1] 'X') then
+            (String.sub name 2 (String.length name - 2), 16)
+          else (String.sub name 1 (String.length name - 1), 10)
         in
-        if code < 0 || code > 0x10FFFF then
-          raise (Parse_error (start_pos, "character reference out of range"));
-        (* UTF-8 encode. *)
-        let b = Buffer.create 4 in
-        if code < 0x80 then Buffer.add_char b (Char.chr code)
-        else if code < 0x800 then begin
-          Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
-          Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
-        end
-        else if code < 0x10000 then begin
-          Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
-          Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
-          Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
-        end
-        else begin
-          Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
-          Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
-          Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
-          Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
-        end;
-        Buffer.contents b
+        let digit_value c =
+          match c with
+          | '0' .. '9' -> Some (Char.code c - Char.code '0')
+          | 'a' .. 'f' when base = 16 -> Some (Char.code c - Char.code 'a' + 10)
+          | 'A' .. 'F' when base = 16 -> Some (Char.code c - Char.code 'A' + 10)
+          | _ -> None
+        in
+        let code =
+          if String.equal digits "" then None
+          else
+            String.fold_left
+              (fun acc c ->
+                match (acc, digit_value c) with
+                | Some v, Some d -> Some (min ((v * base) + d) 0x110000)  (* clamp: no overflow *)
+                | _, _ -> None)
+              (Some 0) digits
+        in
+        match code with
+        | None -> fail_at ~code:"XPDL004" start_pos "malformed character reference &%s;" name
+        | Some code when not (is_xml_char code) ->
+            fail_at ~code:"XPDL004" start_pos
+              "character reference &%s; is not a valid XML character" name
+        | Some code ->
+            (* UTF-8 encode. *)
+            let b = Buffer.create 4 in
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else if code < 0x10000 then begin
+              Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+              Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            Buffer.contents b
       end
-      else raise (Parse_error (start_pos, "unknown entity &" ^ name ^ ";"))
+      else fail_at ~code:"XPDL004" start_pos "unknown entity &%s;" name
+
+(* In recovery mode a bad reference becomes U+FFFD and the surrounding
+   text/attribute keeps parsing. *)
+let entity_or_replacement st =
+  if not st.recover then parse_entity st
+  else
+    match parse_entity st with
+    | s -> s
+    | exception Fail e ->
+        record st e;
+        "\xEF\xBF\xBD"
 
 let parse_attr_value st =
   let quote = peek st in
@@ -133,15 +246,15 @@ let parse_attr_value st =
     advance st;
     let buf = Buffer.create 16 in
     let rec loop () =
-      if eof st then error st "unterminated attribute value"
+      if eof st then error ~code:"XPDL002" st "unterminated attribute value"
       else
         let c = next st in
         if Char.equal c quote then ()
         else if Char.equal c '&' then begin
-          Buffer.add_string buf (parse_entity st);
+          Buffer.add_string buf (entity_or_replacement st);
           loop ()
         end
-        else if Char.equal c '<' then error st "'<' not allowed in attribute value"
+        else if Char.equal c '<' then error ~code:"XPDL007" st "'<' not allowed in attribute value"
         else begin
           Buffer.add_char buf c;
           loop ()
@@ -161,10 +274,10 @@ let parse_attr_value st =
     do
       advance st
     done;
-    if st.off = start then error st "empty unquoted attribute value";
+    if st.off = start then error ~code:"XPDL007" st "empty unquoted attribute value";
     String.sub st.src start (st.off - start)
   end
-  else error st "attribute value must be quoted"
+  else error ~code:"XPDL007" st "attribute value must be quoted"
 
 let parse_attributes st =
   let rec loop acc =
@@ -177,8 +290,14 @@ let parse_attributes st =
       skip_space st;
       let value = parse_attr_value st in
       if List.exists (fun a -> String.equal a.Dom.attr_name name) acc then
-        error st "duplicate attribute %S" name;
-      loop ({ Dom.attr_name = name; attr_value = value; attr_pos = pos } :: acc)
+        if st.recover then begin
+          (* drop the duplicate, keep the element *)
+          record st
+            { err_code = "XPDL005"; err_pos = pos; err_msg = Fmt.str "duplicate attribute %S" name };
+          loop acc
+        end
+        else fail_at ~code:"XPDL005" pos "duplicate attribute %S" name
+      else loop ({ Dom.attr_name = name; attr_value = value; attr_pos = pos } :: acc)
     end
     else List.rev acc
   in
@@ -189,7 +308,7 @@ let parse_comment st =
   let pos = position st in
   let start = st.off in
   let rec loop () =
-    if eof st then raise (Parse_error (pos, "unterminated comment"))
+    if eof st then fail_at ~code:"XPDL002" pos "unterminated comment"
     else if Char.equal (peek st) '-' && Char.equal (peek2 st) '-' then begin
       let body = String.sub st.src start (st.off - start) in
       advance st;
@@ -209,7 +328,7 @@ let parse_cdata st =
   let pos = position st in
   let start = st.off in
   let rec loop () =
-    if eof st then raise (Parse_error (pos, "unterminated CDATA section"))
+    if eof st then fail_at ~code:"XPDL002" pos "unterminated CDATA section"
     else if
       Char.equal (peek st) ']' && Char.equal (peek2 st) ']'
       && st.off + 2 < String.length st.src
@@ -232,7 +351,7 @@ let parse_cdata st =
 let skip_pi st =
   let pos = position st in
   let rec loop () =
-    if eof st then raise (Parse_error (pos, "unterminated processing instruction"))
+    if eof st then fail_at ~code:"XPDL002" pos "unterminated processing instruction"
     else if Char.equal (peek st) '?' && Char.equal (peek2 st) '>' then begin
       advance st;
       advance st
@@ -249,7 +368,7 @@ let skip_doctype st =
   let pos = position st in
   let depth = ref 0 in
   let rec loop () =
-    if eof st then raise (Parse_error (pos, "unterminated DOCTYPE"))
+    if eof st then fail_at ~code:"XPDL002" pos "unterminated DOCTYPE"
     else
       match next st with
       | '[' ->
@@ -271,7 +390,7 @@ let parse_text st =
     else
       let c = next st in
       if Char.equal c '&' then begin
-        Buffer.add_string buf (parse_entity st);
+        Buffer.add_string buf (entity_or_replacement st);
         loop ()
       end
       else begin
@@ -286,52 +405,124 @@ let rec parse_element st =
   (* '<' consumed, name starts here *)
   let pos = position st in
   let tag = parse_name st in
-  let attrs = parse_attributes st in
-  skip_space st;
-  if Char.equal (peek st) '/' then begin
-    advance st;
-    expect st '>';
-    { Dom.tag; attrs; children = []; pos }
-  end
-  else begin
-    expect st '>';
-    let children = parse_content st tag in
-    { Dom.tag; attrs; children; pos }
-  end
+  st.open_tags <- tag :: st.open_tags;
+  Fun.protect
+    ~finally:(fun () -> st.open_tags <- List.tl st.open_tags)
+    (fun () ->
+      let attrs = parse_attributes st in
+      skip_space st;
+      if Char.equal (peek st) '/' then begin
+        advance st;
+        expect st '>';
+        { Dom.tag; attrs; children = []; pos }
+      end
+      else begin
+        expect st '>';
+        let children = parse_content st tag in
+        { Dom.tag; attrs; children; pos }
+      end)
+
+(* After '<' when the next character is not '/': comment, CDATA, PI or a
+   child element.  [None] for skipped processing instructions. *)
+and parse_markup st =
+  match peek st with
+  | '!' ->
+      advance st;
+      if Char.equal (peek st) '-' then begin
+        expect_string st "--";
+        let body, pos = parse_comment st in
+        Some (Dom.Comment (body, pos))
+      end
+      else begin
+        expect_string st "[CDATA[";
+        let body, pos = parse_cdata st in
+        Some (Dom.Cdata (body, pos))
+      end
+  | '?' ->
+      advance st;
+      skip_pi st;
+      None
+  | _ -> Some (Dom.Element (parse_element st))
 
 and parse_content st parent_tag =
   let rec loop acc =
-    if eof st then error st "unterminated element <%s>" parent_tag
+    if eof st then
+      if st.recover then begin
+        if not st.eof_reported then begin
+          st.eof_reported <- true;
+          record st
+            {
+              err_code = "XPDL002";
+              err_pos = position st;
+              err_msg = Fmt.str "unterminated element <%s>" parent_tag;
+            }
+        end;
+        List.rev acc
+      end
+      else error ~code:"XPDL002" st "unterminated element <%s>" parent_tag
     else if Char.equal (peek st) '<' then begin
+      (* snapshot for close-tag rewinding *)
+      let soff = st.off and sline = st.line and sbol = st.bol in
       advance st;
-      match peek st with
-      | '/' ->
-          advance st;
+      if Char.equal (peek st) '/' then begin
+        advance st;
+        let parse_close () =
           let close = parse_name st in
           skip_space st;
           expect st '>';
+          close
+        in
+        if st.recover then (
+          match parse_close () with
+          | close ->
+              if String.equal close parent_tag then List.rev acc
+              else begin
+                (* a rewound close tag is re-read by each ancestor; report
+                   the mismatch only the first time it is seen *)
+                if st.last_mismatch_off <> soff then begin
+                  st.last_mismatch_off <- soff;
+                  record st
+                    {
+                      err_code = "XPDL003";
+                      err_pos = { Dom.file = st.file; line = sline; column = soff - sbol + 1 };
+                      err_msg =
+                        Fmt.str "mismatched closing tag </%s>, expected </%s>" close parent_tag;
+                    }
+                end;
+                if List.mem close (List.tl st.open_tags) then begin
+                  (* closes an open ancestor: end this element here and
+                     rewind so the ancestor sees the close tag itself *)
+                  st.off <- soff;
+                  st.line <- sline;
+                  st.bol <- sbol;
+                  List.rev acc
+                end
+                else (* stray close tag: drop it and continue *) loop acc
+              end
+          | exception Fail e ->
+              record st e;
+              skip_to_lt st;
+              loop acc)
+        else begin
+          let close = parse_close () in
           if not (String.equal close parent_tag) then
-            error st "mismatched closing tag </%s>, expected </%s>" close parent_tag;
+            error ~code:"XPDL003" st "mismatched closing tag </%s>, expected </%s>" close
+              parent_tag;
           List.rev acc
-      | '!' ->
-          advance st;
-          if Char.equal (peek st) '-' then begin
-            expect_string st "--";
-            let body, pos = parse_comment st in
-            loop (Dom.Comment (body, pos) :: acc)
-          end
-          else begin
-            expect_string st "[CDATA[";
-            let body, pos = parse_cdata st in
-            loop (Dom.Cdata (body, pos) :: acc)
-          end
-      | '?' ->
-          advance st;
-          skip_pi st;
-          loop acc
-      | _ ->
-          let el = parse_element st in
-          loop (Dom.Element el :: acc)
+        end
+      end
+      else if st.recover then (
+        match parse_markup st with
+        | Some node -> loop (node :: acc)
+        | None -> loop acc
+        | exception Fail e ->
+            record st e;
+            skip_to_lt st;
+            loop acc)
+      else (
+        match parse_markup st with
+        | Some node -> loop (node :: acc)
+        | None -> loop acc)
     end
     else begin
       let s, pos = parse_text st in
@@ -340,45 +531,70 @@ and parse_content st parent_tag =
   in
   loop []
 
-(* Top level: prolog, misc, exactly one root element, trailing misc. *)
+(* Top level: prolog, misc, exactly one root element, trailing misc.  The
+   root lands in [st.root] so a partial result survives [Stop]. *)
 let parse_document st =
-  let root = ref None in
+  let handle_markup () =
+    match peek st with
+    | '?' ->
+        advance st;
+        skip_pi st
+    | '!' ->
+        advance st;
+        if Char.equal (peek st) '-' then begin
+          expect_string st "--";
+          ignore (parse_comment st)
+        end
+        else if Char.equal (peek st) 'D' then skip_doctype st
+        else error st "unexpected markup declaration"
+    | '/' -> error ~code:"XPDL003" st "closing tag outside of root element"
+    | _ ->
+        let el = parse_element st in
+        (match st.root with
+        | None -> st.root <- Some el
+        | Some _ ->
+            let e =
+              { err_code = "XPDL006"; err_pos = el.Dom.pos; err_msg = "multiple root elements" }
+            in
+            if st.recover then record st e else raise (Fail e))
+  in
   let rec loop () =
     skip_space st;
-    if eof st then ()
-    else begin
-      if not (Char.equal (peek st) '<') then error st "text outside of root element";
-      advance st;
-      (match peek st with
-      | '?' ->
-          advance st;
-          skip_pi st
-      | '!' ->
-          advance st;
-          if Char.equal (peek st) '-' then begin
-            expect_string st "--";
-            ignore (parse_comment st)
-          end
-          else if Char.equal (peek st) 'D' then skip_doctype st
-          else error st "unexpected markup declaration"
-      | _ ->
-          let el = parse_element st in
-          (match !root with
-          | None -> root := Some el
-          | Some _ -> error st "multiple root elements"));
+    if not (eof st) then begin
+      (if Char.equal (peek st) '<' then begin
+         advance st;
+         if st.recover then (
+           match handle_markup () with
+           | () -> ()
+           | exception Fail e ->
+               record st e;
+               skip_to_lt st)
+         else handle_markup ()
+       end
+       else
+         let e =
+           { err_code = "XPDL006"; err_pos = position st; err_msg = "text outside of root element" }
+         in
+         if st.recover then begin
+           record st e;
+           skip_to_lt st
+         end
+         else raise (Fail e));
       loop ()
     end
   in
   loop ();
-  match !root with
-  | Some el -> el
-  | None -> error st "no root element found"
+  if st.root = None then begin
+    let e = { err_code = "XPDL006"; err_pos = position st; err_msg = "no root element found" } in
+    if st.recover then record st e else raise (Fail e)
+  end
 
 (** [string_exn ?file ?lenient s] parses [s] into its root element.
-    Raises {!Parse_error} on malformed input. *)
-let string_exn ?(file = "<string>") ?(lenient = false) s =
-  let st = { src = s; file; lenient; off = 0; line = 1; bol = 0 } in
-  parse_document st
+    Raises {!Parse_error} on the first malformed construct. *)
+let string_exn ?file ?(lenient = false) s =
+  let st = make_state ?file ~lenient s in
+  (try parse_document st with Fail e -> raise (Parse_error (e.err_pos, e.err_msg)));
+  Option.get st.root
 
 (** Like {!string_exn} but returning a result with a printable message. *)
 let string ?file ?lenient s =
@@ -387,18 +603,40 @@ let string ?file ?lenient s =
   | exception Parse_error (pos, msg) ->
       Error (Fmt.str "%a: %s" Dom.pp_position pos msg)
 
-(** Parse the contents of a file. *)
-let file_exn ?lenient path =
+(** [string_recover ?file ?lenient ?max_errors s] parses [s] in recovery
+    mode: every syntax error is recorded (source order) and parsing
+    resynchronizes, so one call reports all the document's errors.
+    Returns the best-effort root element — [None] only when no root could
+    be reconstructed at all — and the error list ([[]] iff the document is
+    well-formed).  At most [max_errors] errors are reported (default 100);
+    past the cap an [XPDL009] marker is appended and parsing stops. *)
+let string_recover ?file ?(lenient = true) ?max_errors s =
+  let st = make_state ?file ~lenient ~recover:true ?max_errors s in
+  (try parse_document st with
+  | Stop -> ()
+  | Fail e -> ( try record st e with Stop -> ()));
+  (st.root, List.rev st.errors)
+
+let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
       let n = in_channel_length ic in
-      let s = really_input_string ic n in
-      string_exn ~file:path ?lenient s)
+      really_input_string ic n)
+
+(** Parse the contents of a file. *)
+let file_exn ?lenient path = string_exn ~file:path ?lenient (read_file path)
 
 let file ?lenient path =
   match file_exn ?lenient path with
   | el -> Ok el
   | exception Parse_error (pos, msg) -> Error (Fmt.str "%a: %s" Dom.pp_position pos msg)
+  | exception Sys_error msg -> Error msg
+
+(** Like {!string_recover} over a file's contents; [Error] only for I/O
+    failures. *)
+let file_recover ?lenient ?max_errors path =
+  match read_file path with
+  | s -> Ok (string_recover ~file:path ?lenient ?max_errors s)
   | exception Sys_error msg -> Error msg

@@ -4,9 +4,17 @@
     with attributes, character data with the five predefined entities
     plus numeric character references, CDATA sections, and DOCTYPE
     skipping.  A [lenient] mode additionally accepts unquoted attribute
-    values ([quantity=2]), which appear in the paper's listings. *)
+    values ([quantity=2]), which appear in the paper's listings.
+
+    Strict entry points stop at the first malformed construct; the
+    [_recover] entry points record every error (with stable [XPDL0xx]
+    codes) and resynchronize, yielding a best-effort tree. *)
 
 exception Parse_error of Dom.position * string
+
+(** A positioned parse diagnostic with a stable [XPDL0xx] code (see
+    docs/DIAGNOSTICS.md). *)
+type error = { err_code : string; err_pos : Dom.position; err_msg : string }
 
 (** Parse a string into its root element; raises {!Parse_error}. *)
 val string_exn : ?file:string -> ?lenient:bool -> string -> Dom.element
@@ -14,7 +22,23 @@ val string_exn : ?file:string -> ?lenient:bool -> string -> Dom.element
 (** Like {!string_exn} with the error rendered as ["file:line:col: msg"]. *)
 val string : ?file:string -> ?lenient:bool -> string -> (Dom.element, string) result
 
+(** Recovering parse: returns the best-effort root element ([None] only
+    when no root could be reconstructed) plus all recorded errors in
+    source order ([[]] iff well-formed).  [lenient] defaults to [true];
+    at most [max_errors] (default 100) errors are reported, then an
+    [XPDL009] marker is appended and parsing stops. *)
+val string_recover :
+  ?file:string -> ?lenient:bool -> ?max_errors:int -> string -> Dom.element option * error list
+
 (** Parse the contents of a file; raises {!Parse_error} or [Sys_error]. *)
 val file_exn : ?lenient:bool -> string -> Dom.element
 
 val file : ?lenient:bool -> string -> (Dom.element, string) result
+
+(** Like {!string_recover} over a file's contents; [Error] only for I/O
+    failures. *)
+val file_recover :
+  ?lenient:bool ->
+  ?max_errors:int ->
+  string ->
+  (Dom.element option * error list, string) result

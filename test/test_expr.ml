@@ -90,6 +90,31 @@ let test_division_by_zero () =
   | exception Expr.Error _ -> ()
   | _ -> Alcotest.fail "division by zero must raise"
 
+(* NaN must not leak through the guards silently: comparing against a NaN
+   operand or dividing by NaN raises Non_finite, so constraint checking
+   can report a definite error instead of an arbitrary truth value. *)
+let test_nan_guards () =
+  let nan_expr = "sqrt(0 - 1)" in
+  List.iter
+    (fun s ->
+      match eval_bool empty s with
+      | exception Expr.Non_finite _ -> ()
+      | exception e -> Alcotest.failf "%S: expected Non_finite, got %s" s (Printexc.to_string e)
+      | b -> Alcotest.failf "%S: NaN comparison leaked through as %b" s b)
+    [ nan_expr ^ " > 0"; nan_expr ^ " < 0"; "1 <= " ^ nan_expr; "0 >= " ^ nan_expr ];
+  List.iter
+    (fun s ->
+      match eval_num empty s with
+      | exception Expr.Non_finite _ -> ()
+      | exception e -> Alcotest.failf "%S: expected Non_finite, got %s" s (Printexc.to_string e)
+      | f -> Alcotest.failf "%S: NaN divisor leaked through as %g" s f)
+    [ "1 / " ^ nan_expr; "7 % " ^ nan_expr ];
+  (* equality is structural (reflexive even for NaN), hence well-defined
+     and deliberately not guarded; infinities still flow through *)
+  Alcotest.(check bool) "nan == nan is structural" true
+    (eval_bool empty (nan_expr ^ " == " ^ nan_expr));
+  Alcotest.(check bool) "inf comparison fine" true (eval_bool empty "1 / 0.0001 > 0")
+
 let test_parse_errors () =
   List.iter
     (fun s ->
@@ -189,6 +214,7 @@ let () =
           Alcotest.test_case "custom functions" `Quick test_custom_functions;
           Alcotest.test_case "unknown function" `Quick test_unknown_function;
           Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+          Alcotest.test_case "nan guards" `Quick test_nan_guards;
         ] );
       ( "syntax",
         [

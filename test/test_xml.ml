@@ -56,6 +56,61 @@ let test_unicode_entity () =
   let e = parse "<a>&#956;</a>" in
   Alcotest.(check string) "mu utf8" "\xce\xbc" (Dom.text_content e)
 
+(* Numeric character references follow XML 1.0: strict decimal/hex digit
+   strings, and the value must be a Char (no NUL, no surrogates, no
+   out-of-range, no OCaml literal syntax like 1_0 or 0o17). *)
+let test_charref_boundaries () =
+  Alcotest.(check string) "tab ok" "\t" (Dom.text_content (parse "<a>&#9;</a>"));
+  Alcotest.(check string) "max scalar ok" "\xf4\x8f\xbf\xbf"
+    (Dom.text_content (parse "<a>&#x10FFFF;</a>"));
+  Alcotest.(check string) "private use ok" "\xee\x80\x80"
+    (Dom.text_content (parse "<a>&#xE000;</a>"))
+
+let test_charref_rejects () =
+  List.iter
+    (fun s ->
+      match Parse.string (Fmt.str "<a>%s</a>" s) with
+      | Ok _ -> Alcotest.failf "accepted invalid character reference %s" s
+      | Error msg ->
+          Alcotest.(check bool)
+            (Fmt.str "%s diagnosed as character reference" s)
+            true
+            (contains ~affix:"character reference" msg || contains ~affix:"entity" msg))
+    [
+      "&#0;" (* NUL is not a Char *);
+      "&#8;" (* C0 control outside the allowed set *);
+      "&#xD800;" (* surrogate low bound *);
+      "&#xDFFF;" (* surrogate high bound *);
+      "&#xFFFE;" (* non-character *);
+      "&#x110000;" (* beyond the last scalar value *);
+      "&#1_0;" (* OCaml int literal syntax is not XML *);
+      "&#0o17;" (* octal prefix is not XML *);
+      "&#x;" (* empty digit string *);
+      "&#;" (* empty digit string *);
+    ]
+
+(* Recovery mode: every syntax error is reported in one pass, with the
+   well-formed remainder of the document still delivered. *)
+let test_recover_collects_all () =
+  let root, errs =
+    Parse.string_recover ~lenient:true
+      "<root>\n  <a x=\"1\" x=\"2\"/>\n  <b>&#0;</b>\n  <c/>\n</root>"
+  in
+  Alcotest.(check (list string))
+    "both errors, in order" [ "XPDL005"; "XPDL004" ]
+    (List.map (fun (e : Parse.error) -> e.err_code) errs);
+  match root with
+  | None -> Alcotest.fail "root lost"
+  | Some x ->
+      Alcotest.(check (list string))
+        "all three children kept" [ "a"; "b"; "c" ]
+        (List.map (fun c -> c.Dom.tag) (Dom.child_elements x))
+
+let test_recover_caps_errors () =
+  let junk = String.concat "" (List.init 20 (fun _ -> "<x>&nope;</x>")) in
+  let _, errs = Parse.string_recover ~lenient:true ~max_errors:5 ("<r>" ^ junk ^ "</r>") in
+  Alcotest.(check bool) "bounded" true (List.length errs <= 6)
+
 let test_comments_skipped () =
   let e = parse "<a><!-- a comment --><b/></a>" in
   Alcotest.(check int) "one element child" 1 (List.length (Dom.child_elements e));
@@ -314,6 +369,10 @@ let () =
           Alcotest.test_case "predefined entities" `Quick test_entities;
           Alcotest.test_case "numeric entities" `Quick test_numeric_entities;
           Alcotest.test_case "unicode entity" `Quick test_unicode_entity;
+          Alcotest.test_case "charref boundaries" `Quick test_charref_boundaries;
+          Alcotest.test_case "charref rejects" `Quick test_charref_rejects;
+          Alcotest.test_case "recovery collects all" `Quick test_recover_collects_all;
+          Alcotest.test_case "recovery caps errors" `Quick test_recover_caps_errors;
           Alcotest.test_case "comments" `Quick test_comments_skipped;
           Alcotest.test_case "cdata" `Quick test_cdata;
           Alcotest.test_case "prolog + doctype" `Quick test_prolog_and_doctype;
