@@ -409,6 +409,65 @@ let query_cmd =
   in
   Cmd.v (Cmd.info "query" ~doc:"Query a runtime-model file") Term.(const run $ file $ expr)
 
+(* --- fuzz --- *)
+
+let fuzz_cmd =
+  let seed =
+    let doc =
+      "Generator seed.  The same seed replays the same inputs; CI passes its run id so every \
+       build explores a different corpus while staying reproducible from the log."
+    in
+    Arg.(value & opt int Xpdl_gen.Differential.default_seed & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let count =
+    let doc = "Generated cases per property." in
+    Arg.(value & opt int 500 & info [ "count" ] ~docv:"K" ~doc)
+  in
+  let props =
+    let doc =
+      Fmt.str "Run only this property (repeatable).  Known: %s."
+        (String.concat ", " Xpdl_gen.Differential.property_names)
+    in
+    Arg.(value & opt_all string [] & info [ "property" ] ~docv:"NAME" ~doc)
+  in
+  let progress =
+    let doc = "Print a progress line per property." in
+    Arg.(value & flag & info [ "progress" ] ~doc)
+  in
+  let run seed count props progress =
+    setup_logs ();
+    let unknown =
+      List.filter (fun p -> not (List.mem p Xpdl_gen.Differential.property_names)) props
+    in
+    if unknown <> [] then begin
+      Fmt.epr "unknown propert%s: %s@."
+        (if List.length unknown = 1 then "y" else "ies")
+        (String.concat ", " unknown);
+      2
+    end
+    else begin
+      let properties =
+        match props with [] -> Xpdl_gen.Differential.property_names | ps -> ps
+      in
+      let last = ref "" in
+      let on_case name case =
+        if progress && (name <> !last || (case + 1) mod 100 = 0) then begin
+          last := name;
+          Fmt.epr "[%s] case %d/%d@." name (case + 1) count
+        end
+      in
+      let report = Xpdl_gen.Differential.run ~seed ~count ~properties ~on_case () in
+      Fmt.pr "%a" Xpdl_gen.Differential.pp_report report;
+      if report.Xpdl_gen.Differential.r_failures = [] then 0 else 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generated models against naive oracles (query fast paths, \
+          print/parse round-trip, parser recovery, PSM routing, determinism)")
+    Term.(const run $ seed $ count $ props $ progress)
+
 (* --- emit-cpp --- *)
 
 let emit_cpp_cmd =
@@ -563,7 +622,7 @@ let () =
        (Cmd.group info
           [
             list_cmd; validate_cmd; validate_all_cmd; compose_cmd; analyze_cmd; process_cmd;
-            query_cmd;
+            query_cmd; fuzz_cmd;
             emit_cpp_cmd; emit_uml_cmd; emit_xsd_cmd; emit_drivers_cmd; control_cmd;
             to_pdl_cmd; to_json_cmd;
           ]))

@@ -1,0 +1,433 @@
+(** Differential property drivers (see the interface for the catalogue).
+
+    Each property is a function [seed -> case -> (message, repro) option]
+    over its own derived RNG stream ([Gen.case ~seed ~salt]), so
+    properties are independent: adding cases to one never perturbs
+    another, and a printed (property, seed, case) triple replays exactly
+    one input. *)
+
+open Xpdl_xml
+open Xpdl_core
+module Ir = Xpdl_toolchain.Ir
+module Query = Xpdl_query.Query
+module Psm = Xpdl_energy.Psm
+module Power = Xpdl_core.Power
+
+type failure = {
+  f_property : string;
+  f_seed : int;
+  f_case : int;
+  f_message : string;
+  f_repro : string;
+}
+
+type report = {
+  r_seed : int;
+  r_count : int;
+  r_properties : int;
+  r_cases : int;
+  r_failures : failure list;
+}
+
+let default_seed = 20150901 (* the paper's conference date; arbitrary but fixed *)
+
+(* A check yields [Some message] on divergence.  All checks are total:
+   an escaped exception is itself a failure (the "never crashes"
+   half of every property). *)
+let guarded f = try f () with exn -> Some ("uncaught exception: " ^ Printexc.to_string exn)
+
+let approx_equal a b =
+  let tol = 1e-9 *. Float.max 1. (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) <= tol
+
+(* --- composing a generated document through the real pipeline --- *)
+
+(* Elaborate every child of the generated <xpdl> wrapper, use the named
+   ones as the meta-model repository and the last element as the system
+   under test; resolve inheritance leniently and instantiate.  Total:
+   shrunk documents may be structurally degenerate and must still
+   compose to something comparable. *)
+let compose_doc (doc : Dom.element) : Model.element option =
+  match Dom.child_elements doc with
+  | [] -> None
+  | children ->
+      let elaborated = List.map (fun c -> fst (Elaborate.of_xml c)) children in
+      let lookup name =
+        List.find_opt (fun (e : Model.element) -> e.Model.name = Some name) elaborated
+      in
+      let sys = List.nth elaborated (List.length elaborated - 1) in
+      let resolved, _ = Inheritance.resolve_lenient lookup sys in
+      let expanded, _ = Instantiate.run resolved in
+      Some expanded
+
+(* --- property: query-vs-oracle --- *)
+
+let check_query_vs_oracle (doc : Dom.element) : string option =
+  guarded @@ fun () ->
+  match compose_doc doc with
+  | None -> None
+  | Some m ->
+      let ir = Ir.of_model m in
+      let q = Query.of_ir ir in
+      let fail fmt = Fmt.kstr Option.some fmt in
+      let entries = Oracle.paths m in
+      let check_int name fast naive =
+        if fast <> naive then fail "%s: fast=%d naive=%d" name fast naive else None
+      in
+      let check_float name fast naive =
+        if not (approx_equal fast naive) then fail "%s: fast=%g naive=%g" name fast naive
+        else None
+      in
+      let first_of tbl key rank =
+        match Hashtbl.find_opt tbl key with
+        | Some r -> r
+        | None ->
+            Hashtbl.add tbl key rank;
+            rank
+      in
+      let first_path = Hashtbl.create 64 and first_id = Hashtbl.create 64 in
+      let seq =
+        [
+          (fun () -> check_int "count_cores" (Query.count_cores q) (Oracle.count_cores m));
+          (fun () ->
+            check_int "count_cuda_devices" (Query.count_cuda_devices q)
+              (Oracle.count_cuda_devices m));
+          (fun () ->
+            check_float "total_static_power" (Query.total_static_power q)
+              (Oracle.total_static_power m));
+          (fun () ->
+            check_float "total_memory_bytes" (Query.total_memory_bytes q)
+              (Oracle.total_memory_bytes m));
+          (fun () ->
+            let fast = Query.core_frequencies q and naive = Oracle.core_frequencies m in
+            if List.length fast <> List.length naive then
+              fail "core_frequencies: %d vs %d entries" (List.length fast) (List.length naive)
+            else if not (List.for_all2 approx_equal fast naive) then
+              fail "core_frequencies: value mismatch"
+            else None);
+          (* every scope path must resolve to the first node (document
+             order) carrying it — including paths duplicated by sibling
+             id collisions and group expansion *)
+          (fun () ->
+            List.find_map
+              (fun (path, rank, _) ->
+                let expected = first_of first_path path rank in
+                match Query.find_by_path q path with
+                | None -> fail "find_by_path %S: fast=None naive=node %d" path expected
+                | Some n ->
+                    if n.Ir.n_index <> expected then
+                      fail "find_by_path %S: fast=node %d naive=node %d" path n.Ir.n_index
+                        expected
+                    else None)
+              entries);
+          (fun () ->
+            List.find_map
+              (fun (_, rank, (e : Model.element)) ->
+                match Model.identifier e with
+                | None -> None
+                | Some id ->
+                    let expected = first_of first_id id rank in
+                    (match Query.find_by_id q id with
+                    | None -> fail "find_by_id %S: fast=None naive=node %d" id expected
+                    | Some n ->
+                        if n.Ir.n_index <> expected then
+                          fail "find_by_id %S: fast=node %d naive=node %d" id n.Ir.n_index
+                            expected
+                        else None))
+              entries);
+          (* per-node agreement: kind, identifier and preorder subtree
+             span (= Query.subtree size) against the naive recursion *)
+          (fun () ->
+            List.find_map
+              (fun (path, rank, (e : Model.element)) ->
+                let n = Ir.node ir rank in
+                if not (Schema.equal_kind n.Ir.n_kind e.Model.kind) then
+                  fail "node %d (%s): kind %s vs %s" rank path
+                    (Schema.tag_of_kind n.Ir.n_kind) (Schema.tag_of_kind e.Model.kind)
+                else if n.Ir.n_ident <> Model.identifier e then
+                  fail "node %d (%s): ident mismatch" rank path
+                else
+                  let fast = List.length (Query.subtree q n) in
+                  let naive = Oracle.subtree_size e in
+                  if fast <> naive then
+                    fail "subtree of node %d (%s): fast=%d naive=%d" rank path fast naive
+                  else None)
+              entries);
+          (* kind index and compiled //tag selectors vs naive counts *)
+          (fun () ->
+            let kinds =
+              List.sort_uniq compare
+                (List.map (fun (_, _, (e : Model.element)) -> e.Model.kind) entries)
+            in
+            List.find_map
+              (fun kind ->
+                let tag = Schema.tag_of_kind kind in
+                let naive = Oracle.count_of_kind m kind in
+                let by_index = List.length (Query.all_of_kind q kind) in
+                if by_index <> naive then
+                  fail "all_of_kind %s: fast=%d naive=%d" tag by_index naive
+                else
+                  match kind with
+                  | Schema.Other _ -> None (* not addressable by selector tag *)
+                  | _ ->
+                      let by_select = List.length (Query.select q ("//" ^ tag)) in
+                      if by_select <> naive then
+                        fail "select //%s: fast=%d naive=%d" tag by_select naive
+                      else None)
+              kinds);
+        ]
+      in
+      List.find_map (fun check -> check ()) seq
+
+(* --- property: print/parse round-trip --- *)
+
+let check_roundtrip (x : Dom.element) : string option =
+  guarded @@ fun () ->
+  let s = Print.to_string x in
+  match Parse.string ~file:"<roundtrip>" s with
+  | Error msg -> Some (Fmt.str "printed document does not re-parse: %s" msg)
+  | Ok y ->
+      if not (Dom.equal_element x y) then Some "parse of print differs from original"
+      else
+        let s' = Print.to_string y in
+        if not (String.equal s s') then Some "printing is not a fixpoint after one round-trip"
+        else None
+
+(* --- property: parser recovery on corrupted input --- ignore the tree,
+   assert the contract: no exception, coded + positioned errors, and a
+   printable best-effort root. *)
+
+let code_ok code =
+  String.length code = 7
+  && String.sub code 0 4 = "XPDL"
+  && String.for_all (function '0' .. '9' -> true | _ -> false) (String.sub code 4 3)
+
+let check_recovery (s : string) : string option =
+  guarded @@ fun () ->
+  match Parse.string_recover ~file:"<fuzz>" s with
+  | exception exn -> Some ("string_recover raised: " ^ Printexc.to_string exn)
+  | root, errors -> (
+      match
+        List.find_opt
+          (fun (e : Parse.error) ->
+            (not (code_ok e.Parse.err_code))
+            || e.Parse.err_pos.Dom.line < 1
+            || e.Parse.err_pos.Dom.column < 1)
+          errors
+      with
+      | Some e ->
+          Some
+            (Fmt.str "malformed diagnostic %S at %d:%d" e.Parse.err_code e.Parse.err_pos.Dom.line
+               e.Parse.err_pos.Dom.column)
+      | None -> (
+          match root with
+          | None -> None
+          | Some r ->
+              (* the recovered tree must itself be serializable *)
+              let (_ : string) = Print.to_string r in
+              None))
+
+(* --- property: PSM path optimality --- *)
+
+let check_psm (sm : Power.state_machine) : string option =
+  guarded @@ fun () ->
+  let names = List.map (fun (s : Power.power_state) -> s.Power.ps_name) sm.Power.sm_states in
+  let path_cost = List.fold_left (fun acc (tr : Power.transition) -> acc +. tr.Power.tr_energy) 0. in
+  let rec chained from (path : Power.transition list) =
+    match path with
+    | [] -> true
+    | tr :: rest -> String.equal tr.Power.tr_from from && chained tr.Power.tr_to rest
+  in
+  let ends_at target = function
+    | [] -> true
+    | path -> String.equal (List.nth path (List.length path - 1)).Power.tr_to target
+  in
+  List.find_map
+    (fun from_state ->
+      List.find_map
+        (fun to_state ->
+          match Psm.transition_path sm ~from_state ~to_state with
+          | exception exn ->
+              Some
+                (Fmt.str "transition_path %s->%s raised %s" from_state to_state
+                   (Printexc.to_string exn))
+          | fast -> (
+              let naive = Oracle.psm_min_energy sm ~from_state ~to_state in
+              match (fast, naive) with
+              | None, None -> None
+              | None, Some c ->
+                  Some (Fmt.str "%s->%s: fast=unreachable naive=%g" from_state to_state c)
+              | Some _, None -> Some (Fmt.str "%s->%s: fast=path naive=unreachable" from_state to_state)
+              | Some path, Some c ->
+                  if not (chained from_state path && ends_at to_state path) then
+                    Some (Fmt.str "%s->%s: returned edges do not chain" from_state to_state)
+                  else if not (approx_equal (path_cost path) c) then
+                    Some
+                      (Fmt.str "%s->%s: fast cost %g, naive minimum %g" from_state to_state
+                         (path_cost path) c)
+                  else
+                    (* switch_cost must agree with the path it routes *)
+                    (match Psm.switch_cost sm ~from_state ~to_state with
+                    | Some (_, en) when approx_equal en c -> None
+                    | Some (_, en) ->
+                        Some (Fmt.str "switch_cost %s->%s: %g vs %g" from_state to_state en c)
+                    | None -> Some (Fmt.str "switch_cost %s->%s lost the path" from_state to_state))))
+        names)
+    names
+
+(* --- property: deterministic elaboration/instantiation --- *)
+
+let check_deterministic (doc : Dom.element) : string option =
+  guarded @@ fun () ->
+  match (compose_doc doc, compose_doc doc) with
+  | None, None -> None
+  | Some a, Some b ->
+      if not (String.equal (Model.to_string a) (Model.to_string b)) then
+        Some "two compositions of the same document print differently"
+      else
+        let ba = Ir.to_bytes (Ir.of_model a) and bb = Ir.to_bytes (Ir.of_model b) in
+        if not (String.equal ba bb) then
+          Some "two compositions serialize to different runtime models"
+        else None
+  | _ -> Some "composition succeeded only once"
+
+(* --- property: charref decoding vs the spec-faithful oracle --- *)
+
+let check_charref (body : string) : string option =
+  guarded @@ fun () ->
+  let oracle = Oracle.decode_charref body in
+  let in_text = Fmt.str "<a>pre&%s;post</a>" body in
+  let in_attr = Fmt.str "<a k=\"pre&%s;post\" />" body in
+  let check ctx src extract =
+    match (Parse.string ~file:"<charref>" src, oracle) with
+    | Ok root, Some decoded ->
+        let got = extract root in
+        let want = "pre" ^ decoded ^ "post" in
+        if String.equal got want then None
+        else Some (Fmt.str "%s &%s;: parser %S oracle %S" ctx body got want)
+    | Ok _, None -> Some (Fmt.str "%s: parser accepted &%s; the spec rejects" ctx body)
+    | Error _, Some _ -> Some (Fmt.str "%s: parser rejected valid &%s;" ctx body)
+    | Error _, None -> None
+  in
+  match check "text" in_text Dom.text_content with
+  | Some m -> Some m
+  | None ->
+      check "attribute" in_attr (fun root ->
+          Option.value ~default:"<missing>" (Dom.attribute root "k"))
+
+(* --- the property table --- *)
+
+(* Each property generates its case input from (seed, name, case) and
+   minimizes failures with the matching shrinker. *)
+type property = { p_name : string; p_run : seed:int -> case:int -> (string * string) option }
+
+let gen_for ~seed ~name ~case = Gen.case ~seed ~salt:(Fmt.str "%s:%d" name case)
+
+let element_property name generate check =
+  let run ~seed ~case =
+    let g = gen_for ~seed ~name ~case in
+    let x = generate g in
+    match check x with
+    | None -> None
+    | Some msg ->
+        let still_failing e = check e <> None in
+        let min = Gen.minimize still_failing x in
+        let msg = Option.value ~default:msg (check min) in
+        Some (msg, Print.to_string min)
+  in
+  { p_name = name; p_run = run }
+
+let properties =
+  [
+    element_property "query-vs-oracle" Gen.document check_query_vs_oracle;
+    element_property "print-parse-roundtrip"
+      (fun g -> if Gen.chance g 0.5 then Gen.xml g else Gen.document g)
+      check_roundtrip;
+    {
+      p_name = "parse-recovery";
+      p_run =
+        (fun ~seed ~case ->
+          let g = gen_for ~seed ~name:"parse-recovery" ~case in
+          let s = Gen.corrupt g (Print.to_string (Gen.document g)) in
+          match check_recovery s with
+          | None -> None
+          | Some msg ->
+              let still_failing s = check_recovery s <> None in
+              let min = Gen.minimize_string still_failing s in
+              Some (Option.value ~default:msg (check_recovery min), Fmt.str "%S" min));
+    };
+    {
+      p_name = "psm-optimal";
+      p_run =
+        (fun ~seed ~case ->
+          let g = gen_for ~seed ~name:"psm-optimal" ~case in
+          let sm = Gen.state_machine g in
+          match check_psm sm with
+          | None -> None
+          | Some msg ->
+              let still_failing sm = check_psm sm <> None in
+              let min = Gen.minimize_machine still_failing sm in
+              Some (Option.value ~default:msg (check_psm min), Fmt.str "%a" Gen.pp_machine min));
+    };
+    element_property "elaborate-deterministic" Gen.document check_deterministic;
+    {
+      p_name = "charref-oracle";
+      p_run =
+        (fun ~seed ~case ->
+          let g = gen_for ~seed ~name:"charref-oracle" ~case in
+          let body = Gen.charref g in
+          match check_charref body with
+          | None -> None
+          | Some msg -> Some (msg, Fmt.str "&%s;" body));
+    };
+  ]
+
+let property_names = List.map (fun p -> p.p_name) properties
+
+let run ?(seed = default_seed) ?(count = 500) ?properties:(selected = property_names)
+    ?(on_case = fun _ _ -> ()) () =
+  let failures = ref [] in
+  let cases = ref 0 in
+  List.iter
+    (fun p ->
+      if List.mem p.p_name selected then begin
+        let rec go case =
+          if case < count then begin
+            on_case p.p_name case;
+            incr cases;
+            match p.p_run ~seed ~case with
+            | None -> go (case + 1)
+            | Some (msg, repro) ->
+                (* stop this property's stream: one minimized
+                   counterexample, not a flood of copies *)
+                failures :=
+                  { f_property = p.p_name; f_seed = seed; f_case = case; f_message = msg;
+                    f_repro = repro }
+                  :: !failures
+          end
+        in
+        go 0
+      end)
+    properties;
+  let n_properties =
+    List.length (List.filter (fun p -> List.mem p.p_name selected) properties)
+  in
+  { r_seed = seed; r_count = count; r_properties = n_properties; r_cases = !cases;
+    r_failures = List.rev !failures }
+
+let pp_failure ppf f =
+  Fmt.pf ppf "FAIL %s (seed %d, case %d): %s@.minimized reproduction:@.%s@.replay: xpdltool fuzz --seed %d --count %d --property %s@."
+    f.f_property f.f_seed f.f_case f.f_message f.f_repro f.f_seed (f.f_case + 1) f.f_property
+
+let pp_report ppf r =
+  match r.r_failures with
+  | [] ->
+      Fmt.pf ppf "fuzz: %d cases across %d propert%s, all properties hold (seed %d)@."
+        r.r_cases r.r_properties
+        (if r.r_properties = 1 then "y" else "ies")
+        r.r_seed
+  | fs ->
+      List.iter (fun f -> Fmt.pf ppf "%a" pp_failure f) fs;
+      Fmt.pf ppf "fuzz: %d failing propert%s out of %d (seed %d)@." (List.length fs)
+        (if List.length fs = 1 then "y" else "ies")
+        r.r_properties r.r_seed

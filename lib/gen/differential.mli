@@ -1,0 +1,65 @@
+(** Differential properties: optimized fast paths vs. naive oracles on
+    generated inputs, with replayable seeds and greedy shrinking.
+
+    Five property families (see docs/TESTING.md):
+
+    {ul
+    {- [query-vs-oracle]: indexed {!Xpdl_query.Query}/{!Xpdl_toolchain.Ir}
+       results ≡ the naive {!Oracle} tree walks on composed generated
+       models (counts, aggregations, path/id lookups, subtree spans,
+       selectors);}
+    {- [print-parse-roundtrip]: [Parse.string ∘ Print.to_string] is the
+       identity up to insignificant whitespace, and printing is a
+       fixpoint;}
+    {- [parse-recovery]: recovering parse of corrupted documents never
+       raises and reports only positioned [XPDLnnn] diagnostics;}
+    {- [psm-optimal]: {!Xpdl_energy.Psm.transition_path} never raises on
+       generated machines and its cost equals the exhaustive-search
+       minimum; unreachable pairs yield [None] on both sides;}
+    {- [elaborate-deterministic]: composing the same document twice
+       yields byte-identical runtime models;}
+    {- [charref-oracle]: the parser accepts a character reference iff the
+       spec-faithful {!Oracle.decode_charref} does, with equal
+       decodings.}}
+
+    Every failure carries the [(seed, case)] pair that regenerates it and
+    a shrunk minimal reproduction. *)
+
+type failure = {
+  f_property : string;
+  f_seed : int;
+  f_case : int;  (** 0-based index within the property's case stream *)
+  f_message : string;  (** what diverged *)
+  f_repro : string;  (** minimized failing input, printable *)
+}
+
+type report = {
+  r_seed : int;
+  r_count : int;  (** requested cases per property *)
+  r_properties : int;  (** properties actually run (after filtering) *)
+  r_cases : int;  (** total cases actually executed *)
+  r_failures : failure list;
+}
+
+(** The seed used when none is given — fixed so local runs and CI
+    default to the same corpus. *)
+val default_seed : int
+
+(** Names accepted by [run]'s [properties] filter, in execution order. *)
+val property_names : string list
+
+(** Run [count] cases (default 500) of each selected property (default
+    all) from [seed] (default {!default_seed}).  Failures stop a
+    property's stream early — one minimized counterexample is worth more
+    than a flood.  [on_case] is called before each case (progress
+    reporting). *)
+val run :
+  ?seed:int ->
+  ?count:int ->
+  ?properties:string list ->
+  ?on_case:(string -> int -> unit) ->
+  unit ->
+  report
+
+val pp_failure : Format.formatter -> failure -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,537 @@
+(** Seeded random generation of XPDL models, adversarial XML, corrupted
+    documents and power state machines — the input side of the
+    differential-testing harness ({!Differential}).
+
+    All randomness flows through the deterministic {!Xpdl_simhw.Rng}
+    (splitmix64): a printed [(seed, case)] pair replays a failing input
+    bit-for-bit, which is what lets CI failures be reproduced locally
+    from the log alone. *)
+
+open Xpdl_xml
+module Rng = Xpdl_simhw.Rng
+module Schema = Xpdl_core.Schema
+module Power = Xpdl_core.Power
+
+type t = { rng : Rng.t; mutable next_id : int }
+
+let create ~seed = { rng = Rng.create ~seed; next_id = 0 }
+let case ~seed ~salt = { rng = Rng.split (Rng.create ~seed) salt; next_id = 0 }
+
+(* --- primitive draws --- *)
+
+let int g bound = Rng.int g.rng bound
+let pick g xs = List.nth xs (int g (List.length xs))
+let chance g p = Rng.float g.rng < p
+
+let fresh g prefix =
+  let i = g.next_id in
+  g.next_id <- i + 1;
+  Fmt.str "%s%d" prefix i
+
+(* An element identifier: usually fresh, sometimes the fixed name "dup"
+   so sibling scopes collide and path lookups must disambiguate by
+   document order. *)
+let ident g prefix = if chance g 0.12 then "dup" else fresh g prefix
+
+let float_in g lo hi = Rng.uniform g.rng ~lo ~hi
+
+let num_str g =
+  match int g 4 with
+  | 0 -> string_of_int (int g 100)
+  | 1 -> Fmt.str "%.1f" (float_in g 0. 50.)
+  | 2 -> Fmt.str "%.3f" (float_in g 0. 4.)
+  | _ -> Fmt.str "%g" (float_in g 0. 1000.)
+
+let el ?(attrs = []) ?(children = []) tag = Dom.Element (Dom.element ~attrs ~children tag)
+let a n v = Dom.attr n v
+
+let freq_units = [ "Hz"; "kHz"; "MHz"; "GHz" ]
+let power_units = [ "W"; "mW"; "uW" ]
+let size_units = [ "B"; "KB"; "MB" ]
+let time_units = [ "s"; "ms"; "us"; "ns" ]
+let energy_units = [ "J"; "mJ"; "nJ"; "pJ" ]
+
+(* A quantity attribute with its unit companion, occasionally left as
+   the "?" microbenchmark placeholder. *)
+let quantity g name units =
+  let v = if chance g 0.08 then "?" else num_str g in
+  [ a name v; a (name ^ "_unit") (pick g units) ]
+
+(* --- XPDL documents --- *)
+
+(* Meta-model table built so far: (name, kind) in document order; extends
+   only points backwards, so chains are acyclic by construction. *)
+type meta = { m_name : string; m_kind : Schema.kind }
+
+let meta_kinds = [ Schema.Core; Schema.Cache; Schema.Memory; Schema.Cpu; Schema.Device ]
+
+let extends_of g (metas : meta list) kind =
+  let compatible = List.filter (fun m -> Schema.equal_kind m.m_kind kind) metas in
+  let n = min (List.length compatible) (int g 3) in
+  let rec take acc k =
+    if k = 0 then acc
+    else
+      let m = pick g compatible in
+      if List.mem m.m_name acc then acc else take (m.m_name :: acc) (k - 1)
+  in
+  match take [] n with [] -> [] | names -> [ a "extends" (String.concat " " names) ]
+
+let core_attrs g =
+  quantity g "frequency" freq_units
+  @ (if chance g 0.7 then quantity g "static_power" power_units else [])
+
+let cache_attrs g =
+  (a "size" (num_str g) :: [ a "unit" (pick g size_units) ])
+  @ (if chance g 0.5 then [ a "level" (string_of_int (1 + int g 3)) ] else [])
+  @ if chance g 0.4 then quantity g "latency" time_units else []
+
+let memory_attrs g =
+  (a "size" (num_str g) :: [ a "unit" (pick g size_units) ])
+  @ if chance g 0.5 then quantity g "static_power" power_units else []
+
+(* const/param declarations plus a constraint over them.  Most generated
+   constraints hold; some are deliberately false, reference an unbound
+   name, or divide by zero — those must surface as diagnostics, never as
+   crashes. *)
+let params_block g =
+  let c = 1 + int g 40 and p = int g 40 in
+  let const = el "const" ~attrs:[ a "name" "genA"; a "value" (string_of_int c) ] in
+  let param =
+    el "param"
+      ~attrs:
+        ([ a "name" "genB"; a "type" "integer" ]
+        @ if chance g 0.85 then [ a "value" (string_of_int p) ] else [])
+  in
+  let expr =
+    match int g 6 with
+    | 0 -> Fmt.str "genA + genB == %d" (c + p)
+    | 1 -> Fmt.str "genA * 2 >= %d" (2 * c)
+    | 2 -> "genA + genB == 0" (* usually false *)
+    | 3 -> "genA / genZero == 1" (* unbound identifier *)
+    | 4 -> Fmt.str "genA / %d == genA" (int g 2) (* sometimes division by zero *)
+    | _ -> Fmt.str "genA %% %d >= 0" (int g 2) (* sometimes mod by zero *)
+  in
+  [ const; param; el "constraints" ~children:[ el "constraint" ~attrs:[ a "expr" expr ] ] ]
+
+let rec hw_children g ~depth parent : Dom.node list =
+  if depth <= 0 then []
+  else
+    let budget = int g 4 in
+    List.concat (List.init budget (fun _ -> hw_one g ~depth parent))
+
+and hw_one g ~depth parent : Dom.node list =
+  let allowed = Schema.allowed_children parent in
+  let supported =
+    List.filter
+      (fun k ->
+        List.exists (Schema.equal_kind k)
+          [ Schema.Core; Schema.Cache; Schema.Memory; Schema.Cpu; Schema.Socket;
+            Schema.Node; Schema.Device; Schema.Group ])
+      allowed
+  in
+  if supported = [] then []
+  else
+    let kind = pick g supported in
+    match kind with
+    | Schema.Core ->
+        [ el "core"
+            ~attrs:((if chance g 0.6 then [ a "id" (ident g "c") ] else []) @ core_attrs g)
+            ~children:(hw_children g ~depth:(depth - 1) Schema.Core) ]
+    | Schema.Cache -> [ el "cache" ~attrs:(a "id" (ident g "L") :: cache_attrs g) ]
+    | Schema.Memory -> [ el "memory" ~attrs:(a "id" (ident g "m") :: memory_attrs g) ]
+    | Schema.Cpu ->
+        [ el "cpu"
+            ~attrs:[ a "id" (ident g "cpu") ]
+            ~children:(hw_children g ~depth:(depth - 1) Schema.Cpu) ]
+    | Schema.Socket ->
+        [ el "socket"
+            ~attrs:(if chance g 0.5 then [ a "id" (ident g "sk") ] else [])
+            ~children:(hw_children g ~depth:(depth - 1) Schema.Socket) ]
+    | Schema.Node ->
+        [ el "node"
+            ~attrs:[ a "id" (ident g "n") ]
+            ~children:(hw_children g ~depth:(depth - 1) Schema.Node) ]
+    | Schema.Device -> [ device g ~depth ]
+    | _ ->
+        [ el "group"
+            ~attrs:
+              ((if chance g 0.8 then [ a "prefix" (if chance g 0.2 then "dup" else fresh g "g") ]
+                else [])
+              @ [ a "quantity" (string_of_int (int g 4)) ])
+            ~children:(hw_children g ~depth:(depth - 1) Schema.Group) ]
+
+and device g ~depth =
+  let attrs =
+    [ a "id" (ident g "dev") ]
+    @ (if chance g 0.3 then [ a "role" (pick g [ "worker"; "master"; "hybrid" ]) ] else [])
+    @ if chance g 0.3 then quantity g "static_power" power_units else []
+  in
+  let pm =
+    if chance g 0.4 then
+      [ el "programming_model" ~attrs:[ a "type" (pick g [ "cuda6.0"; "CUDA_7"; "opencl" ]) ] ]
+    else []
+  in
+  let blocks = if chance g 0.5 then params_block g else [] in
+  el "device" ~attrs
+    ~children:(blocks @ pm @ hw_children g ~depth:(depth - 1) Schema.Device)
+
+(* A power state machine as XPDL markup (states, transitions, units). *)
+let psm_markup g =
+  let n = 2 + int g 3 in
+  let states =
+    List.init n (fun i ->
+        el "power_state"
+          ~attrs:
+            ([ a "name" (Fmt.str "ps%d" i); a "kind" (if i = n - 1 then "C" else "P") ]
+            @ [ a "frequency" (if i = n - 1 then "0" else num_str g);
+                a "frequency_unit" (pick g freq_units) ]
+            @ [ a "power" (num_str g); a "power_unit" (pick g power_units) ]))
+  in
+  let transitions =
+    List.concat
+      (List.init n (fun i ->
+           List.concat
+             (List.init n (fun j ->
+                  if i <> j && chance g 0.5 then
+                    [ el "transition"
+                        ~attrs:
+                          [ a "head" (Fmt.str "ps%d" i); a "tail" (Fmt.str "ps%d" j);
+                            a "time" (num_str g); a "time_unit" (pick g time_units);
+                            a "energy" (num_str g); a "energy_unit" (pick g energy_units) ] ]
+                  else []))))
+  in
+  el "power_model"
+    ~attrs:[ a "name" (fresh g "pmdl") ]
+    ~children:
+      [ el "power_state_machine"
+          ~attrs:[ a "name" (fresh g "psm") ]
+          ~children:[ el "power_states" ~children:states; el "transitions" ~children:transitions ] ]
+
+let software g =
+  el "software"
+    ~children:
+      (el "hostOS" ~attrs:[ a "id" "os1"; a "type" "Linux_3.13" ]
+      :: List.init (int g 3) (fun i ->
+             el "installed"
+               ~attrs:[ a "type" (Fmt.str "Pkg_%d.%d" i (int g 9)); a "path" "/opt/pkg" ]))
+
+let properties g =
+  el "properties"
+    ~children:
+      (List.init (1 + int g 2) (fun i ->
+           el "property" ~attrs:[ a "name" (Fmt.str "prop%d" i); a "value" (num_str g) ]))
+
+let metamodel g (metas : meta list) : Dom.element * meta =
+  let kind = pick g meta_kinds in
+  let name = fresh g "Meta" in
+  let tag = Schema.tag_of_kind kind in
+  let attrs =
+    (a "name" name :: extends_of g metas kind)
+    @
+    match kind with
+    | Schema.Core -> core_attrs g
+    | Schema.Cache -> cache_attrs g
+    | Schema.Memory -> memory_attrs g
+    | _ -> []
+  in
+  let children =
+    match kind with
+    | Schema.Cpu | Schema.Device ->
+        (if chance g 0.5 then params_block g else [])
+        @ hw_children g ~depth:2 kind
+    | _ -> []
+  in
+  (Dom.element ~attrs ~children tag, { m_name = name; m_kind = kind })
+
+let system g (metas : meta list) : Dom.element =
+  let typed_instance () =
+    let candidates = List.filter (fun m -> m.m_kind <> Schema.Cpu) metas in
+    match candidates with
+    | [] -> []
+    | _ ->
+        let m = pick g candidates in
+        [ el (Schema.tag_of_kind m.m_kind) ~attrs:[ a "id" (ident g "i"); a "type" m.m_name ] ]
+  in
+  let children =
+    hw_children g ~depth:3 Schema.System
+    @ (if metas <> [] && chance g 0.8 then typed_instance () else [])
+    @ (if chance g 0.5 then [ psm_markup g ] else [])
+    @ (if chance g 0.7 then [ software g ] else [])
+    @ (if chance g 0.5 then [ properties g ] else [])
+    @ (if chance g 0.3 then [ Dom.text "stray prose" ] else [])
+    @ if chance g 0.3 then [ Dom.Comment (" generated ", Dom.no_position) ] else []
+  in
+  Dom.element ~attrs:[ a "id" "sys" ] ~children "system"
+
+let document g : Dom.element =
+  let n_meta = int g 4 in
+  let metas = ref [] in
+  let meta_els =
+    List.init n_meta (fun _ ->
+        let e, m = metamodel g !metas in
+        metas := !metas @ [ m ];
+        Dom.Element e)
+  in
+  Dom.element ~children:(meta_els @ [ Dom.Element (system g !metas) ]) "xpdl"
+
+let system_of_document (doc : Dom.element) =
+  match List.rev (Dom.child_elements doc) with
+  | sys :: _ when sys.Dom.tag = "system" -> sys
+  | _ -> invalid_arg "Gen.system_of_document: no trailing <system>"
+
+let metamodels_of_document (doc : Dom.element) =
+  List.filter (fun (e : Dom.element) -> e.Dom.tag <> "system") (Dom.child_elements doc)
+
+(* --- arbitrary XML --- *)
+
+let tags = [ "a"; "b"; "cfg"; "x1"; "data"; "w.e"; "n-o"; "_u" ]
+
+let nasty_strings =
+  [ ""; "plain"; "a<b"; "x&y"; "\"quoted\""; "'apos'"; "a]]>b"; "]]>"; "tab\there";
+    "line\nbreak"; "cr\rhere"; "crlf\r\nhere"; " lead"; "trail "; "two  spaces";
+    "cach\xc3\xa9"; "&amp;"; "<![CDATA["; "100%"; "a=b"; "-->" ]
+
+let cdata_strings = [ "plain"; "a]]>b"; "]]"; ""; "<nested attr=\"v\">"; "]]>"; "&amp;" ]
+
+(* XML comments may not contain "--" or end with "-". *)
+let comment_strings = [ " note "; "a - b"; ""; " trailing space " ]
+
+let rec xml_node g ~depth : Dom.node =
+  match int g (if depth <= 0 then 3 else 5) with
+  | 0 -> Dom.text (pick g nasty_strings)
+  | 1 -> Dom.Cdata (pick g cdata_strings, Dom.no_position)
+  | 2 -> Dom.Comment (pick g comment_strings, Dom.no_position)
+  | _ -> Dom.Element (xml_element g ~depth)
+
+and xml_element g ~depth : Dom.element =
+  let tag = pick g tags in
+  let attrs =
+    List.init (int g 4) (fun i -> a (Fmt.str "%s%d" (pick g [ "k"; "attr"; "v" ]) i)
+        (pick g nasty_strings))
+  in
+  let children = List.init (int g 5) (fun _ -> xml_node g ~depth:(depth - 1)) in
+  Dom.element ~attrs ~children tag
+
+let xml g = xml_element g ~depth:(1 + int g 3)
+
+(* --- corruption --- *)
+
+let junk =
+  [ "<"; "<<"; "&"; "&#xD800;"; "&#0;"; "&bogus;"; "&#"; "\""; "="; "</"; "<!--"; "]]>";
+    "<x"; ">"; "<?"; "\x01"; "<a b=>"; "</none>"; "&#x110000;"; "'" ]
+
+let corrupt g s =
+  let mutate s =
+    let len = String.length s in
+    if len = 0 then pick g junk
+    else
+      match int g 5 with
+      | 0 ->
+          (* delete a span *)
+          let i = int g len in
+          let n = min (1 + int g 10) (len - i) in
+          String.sub s 0 i ^ String.sub s (i + n) (len - i - n)
+      | 1 ->
+          (* insert junk *)
+          let i = int g (len + 1) in
+          String.sub s 0 i ^ pick g junk ^ String.sub s i (len - i)
+      | 2 ->
+          (* truncate *)
+          String.sub s 0 (int g len)
+      | 3 ->
+          (* duplicate a span *)
+          let i = int g len in
+          let n = min (1 + int g 20) (len - i) in
+          String.sub s 0 (i + n) ^ String.sub s i (String.length s - i)
+      | _ ->
+          (* smash one character *)
+          let i = int g len in
+          String.sub s 0 i ^ pick g [ "<"; "\""; "&"; ">" ] ^ String.sub s (i + 1) (len - i - 1)
+  in
+  let rec apply s n = if n = 0 then s else apply (mutate s) (n - 1) in
+  apply s (1 + int g 3)
+
+(* --- power state machines --- *)
+
+let state_machine g : Power.state_machine =
+  let n = 2 + int g 6 in
+  let states =
+    List.init n (fun i ->
+        {
+          Power.ps_name = Fmt.str "s%d" i;
+          ps_frequency = (if chance g 0.2 then 0. else float_in g 1e6 3e9);
+          ps_power = float_in g 0. 10.;
+        })
+  in
+  let dense = chance g 0.5 in
+  let p = if dense then 0.55 else 0.18 in
+  let transitions =
+    List.concat
+      (List.init n (fun i ->
+           List.concat
+             (List.init n (fun j ->
+                  if i <> j && chance g p then
+                    [ {
+                        Power.tr_from = Fmt.str "s%d" i;
+                        tr_to = Fmt.str "s%d" j;
+                        tr_time = float_in g 0. 1e-3;
+                        tr_energy = float_in g 0. 1e-4;
+                      } ]
+                  else []))))
+  in
+  { Power.sm_name = fresh g "sm"; sm_domain = None; sm_states = states;
+    sm_transitions = transitions }
+
+(* --- character references --- *)
+
+let charref g =
+  match int g 3 with
+  | 0 ->
+      pick g
+        [ "#65"; "#x41"; "#x1F600"; "#10"; "#9"; "#xD7FF"; "#xE000"; "#xFFFD"; "#x10FFFF";
+          "amp"; "lt"; "gt"; "quot"; "apos" ]
+  | 1 ->
+      pick g
+        [ "#0"; "#x0"; "#xD800"; "#xDFFF"; "#xFFFE"; "#xFFFF"; "#x110000"; "#"; "#x";
+          "#12abc"; "#o17"; "#b101"; "#1_0"; "#-5"; "#xG1"; "#+3"; "bogus"; "nbsp"; "" ]
+  | _ -> (
+      match int g 2 with
+      | 0 -> Fmt.str "#%d" (int g 0x120000)
+      | _ -> Fmt.str "#x%X" (int g 0x120000))
+
+(* --- shrinking --- *)
+
+let remove_nth i xs = List.filteri (fun j _ -> j <> i) xs
+let replace_nth i x xs = List.mapi (fun j y -> if j = i then x else y) xs
+let half s = String.sub s 0 (String.length s / 2)
+
+let rec shrink_element (elt : Dom.element) : Dom.element list =
+  let open Dom in
+  let hoists =
+    List.filter_map (function Element e -> Some e | _ -> None) elt.children
+  in
+  let drops = List.mapi (fun i _ -> { elt with children = remove_nth i elt.children }) elt.children in
+  let attr_drops = List.mapi (fun i _ -> { elt with attrs = remove_nth i elt.attrs }) elt.attrs in
+  let attr_simpl =
+    List.concat
+      (List.mapi
+         (fun i at ->
+           if String.length at.attr_value > 1 then
+             [ { elt with attrs = replace_nth i { at with attr_value = half at.attr_value } elt.attrs };
+               { elt with attrs = replace_nth i { at with attr_value = "x" } elt.attrs } ]
+           else [])
+         elt.attrs)
+  in
+  let text_simpl =
+    List.concat
+      (List.mapi
+         (fun i c ->
+           match c with
+           | Text (s, p) when String.length s > 0 ->
+               [ { elt with children = replace_nth i (Text (half s, p)) elt.children } ]
+           | Cdata (s, p) when String.length s > 0 ->
+               [ { elt with children = replace_nth i (Cdata (half s, p)) elt.children } ]
+           | _ -> [])
+         elt.children)
+  in
+  let deep =
+    List.concat
+      (List.mapi
+         (fun i c ->
+           match c with
+           | Element e ->
+               List.map
+                 (fun e' -> { elt with children = replace_nth i (Element e') elt.children })
+                 (shrink_element e)
+           | _ -> [])
+         elt.children)
+  in
+  hoists @ drops @ attr_drops @ attr_simpl @ text_simpl @ deep
+
+let minimize ?(max_steps = 400) still_failing elt =
+  let steps = ref 0 in
+  let rec go elt =
+    if !steps >= max_steps then elt
+    else
+      let next =
+        List.find_opt
+          (fun cand ->
+            incr steps;
+            !steps <= max_steps && still_failing cand)
+          (shrink_element elt)
+      in
+      match next with Some cand -> go cand | None -> elt
+  in
+  go elt
+
+let minimize_string ?(max_steps = 2000) still_failing s =
+  let steps = ref 0 in
+  let rec go s chunk =
+    if chunk = 0 || !steps >= max_steps then s
+    else
+      let len = String.length s in
+      let rec try_at i =
+        if i >= len || !steps >= max_steps then None
+        else begin
+          let n = min chunk (len - i) in
+          let cand = String.sub s 0 i ^ String.sub s (i + n) (len - i - n) in
+          incr steps;
+          if String.length cand < len && still_failing cand then Some cand else try_at (i + chunk)
+        end
+      in
+      match try_at 0 with
+      | Some s' -> go s' chunk
+      | None -> go s (chunk / 2)
+  in
+  go s (max 1 (String.length s / 2))
+
+let shrink_machine (sm : Power.state_machine) : Power.state_machine list =
+  let drop_transitions =
+    List.mapi
+      (fun i _ -> { sm with Power.sm_transitions = remove_nth i sm.Power.sm_transitions })
+      sm.Power.sm_transitions
+  in
+  let drop_states =
+    List.mapi
+      (fun i _ ->
+        let victim = (List.nth sm.Power.sm_states i).Power.ps_name in
+        {
+          sm with
+          Power.sm_states = remove_nth i sm.Power.sm_states;
+          sm_transitions =
+            List.filter
+              (fun (tr : Power.transition) ->
+                tr.Power.tr_from <> victim && tr.Power.tr_to <> victim)
+              sm.Power.sm_transitions;
+        })
+      sm.Power.sm_states
+  in
+  drop_states @ drop_transitions
+
+let minimize_machine ?(max_steps = 400) still_failing sm =
+  let steps = ref 0 in
+  let rec go sm =
+    if !steps >= max_steps then sm
+    else
+      let next =
+        List.find_opt
+          (fun cand ->
+            incr steps;
+            !steps <= max_steps && still_failing cand)
+          (shrink_machine sm)
+      in
+      match next with Some cand -> go cand | None -> sm
+  in
+  go sm
+
+let pp_machine ppf (sm : Power.state_machine) =
+  Fmt.pf ppf "machine %s:@." sm.Power.sm_name;
+  List.iter
+    (fun (s : Power.power_state) ->
+      Fmt.pf ppf "  state %s f=%g p=%g@." s.Power.ps_name s.Power.ps_frequency s.Power.ps_power)
+    sm.Power.sm_states;
+  List.iter
+    (fun (tr : Power.transition) ->
+      Fmt.pf ppf "  %s -> %s time=%g energy=%g@." tr.Power.tr_from tr.Power.tr_to
+        tr.Power.tr_time tr.Power.tr_energy)
+    sm.Power.sm_transitions

@@ -1,0 +1,102 @@
+(** Seeded random generation of XPDL models for differential testing.
+
+    Everything is driven by the deterministic {!Xpdl_simhw.Rng}
+    (splitmix64), so a printed seed replays a failing case exactly —
+    across machines and CI runs.  Three families of inputs:
+
+    {ul
+    {- {!document}: well-formed XPDL documents — meta-models with
+       [extends] chains, [group] prefix/quantity replication, power
+       domains and power state machines, unit-bearing attributes, and
+       [const]/[param]/[constraint] expressions;}
+    {- {!xml}: arbitrary XML trees with adversarial text, CDATA and
+       attribute content for print/parse round-trip fuzzing;}
+    {- {!corrupt}: deliberately damaged serialized documents for
+       parser-recovery fuzzing.}}
+
+    Greedy shrinking ({!minimize}) reduces failing inputs to small
+    reproductions by dropping children, dropping attributes and
+    simplifying values while the failure predicate stays true. *)
+
+open Xpdl_xml
+
+type t
+
+(** A fresh generator; equal seeds yield equal output streams. *)
+val create : seed:int -> t
+
+(** Derive the per-case generator used by the harness: the same
+    [(seed, salt)] pair always denotes the same input. *)
+val case : seed:int -> salt:string -> t
+
+(** {1 Primitive draws} *)
+
+val int : t -> int -> int
+val pick : t -> 'a list -> 'a
+val chance : t -> float -> bool
+
+(** {1 XPDL documents}
+
+    A document is an [<xpdl>] element whose children are meta-model
+    descriptors followed by exactly one concrete [<system>].  Meta-models
+    only extend earlier meta-models, so chains are acyclic by
+    construction. *)
+
+val document : t -> Dom.element
+
+(** The concrete system of a generated document. *)
+val system_of_document : Dom.element -> Dom.element
+
+(** Meta-model descriptors of a generated document (document order). *)
+val metamodels_of_document : Dom.element -> Dom.element list
+
+(** {1 Arbitrary XML} *)
+
+(** A small tree exercising serialization edge cases: quotes, [<] [>]
+    [&], ["]]>"] inside text and CDATA, tabs/newlines/CR in attribute
+    values, multi-byte UTF-8, comments, mixed content. *)
+val xml : t -> Dom.element
+
+(** {1 Corruption}
+
+    [corrupt g s] applies 1–3 random syntax-destroying mutations
+    (deletions, truncations, stray markup, broken entities, quote flips)
+    to a serialized document. *)
+val corrupt : t -> string -> string
+
+(** {1 Power state machines}
+
+    Random machines with 2–7 states and random transition tables:
+    sometimes strongly connected, sometimes with unreachable islands;
+    costs are non-negative and finite. *)
+val state_machine : t -> Xpdl_core.Power.state_machine
+
+(** {1 Character references}
+
+    A raw reference body (without [&] and [;]), e.g. ["#x41"], ["#970"],
+    ["amp"] — valid and deliberately malformed ones. *)
+val charref : t -> string
+
+(** {1 Shrinking} *)
+
+(** Strictly-smaller variants of an element, most aggressive first:
+    hoisted children, dropped children, dropped attributes, simplified
+    attribute values and text. *)
+val shrink_element : Dom.element -> Dom.element list
+
+(** [minimize ~max_steps still_failing el] greedily walks {!shrink_element}
+    while [still_failing] holds, returning a (locally) minimal failing
+    input.  [still_failing el] must be true on entry. *)
+val minimize : ?max_steps:int -> (Dom.element -> bool) -> Dom.element -> Dom.element
+
+(** Greedy chunk-removal minimizer for corrupted strings. *)
+val minimize_string : ?max_steps:int -> (string -> bool) -> string -> string
+
+(** Drop states/transitions while the failure predicate holds. *)
+val minimize_machine :
+  ?max_steps:int ->
+  (Xpdl_core.Power.state_machine -> bool) ->
+  Xpdl_core.Power.state_machine ->
+  Xpdl_core.Power.state_machine
+
+val pp_machine : Format.formatter -> Xpdl_core.Power.state_machine -> unit

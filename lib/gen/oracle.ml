@@ -1,0 +1,200 @@
+(** Naive reference oracles (see the interface for the contract: dumb,
+    spec-faithful, independently re-stated — no sharing with the fast
+    paths under test). *)
+
+open Xpdl_core
+module Units = Xpdl_units.Units
+
+(* The metadata kinds whose subtrees are not physical hardware.  Restated
+   from Sec. III rather than imported, so a regression in the shared
+   definition cannot hide itself. *)
+let is_metadata = function
+  | Schema.Power_model | Schema.Power_domains | Schema.Power_domain
+  | Schema.Power_state_machine | Schema.Instructions | Schema.Microbenchmarks
+  | Schema.Software | Schema.Properties | Schema.Constraints ->
+      true
+  | _ -> false
+
+let rec hardware_elements (e : Model.element) : Model.element list =
+  if is_metadata e.Model.kind then []
+  else e :: List.concat_map hardware_elements e.Model.children
+
+let count_cores e =
+  List.length
+    (List.filter
+       (fun (x : Model.element) -> Schema.equal_kind x.Model.kind Schema.Core)
+       (hardware_elements e))
+
+let has_cuda_pm (d : Model.element) =
+  List.exists
+    (fun (c : Model.element) ->
+      Schema.equal_kind c.Model.kind Schema.Programming_model
+      &&
+      match c.Model.type_ref with
+      | Some ty -> String.length ty >= 4 && String.lowercase_ascii (String.sub ty 0 4) = "cuda"
+      | None -> false)
+    d.Model.children
+
+let count_cuda_devices e =
+  List.length
+    (List.filter
+       (fun (x : Model.element) ->
+         Schema.equal_kind x.Model.kind Schema.Device && has_cuda_pm x)
+       (hardware_elements e))
+
+let quantity_attr (e : Model.element) name =
+  match Model.attr e name with
+  | Some (Model.Quantity (q, _)) -> Some (Units.value q)
+  | _ -> None
+
+let total_static_power e =
+  List.fold_left
+    (fun acc (x : Model.element) ->
+      if Schema.is_hardware x.Model.kind then
+        match quantity_attr x "static_power" with Some v -> acc +. v | None -> acc
+      else acc)
+    0. (hardware_elements e)
+
+let total_memory_bytes e =
+  List.fold_left
+    (fun acc (x : Model.element) ->
+      if Schema.equal_kind x.Model.kind Schema.Memory then
+        match quantity_attr x "size" with Some v -> acc +. v | None -> acc
+      else acc)
+    0. (hardware_elements e)
+
+let core_frequencies e =
+  List.filter_map
+    (fun (x : Model.element) ->
+      if Schema.equal_kind x.Model.kind Schema.Core then quantity_attr x "frequency" else None)
+    (hardware_elements e)
+
+(* Scope paths, by the book: a node with an identifier extends its
+   parent's path by one segment; a node without one lives in its parent's
+   scope.  Preorder rank doubles as the IR node index. *)
+let paths (root : Model.element) =
+  let out = ref [] in
+  let rank = ref 0 in
+  let rec walk parent_path (e : Model.element) =
+    let path =
+      match Model.identifier e with
+      | Some i -> if parent_path = "" then i else parent_path ^ "/" ^ i
+      | None -> parent_path
+    in
+    out := (path, !rank, e) :: !out;
+    incr rank;
+    List.iter (walk path) e.Model.children
+  in
+  walk "" root;
+  List.rev !out
+
+let find_by_path root p =
+  List.find_map (fun (path, rank, e) -> if String.equal path p then Some (rank, e) else None)
+    (paths root)
+
+let find_by_id root id =
+  List.find_map
+    (fun (_, rank, (e : Model.element)) ->
+      if Model.identifier e = Some id then Some (rank, e) else None)
+    (paths root)
+
+let count_of_kind root kind =
+  List.length
+    (List.filter (fun (_, _, (e : Model.element)) -> Schema.equal_kind e.Model.kind kind)
+       (paths root))
+
+let rec subtree_size (e : Model.element) =
+  1 + List.fold_left (fun acc c -> acc + subtree_size c) 0 e.Model.children
+
+(* --- character references --- *)
+
+(* XML 1.0 Char production. *)
+let is_xml_char code =
+  code = 0x9 || code = 0xA || code = 0xD
+  || (code >= 0x20 && code <= 0xD7FF)
+  || (code >= 0xE000 && code <= 0xFFFD)
+  || (code >= 0x10000 && code <= 0x10FFFF)
+
+let utf8_encode code =
+  let b = Buffer.create 4 in
+  if code < 0x80 then Buffer.add_char b (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end;
+  Buffer.contents b
+
+let digit_value base c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' when base = 16 -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' when base = 16 -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let decode_charref body =
+  match body with
+  | "lt" -> Some "<"
+  | "gt" -> Some ">"
+  | "amp" -> Some "&"
+  | "quot" -> Some "\""
+  | "apos" -> Some "'"
+  | _ ->
+      if String.length body < 2 || body.[0] <> '#' then None
+      else begin
+        let digits, base =
+          if String.length body > 2 && (body.[1] = 'x' || body.[1] = 'X') then
+            (String.sub body 2 (String.length body - 2), 16)
+          else (String.sub body 1 (String.length body - 1), 10)
+        in
+        if String.equal digits "" then None
+        else
+          let code =
+            String.fold_left
+              (fun acc c ->
+                match (acc, digit_value base c) with
+                (* clamp so huge references stay invalid without overflow *)
+                | Some v, Some d -> Some (min ((v * base) + d) 0x110000)
+                | _ -> None)
+              (Some 0) digits
+          in
+          match code with
+          | Some code when is_xml_char code -> Some (utf8_encode code)
+          | _ -> None
+      end
+
+(* --- power state machines --- *)
+
+(* Exhaustive search over simple paths: follow every transition chain
+   that never revisits a state, track the cheapest total energy.  Only
+   feasible because generated machines are tiny — which is the point. *)
+let psm_min_energy (sm : Power.state_machine) ~from_state ~to_state =
+  if String.equal from_state to_state then Some 0.
+  else begin
+    let best = ref None in
+    let rec search visited here cost =
+      List.iter
+        (fun (tr : Power.transition) ->
+          if String.equal tr.Power.tr_from here && not (List.mem tr.Power.tr_to visited) then begin
+            let cost = cost +. tr.Power.tr_energy in
+            if String.equal tr.Power.tr_to to_state then (
+              match !best with
+              | Some b when b <= cost -> ()
+              | _ -> best := Some cost)
+            else search (tr.Power.tr_to :: visited) tr.Power.tr_to cost
+          end)
+        sm.Power.sm_transitions
+    in
+    search [ from_state ] from_state 0.;
+    !best
+  end

@@ -1,0 +1,63 @@
+(** Naive reference oracles for differential testing.
+
+    Every function here is a small, obviously-correct tree walk (or
+    exhaustive search) restating the {e specified} semantics of an
+    optimized fast path elsewhere in the toolchain: the indexed
+    {!Xpdl_query.Query}/{!Xpdl_toolchain.Ir} lookups, the parser's
+    character-reference decoder, and the PSM Dijkstra routing.  The
+    harness asserts optimized ≡ naive on generated inputs; keep these
+    implementations dumb — their only virtue is being checkable by
+    eye. *)
+
+open Xpdl_core
+
+(** {1 Query / aggregation oracles over the composed model tree} *)
+
+(** Preorder walk skipping metadata subtrees (power models, software,
+    properties, constraints) — the physical-hardware traversal. *)
+val hardware_elements : Model.element -> Model.element list
+
+val count_cores : Model.element -> int
+val count_cuda_devices : Model.element -> int
+
+(** Sum of SI-normalized [static_power] over hardware kinds. *)
+val total_static_power : Model.element -> float
+
+(** Sum of SI-normalized [size] over memory elements. *)
+val total_memory_bytes : Model.element -> float
+
+val core_frequencies : Model.element -> float list
+
+(** Every node paired with its scope path and preorder rank, in document
+    order.  The scope path extends the parent path with the node's
+    identifier (nodes without one share their parent's path) — the
+    specification {!Xpdl_toolchain.Ir.find_by_path} must agree with. *)
+val paths : Model.element -> (string * int * Model.element) list
+
+(** First preorder node whose scope path is [path] (linear scan). *)
+val find_by_path : Model.element -> string -> (int * Model.element) option
+
+(** First preorder node with the identifier (linear scan). *)
+val find_by_id : Model.element -> string -> (int * Model.element) option
+
+(** Number of nodes of one kind anywhere in the tree. *)
+val count_of_kind : Model.element -> Schema.kind -> int
+
+(** Nodes in the subtree, including the root. *)
+val subtree_size : Model.element -> int
+
+(** {1 Character references}
+
+    [decode_charref body] decodes the body of an XML reference (without
+    [&]/[;]): the five predefined entities or a decimal/hex character
+    reference per XML 1.0 ([Char] production, strict digits), returning
+    the UTF-8 encoding or [None] when the reference is malformed. *)
+val decode_charref : string -> string option
+
+(** {1 Power state machines}
+
+    [psm_min_energy sm ~from_state ~to_state] exhaustively searches all
+    simple paths and returns the minimal total transition energy;
+    [Some 0.] when [from_state = to_state], [None] when unreachable. *)
+val psm_min_energy :
+  Power.state_machine -> from_state:string -> to_state:string -> float option

@@ -144,13 +144,29 @@ let rec equal_element a b =
        (fun x y -> String.equal x.attr_name y.attr_name && String.equal x.attr_value y.attr_value)
        a.attrs b.attrs
   &&
+  (* Adjacent character-data nodes (Text/Text, Text/Cdata, runs split at
+     CDATA "]]>" boundaries) serialize as one run and re-parse as fewer
+     nodes, so equality must compare merged runs, not individual nodes.
+     Comments are transparent: they neither contribute text nor split a
+     run, because they are ignored entirely. *)
   let significant ns =
-    List.filter_map
+    let out = ref [] in
+    let run = Buffer.create 16 in
+    let flush () =
+      let s = String.trim (Buffer.contents run) in
+      Buffer.clear run;
+      if s <> "" then out := `T s :: !out
+    in
+    List.iter
       (function
-        | Element el -> Some (`E el)
-        | Text (s, _) | Cdata (s, _) -> if String.trim s = "" then None else Some (`T (String.trim s))
-        | Comment _ -> None)
-      ns
+        | Comment _ -> ()
+        | Text (s, _) | Cdata (s, _) -> Buffer.add_string run s
+        | Element el ->
+            flush ();
+            out := `E el :: !out)
+      ns;
+    flush ();
+    List.rev !out
   in
   let ca = significant a.children and cb = significant b.children in
   List.length ca = List.length cb

@@ -13,6 +13,7 @@ let escape_text s =
       | '<' -> Buffer.add_string buf "&lt;"
       | '>' -> Buffer.add_string buf "&gt;"
       | '&' -> Buffer.add_string buf "&amp;"
+      | '\r' -> Buffer.add_string buf "&#13;" (* a raw CR would not survive re-parsing *)
       | _ -> Buffer.add_char buf c)
     s;
   Buffer.contents buf
@@ -28,9 +29,29 @@ let escape_attr s =
       | '"' -> Buffer.add_string buf "&quot;"
       | '\n' -> Buffer.add_string buf "&#10;"
       | '\t' -> Buffer.add_string buf "&#9;"
+      | '\r' -> Buffer.add_string buf "&#13;"
       | _ -> Buffer.add_char buf c)
     s;
   Buffer.contents buf
+
+(* CDATA cannot escape anything, so a literal "]]>" inside the contents
+   must be split across two sections: close after "]]", reopen before
+   ">".  Found by the round-trip fuzzer. *)
+let add_cdata buf s =
+  let n = String.length s in
+  Buffer.add_string buf "<![CDATA[";
+  let i = ref 0 in
+  while !i < n do
+    if !i + 2 < n && s.[!i] = ']' && s.[!i + 1] = ']' && s.[!i + 2] = '>' then begin
+      Buffer.add_string buf "]]]]><![CDATA[>";
+      i := !i + 3
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.add_string buf "]]>"
 
 let add_attrs buf attrs =
   List.iter
@@ -42,10 +63,23 @@ let add_attrs buf attrs =
       Buffer.add_char buf '"')
     attrs
 
-(* An element is "inline" if its only children are text: printed on one
-   line so that <const>42</const> stays readable. *)
-let is_inline el =
-  List.for_all (function Dom.Text _ | Dom.Cdata _ -> true | _ -> false) el.Dom.children
+(* An element carrying significant character data (non-blank text or any
+   CDATA) is printed fully inline: indentation inserted between the runs
+   of mixed content would change the text on re-parse, which the
+   round-trip property forbids.  Element-only content pretty-prints as
+   an indented block. *)
+let has_chardata el =
+  List.exists
+    (function
+      | Dom.Text (s, _) -> String.trim s <> ""
+      | Dom.Cdata _ -> true
+      | Dom.Element _ | Dom.Comment _ -> false)
+    el.Dom.children
+
+let add_comment buf s =
+  Buffer.add_string buf "<!--";
+  Buffer.add_string buf s;
+  Buffer.add_string buf "-->"
 
 let rec add_element buf ~indent depth (el : Dom.element) =
   let pad = if indent then String.make (2 * depth) ' ' else "" in
@@ -61,17 +95,16 @@ let rec add_element buf ~indent depth (el : Dom.element) =
       el.children
   in
   if significant = [] then Buffer.add_string buf " />"
-  else if is_inline el then begin
+  else if has_chardata el then begin
+    (* mixed/inline content: every child verbatim, no inserted layout *)
     Buffer.add_char buf '>';
     List.iter
       (function
         | Dom.Text (s, _) -> Buffer.add_string buf (escape_text s)
-        | Dom.Cdata (s, _) ->
-            Buffer.add_string buf "<![CDATA[";
-            Buffer.add_string buf s;
-            Buffer.add_string buf "]]>"
-        | Dom.Element _ | Dom.Comment _ -> assert false)
-      significant;
+        | Dom.Cdata (s, _) -> add_cdata buf s
+        | Dom.Comment (s, _) -> add_comment buf s
+        | Dom.Element e -> add_element buf ~indent:false 0 e)
+      el.children;
     Buffer.add_string buf "</";
     Buffer.add_string buf el.tag;
     Buffer.add_char buf '>'
@@ -83,23 +116,17 @@ let rec add_element buf ~indent depth (el : Dom.element) =
       (fun child ->
         (match child with
         | Dom.Element e -> add_element buf ~indent (depth + 1) e
-        | Dom.Text (s, _) ->
-            if String.trim s <> "" then begin
-              if indent then Buffer.add_string buf (String.make (2 * (depth + 1)) ' ');
-              Buffer.add_string buf (escape_text (String.trim s))
-            end
+        | Dom.Text _ -> () (* whitespace-only: layout, not content *)
         | Dom.Cdata (s, _) ->
+            (* unreachable while has_chardata counts every CDATA, but
+               keep the output well-formed if that invariant moves *)
             if indent then Buffer.add_string buf (String.make (2 * (depth + 1)) ' ');
-            Buffer.add_string buf "<![CDATA[";
-            Buffer.add_string buf s;
-            Buffer.add_string buf "]]>"
+            add_cdata buf s
         | Dom.Comment (s, _) ->
             if indent then Buffer.add_string buf (String.make (2 * (depth + 1)) ' ');
-            Buffer.add_string buf "<!--";
-            Buffer.add_string buf s;
-            Buffer.add_string buf "-->");
+            add_comment buf s);
         match child with
-        | Dom.Text (s, _) when String.trim s = "" -> ()
+        | Dom.Text _ -> ()
         | _ -> if indent then Buffer.add_char buf '\n')
       el.children;
     Buffer.add_string buf pad;

@@ -1,0 +1,319 @@
+(* Property-based differential tests driven by the lib/gen subsystem.
+
+   The first suite runs each differential property (see
+   docs/TESTING.md) over 500 generated inputs with the fixed default
+   seed; a failure message carries the (seed, case) pair and the shrunk
+   minimal reproduction, so any red run here is replayable with
+   `xpdltool fuzz --seed N --property P`.
+
+   The remaining suites pin down specific corner cases surfaced while
+   building the harness: expression evaluation (placeholders, units,
+   division by zero), PSM path optimality and unreachable-state
+   diagnosis, and print/parse round-trip regressions. *)
+
+open Xpdl_core
+module Gen = Xpdl_gen.Gen
+module Oracle = Xpdl_gen.Oracle
+module Differential = Xpdl_gen.Differential
+module Dom = Xpdl_xml.Dom
+module Parse = Xpdl_xml.Parse
+module Print = Xpdl_xml.Print
+module Psm = Xpdl_energy.Psm
+
+let cases_per_property = 500
+let approx = Alcotest.float 1e-9
+
+(* ------------------------------------------------------------------ *)
+(* Differential properties: optimized fast paths vs. naive oracles *)
+
+let differential_case name () =
+  let r = Differential.run ~count:cases_per_property ~properties:[ name ] () in
+  match r.Differential.r_failures with
+  | [] -> ()
+  | f :: _ -> Alcotest.failf "%a" Differential.pp_failure f
+
+let differential_tests =
+  List.map
+    (fun name -> Alcotest.test_case name `Quick (differential_case name))
+    Differential.property_names
+
+(* ------------------------------------------------------------------ *)
+(* Expression corner cases (instantiation-level) *)
+
+let instantiate src = Instantiate.run (Elaborate.of_string_exn src)
+
+let has_code code diags =
+  List.exists (fun (d : Diagnostic.t) -> String.equal d.Diagnostic.code code) diags
+
+let rec count_unknown_attrs (e : Model.element) =
+  let here =
+    List.length (List.filter (fun (_, v) -> v = Model.Unknown) e.Model.attrs)
+  in
+  List.fold_left (fun acc c -> acc + count_unknown_attrs c) here e.Model.children
+
+let test_nested_placeholders () =
+  (* "?" placeholders nested under two levels of group replication must
+     survive instantiation untouched (one per expanded copy), and the
+     indexed model must report them as VUnknown — never crash, never
+     silently turn into numbers. *)
+  let src =
+    {|<system id="s">
+        <group prefix="node" quantity="2">
+          <node>
+            <group prefix="core" quantity="3">
+              <core frequency="?" frequency_unit="MHz" static_power="?" static_power_unit="W" />
+            </group>
+          </node>
+        </group>
+      </system>|}
+  in
+  let m, diags = instantiate src in
+  Alcotest.(check bool) "no errors" true (Diagnostic.all_ok diags);
+  Alcotest.(check int) "2 nodes x 3 cores x 2 placeholders" 12 (count_unknown_attrs m);
+  let ir = Xpdl_toolchain.Ir.of_model m in
+  let q = Xpdl_query.Query.of_ir ir in
+  let cores = Xpdl_query.Query.all_of_kind q Schema.Core in
+  Alcotest.(check int) "6 expanded cores" 6 (List.length cores);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "frequency unresolved" true
+        (Xpdl_query.Query.is_unknown c "frequency"))
+    cores;
+  (* unresolved frequencies contribute nothing, and querying must not raise *)
+  Alcotest.(check int) "no resolved frequencies" 0
+    (List.length (Xpdl_query.Query.core_frequencies q))
+
+let test_unit_bearing_constants () =
+  (* Constants declared with size/unit pairs enter the constraint
+     environment SI-normalized, so mixed-unit arithmetic agrees. *)
+  let src =
+    {|<device name="d">
+        <const name="L1size" size="16" unit="KB" />
+        <const name="shmsize" size="48" unit="KB" />
+        <const name="shmtotalsize" size="65536" unit="B" />
+        <constraints>
+          <constraint expr="L1size + shmsize == shmtotalsize" />
+          <constraint expr="L1size * 4 == shmtotalsize" />
+        </constraints>
+      </device>|}
+  in
+  let _, diags = instantiate src in
+  Alcotest.(check bool) "no violation" false (has_code "XPDL213" diags);
+  Alcotest.(check bool) "checkable" false (has_code "XPDL214" diags);
+  (* and a genuinely violated unit-bearing constraint is still caught *)
+  let _, diags2 =
+    instantiate
+      {|<device name="d">
+          <const name="L1size" size="16" unit="KB" />
+          <constraints><constraint expr="L1size == 16" /></constraints>
+        </device>|}
+  in
+  Alcotest.(check bool) "SI-normalized value is bytes, not 16" true
+    (has_code "XPDL213" diags2)
+
+let test_division_by_zero_diagnosed () =
+  (* Division/modulo by zero inside constraints must produce a coded
+     diagnostic, never an exception escaping Instantiate.run. *)
+  let _, diags =
+    instantiate
+      {|<device name="d">
+          <const name="a" value="4" />
+          <constraints>
+            <constraint expr="a / 0 == 1" />
+            <constraint expr="a % 0 == 0" />
+          </constraints>
+        </device>|}
+  in
+  let not_checkable =
+    List.filter (fun (d : Diagnostic.t) -> String.equal d.Diagnostic.code "XPDL214") diags
+  in
+  Alcotest.(check int) "both diagnosed as not checkable" 2 (List.length not_checkable);
+  List.iter
+    (fun (d : Diagnostic.t) ->
+      Alcotest.(check bool) "warning, not error" false (Diagnostic.is_error d))
+    not_checkable
+
+let test_zero_quantity_group_diagnosed () =
+  (* A group quantity whose expression divides by zero is diagnosed
+     (XPDL212) and the group degrades to a plain scope. *)
+  let m, diags =
+    instantiate
+      {|<system id="s">
+          <group prefix="c" quantity="4 / 0">
+            <core frequency="1" frequency_unit="GHz" />
+          </group>
+        </system>|}
+  in
+  Alcotest.(check bool) "quantity diagnosed" true (has_code "XPDL212" diags);
+  Alcotest.(check int) "core kept, not replicated" 1
+    (Oracle.count_of_kind m Schema.Core)
+
+(* ------------------------------------------------------------------ *)
+(* PSM properties *)
+
+let path_energy trs =
+  List.fold_left (fun acc (tr : Power.transition) -> acc +. tr.Power.tr_energy) 0. trs
+
+let test_psm_optimality () =
+  (* transition_path never raises on generated machines, and its summed
+     energy equals the exhaustive-search minimum for every state pair. *)
+  let g = Gen.create ~seed:701 in
+  for _ = 1 to 150 do
+    let sm = Gen.state_machine g in
+    List.iter
+      (fun (a : Power.power_state) ->
+        List.iter
+          (fun (b : Power.power_state) ->
+            let from_state = a.Power.ps_name and to_state = b.Power.ps_name in
+            let naive = Oracle.psm_min_energy sm ~from_state ~to_state in
+            match (Psm.transition_path sm ~from_state ~to_state, naive) with
+            | None, None -> ()
+            | Some trs, Some c ->
+                Alcotest.check approx
+                  (Fmt.str "%s->%s minimal" from_state to_state)
+                  c (path_energy trs)
+            | Some _, None ->
+                Alcotest.failf "%s->%s: Dijkstra found a path, search did not" from_state
+                  to_state
+            | None, Some _ ->
+                Alcotest.failf "%s->%s: search found a path, Dijkstra did not" from_state
+                  to_state)
+          sm.Power.sm_states)
+      sm.Power.sm_states
+  done
+
+let test_psm_identity_path () =
+  let g = Gen.create ~seed:702 in
+  for _ = 1 to 50 do
+    let sm = Gen.state_machine g in
+    List.iter
+      (fun (s : Power.power_state) ->
+        match Psm.transition_path sm ~from_state:s.Power.ps_name ~to_state:s.Power.ps_name with
+        | Some [] -> ()
+        | Some _ -> Alcotest.failf "%s->%s: nonempty identity path" s.Power.ps_name s.Power.ps_name
+        | None -> Alcotest.failf "%s->%s: identity unreachable" s.Power.ps_name s.Power.ps_name)
+      sm.Power.sm_states
+  done
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let mk_state name : Power.power_state =
+  { Power.ps_name = name; ps_frequency = 1e9; ps_power = 1. }
+
+let mk_tr from_state to_state : Power.transition =
+  { Power.tr_from = from_state; tr_to = to_state; tr_time = 1e-6; tr_energy = 1e-3 }
+
+let test_unreachable_state_diagnosed () =
+  (* An island state is reported by validation as XPDL206 (warning,
+     naming the state), is unreachable for routing, and switching to it
+     raises the typed Psm_error — not Not_found or a crash. *)
+  let sm =
+    {
+      Power.sm_name = "m";
+      sm_domain = None;
+      sm_states = [ mk_state "run"; mk_state "sleep"; mk_state "island" ];
+      sm_transitions = [ mk_tr "run" "sleep"; mk_tr "sleep" "run" ];
+    }
+  in
+  let diags = Power.validate_state_machine sm in
+  let unreachable =
+    List.filter (fun (d : Diagnostic.t) -> String.equal d.Diagnostic.code "XPDL206") diags
+  in
+  Alcotest.(check int) "one unreachable state" 1 (List.length unreachable);
+  (match unreachable with
+  | [ d ] ->
+      Alcotest.(check bool) "warning severity" false (Diagnostic.is_error d);
+      Alcotest.(check bool) "names the island" true
+        (contains_substring d.Diagnostic.message {|"island"|})
+  | _ -> ());
+  Alcotest.(check bool) "no path to island" true
+    (Psm.transition_path sm ~from_state:"run" ~to_state:"island" = None);
+  let t = Psm.create sm in
+  (match Psm.switch_to t "island" with
+  | exception Psm.Psm_error _ -> ()
+  | () -> Alcotest.fail "switch_to an unreachable state must raise Psm_error")
+
+(* ------------------------------------------------------------------ *)
+(* Round-trip regressions: bugs found (and fixed) by the fuzzer *)
+
+let roundtrip el =
+  let printed = Print.to_string el in
+  match Parse.string printed with
+  | Ok reparsed ->
+      Alcotest.(check bool)
+        (Fmt.str "round-trip of %s" (String.escaped printed))
+        true
+        (Dom.equal_element el reparsed)
+  | Error msg -> Alcotest.failf "reparse failed on %s: %s" (String.escaped printed) msg
+
+let el ?(attrs = []) tag children =
+  {
+    Dom.tag;
+    attrs =
+      List.map
+        (fun (n, v) -> { Dom.attr_name = n; attr_value = v; attr_pos = Dom.no_position })
+        attrs;
+    children;
+    pos = Dom.no_position;
+  }
+
+let text s = Dom.Text (s, Dom.no_position)
+let cdata s = Dom.Cdata (s, Dom.no_position)
+
+let test_roundtrip_regressions () =
+  (* adjacent text nodes merge on reparse; equality must tolerate it *)
+  roundtrip (el "cfg" [ text "t"; text "\"" ]);
+  (* CDATA containing its own terminator must be split across sections *)
+  roundtrip (el "c" [ cdata "a]]>b" ]);
+  roundtrip (el "c" [ cdata "]]>" ]);
+  roundtrip (el "c" [ text "x"; cdata "]]" ]);
+  (* mixed content: inserted indentation must not corrupt the text *)
+  roundtrip (el "p" [ text "lead "; Dom.Element (el "b" [ text "mid" ]); text " tail" ]);
+  (* CR in text and attribute values survives via character references *)
+  roundtrip (el "t" [ text "a\rb" ]);
+  roundtrip (el ~attrs:[ ("k", "a\r\n\tb"); ("q", "she said \"hi\" & left") ] "t" []);
+  (* comments between text runs are transparent for equality *)
+  roundtrip (el "t" [ text "a"; Dom.Comment ("note", Dom.no_position); text "b" ])
+
+let test_cdata_split_is_lossless () =
+  let s = "x]]>y]]>]]z" in
+  let printed = Print.to_string (el "c" [ cdata s ]) in
+  match Parse.string printed with
+  | Ok r ->
+      let merged =
+        List.filter_map
+          (function Dom.Text (t, _) | Dom.Cdata (t, _) -> Some t | _ -> None)
+          r.Dom.children
+        |> String.concat ""
+      in
+      Alcotest.(check string) "content preserved" s merged
+  | Error msg -> Alcotest.failf "reparse failed: %s" msg
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "prop"
+    [
+      ("differential", differential_tests);
+      ( "expr",
+        [
+          Alcotest.test_case "nested ? placeholders" `Quick test_nested_placeholders;
+          Alcotest.test_case "unit-bearing constants" `Quick test_unit_bearing_constants;
+          Alcotest.test_case "division by zero diagnosed" `Quick test_division_by_zero_diagnosed;
+          Alcotest.test_case "group quantity div-by-zero" `Quick test_zero_quantity_group_diagnosed;
+        ] );
+      ( "psm",
+        [
+          Alcotest.test_case "path optimality" `Quick test_psm_optimality;
+          Alcotest.test_case "identity path" `Quick test_psm_identity_path;
+          Alcotest.test_case "unreachable state diagnosed" `Quick test_unreachable_state_diagnosed;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "fuzzer regressions" `Quick test_roundtrip_regressions;
+          Alcotest.test_case "cdata split lossless" `Quick test_cdata_split_is_lossless;
+        ] );
+    ]
