@@ -701,11 +701,98 @@ let e13 () =
     [ 1; 4; 16; 64 ];
   Fmt.pr "  (error does not grow with schedule length: energies compose)@."
 
+(* E14: edit → re-query — the incremental store vs whole-tree recompute *)
+
+module Store = Xpdl_store.Store
+module Aggregate = Xpdl_energy.Aggregate
+
+(* A hierarchical synthetic model (fanout^depth groups of cores): with
+   nesting, an edit's invalidation spine touches depth × fanout cached
+   nodes, not the whole tree.  fanout=10, depth=3 → 11,111 elements. *)
+let synthetic_tree ~fanout ~depth =
+  let module M = Xpdl_core.Model in
+  let module S = Xpdl_core.Schema in
+  let rec build level i =
+    if level = 0 then
+      M.make S.Core
+        ~id:(Fmt.str "c%d" i)
+        ~attrs:
+          [
+            ("static_power", M.Quantity (Xpdl_units.Units.watts 0.25, "W"));
+            ("frequency", M.Quantity (Xpdl_units.Units.hertz 2e9, "GHz"));
+          ]
+    else
+      M.make S.Group
+        ~id:(Fmt.str "g%d_%d" level i)
+        ~children:(List.init fanout (fun j -> build (level - 1) ((i * fanout) + j)))
+  in
+  M.make S.Cpu ~name:"synthetic_10k" ~children:(List.init fanout (fun j -> build depth j))
+
+let e14 () =
+  header "E14: incremental edit -> re-query vs full recompute (synthetic_10k)";
+  let module M = Xpdl_core.Model in
+  let m0 = synthetic_tree ~fanout:10 ~depth:3 in
+  let leaf = [ 0; 0; 0; 0 ] in
+  Fmt.pr "  model: %d elements; editing one core's static_power, re-querying@." (M.size m0);
+  (* full arm: apply the edit to the immutable tree, recompute both
+     derived attributes from scratch (the pre-store discipline) *)
+  let full_model = ref m0 in
+  let watt = ref 0.25 in
+  let next_power () =
+    watt := if !watt > 10. then 0.25 else !watt +. 0.125;
+    M.Quantity (Xpdl_units.Units.watts !watt, "W")
+  in
+  let full_round () =
+    full_model := M.update_at !full_model leaf (fun e -> M.set_attr e "static_power" (next_power ()));
+    (Aggregate.static_power !full_model, Aggregate.core_count !full_model)
+  in
+  (* incremental arm: the same edit through the store, re-derivation
+     along the spine only *)
+  let store = Store.of_model m0 in
+  ignore (Store.static_power store);
+  ignore (Store.core_count store);
+  let store_round () =
+    Store.set_attr store leaf "static_power" (next_power ());
+    (Store.static_power store, Store.core_count store)
+  in
+  (* the two disciplines must agree before timing anything: apply one
+     identical edit to both and compare *)
+  let parity = M.Quantity (Xpdl_units.Units.watts 3.5, "W") in
+  full_model := M.update_at !full_model leaf (fun e -> M.set_attr e "static_power" parity);
+  Store.set_attr store leaf "static_power" parity;
+  let fv, fc = (Aggregate.static_power !full_model, Aggregate.core_count !full_model) in
+  let sv, sc = (Store.static_power store, Store.core_count store) in
+  if not (Float.equal fv sv && fc = sc) then
+    failwith (Fmt.str "E14: incremental (%g W, %d cores) != full (%g W, %d cores)" sv sc fv fc);
+  let times =
+    time_ns
+      (Test.make_grouped ~name:"edit_requery" ~fmt:"%s %s"
+         [
+           Test.make ~name:"full" (Staged.stage (fun () -> full_round ()));
+           Test.make ~name:"incremental" (Staged.stage (fun () -> store_round ()));
+         ])
+  in
+  (match
+     ( List.assoc_opt "edit_requery full" times,
+       List.assoc_opt "edit_requery incremental" times )
+   with
+  | Some full, Some inc ->
+      let speedup = full /. inc in
+      record ~metric:"synthetic_10k/edit_requery/full" ~value:full ~unit_:"ns/run" ();
+      record ~metric:"synthetic_10k/edit_requery/incremental" ~value:inc ~unit_:"ns/run" ();
+      record ~metric:"synthetic_10k/edit_requery/speedup" ~value:speedup ~unit_:"x" ();
+      Fmt.pr "  %-22s %10.2f us/round@." "full recompute" (full /. 1e3);
+      Fmt.pr "  %-22s %10.2f us/round@." "incremental store" (inc /. 1e3);
+      Fmt.pr "  %-22s %9.1fx@." "speedup" speedup
+  | _ -> Fmt.pr "  (missing measurement)@.");
+  Fmt.pr "  store state after run: %a@." Store.pp store
+
 (* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
-    ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13) ]
+    ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
+    ("E14", e14) ]
 
 let () =
   let json_file = ref None in

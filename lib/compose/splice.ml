@@ -1,0 +1,63 @@
+(** Submodel splicing over the incremental store (see the interface). *)
+
+open Xpdl_core
+module Store = Xpdl_store.Store
+
+type path = Store.index_path
+
+let no_scope scope =
+  raise
+    (Store.Store_error
+       (Diagnostic.error ~code:"XPDL401" "scope path %S does not address a model element"
+          scope))
+
+let attach store ~at submodel =
+  let n =
+    match Store.element_at store at with
+    | Some e -> List.length e.Model.children
+    | None -> 0 (* insert_child raises the proper XPDL401 below *)
+  in
+  Store.insert_child store at submodel;
+  at @ [ n ]
+
+let attach_at_scope store ~scope submodel =
+  match Store.resolve store scope with
+  | Some at -> attach store ~at submodel
+  | None -> no_scope scope
+
+let detach store path =
+  match List.rev path with
+  | [] -> invalid_arg "Splice.detach: cannot detach the model root"
+  | i :: rev_parent -> Store.remove_child store (List.rev rev_parent) i
+
+let detach_scope store scope =
+  match Store.resolve store scope with
+  | Some p -> detach store p
+  | None -> no_scope scope
+
+(* Removing [parent @ [i]] renumbers [i]'s later siblings and orphans
+   every path into the removed subtree; all other paths are untouched. *)
+let rebase ~removed path =
+  match List.rev removed with
+  | [] -> invalid_arg "Splice.rebase: empty removal path"
+  | i :: rev_parent ->
+      let parent = List.rev rev_parent in
+      let rec go p q =
+        match (p, q) with
+        | _, [] -> Some path (* an ancestor of the removal point *)
+        | [], j :: rest ->
+            if j = i then None
+            else if j > i then Some (parent @ ((j - 1) :: rest))
+            else Some path
+        | a :: p', b :: q' -> if a = b then go p' q' else Some path
+      in
+      go parent path
+
+let graft store ~from_ ~to_ =
+  match rebase ~removed:from_ to_ with
+  | None -> invalid_arg "Splice.graft: destination lies inside the grafted subtree"
+  | Some to_ ->
+      let sub = detach store from_ in
+      attach store ~at:to_ sub
+
+let replace store path submodel = Store.replace_subtree store path submodel

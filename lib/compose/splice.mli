@@ -1,0 +1,45 @@
+(** Submodel splicing over the incremental store.
+
+    XPDL platform models are "composed from partial descriptions"
+    (Sec. II): a concrete system pulls in device, memory and software
+    submodels by reference.  This module expresses the corresponding
+    {e runtime} reconfigurations — attaching a device submodel, detaching
+    it, or grafting it under another component — as single structural
+    edits on an {!Xpdl_store.Store}, so the store re-derives its cached
+    attributes only along the spines involved instead of recomposing the
+    whole platform model. *)
+
+open Xpdl_core
+
+type path = Xpdl_store.Store.index_path
+
+(** Attach [submodel] as the last child of the element at [at]; returns
+    the new subtree's index path.  Raises {!Xpdl_store.Store.Store_error}
+    (XPDL401) if [at] dangles. *)
+val attach : Xpdl_store.Store.t -> at:path -> Model.element -> path
+
+(** {!attach} addressed by scope path (e.g. ["liu_gpu_server/gpu1"]).
+    Raises XPDL401 if the scope path does not resolve. *)
+val attach_at_scope : Xpdl_store.Store.t -> scope:string -> Model.element -> path
+
+(** Detach and return the subtree at [path].  Raises XPDL401/XPDL402 on
+    a dangling path and [Invalid_argument] on the root (the store always
+    holds a tree). *)
+val detach : Xpdl_store.Store.t -> path -> Model.element
+
+(** {!detach} addressed by scope path. *)
+val detach_scope : Xpdl_store.Store.t -> string -> Model.element
+
+(** Adjust a path expressed against the pre-removal tree to the tree
+    after the subtree at [removed] is detached: later siblings of the
+    removal point shift down by one; [None] for the removed subtree
+    itself. *)
+val rebase : removed:path -> path -> path option
+
+(** Detach the subtree at [from_] and attach it under [to_] ([to_] in
+    pre-detach coordinates); returns the subtree's new path.  Raises
+    [Invalid_argument] if [to_] lies inside the grafted subtree. *)
+val graft : Xpdl_store.Store.t -> from_:path -> to_:path -> path
+
+(** Replace the subtree at the path (delegates to the store). *)
+val replace : Xpdl_store.Store.t -> path -> Model.element -> unit

@@ -8,7 +8,8 @@
     - [XPDL0xx] — parse (syntax) errors, produced by {!Xpdl_xml.Parse};
     - [XPDL1xx] — elaboration (typing/schema) diagnostics;
     - [XPDL2xx] — validation and constraint diagnostics;
-    - [XPDL3xx] — composition/repository diagnostics.
+    - [XPDL3xx] — composition/repository diagnostics;
+    - [XPDL4xx] — incremental model-store diagnostics.
 
     [XPDL000] is the uncategorized default for legacy call sites. *)
 
@@ -80,6 +81,11 @@ let registry : (string * severity * string) list =
     ("XPDL306", Error, "unresolved inheritance reference");
     ("XPDL307", Error, "cyclic inheritance");
     ("XPDL310", Warning, "microbenchmark bootstrap left unresolved energy entries");
+    (* XPDL4xx — incremental model store *)
+    ("XPDL401", Error, "store edit path does not address a model element");
+    ("XPDL402", Error, "store structural edit is invalid (bad child index)");
+    ("XPDL403", Error, "store edit value cannot be elaborated");
+    ("XPDL410", Info, "store edit journal compacted; incremental view rebuilt from scratch");
   ]
 
 let describe code =

@@ -184,6 +184,18 @@ let of_xml x =
   let e = element ctx x in
   (e, List.rev ctx.diags)
 
+(** Elaborate one raw attribute value exactly as whole-tree elaboration
+    would — the delta entry point for incremental edits: resolving a
+    ["?"] placeholder or rewriting a single attribute must not force a
+    re-elaboration of the tree. *)
+let attr_delta ~kind ?unit_spelling ~name raw =
+  let ctx = { diags = [] } in
+  let v =
+    typed_value ctx ~kind ~pos:Xpdl_xml.Dom.no_position ~unit_of:(fun _ -> unit_spelling) name
+      raw
+  in
+  (v, List.rev ctx.diags)
+
 (** Parse and elaborate an XPDL string. *)
 let of_string ?file ?(lenient = true) s =
   match Xpdl_xml.Parse.string ?file ~lenient s with

@@ -12,6 +12,17 @@
     strings with an [Error] diagnostic recorded (source order). *)
 val of_xml : Xpdl_xml.Dom.element -> Model.element * Diagnostic.t list
 
+(** Elaborate a single raw attribute value for an element of [kind],
+    exactly as {!of_xml} would (schema typing, unit normalization
+    against [unit_spelling], ["?"] → {!Model.Unknown}).  The delta entry
+    point used by the incremental store's raw-string edits. *)
+val attr_delta :
+  kind:Schema.kind ->
+  ?unit_spelling:string ->
+  name:string ->
+  string ->
+  Model.attr_value * Diagnostic.t list
+
 (** Parse and elaborate an XPDL string ([lenient] defaults to [true]:
     the paper's listings use unquoted attribute values). *)
 val of_string :

@@ -160,6 +160,50 @@ let hardware_elements_of_kind kind e =
   List.rev
     (hardware_fold (fun acc x -> if Schema.equal_kind x.kind kind then x :: acc else acc) [] e)
 
+(** {1 Index-path edits}
+
+    Child-index paths address nodes positionally ([[]] = root), so every
+    node is addressable — unnamed elements and group-expanded duplicates
+    included.  [update_at] rebuilds only the spine from the root to the
+    edited node; everything off the spine is shared, which is what makes
+    the incremental store's single-edit cost O(depth · fan-out) instead
+    of O(model). *)
+
+type index_path = int list
+
+let rec at_index_path e = function
+  | [] -> Some e
+  | i :: rest -> (
+      match List.nth_opt e.children i with
+      | Some c -> at_index_path c rest
+      | None -> None)
+
+let rec update_at e path f =
+  match path with
+  | [] -> f e
+  | i :: rest ->
+      if i < 0 || i >= List.length e.children then
+        invalid_arg "Model.update_at: index path out of range";
+      { e with children = List.mapi (fun j c -> if j = i then update_at c rest f else c) e.children }
+
+let fold_index_paths f acc e =
+  (* paths are built root-first by carrying the reversed prefix *)
+  let rec go acc rev_path e =
+    let acc = f acc (List.rev rev_path) e in
+    List.fold_left
+      (fun (acc, i) c -> (go acc (i :: rev_path) c, i + 1))
+      (acc, 0) e.children
+    |> fst
+  in
+  go acc [] e
+
+let index_path_where p e =
+  let exception Found of index_path in
+  try
+    fold_index_paths (fun () path x -> if p x then raise (Found path)) () e;
+    None
+  with Found path -> Some path
+
 (** First element satisfying [p] in the subtree, depth-first. *)
 let find p e =
   let exception Found of element in

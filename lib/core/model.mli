@@ -82,6 +82,30 @@ val hardware_fold : ('a -> element -> 'a) -> 'a -> element -> 'a
 (** Physical hardware elements of one kind (no power-domain selectors). *)
 val hardware_elements_of_kind : Schema.kind -> element -> element list
 
+(** {1 Index-path edits}
+
+    A child-index path addresses one node of the tree positionally:
+    [[]] is the root, [[i]] the root's [i]-th child, and so on.  Unlike
+    scope paths, index paths address {e every} node — including unnamed
+    elements and group-expanded duplicates — which is what the
+    incremental store's edit API needs. *)
+
+type index_path = int list
+
+(** The element at an index path, if the path is in range. *)
+val at_index_path : element -> index_path -> element option
+
+(** Rebuild the spine from the root to the addressed node, applying [f]
+    there; every node off the spine is shared with the input tree.
+    Raises [Invalid_argument] if the path is out of range. *)
+val update_at : element -> index_path -> (element -> element) -> element
+
+(** Fold over all nodes with their index paths (document order). *)
+val fold_index_paths : ('a -> index_path -> element -> 'a) -> 'a -> element -> 'a
+
+(** Index path of the first node satisfying the predicate. *)
+val index_path_where : (element -> bool) -> element -> index_path option
+
 val find : (element -> bool) -> element -> element option
 val find_by_id : string -> element -> element option
 val find_by_name : string -> element -> element option

@@ -35,13 +35,31 @@ let rec synthesize (rule : 'a rule) (e : Model.element) : 'a =
   rule.combine (rule.own e) children
 
 (** Like {!synthesize} but also returning the per-node table (preorder
-    path-keyed), for breakdown reports. *)
+    path-keyed), for breakdown reports.
+
+    Path keys are unique and stable: when two identified nodes compute
+    the same scope path — sibling id collisions, or group expansion
+    whose [prefix]/[quantity] replicas collide with existing ids — the
+    second and later occurrences (preorder = document order) get a
+    [#2], [#3], ... suffix.  Unnamed nodes still report under their
+    nearest identified ancestor's path (they are breakdown rows of that
+    component, not components themselves). *)
 let synthesize_table (rule : 'a rule) (e : Model.element) : 'a * (string * 'a) list =
   let table = ref [] in
+  let used = Hashtbl.create 64 in
+  let unique p =
+    match Hashtbl.find_opt used p with
+    | None ->
+        Hashtbl.add used p 1;
+        p
+    | Some k ->
+        Hashtbl.replace used p (k + 1);
+        Fmt.str "%s#%d" p (k + 1)
+  in
   let rec go path (e : Model.element) : 'a =
     let path =
       match Model.identifier e with
-      | Some i -> if path = "" then i else path ^ "/" ^ i
+      | Some i -> unique (if path = "" then i else path ^ "/" ^ i)
       | None -> path
     in
     let children =
@@ -72,34 +90,40 @@ let sum_rule key : float rule =
         Option.value ~default:0. own +. List.fold_left ( +. ) 0. children);
   }
 
+(* The concrete rules are exposed as named values so the incremental
+   store can register them as memoized per-node computations: the rule
+   is the unit of caching and invalidation, not the whole-tree pass. *)
+
+let static_power_rule : float rule = sum_rule "static_power"
+
+let core_count_rule : int rule =
+  {
+    own = (fun x -> if Schema.equal_kind x.Model.kind Schema.Core then Some 1 else None);
+    combine = (fun own kids -> Option.value ~default:0 own + List.fold_left ( + ) 0 kids);
+  }
+
+let memory_bytes_rule : float rule =
+  {
+    own =
+      (fun x ->
+        if Schema.equal_kind x.Model.kind Schema.Memory then
+          Option.map Units.value (Model.attr_quantity x "size")
+        else None);
+    combine = (fun own kids -> Option.value ~default:0. own +. List.fold_left ( +. ) 0. kids);
+  }
+
 (** Total static power (W) of the subtree: declared values summed over
     all hardware components. *)
-let static_power (e : Model.element) : float = synthesize (sum_rule "static_power") e
+let static_power (e : Model.element) : float = synthesize static_power_rule e
 
 (** Static power with per-component breakdown. *)
-let static_power_breakdown e = synthesize_table (sum_rule "static_power") e
+let static_power_breakdown e = synthesize_table static_power_rule e
 
 (** Total core count — the derived-attribute example of Sec. IV. *)
-let core_count (e : Model.element) : int =
-  synthesize
-    {
-      own = (fun x -> if Schema.equal_kind x.Model.kind Schema.Core then Some 1 else None);
-      combine = (fun own kids -> Option.value ~default:0 own + List.fold_left ( + ) 0 kids);
-    }
-    e
+let core_count (e : Model.element) : int = synthesize core_count_rule e
 
 (** Total memory capacity in bytes. *)
-let memory_bytes (e : Model.element) : float =
-  synthesize
-    {
-      own =
-        (fun x ->
-          if Schema.equal_kind x.Model.kind Schema.Memory then
-            Option.map Units.value (Model.attr_quantity x "size")
-          else None);
-      combine = (fun own kids -> Option.value ~default:0. own +. List.fold_left ( +. ) 0. kids);
-    }
-    e
+let memory_bytes (e : Model.element) : float = synthesize memory_bytes_rule e
 
 (** The motherboard share (Sec. III-B): hardware not modeled explicitly
     still costs energy; its static share is attributed to the node.

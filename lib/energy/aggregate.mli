@@ -16,11 +16,21 @@ type 'a rule = {
 val synthesize : 'a rule -> Model.element -> 'a
 
 (** Like {!synthesize} but also returning the per-node table (preorder,
-    path-keyed) for breakdown reports. *)
+    path-keyed) for breakdown reports.  Path keys are unique and stable:
+    identified nodes whose scope path collides with an earlier one
+    (sibling id collisions, group [prefix]/[quantity] replicas) get a
+    [#2], [#3], ... suffix in document order. *)
 val synthesize_table : 'a rule -> Model.element -> 'a * (string * 'a) list
 
 (** Sum a quantity attribute over all hardware components. *)
 val sum_rule : string -> float rule
+
+(** The concrete rules as named values — the unit the incremental store
+    registers for per-node caching. *)
+val static_power_rule : float rule
+
+val core_count_rule : int rule
+val memory_bytes_rule : float rule
 
 (** Total static power (W) of the subtree. *)
 val static_power : Model.element -> float

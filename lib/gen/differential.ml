@@ -12,6 +12,8 @@ module Ir = Xpdl_toolchain.Ir
 module Query = Xpdl_query.Query
 module Psm = Xpdl_energy.Psm
 module Power = Xpdl_core.Power
+module Aggregate = Xpdl_energy.Aggregate
+module Store = Xpdl_store.Store
 
 type failure = {
   f_property : string;
@@ -178,6 +180,111 @@ let check_query_vs_oracle (doc : Dom.element) : string option =
         ]
       in
       List.find_map (fun check -> check ()) seq
+
+(* --- property: store-incremental --- *)
+
+(* Apply a random edit sequence through the incremental store and after
+   every step compare each incrementally maintained value against a
+   from-scratch recomputation on the store's current model.  "Equal"
+   means bit-identical for floats — the incremental evaluator promises
+   the same combination order as [Aggregate.synthesize], not an
+   approximation of it.  A [Query.of_store] handle created before the
+   edits rides along and is compared against a handle rebuilt from the
+   current model (exercising both the attribute-patch and the
+   structural-rebuild sync paths). *)
+let check_store_incremental (doc : Dom.element) : string option =
+  guarded @@ fun () ->
+  match compose_doc doc with
+  | None -> None
+  | Some m ->
+      let store = Store.of_model m in
+      let tracked = Query.of_store store in
+      (* the edit stream must be deterministic across shrink re-runs of
+         the same document, so it gets its own fixed-seed generator *)
+      let g = Gen.create ~seed:default_seed in
+      let fail fmt = Fmt.kstr Option.some fmt in
+      let bits = Int64.bits_of_float in
+      let check_step step =
+        let scratch = Store.model store in
+        let sp_inc = Store.static_power store and sp_ref = Aggregate.static_power scratch in
+        let cc_inc = Store.core_count store and cc_ref = Aggregate.core_count scratch in
+        let mb_inc = Store.memory_bytes store and mb_ref = Aggregate.memory_bytes scratch in
+        if bits sp_inc <> bits sp_ref then
+          fail "step %d: static_power incremental=%h from-scratch=%h" step sp_inc sp_ref
+        else if cc_inc <> cc_ref then
+          fail "step %d: core_count incremental=%d from-scratch=%d" step cc_inc cc_ref
+        else if bits mb_inc <> bits mb_ref then
+          fail "step %d: memory_bytes incremental=%h from-scratch=%h" step mb_inc mb_ref
+        else begin
+          let rebuilt = Query.of_model scratch in
+          let qc_inc = Query.count_cores tracked and qc_ref = Query.count_cores rebuilt in
+          let qp_inc = Query.total_static_power tracked
+          and qp_ref = Query.total_static_power rebuilt in
+          if qc_inc <> qc_ref then
+            fail "step %d: query count_cores tracked=%d rebuilt=%d" step qc_inc qc_ref
+          else if bits qp_inc <> bits qp_ref then
+            fail "step %d: query total_static_power tracked=%h rebuilt=%h" step qp_inc qp_ref
+          else None
+        end
+      in
+      let fresh_leaf () =
+        if Gen.chance g 0.5 then
+          Model.make Schema.Core
+            ~attrs:
+              [
+                ( "static_power",
+                  Model.Quantity
+                    (Xpdl_units.Units.watts (float_of_int (1 + Gen.int g 40) /. 8.), "W") );
+              ]
+        else
+          Model.make Schema.Memory
+            ~attrs:
+              [
+                ( "size",
+                  Model.Quantity
+                    (Xpdl_units.Units.bytes (float_of_int (1 + Gen.int g 1_000_000)), "B") );
+              ]
+      in
+      let random_edit () =
+        let paths =
+          List.rev (Model.fold_index_paths (fun acc p _ -> p :: acc) [] (Store.model store))
+        in
+        let path = Gen.pick g paths in
+        match Gen.int g 5 with
+        | 0 ->
+            Store.set_attr store path "static_power"
+              (Model.Quantity
+                 (Xpdl_units.Units.watts (float_of_int (1 + Gen.int g 100) /. 4.), "W"))
+        | 1 ->
+            Store.set_attr store path "size"
+              (Model.Quantity
+                 (Xpdl_units.Units.bytes (float_of_int (1 + Gen.int g 1_000_000)), "B"))
+        | 2 -> Store.remove_attr store path "static_power"
+        | 3 -> Store.insert_child store path (fresh_leaf ())
+        | _ -> (
+            match Store.element_at store path with
+            | Some e when e.Model.children <> [] ->
+                ignore
+                  (Store.remove_child store path (Gen.int g (List.length e.Model.children)))
+            | _ -> Store.insert_child store path (fresh_leaf ()))
+      in
+      let n_edits = 2 + Gen.int g 7 in
+      let rec loop step =
+        if step >= n_edits then
+          (* journal sanity: every edit is replayable from revision 0 *)
+          match Store.edits_since store 0 with
+          | Some l when List.length l = Store.revision store -> None
+          | Some l ->
+              fail "journal holds %d edits but revision is %d" (List.length l)
+                (Store.revision store)
+          | None -> fail "journal compacted after only %d edits" (Store.revision store)
+        else begin
+          random_edit ();
+          match check_step step with Some msg -> Some msg | None -> loop (step + 1)
+        end
+      in
+      (* the derived values must also agree before any edit *)
+      (match check_step (-1) with Some msg -> Some msg | None -> loop 0)
 
 (* --- property: print/parse round-trip --- *)
 
@@ -369,6 +476,7 @@ let properties =
               let min = Gen.minimize_machine still_failing sm in
               Some (Option.value ~default:msg (check_psm min), Fmt.str "%a" Gen.pp_machine min));
     };
+    element_property "store-incremental" Gen.document check_store_incremental;
     element_property "elaborate-deterministic" Gen.document check_deterministic;
     {
       p_name = "charref-oracle";

@@ -1,13 +1,18 @@
 (** Differential properties: optimized fast paths vs. naive oracles on
     generated inputs, with replayable seeds and greedy shrinking.
 
-    Five property families (see docs/TESTING.md):
+    Seven property families (see docs/TESTING.md):
 
     {ul
     {- [query-vs-oracle]: indexed {!Xpdl_query.Query}/{!Xpdl_toolchain.Ir}
        results ≡ the naive {!Oracle} tree walks on composed generated
        models (counts, aggregations, path/id lookups, subtree spans,
        selectors);}
+    {- [store-incremental]: a random edit sequence applied through the
+       incremental {!Xpdl_store.Store} leaves every derived value
+       bit-identical to a from-scratch recomputation on the current
+       model after each step, including a tracked {!Xpdl_query.Query}
+       handle vs. a rebuilt one, and the edit journal stays replayable;}
     {- [print-parse-roundtrip]: [Parse.string ∘ Print.to_string] is the
        identity up to insignificant whitespace, and printing is a
        fixpoint;}

@@ -28,7 +28,9 @@
 
 open Xpdl_core
 module Ir = Xpdl_toolchain.Ir
+module Analysis = Xpdl_toolchain.Analysis
 module Path = Xpdl_xml.Path
+module Store = Xpdl_store.Store
 
 type element = Ir.node
 
@@ -64,11 +66,103 @@ let memoize tbl key compute =
       Hashtbl.add tbl key v;
       v
 
-type t = { ir : Ir.t; source : string; memo : memo }
+(* Where the handle's IR comes from.  [Fixed] handles wrap an immutable
+   IR (a file, an in-memory build): their memos never need invalidation.
+   [Tracked] handles follow an {!Xpdl_store.Store}: before every access
+   the handle consumes the store's edit journal — attribute edits are
+   patched into the IR in place ({!Ir.patch_attrs}) and evict only the
+   memo entries whose subtree spans cover the patched node; structural
+   edits (or a compacted journal) force a full rebuild.  This replaces
+   the former throw-away-the-handle-on-reload discipline. *)
+type origin =
+  | Fixed
+  | Tracked of { store : Store.t; drop : string list; mutable synced_rev : int }
+
+type t = { mutable ir : Ir.t; source : string; memo : memo; origin : origin }
 
 exception Query_error of string
 
 let error fmt = Fmt.kstr (fun m -> raise (Query_error m)) fmt
+
+let reset_derived_memo (m : memo) =
+  Hashtbl.reset m.mc_count_cores;
+  Hashtbl.reset m.mc_cuda_devices;
+  Hashtbl.reset m.mc_static_power;
+  Hashtbl.reset m.mc_memory_bytes;
+  Hashtbl.reset m.mc_frequencies;
+  m.mc_installed <- None
+
+(* Walk an index path down the IR's child links; [None] if it dangles. *)
+let index_of_path (ir : Ir.t) path =
+  let rec go i = function
+    | [] -> Some i
+    | c :: rest ->
+        let n = Ir.node ir i in
+        if c >= 0 && c < Array.length n.Ir.n_children then go n.Ir.n_children.(c) rest
+        else None
+  in
+  go ir.Ir.root path
+
+(* Evict memo entries whose key node's preorder span covers node [j]:
+   exactly the derived values an edit at [j] can change. *)
+let prune_covering ir (tbl : (int, 'a) Hashtbl.t) j =
+  let stale =
+    Hashtbl.fold
+      (fun i _ acc -> if i <= j && j < (Ir.node ir i).Ir.n_subtree_end then i :: acc else acc)
+      tbl []
+  in
+  List.iter (Hashtbl.remove tbl) stale
+
+let invalidate_at t j =
+  let m = t.memo in
+  prune_covering t.ir m.mc_count_cores j;
+  prune_covering t.ir m.mc_cuda_devices j;
+  prune_covering t.ir m.mc_static_power j;
+  prune_covering t.ir m.mc_memory_bytes j;
+  prune_covering t.ir m.mc_frequencies j;
+  m.mc_installed <- None
+
+let ir_of_store ~drop store =
+  let m = Store.model store in
+  Ir.of_model (if drop = [] then m else Analysis.filter_attributes ~drop m)
+
+(* Bring a [Tracked] handle up to its store's revision.  Attribute-only
+   edit runs are replayed as in-place patches (index paths recorded in
+   the journal stay valid because the tree shape did not change); any
+   structural edit, dangling path, or journal compaction falls back to a
+   full IR rebuild with a fresh derived memo. *)
+let sync t =
+  match t.origin with
+  | Fixed -> ()
+  | Tracked tr ->
+      let rev = Store.revision tr.store in
+      if rev <> tr.synced_rev then begin
+        let rebuild () =
+          t.ir <- ir_of_store ~drop:tr.drop tr.store;
+          reset_derived_memo t.memo
+        in
+        let apply (ed : Store.edit) =
+          match ed.Store.e_kind with
+          | Store.Structure -> raise_notrace Exit
+          | Store.Attr key ->
+              if not (List.mem key tr.drop) then (
+                match
+                  (index_of_path t.ir ed.Store.e_path, Store.element_at tr.store ed.Store.e_path)
+                with
+                | Some i, Some e ->
+                    let attrs =
+                      if tr.drop = [] then e.Model.attrs
+                      else List.filter (fun (k, _) -> not (List.mem k tr.drop)) e.Model.attrs
+                    in
+                    Ir.patch_attrs t.ir i attrs;
+                    invalidate_at t i
+                | _ -> raise_notrace Exit)
+        in
+        (match Store.edits_since tr.store tr.synced_rev with
+        | Some edits -> ( try List.iter apply edits with Exit -> rebuild ())
+        | None -> rebuild ());
+        tr.synced_rev <- rev
+      end
 
 (* Hot attribute keys, interned once at startup. *)
 let k_static_power = Ir.intern "static_power"
@@ -80,18 +174,39 @@ let k_frequency = Ir.intern "frequency"
 (** Load a runtime-model file produced by the XPDL processing tool. *)
 let init path : t =
   match Ir.of_file path with
-  | ir -> { ir; source = path; memo = fresh_memo () }
+  | ir -> { ir; source = path; memo = fresh_memo (); origin = Fixed }
   | exception Ir.Corrupt msg -> error "cannot load runtime model %s: %s" path msg
   | exception Sys_error msg -> error "cannot load runtime model: %s" msg
 
 (** Wrap an in-memory runtime model (composition-time introspection). *)
-let of_ir ?(source = "<memory>") ir = { ir; source; memo = fresh_memo () }
+let of_ir ?(source = "<memory>") ir = { ir; source; memo = fresh_memo (); origin = Fixed }
 
 (** Build directly from a composed model element (tests, tools). *)
-let of_model ?(source = "<model>") m = { ir = Ir.of_model m; source; memo = fresh_memo () }
+let of_model ?(source = "<model>") m =
+  { ir = Ir.of_model m; source; memo = fresh_memo (); origin = Fixed }
+
+(** Follow an incremental model store: the handle lazily consumes the
+    store's edit journal instead of being thrown away on every change. *)
+let of_store ?(drop = []) ?source store =
+  let source =
+    match source with Some s -> s | None -> Fmt.str "<store@%d>" (Store.revision store)
+  in
+  {
+    ir = ir_of_store ~drop store;
+    source;
+    memo = fresh_memo ();
+    origin = Tracked { store; drop; synced_rev = Store.revision store };
+  }
+
+let runtime_ir t =
+  sync t;
+  t.ir
 
 let source t = t.source
-let size t = Ir.size t.ir
+
+let size t =
+  sync t;
+  Ir.size t.ir
 
 (** {1 Model browsing} *)
 
@@ -105,15 +220,25 @@ let is_metadata_kind = function
       true
   | _ -> false
 
-let root t : element = Ir.root t.ir
-let parent t (e : element) = Ir.parent t.ir e
-let children t (e : element) = Ir.children t.ir e
+let root t : element =
+  sync t;
+  Ir.root t.ir
+
+let parent t (e : element) =
+  sync t;
+  Ir.parent t.ir e
+
+let children t (e : element) =
+  sync t;
+  Ir.children t.ir e
 
 let children_of_kind t (e : element) kind =
   List.filter (fun (c : element) -> Schema.equal_kind c.Ir.n_kind kind) (children t e)
 
 (** Find a model element anywhere by its identifier (name or id). *)
-let find_by_id t ident : element option = Ir.find_by_ident t.ir ident
+let find_by_id t ident : element option =
+  sync t;
+  Ir.find_by_ident t.ir ident
 
 let find_by_id_exn t ident =
   match find_by_id t ident with
@@ -122,16 +247,21 @@ let find_by_id_exn t ident =
 
 (** Find by scope path, e.g. ["liu_gpu_server/gpu1/SM0"] — one hash
     lookup in the IR's path index (previously an O(n) scan). *)
-let find_by_path t path : element option = Ir.find_by_path t.ir path
+let find_by_path t path : element option =
+  sync t;
+  Ir.find_by_path t.ir path
 
 (** All elements of one kind, in document order. *)
-let all_of_kind t kind : element list = Ir.all_of_kind t.ir kind
+let all_of_kind t kind : element list =
+  sync t;
+  Ir.all_of_kind t.ir kind
 
 (** Depth-first fold over the {e physical hardware} of the subtree,
     skipping power-model/software metadata.  The preorder layout turns
     this into a linear scan of the subtree's slice in which a metadata
     node skips its whole span in O(1). *)
 let hardware_fold t (e : element) f acc =
+  sync t;
   let ir = t.ir in
   let stop = e.Ir.n_subtree_end in
   let rec go i acc =
@@ -155,6 +285,7 @@ let hardware_of_kind ?within t kind : element list =
 
 (** All elements in the subtree rooted at [e] (including [e]). *)
 let subtree t (e : element) : element list =
+  sync t;
   List.rev (Ir.fold_subtree t.ir (fun acc n -> n :: acc) [] e)
 
 let kind (e : element) = e.Ir.n_kind
@@ -218,12 +349,16 @@ let is_unknown (e : element) key =
     table: repeated calls (optimization loops sitting on top of the
     model, E5/E6) cost one hash probe after the first. *)
 
-let fold t (e : element) f acc = Ir.fold_subtree t.ir f acc e
+let fold t (e : element) f acc =
+  sync t;
+  Ir.fold_subtree t.ir f acc e
 
 let count t ~within p =
   hardware_fold t within (fun acc n -> if p n then acc + 1 else acc) 0
 
-let resolve_within ?within t = match within with Some e -> e | None -> Ir.root t.ir
+let resolve_within ?within t =
+  sync t;
+  match within with Some e -> e | None -> Ir.root t.ir
 
 (** Number of cores in the subtree — the paper's canonical example of a
     synthesized attribute. *)
@@ -300,6 +435,7 @@ let max_frequency ?within t =
 (** Installed software descriptors of the model ([<installed>], [<hostOS>],
     [<programming_model>] under [<software>]). *)
 let installed_software t : element list =
+  sync t;
   match t.memo.mc_installed with
   | Some l -> l
   | None ->
@@ -372,6 +508,7 @@ let devices t = all_of_kind t Schema.Device
     Decided on the kind index's list structure — no node lists are
     materialized and no [List.length] over all matches. *)
 let is_multi_node t =
+  sync t;
   Ir.indexes_of_kind t.ir Schema.Cluster <> []
   || (match Ir.indexes_of_kind t.ir Schema.Node with _ :: _ :: _ -> true | _ -> false)
 
@@ -418,6 +555,7 @@ let apply_position (st : Path.step) candidates =
 
 (** Evaluate a compiled selector over the runtime model. *)
 let select_compiled t (c : Path.compiled) : element list =
+  sync t;
   let sel = c.Path.c_sel in
   let initial =
     if sel.Path.descend then

@@ -5,9 +5,17 @@
     array/hash lookups; no XML is touched at run time (experiment E5).
 
     The IR's preorder layout makes subtree aggregations contiguous array
-    scans; derived-attribute functions memoize per handle (the IR is
-    immutable, so no invalidation exists); path selectors are compiled
-    once per handle and seed ["//tag"] steps from the kind index. *)
+    scans; derived-attribute functions memoize per handle; path selectors
+    are compiled once per handle and seed ["//tag"] steps from the kind
+    index.
+
+    Handles built with {!init}/{!of_ir}/{!of_model} wrap an immutable IR:
+    their memos never need invalidation.  Handles built with {!of_store}
+    track an incremental {!Xpdl_store.Store}: before every access the
+    handle consumes the store's edit journal, patching attribute edits
+    into the IR in place and evicting only the memo entries whose subtree
+    spans cover an edited node — instead of being thrown away and rebuilt
+    on every model change. *)
 
 open Xpdl_core
 module Ir = Xpdl_toolchain.Ir
@@ -30,6 +38,19 @@ val of_ir : ?source:string -> Ir.t -> t
 
 (** Build directly from a composed model element (tools, tests). *)
 val of_model : ?source:string -> Model.element -> t
+
+(** Follow an incremental model store.  [drop] lists attribute names
+    filtered out of the runtime view (cf.
+    {!Xpdl_toolchain.Analysis.filter_attributes}); edits to dropped
+    attributes are invisible to the handle.  The handle synchronizes
+    lazily: attribute-only edit runs are replayed as in-place IR patches
+    with span-targeted memo eviction; structural edits and journal
+    compaction rebuild the IR.  Element handles obtained before an edit
+    are snapshots — re-fetch them after editing. *)
+val of_store : ?drop:string list -> ?source:string -> Xpdl_store.Store.t -> t
+
+(** The handle's current runtime IR (synchronized first). *)
+val runtime_ir : t -> Ir.t
 
 val source : t -> string
 val size : t -> int

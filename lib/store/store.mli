@@ -1,0 +1,141 @@
+(** The incremental, revision-tracked model store.
+
+    The paper's hierarchical energy model is an attribute grammar
+    (Sec. III-D) over an edit-heavy model: deployment-time
+    microbenchmarking resolves ["?"] placeholders one by one,
+    composition splices submodels, and adaptive optimization re-queries
+    derived attributes as the platform state changes.  A {!t} wraps a
+    {!Xpdl_core.Model.element} behind a versioned handle with
+    subtree-granular dirty tracking: derived computations register as
+    memoized per-node rules, and an edit invalidates caches only along
+    the spine from the edited node to the root, so a single-leaf update
+    re-derives in O(depth · fan-out) instead of O(model).
+
+    Edits are journaled with monotonically increasing revisions;
+    downstream consumers (the runtime-model IR, the query API's memos)
+    catch up from the journal and fall back to a full rebuild only when
+    the journal has been compacted past their revision. *)
+
+open Xpdl_core
+
+type t
+
+(** Monotonic edit counter; 0 for a freshly wrapped model. *)
+type revision = int
+
+(** Positional node address; see {!Xpdl_core.Model.index_path}. *)
+type index_path = Model.index_path
+
+(** Raised on invalid edits; the diagnostic carries an [XPDL4xx] code. *)
+exception Store_error of Diagnostic.t
+
+(** {1 Construction and access} *)
+
+val of_model : Model.element -> t
+
+(** The current model tree (an immutable snapshot: edits never mutate a
+    returned tree). *)
+val model : t -> Model.element
+
+val revision : t -> revision
+val size : t -> int
+
+(** {1 Addressing} *)
+
+(** The element at an index path, if in range. *)
+val element_at : t -> index_path -> Model.element option
+
+(** Resolve a scope path (["liu_gpu_server/gpu1/SM0"]) to the first
+    matching node in document order. *)
+val resolve : t -> string -> index_path option
+
+(** Index paths of all nodes satisfying the predicate (document order). *)
+val find_paths : t -> (Model.element -> bool) -> index_path list
+
+(** {1 Edits}
+
+    Each successful edit bumps the revision and appends to the journal.
+    Attribute edits are the cheap class (consumers can patch in place);
+    structural edits change the tree shape. *)
+
+val set_attr : t -> index_path -> string -> Model.attr_value -> unit
+
+(** Elaborate a raw string through {!Xpdl_core.Elaborate.attr_delta} and
+    set it; returns the elaboration diagnostics.  Raises {!Store_error}
+    ([XPDL403]) if the value elaborates with errors. *)
+val set_attr_raw :
+  t -> index_path -> ?unit_spelling:string -> string -> string -> Diagnostic.t list
+
+val remove_attr : t -> index_path -> string -> unit
+
+(** Replace the whole subtree at the path (the path may be [[]]). *)
+val replace_subtree : t -> index_path -> Model.element -> unit
+
+(** Insert a child under the addressed node at position [at] (default:
+    append). *)
+val insert_child : t -> index_path -> ?at:int -> Model.element -> unit
+
+(** Remove the [at]-th child of the addressed node, returning it. *)
+val remove_child : t -> index_path -> int -> Model.element
+
+(** {1 Edit journal} *)
+
+type edit_kind =
+  | Attr of string  (** attribute edit; the payload is the attribute name *)
+  | Structure  (** subtree replaced / child inserted or removed *)
+
+type edit = { e_rev : revision; e_path : index_path; e_kind : edit_kind }
+
+(** Journal entries with revisions strictly greater than [r], oldest
+    first; [None] if the journal has been compacted past [r] (the
+    consumer must rebuild from {!model}). *)
+val edits_since : t -> revision -> edit list option
+
+(** Journal retention floor: at least this many of the most recent edits
+    are always replayable (compaction is amortized, so up to twice as
+    many may be retained at any moment). *)
+val journal_capacity : int
+
+(** {1 Incremental derived attributes}
+
+    A {!derived} is a registered {!Xpdl_energy.Aggregate.rule}: its
+    per-subtree values are cached at every node and recomputed only
+    where an edit invalidated the spine.  Values are bit-identical to a
+    from-scratch {!Xpdl_energy.Aggregate.synthesize} of the same rule
+    (same traversal, same combination order). *)
+
+type 'a derived
+
+(** Register a rule under a fresh cache slot.  Registration is global
+    (a [derived] works on every store); typically done once at module
+    init. *)
+val derive : name:string -> 'a Xpdl_energy.Aggregate.rule -> 'a derived
+
+val derived_name : 'a derived -> string
+
+(** The derived value of the whole model. *)
+val get : t -> 'a derived -> 'a
+
+(** The derived value of the subtree at the path.  Raises {!Store_error}
+    ([XPDL401]) on a dangling path. *)
+val get_at : t -> 'a derived -> index_path -> 'a
+
+(** {2 Prefab derived attributes} (the rules of
+    {!Xpdl_energy.Aggregate}) *)
+
+val static_power : t -> float
+val core_count : t -> int
+val memory_bytes : t -> float
+
+(** Subtree variants. *)
+val static_power_at : t -> index_path -> float
+
+val core_count_at : t -> index_path -> int
+
+(** {1 Introspection} *)
+
+(** Number of nodes currently holding at least one cached derived value
+    (cache-effectiveness metric for tests and benchmarks). *)
+val cached_nodes : t -> int
+
+val pp : Format.formatter -> t -> unit

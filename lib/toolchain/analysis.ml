@@ -58,6 +58,11 @@ let effective_bandwidths (root : Model.element) : Model.element * link_report li
     let e = { e with children = List.map rewrite e.children } in
     if (not (Schema.equal_kind e.kind Schema.Interconnect)) || Model.identifier e = None then e
     else begin
+      (* idempotence: a prior run's annotation must neither feed into
+         this recomputation nor survive it when no effective bandwidth
+         can be derived any more (e.g. after an edit removed the
+         endpoints' memories) — strip it first *)
+      let e = Model.remove_attr e "effective_bandwidth" in
       let ident = Option.get (Model.identifier e) in
       let head = Model.attr_string e "head" and tail = Model.attr_string e "tail" in
       let declared =

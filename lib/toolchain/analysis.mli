@@ -15,7 +15,12 @@ type link_report = {
 (** Effective bandwidth per interconnect = min of its channels' and the
     endpoint components' memory bandwidths ("the effective bandwidth
     should be determined by the slowest hardware components involved");
-    annotated back onto the model as [effective_bandwidth]. *)
+    annotated back onto the model as [effective_bandwidth].
+
+    Idempotent: prior [effective_bandwidth] annotations are stripped
+    before recomputing, so re-running the analysis — after an edit, or
+    on a model deserialized with annotations — never downgrades to a
+    stale value and never keeps one that no longer derives. *)
 val effective_bandwidths : Model.element -> Model.element * link_report list
 
 type graph = {

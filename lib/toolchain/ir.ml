@@ -191,6 +191,19 @@ let of_model (root_el : Model.element) : t =
 
 let size t = Array.length t.nodes
 let node t i = t.nodes.(i)
+
+(** Replace node [i]'s attributes in place (interning keys, re-sorting).
+    Spans, child links, indexes and the wire format are untouched: this
+    is the incremental store's attribute-edit fast path — the IR is
+    patched, not rebuilt.  Raises [Invalid_argument] on a bad index. *)
+let patch_attrs t i pairs =
+  if i < 0 || i >= Array.length t.nodes then invalid_arg "Ir.patch_attrs: node index";
+  let n = t.nodes.(i) in
+  t.nodes.(i) <-
+    {
+      n with
+      n_attrs = attrs_of_pairs (List.map (fun (k, v) -> (Keys.intern k, value_of_attr v)) pairs);
+    }
 let root t = t.nodes.(t.root)
 let parent t (n : node) = if n.n_parent < 0 then None else Some t.nodes.(n.n_parent)
 let children t (n : node) = Array.to_list (Array.map (fun i -> t.nodes.(i)) n.n_children)

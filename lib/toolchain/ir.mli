@@ -67,6 +67,14 @@ val of_model : Model.element -> t
 
 val size : t -> int
 val node : t -> int -> node
+
+(** Replace node [i]'s attributes in place (interning keys, re-sorting);
+    spans, child links, indexes and the wire format are untouched — the
+    incremental store's attribute-edit fast path (the IR is patched, not
+    rebuilt).  Previously fetched {!node} records keep the old
+    attributes: handles are snapshots.  Raises [Invalid_argument] on a
+    bad index. *)
+val patch_attrs : t -> int -> (string * Model.attr_value) list -> unit
 val root : t -> node
 val parent : t -> node -> node option
 val children : t -> node -> node list

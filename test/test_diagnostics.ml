@@ -115,6 +115,11 @@ let test_registry_sane () =
         && String.for_all (fun ch -> ch >= '0' && ch <= '9') (String.sub c 4 3)))
     codes;
   Alcotest.(check bool) "XPDL003 described" true (Diagnostic.describe "XPDL003" <> None);
+  (* the XPDL4xx band: incremental model store *)
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c ^ " registered") true (Diagnostic.describe c <> None))
+    [ "XPDL401"; "XPDL402"; "XPDL403"; "XPDL410" ];
   Alcotest.(check bool) "unknown code undescribed" true (Diagnostic.describe "XPDL999" = None)
 
 let test_cap () =

@@ -36,6 +36,36 @@ let test_breakdown_table () =
   let root_entry = List.assoc "liu_gpu_server" (List.map (fun (p, v) -> (p, v)) (List.rev table)) in
   Alcotest.check (Alcotest.float 1e-9) "root = total" total root_entry
 
+let test_breakdown_path_keys () =
+  (* an unprefixed quantity group replicates its identified children
+     verbatim: three <cpu id="c"/> replicas share the scope path "n/c".
+     The breakdown table must still key every node uniquely and stably,
+     disambiguating duplicates in document order with #k suffixes. *)
+  let src =
+    {|<node id="n">
+        <group quantity="3">
+          <cpu id="c" static_power="1" static_power_unit="W"/>
+        </group>
+      </node>|}
+  in
+  let m = Elaborate.of_string_exn src in
+  let m, _ = Instantiate.run m in
+  let total, table = Aggregate.static_power_breakdown m in
+  Alcotest.check approx "total over replicas" 3. total;
+  let keys = List.map fst table in
+  (* identified nodes get unique keys; unnamed wrapper rows report under
+     their nearest identified ancestor ("n") and may repeat *)
+  let replica_keys = List.filter (fun k -> String.length k > 1 && String.sub k 0 3 = "n/c") keys in
+  Alcotest.(check (list string))
+    "replica keys distinct, document order"
+    [ "n/c"; "n/c#2"; "n/c#3" ] replica_keys;
+  List.iter
+    (fun k -> Alcotest.check approx ("replica " ^ k) 1. (List.assoc k table))
+    [ "n/c"; "n/c#2"; "n/c#3" ];
+  (* stability: a second evaluation produces the same keys *)
+  let _, table' = Aggregate.static_power_breakdown m in
+  Alcotest.(check (list string)) "keys stable" keys (List.map fst table')
+
 let test_core_count_rule () =
   Alcotest.(check int) "xeon 4" 4 (Aggregate.core_count (model "liu_gpu_server") - 2496);
   Alcotest.(check int) "cluster" (4 * ((2 * 8) + 2496 + 2880))
@@ -299,6 +329,7 @@ let () =
         [
           case "static power sum" test_static_power_sum;
           case "breakdown table" test_breakdown_table;
+          case "breakdown path keys" test_breakdown_path_keys;
           case "core count" test_core_count_rule;
           case "memory bytes" test_memory_rule;
           case "unmodeled share" test_unmodeled_share;

@@ -342,6 +342,41 @@ let test_bandwidth_downgrade () =
         (Xpdl_core.Model.attr_quantity link "effective_bandwidth" <> None)
   | l -> Alcotest.failf "expected one report, got %d" (List.length l)
 
+let test_bandwidth_idempotent () =
+  let module M = Xpdl_core.Model in
+  let module S = Xpdl_core.Schema in
+  (* the link's effective bandwidth derives from the endpoint memory
+     alone (no channel declares one) *)
+  let mem =
+    M.make S.Memory ~id:"m"
+      ~attrs:
+        [
+          ("bandwidth", M.Quantity (Xpdl_units.Units.bytes_per_second 2e9, "GB/s"));
+          ("size", M.Quantity (Xpdl_units.Units.bytes 1e9, "GB"));
+        ]
+  in
+  let host = M.make S.Cpu ~id:"host" ~children:[ mem ] in
+  let link = M.make S.Interconnect ~id:"link" ~attrs:[ ("head", M.Str "host") ] in
+  let sys = M.make S.System ~id:"sys" ~children:[ host; link ] in
+  let a1, _ = Analysis.effective_bandwidths sys in
+  let link1 = Option.get (M.find_by_id "link" a1) in
+  Alcotest.(check bool) "annotated" true (M.attr_quantity link1 "effective_bandwidth" <> None);
+  (* re-running on the annotated model is a fixpoint: the prior
+     annotation neither feeds the recomputation nor duplicates *)
+  let a2, _ = Analysis.effective_bandwidths a1 in
+  Alcotest.(check string) "second run is a fixpoint" (M.to_string a1) (M.to_string a2);
+  (* once the memory is edited away, the re-run must strip the stale
+     annotation instead of keeping (or deriving from) it *)
+  let edited = M.update_at a1 [ 0 ] (fun e -> { e with M.children = [] }) in
+  let a3, reports = Analysis.effective_bandwidths edited in
+  let link3 = Option.get (M.find_by_id "link" a3) in
+  Alcotest.(check bool)
+    "stale annotation stripped" true
+    (M.attr_quantity link3 "effective_bandwidth" = None);
+  match reports with
+  | [ r ] -> Alcotest.(check bool) "no effective derives" true (r.Analysis.lr_effective = None)
+  | l -> Alcotest.failf "expected one report, got %d" (List.length l)
+
 let test_no_downgrade_when_fast () =
   let m = model "liu_gpu_server" in
   let _, reports = Analysis.effective_bandwidths m in
@@ -504,6 +539,7 @@ let () =
       ( "analysis",
         [
           case "bandwidth downgrade" test_bandwidth_downgrade;
+          case "bandwidth idempotent" test_bandwidth_idempotent;
           case "no false downgrade" test_no_downgrade_when_fast;
           case "cluster path bandwidth" test_cluster_path_bandwidth;
           case "unreachable path" test_unreachable_path;
