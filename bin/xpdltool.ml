@@ -7,6 +7,7 @@
      compose     resolve references, expand groups, print the instance tree
      analyze     static analysis report (effective bandwidths, components)
      process     full pipeline -> runtime-model file (with bootstrap)
+     bootstrap   fault-tolerant deployment bootstrap with a health report
      query       load a runtime-model file and answer queries
      control     derive the control relation and match platform patterns
      emit-cpp    generate the C++ query-API header from the schema
@@ -216,9 +217,13 @@ let validate_all_cmd =
             end)
       (Xpdl_repo.Repo.identifiers repo);
     let repo_diags = Xpdl_repo.Repo.diagnostics repo in
+    let quarantined = Xpdl_repo.Repo.quarantined_files repo in
     match format with
     | Text ->
-        Fmt.pr "%d descriptors checked, %d with errors@." (Xpdl_repo.Repo.size repo) !failures;
+        Fmt.pr "%d descriptors checked, %d with errors, %d file%s quarantined at load@."
+          (Xpdl_repo.Repo.size repo) !failures (List.length quarantined)
+          (if List.length quarantined = 1 then "" else "s");
+        List.iter (fun f -> Fmt.pr "  quarantined: %s@." f) quarantined;
         if !failures = 0 && Diagnostic.all_ok repo_diags then 0 else 1
     | Json -> emit_diags ~format:Json ?max_errors (repo_diags @ !collected)
   in
@@ -351,6 +356,109 @@ let process_cmd =
     (Cmd.info "process" ~doc:"Run the full pipeline and write the runtime model")
     Term.(const run $ models_arg $ system_arg $ output $ no_bootstrap $ drivers $ set_arg)
 
+(* --- bootstrap --- *)
+
+let bootstrap_cmd =
+  let deadline =
+    let doc = "Per-benchmark deadline in simulated seconds." in
+    Arg.(value & opt float Xpdl_microbench.Resilient.default_policy.deadline
+         & info [ "deadline" ] ~docv:"S" ~doc)
+  in
+  let budget =
+    let doc = "Suite-level time budget in simulated seconds." in
+    Arg.(value & opt float Xpdl_microbench.Resilient.default_policy.budget
+         & info [ "budget" ] ~docv:"S" ~doc)
+  in
+  let retries =
+    let doc = "Extra attempts after a failed measurement." in
+    Arg.(value & opt int Xpdl_microbench.Resilient.default_policy.retries
+         & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let fail_fast =
+    let doc = "Abort the suite at the first quarantined benchmark and exit nonzero." in
+    Arg.(value & flag & info [ "fail-fast" ] ~doc)
+  in
+  let seed =
+    let doc = "Machine seed (fixes the simulated meter's noise stream)." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let fault_rate =
+    let doc =
+      "Inject meter faults: the probability that any single meter read hangs, returns \
+       NaN/outlier/stuck values, or drops a core (0 disables injection)."
+    in
+    Arg.(value & opt float 0. & info [ "fault-rate" ] ~docv:"P" ~doc)
+  in
+  let fault_seed =
+    let doc = "Seed of the fault-injection plan; the same seed replays the same failures." in
+    Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"N" ~doc)
+  in
+  let sweep =
+    let doc =
+      "Frequency sweep point in GHz (repeatable); at least two make the interpolation \
+       fallback available for quarantined benchmarks."
+    in
+    Arg.(value & opt_all float [] & info [ "sweep" ] ~docv:"GHZ" ~doc)
+  in
+  let run paths format name deadline budget retries fail_fast seed fault_rate fault_seed sweep
+      sets =
+    setup_logs ();
+    let repo = repo_of_paths paths in
+    match parse_config sets with
+    | Error msg ->
+        Fmt.epr "%s@." msg;
+        1
+    | Ok config -> (
+        match Xpdl_repo.Repo.compose_by_name ~config repo name with
+        | Error msg ->
+            Fmt.epr "%s@." msg;
+            1
+        | Ok c ->
+            let model = c.Xpdl_repo.Repo.model in
+            let machine = Xpdl_simhw.Machine.create ~seed model in
+            if fault_rate > 0. then
+              Xpdl_simhw.Machine.inject_faults machine
+                (Xpdl_simhw.Faults.create ~seed:fault_seed ~rate:fault_rate ());
+            let policy =
+              {
+                Xpdl_microbench.Resilient.default_policy with
+                deadline;
+                budget;
+                retries;
+                fail_fast;
+                frequencies = List.map (fun ghz -> ghz *. 1e9) sweep;
+              }
+            in
+            let store = Xpdl_store.Store.of_model model in
+            let health = Xpdl_microbench.Resilient.run_store ~policy ~machine store in
+            (match format with
+            | Json -> Fmt.pr "%s@." (Xpdl_microbench.Resilient.health_to_json health)
+            | Text ->
+                Fmt.pr "%a@." Xpdl_microbench.Resilient.pp_health health;
+                List.iter
+                  (fun (path, quality) -> Fmt.pr "  %-12s %s@." quality path)
+                  (Xpdl_microbench.Resilient.quality_entries
+                     (Xpdl_store.Store.model store)));
+            let quarantines =
+              List.exists
+                (fun (b : Xpdl_microbench.Resilient.bench) ->
+                  b.Xpdl_microbench.Resilient.b_quarantined)
+                (health.Xpdl_microbench.Resilient.h_benches
+                @ health.Xpdl_microbench.Resilient.h_links)
+            in
+            if fail_fast && (quarantines || health.Xpdl_microbench.Resilient.h_aborted) then 1
+            else 0)
+  in
+  Cmd.v
+    (Cmd.info "bootstrap"
+       ~doc:
+         "Fault-tolerant deployment bootstrap: measure every '?' energy entry with \
+          retry/backoff/quarantine, degrade gracefully (interpolated/inherited/unresolved \
+          with quality provenance), and print the health report")
+    Term.(
+      const run $ models_arg $ format_arg $ system_arg $ deadline $ budget $ retries $ fail_fast
+      $ seed $ fault_rate $ fault_seed $ sweep $ set_arg)
+
 (* --- query --- *)
 
 let query_cmd =
@@ -360,7 +468,7 @@ let query_cmd =
   in
   let expr =
     let doc =
-      "Query: one of cores, cuda-devices, static-power, memory, software, \
+      "Query: one of cores, cuda-devices, static-power, memory, software, degraded, \
        id:<ident>, path:<path>, prop:<name>, bw:<link>."
     in
     Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY" ~doc)
@@ -377,6 +485,10 @@ let query_cmd =
     | "cuda-devices" -> Fmt.pr "%d@." (Xpdl_query.Query.count_cuda_devices q)
     | "static-power" -> Fmt.pr "%.2f W@." (Xpdl_query.Query.total_static_power q)
     | "memory" -> Fmt.pr "%.2f GiB@." (Xpdl_query.Query.total_memory_bytes q /. (1024. ** 3.))
+    | "degraded" ->
+        List.iter
+          (fun (path, quality) -> Fmt.pr "%-12s %s@." quality path)
+          (Xpdl_query.Query.degraded_entries q)
     | "software" ->
         List.iter
           (fun e ->
@@ -622,7 +734,7 @@ let () =
        (Cmd.group info
           [
             list_cmd; validate_cmd; validate_all_cmd; compose_cmd; analyze_cmd; process_cmd;
-            query_cmd; fuzz_cmd;
+            bootstrap_cmd; query_cmd; fuzz_cmd;
             emit_cpp_cmd; emit_uml_cmd; emit_xsd_cmd; emit_drivers_cmd; control_cmd;
             to_pdl_cmd; to_json_cmd;
           ]))

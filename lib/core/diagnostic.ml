@@ -9,7 +9,9 @@
     - [XPDL1xx] — elaboration (typing/schema) diagnostics;
     - [XPDL2xx] — validation and constraint diagnostics;
     - [XPDL3xx] — composition/repository diagnostics;
-    - [XPDL4xx] — incremental model-store diagnostics.
+    - [XPDL4xx] — incremental model-store diagnostics;
+    - [XPDL5xx] — deployment-bootstrap robustness diagnostics (fault
+      injection, retry/quarantine, graceful degradation).
 
     [XPDL000] is the uncategorized default for legacy call sites. *)
 
@@ -86,6 +88,16 @@ let registry : (string * severity * string) list =
     ("XPDL402", Error, "store structural edit is invalid (bad child index)");
     ("XPDL403", Error, "store edit value cannot be elaborated");
     ("XPDL410", Info, "store edit journal compacted; incremental view rebuilt from scratch");
+    (* XPDL5xx — deployment-bootstrap robustness *)
+    ("XPDL500", Error, "microbenchmark harness internal error (uncaught simulator exception)");
+    ("XPDL501", Warning, "meter read timed out");
+    ("XPDL502", Warning, "meter returned non-finite samples; benchmark resampled");
+    ("XPDL503", Warning, "benchmark quarantined after persistent failures");
+    ("XPDL504", Info, "energy interpolated from a partial frequency sweep");
+    ("XPDL505", Info, "energy inherited from the meta-model/default value");
+    ("XPDL506", Warning, "placeholder unresolved after the degradation ladder");
+    ("XPDL507", Warning, "core went offline during the benchmark suite");
+    ("XPDL508", Warning, "suite time budget exhausted; remaining benchmarks quarantined");
   ]
 
 let describe code =

@@ -1,7 +1,8 @@
 (** Diagnostics produced across the toolchain, each carrying the source
     position of the offending XML node and a stable [XPDLnnn] code:
     [XPDL0xx] parse, [XPDL1xx] elaborate, [XPDL2xx] validate/constraint,
-    [XPDL3xx] compose/repository, [XPDL4xx] incremental model store
+    [XPDL3xx] compose/repository, [XPDL4xx] incremental model store,
+    [XPDL5xx] deployment-bootstrap robustness
     ([XPDL000] = uncategorized). *)
 
 type severity = Error | Warning | Info

@@ -422,6 +422,113 @@ let check_charref (body : string) : string option =
       check "attribute" in_attr (fun root ->
           Option.value ~default:"<missing>" (Dom.attribute root "k"))
 
+(* --- property: fault-tolerant bootstrap --- *)
+
+module Machine = Xpdl_simhw.Machine
+module Faults = Xpdl_simhw.Faults
+module Resilient = Xpdl_microbench.Resilient
+
+(* Tight limits so 500 fuzz cases stay cheap; two sweep points keep the
+   interpolation rung of the degradation ladder reachable. *)
+let fuzz_policy =
+  {
+    Resilient.default_policy with
+    Resilient.deadline = 2.0;
+    budget = 25.0;
+    retries = 2;
+    repetitions = 5;
+    frequencies = [ 1.2e9; 2.4e9 ];
+  }
+
+(* Contract of the resilient harness under injected faults: it
+   terminates within the simulated budget envelope, never raises, labels
+   every formerly-"?" instruction with a [quality] attribute (unresolved
+   ones keep their placeholder and are diagnosed), and is a pure
+   function of its seeds — two identical runs render byte-identical
+   health reports. *)
+let check_bootstrap (doc : Dom.element) ~machine_seed ~fault_seed ~rate ~offline_after :
+    string option =
+  guarded @@ fun () ->
+  let m0, _ = Elaborate.of_xml doc in
+  let fail fmt = Fmt.kstr Option.some fmt in
+  let unknowns m =
+    List.rev
+      (Model.fold_index_paths
+         (fun acc _ (e : Model.element) ->
+           if
+             Schema.equal_kind e.Model.kind Schema.Instruction
+             && Model.attr_is_unknown e "energy"
+           then e :: acc
+           else acc)
+         [] m)
+  in
+  let before = List.length (unknowns m0) in
+  let run () =
+    let machine = Machine.create ~seed:machine_seed m0 in
+    Machine.inject_faults machine (Faults.create ?offline_after ~rate ~seed:fault_seed ());
+    Resilient.run ~policy:fuzz_policy ~machine m0
+  in
+  let m1, h = run () in
+  let has_code c =
+    List.exists (fun (d : Diagnostic.t) -> String.equal d.Diagnostic.code c) h.Resilient.h_diags
+  in
+  let benches = h.Resilient.h_benches in
+  if List.length benches <> before then
+    fail "%d \"?\" instructions but %d benchmarks in the health report" before
+      (List.length benches)
+  else if (not (Float.is_finite h.Resilient.h_elapsed)) || h.Resilient.h_elapsed < 0. then
+    fail "non-finite simulated time %g" h.Resilient.h_elapsed
+  else if
+    h.Resilient.h_elapsed > fuzz_policy.Resilient.budget +. (3. *. fuzz_policy.Resilient.deadline) +. 10.
+  then
+    fail "harness overran its budget envelope: %g simulated s of %g" h.Resilient.h_elapsed
+      fuzz_policy.Resilient.budget
+  else if h.Resilient.h_elapsed > fuzz_policy.Resilient.budget && not h.Resilient.h_budget_exhausted
+  then fail "budget overrun (%g > %g) not flagged" h.Resilient.h_elapsed fuzz_policy.Resilient.budget
+  else
+    let bad_bench =
+      List.find_map
+        (fun (b : Resilient.bench) ->
+          match (b.Resilient.b_quality, b.Resilient.b_energy) with
+          | Resilient.Unresolved, Some _ -> fail "%s: unresolved but carries an energy" b.Resilient.b_instruction
+          | Resilient.Unresolved, None ->
+              if not (has_code "XPDL506") then
+                fail "%s unresolved without an XPDL506 diagnostic" b.Resilient.b_instruction
+              else None
+          | _, None -> fail "%s: resolved (%s) without an energy" b.Resilient.b_instruction
+                         (Resilient.quality_name b.Resilient.b_quality)
+          | _, Some j when not (Float.is_finite j) ->
+              fail "%s: non-finite energy written back" b.Resilient.b_instruction
+          | _, Some _ ->
+              if b.Resilient.b_quarantined && not (has_code "XPDL503") then
+                fail "%s quarantined without an XPDL503 diagnostic" b.Resilient.b_instruction
+              else None)
+        benches
+    in
+    (match bad_bench with
+    | Some msg -> Some msg
+    | None -> (
+        (* model-side labels: every placeholder either resolved or kept
+           with an explicit "unresolved" provenance *)
+        let unlabeled =
+          List.find_map
+            (fun (e : Model.element) ->
+              match Model.attr_string e "quality" with
+              | Some "unresolved" -> None
+              | Some q -> fail "still-\"?\" instruction labeled %S" q
+              | None ->
+                  fail "instruction %s left \"?\" with no quality label"
+                    (Option.value ~default:"<anon>" (Model.identifier e)))
+            (unknowns m1)
+        in
+        match unlabeled with
+        | Some msg -> Some msg
+        | None ->
+            let _, h2 = run () in
+            if not (String.equal (Resilient.health_to_json h) (Resilient.health_to_json h2))
+            then Some "same seeds rendered two different health reports"
+            else None))
+
 (* --- the property table --- *)
 
 (* Each property generates its case input from (seed, name, case) and
@@ -478,6 +585,27 @@ let properties =
     };
     element_property "store-incremental" Gen.document check_store_incremental;
     element_property "elaborate-deterministic" Gen.document check_deterministic;
+    {
+      p_name = "bootstrap-fault-tolerant";
+      p_run =
+        (fun ~seed ~case ->
+          let g = gen_for ~seed ~name:"bootstrap-fault-tolerant" ~case in
+          (* all randomness is drawn up front: the check replays the
+             bootstrap twice and compares reports, so the runs themselves
+             must be pure functions of the drawn parameters *)
+          let doc = Gen.bench_model g in
+          let machine_seed = 1 + Gen.int g 10_000 in
+          let fault_seed = 1 + Gen.int g 10_000 in
+          let rate = 0.15 +. (float_of_int (Gen.int g 50) /. 100.) in
+          let offline_after = if Gen.chance g 0.25 then Some (3 + Gen.int g 60) else None in
+          let check d = check_bootstrap d ~machine_seed ~fault_seed ~rate ~offline_after in
+          match check doc with
+          | None -> None
+          | Some msg ->
+              let still_failing e = check e <> None in
+              let min = Gen.minimize still_failing doc in
+              Some (Option.value ~default:msg (check min), Print.to_string min));
+    };
     {
       p_name = "charref-oracle";
       p_run =

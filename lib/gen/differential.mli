@@ -1,7 +1,7 @@
 (** Differential properties: optimized fast paths vs. naive oracles on
     generated inputs, with replayable seeds and greedy shrinking.
 
-    Seven property families (see docs/TESTING.md):
+    Eight property families (see docs/TESTING.md):
 
     {ul
     {- [query-vs-oracle]: indexed {!Xpdl_query.Query}/{!Xpdl_toolchain.Ir}
@@ -25,7 +25,13 @@
        yields byte-identical runtime models;}
     {- [charref-oracle]: the parser accepts a character reference iff the
        spec-faithful {!Oracle.decode_charref} does, with equal
-       decodings.}}
+       decodings;}
+    {- [bootstrap-fault-tolerant]: the resilient bootstrap
+       ({!Xpdl_microbench.Resilient}) on fault-injected generated bench
+       models always terminates within its simulated budget envelope,
+       resolves or quarantines every ["?"] placeholder with a [quality]
+       label and matching XPDL5xx diagnostics, and produces byte-identical
+       health reports when replayed from the same seeds.}}
 
     Every failure carries the [(seed, case)] pair that regenerates it and
     a shrunk minimal reproduction. *)

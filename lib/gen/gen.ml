@@ -382,6 +382,85 @@ let state_machine g : Power.state_machine =
   { Power.sm_name = fresh g "sm"; sm_domain = None; sm_states = states;
     sm_transitions = transitions }
 
+(* --- deployment-bootstrap bench models --- *)
+
+(* A self-contained <system> for fault-injected bootstrap fuzzing: cores
+   with real frequencies, an instruction table where most entries carry
+   the "?" placeholder, a partial microbenchmark suite (some instructions
+   deliberately lack a bench entry), and optional degradation fodder —
+   per-frequency <data> rows and default_energy attributes — so every
+   rung of the resilient harness's fallback ladder is reachable. *)
+let bench_model g : Dom.element =
+  let n_cores = 1 + int g 3 in
+  let cores =
+    List.init n_cores (fun i ->
+        el "core"
+          ~attrs:
+            [ a "id" (Fmt.str "bc%d" i);
+              a "frequency" (Fmt.str "%.2f" (float_in g 0.8 3.2)); a "frequency_unit" "GHz";
+              a "static_power" (Fmt.str "%.2f" (float_in g 0.5 8.)); a "static_power_unit" "W" ])
+  in
+  let n_instr = 1 + int g 5 in
+  let instr_specs =
+    List.init n_instr (fun i ->
+        let unknown = chance g 0.75 in
+        (Fmt.str "op%d_%d" i (int g 1000), unknown, chance g 0.8))
+  in
+  let instrs =
+    List.map
+      (fun (name, unknown, _) ->
+        let attrs =
+          [ a "name" name;
+            a "energy" (if unknown then "?" else Fmt.str "%.1f" (float_in g 2. 60.));
+            a "energy_unit" "pJ" ]
+          @ (if chance g 0.5 then [ a "latency" (string_of_int (1 + int g 8)) ] else [])
+          @
+          if chance g 0.25 then
+            [ a "default_energy" (Fmt.str "%.1f" (float_in g 2. 60.));
+              a "default_energy_unit" "pJ" ]
+          else []
+        in
+        let children =
+          (* a partial measured sweep: makes the inherited fallback's
+             per-frequency interpolation reachable for "?" entries *)
+          if unknown && chance g 0.3 then
+            List.init 2 (fun j ->
+                el "data"
+                  ~attrs:
+                    [ a "frequency" (Fmt.str "%.1f" (1.0 +. float_of_int j));
+                      a "frequency_unit" "GHz";
+                      a "energy" (Fmt.str "%.1f" (float_in g 2. 60.)); a "energy_unit" "pJ" ])
+          else []
+        in
+        el "inst" ~attrs ~children)
+      instr_specs
+  in
+  let benches =
+    List.concat
+      (List.mapi
+         (fun i (name, _, has_bench) ->
+           if has_bench then
+             [ el "microbenchmark"
+                 ~attrs:
+                   [ a "id" (Fmt.str "mb%d" i); a "type" name;
+                     a "iterations" (string_of_int (100 * (1 + int g 20))) ] ]
+           else [])
+         instr_specs)
+  in
+  let pm =
+    el "power_model"
+      ~attrs:[ a "name" "fuzz_pm" ]
+      ~children:
+        [ el "instructions" ~attrs:[ a "name" "fuzz_isa" ] ~children:instrs;
+          el "microbenchmarks"
+            ~attrs:[ a "name" "fuzz_mb"; a "instruction_set" "fuzz_isa" ]
+            ~children:benches ]
+  in
+  Dom.element
+    ~attrs:[ a "id" "bsys" ]
+    ~children:[ el "cpu" ~attrs:[ a "id" "bcpu" ] ~children:cores; pm ]
+    "system"
+
 (* --- character references --- *)
 
 let charref g =

@@ -71,6 +71,14 @@ val corrupt : t -> string -> string
     costs are non-negative and finite. *)
 val state_machine : t -> Xpdl_core.Power.state_machine
 
+(** {1 Bootstrap bench models}
+
+    A self-contained [<system>] exercising the fault-tolerant bootstrap:
+    cores, an instruction table rich in ["?"] placeholders, a partial
+    microbenchmark suite, and optional [<data>] sweeps / [default_energy]
+    attributes feeding the degradation ladder. *)
+val bench_model : t -> Dom.element
+
 (** {1 Character references}
 
     A raw reference body (without [&] and [;]), e.g. ["#x41"], ["#970"],

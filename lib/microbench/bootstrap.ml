@@ -48,16 +48,28 @@ let measure machine ~(opts : options) ~name ~iterations : Stats.summary =
     bootstrap, spending repetitions only on noisy entries. *)
 let measure_adaptive ?(target_rci = 0.01) ?(max_samples = 200) machine ~name ~iterations :
     Stats.summary =
-  let rec loop samples n =
-    let samples = measure_once machine ~name ~iterations :: samples in
-    if n + 1 < 3 then loop samples (n + 1)
+  (* [draws] counts meter reads (the sampling budget); [samples] keeps
+     only the finite ones — a NaN/inf read is discarded and resampled
+     rather than poisoning the running CI statistics. *)
+  let rec loop samples kept draws =
+    if draws >= max_samples then
+      if kept = 0 then
+        Fmt.invalid_arg "Bootstrap.measure_adaptive: no finite sample for %s in %d reads" name
+          max_samples
+      else Stats.summarize samples
     else
-      let s = Stats.summarize samples in
-      if s.Stats.ci95_half_width <= target_rci *. Float.abs s.Stats.mean || n + 1 >= max_samples
-      then s
-      else loop samples (n + 1)
+      let x = measure_once machine ~name ~iterations in
+      if not (Float.is_finite x) then loop samples kept (draws + 1)
+      else
+        let samples = x :: samples in
+        let kept = kept + 1 in
+        if kept < 3 then loop samples kept (draws + 1)
+        else
+          let s = Stats.summarize samples in
+          if s.Stats.ci95_half_width <= target_rci *. Float.abs s.Stats.mean then s
+          else loop samples kept (draws + 1)
   in
-  loop [] 0
+  loop [] 0 0
 
 (* Which microbenchmark measures [i]?  Its own [mb], else one in the suite
    whose [type] matches, else a synthesized id. *)

@@ -30,8 +30,11 @@ val measure :
   Xpdl_simhw.Machine.t -> opts:options -> name:string -> iterations:int -> Stats.summary
 
 (** Adaptive measurement: sample until the 95% CI half-width is within
-    [target_rci] of the mean (default 1%) or [max_samples] (default 200)
-    is reached; at least 3 samples are taken. *)
+    [target_rci] of the mean (default 1%) or [max_samples] meter reads
+    (default 200) have been drawn; at least 3 samples are taken.
+    Non-finite (NaN/inf) readings are rejected and resampled instead of
+    poisoning the running statistics; raises [Invalid_argument] if no
+    read in the whole budget was finite. *)
 val measure_adaptive :
   ?target_rci:float ->
   ?max_samples:int ->
@@ -39,6 +42,14 @@ val measure_adaptive :
   name:string ->
   iterations:int ->
   Stats.summary
+
+(** The microbenchmark id measuring an instruction: its own [mb]
+    reference, else a suite benchmark matching the instruction, else a
+    synthesized [auto_] id. *)
+val benchmark_for : Power.suite list -> Power.instruction -> string
+
+(** Declared iteration count of a microbenchmark (default 100_000). *)
+val iterations_for : Power.suite list -> string -> int
 
 (** Bootstrap one ISA. *)
 val run_isa :

@@ -504,6 +504,21 @@ let link_bandwidth t link_ident =
 (** Devices of the model (accelerators), with their type references. *)
 let devices t = all_of_kind t Schema.Device
 
+(** Model entries the resilient bootstrap could not measure directly:
+    every element carrying a [quality] provenance attribute other than
+    ["measured"], as [(scope path, quality)] pairs in document order.
+    An optimization layer can treat these as lower-confidence inputs or
+    trigger a re-measurement. *)
+let degraded_entries t : (string * string) list =
+  sync t;
+  List.rev
+    (fold t (root t)
+       (fun acc (n : element) ->
+         match get_string n "quality" with
+         | Some q when not (String.equal q "measured") -> (n.Ir.n_path, q) :: acc
+         | _ -> acc)
+       [])
+
 (** Single-node or multi-node? (the paper's top-level distinction).
     Decided on the kind index's list structure — no node lists are
     materialized and no [List.length] over all matches. *)

@@ -151,6 +151,11 @@ val link_bandwidth : t -> string -> float option
 
 val devices : t -> element list
 
+(** Entries the resilient bootstrap could not measure directly: elements
+    whose [quality] provenance attribute is not ["measured"], as
+    [(scope path, quality)] pairs in document order. *)
+val degraded_entries : t -> (string * string) list
+
 (** Single-node or multi-node (the paper's top-level distinction). *)
 val is_multi_node : t -> bool
 

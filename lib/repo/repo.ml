@@ -28,13 +28,21 @@ type t = {
   mutable entries : (string, entry) Hashtbl.t;
   mutable remotes : (string * string) list;  (** authority → local root *)
   mutable diags : Diagnostic.t list;
+  mutable quarantined : string list;  (** files that yielded no usable tree *)
 }
 
-let create () = { entries = Hashtbl.create 64; remotes = []; diags = [] }
+let create () = { entries = Hashtbl.create 64; remotes = []; diags = []; quarantined = [] }
 
 let diagnostics t = List.rev t.diags
 
 let add_diag t d = t.diags <- d :: t.diags
+
+(** Files that failed to contribute any descriptor at [add_root] time —
+    unreadable, or so malformed that even the recovering parser got no
+    tree out of them.  Indexing continued without them. *)
+let quarantined_files t = List.rev t.quarantined
+
+let quarantine t file = if not (List.mem file t.quarantined) then t.quarantined <- file :: t.quarantined
 
 (** Number of indexed descriptors. *)
 let size t = Hashtbl.length t.entries
@@ -82,7 +90,9 @@ let add_xml t ~file (x : Xpdl_xml.Dom.element) =
    neither hides its other errors nor aborts a batch. *)
 let add_recovered t ~file (root, errs) =
   List.iter (fun e -> add_diag t (Diagnostic.of_parse_error e)) errs;
-  match root with Some x -> add_xml t ~file x | None -> ()
+  match root with
+  | Some x -> add_xml t ~file x
+  | None -> if file <> "<memory>" then quarantine t file
 
 (** Parse and index a single descriptor string (used by tests and by the
     microbenchmark bootstrap to register generated descriptors). *)
@@ -93,6 +103,7 @@ let add_file t path =
   match Xpdl_xml.Parse.file_recover ~lenient:true path with
   | Ok parsed -> add_recovered t ~file:path parsed
   | Error msg ->
+      quarantine t path;
       add_diag t (Diagnostic.error ~code:"XPDL303" "cannot load %s: %s" path msg)
 
 let rec scan_dir t dir =

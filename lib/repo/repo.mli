@@ -20,6 +20,11 @@ val create : unit -> t
     accumulated while loading. *)
 val diagnostics : t -> Diagnostic.t list
 
+(** Files quarantined at {!add_root}/{!add_file} time: unreadable, or so
+    malformed that even the recovering parser produced no tree.  Loading
+    continued without them; [xpdltool validate-all] surfaces the list. *)
+val quarantined_files : t -> string list
+
 (** Number of indexed descriptors. *)
 val size : t -> int
 

@@ -1,0 +1,106 @@
+(** Deterministic fault injection for the simulated machine (see the
+    interface).  All randomness comes from a private splitmix64 stream
+    derived from the plan's seed, independent of the machine's
+    measurement-noise stream: attaching a plan perturbs {e which} reads
+    fail without reordering the noise applied to clean reads. *)
+
+type kind = Timeout | Nan_read | Outlier | Stuck | Transient
+
+let kind_name = function
+  | Timeout -> "timeout"
+  | Nan_read -> "nan"
+  | Outlier -> "outlier"
+  | Stuck -> "stuck"
+  | Transient -> "transient"
+
+let pp_kind ppf k = Fmt.string ppf (kind_name k)
+
+exception Meter_timeout of string
+exception Core_offline of string
+
+type event = { ev_read : int; ev_kind : kind; ev_target : string }
+
+type plan = {
+  fp_seed : int;
+  fp_rate : float;
+  fp_kinds : kind array;  (** non-empty *)
+  fp_offline_after : int option;
+  fp_rng : Rng.t;
+  fp_offline_pick : int;  (** raw core pick, machine mods by its core count *)
+  mutable fp_script : kind option list;  (** forced outcomes, consumed first *)
+  mutable fp_reads : int;
+  mutable fp_events : event list;  (** newest first *)
+  mutable fp_last : float option;  (** last clean value, for [Stuck] *)
+  mutable fp_burst : int;  (** remaining reads of a transient burst *)
+  mutable fp_offline_fired : bool;
+}
+
+let all_kinds = [ Timeout; Nan_read; Outlier; Stuck; Transient ]
+
+let create ?(rate = 0.) ?(kinds = all_kinds) ?(script = []) ?offline_after ~seed () =
+  let kinds = match kinds with [] -> all_kinds | l -> l in
+  let rng = Rng.create ~seed in
+  let offline_pick = Rng.int (Rng.split rng "offline") 1_000_000 in
+  {
+    fp_seed = seed;
+    fp_rate = rate;
+    fp_kinds = Array.of_list kinds;
+    fp_offline_after = offline_after;
+    fp_rng = rng;
+    fp_offline_pick = offline_pick;
+    fp_script = script;
+    fp_reads = 0;
+    fp_events = [];
+    fp_last = None;
+    fp_burst = 0;
+    fp_offline_fired = false;
+  }
+
+let seed p = p.fp_seed
+let reads p = p.fp_reads
+let events p = List.rev p.fp_events
+
+let record p kind target =
+  p.fp_events <- { ev_read = p.fp_reads; ev_kind = kind; ev_target = target } :: p.fp_events
+
+(* Apply one fault kind to the true value [v]. *)
+let fire p ~target v kind =
+  record p kind target;
+  match kind with
+  | Timeout -> raise (Meter_timeout target)
+  | Nan_read -> Float.nan
+  | Outlier ->
+      (* a wild but finite reading, the kind MAD-based rejection catches *)
+      v *. Rng.uniform p.fp_rng ~lo:8. ~hi:50.
+  | Stuck -> ( match p.fp_last with Some prev -> prev | None -> v *. 0.25)
+  | Transient ->
+      p.fp_burst <- Rng.int p.fp_rng 3;
+      Float.nan
+
+let observe p ~target v =
+  p.fp_reads <- p.fp_reads + 1;
+  let result =
+    if p.fp_burst > 0 then begin
+      p.fp_burst <- p.fp_burst - 1;
+      record p Transient target;
+      Float.nan
+    end
+    else
+      match p.fp_script with
+      | forced :: rest -> (
+          p.fp_script <- rest;
+          match forced with None -> v | Some k -> fire p ~target v k)
+      | [] ->
+          if p.fp_rate > 0. && Rng.float p.fp_rng < p.fp_rate then
+            fire p ~target v (p.fp_kinds.(Rng.int p.fp_rng (Array.length p.fp_kinds)))
+          else v
+  in
+  if Float.is_finite result && result = v then p.fp_last <- Some v;
+  result
+
+let pending_offline p =
+  match p.fp_offline_after with
+  | Some n when (not p.fp_offline_fired) && p.fp_reads >= n ->
+      p.fp_offline_fired <- true;
+      Some p.fp_offline_pick
+  | _ -> None

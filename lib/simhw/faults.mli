@@ -1,0 +1,74 @@
+(** Deterministic fault injection for the simulated machine.
+
+    A {!plan} is a seeded schedule of meter misbehavior attachable to a
+    {!Machine.t}: reads can hang (simulated timeout), return NaN, return
+    wild outliers, repeat a stale ("stuck") value, fail transiently in a
+    short burst and then recover, or a core can drop offline partway
+    through a benchmark suite.  Every decision is drawn from the plan's
+    own splitmix64 stream, so a failure schedule replays exactly from its
+    seed — the property the resilient bootstrap's byte-for-byte
+    reproducible health reports rely on. *)
+
+(** One way a meter read can go wrong. *)
+type kind =
+  | Timeout  (** the read hangs; surfaces as {!Meter_timeout} *)
+  | Nan_read  (** the meter returns NaN *)
+  | Outlier  (** the value is off by a large multiplicative factor *)
+  | Stuck  (** the meter repeats the last value it delivered *)
+  | Transient  (** a short burst of NaN reads, then full recovery *)
+
+val kind_name : kind -> string
+val pp_kind : Format.formatter -> kind -> unit
+
+(** Raised by a faulty machine when a meter read hangs past its
+    (simulated) timeout.  Carries the read's target description. *)
+exception Meter_timeout of string
+
+(** Raised by a faulty machine when the addressed core has been taken
+    offline by the plan.  Carries the core identifier. *)
+exception Core_offline of string
+
+(** One recorded fault, for post-mortem accounting. *)
+type event = {
+  ev_read : int;  (** 1-based meter-read ordinal the fault fired on *)
+  ev_kind : kind;
+  ev_target : string;  (** what was being measured *)
+}
+
+type plan
+
+(** [create ~seed ()] builds a deterministic fault plan.
+
+    [rate] is the per-read fault probability (default [0.], i.e. the
+    plan only replays [script]); [kinds] restricts which faults can fire
+    (default: all).  [script] forces the outcomes of the first reads —
+    [Some k] injects exactly fault [k], [None] forces a clean read —
+    which is how tests inject e.g. one surgical NaN.  [offline_after]
+    takes a core offline once that many meter reads have completed; the
+    affected core index is drawn from the seed. *)
+val create :
+  ?rate:float ->
+  ?kinds:kind list ->
+  ?script:kind option list ->
+  ?offline_after:int ->
+  seed:int ->
+  unit ->
+  plan
+
+val seed : plan -> int
+
+(** Meter reads the plan has intercepted so far. *)
+val reads : plan -> int
+
+(** Faults fired so far, oldest first. *)
+val events : plan -> event list
+
+(** [observe plan ~target v] passes one true meter value through the
+    plan: returns it unchanged (clean read), a perturbed value, or
+    raises {!Meter_timeout}.  This is the machine's hook; user code does
+    not normally call it. *)
+val observe : plan -> target:string -> float -> float
+
+(** After a read, the index of a core the plan wants offline (fires at
+    most once).  The machine maps it onto its core array. *)
+val pending_offline : plan -> int option

@@ -22,6 +22,7 @@ type core = {
   mutable hz : float;  (** current clock (DVFS state) *)
   nominal_hz : float;
   isa : string option;
+  mutable core_offline : bool;  (** dropped by a fault plan; refuses work *)
 }
 
 type link = {
@@ -43,6 +44,7 @@ type t = {
   mem_access_energy : float;  (** J per (cache-missing) memory access *)
   mem_access_time : float;  (** s per memory access *)
   rng : Rng.t;
+  mutable faults : Faults.plan option;  (** attached fault-injection plan *)
 }
 
 let path_ident prefix (e : Model.element) fallback =
@@ -72,6 +74,7 @@ let collect_cores (root : Model.element) : core list =
            hz;
            nominal_hz = hz;
            isa = Model.attr_string e "isa";
+           core_offline = false;
          }
          :: !acc
      end);
@@ -192,9 +195,38 @@ let create ?(seed = 42) ?(noise_sigma = 0.02) (model : Model.element) : t =
     mem_access_energy;
     mem_access_time;
     rng = Rng.create ~seed;
+    faults = None;
   }
 
 let core_count t = Array.length t.cores
+
+(** {1 Fault injection} *)
+
+let inject_faults t plan = t.faults <- Some plan
+let clear_faults t = t.faults <- None
+let faults t = t.faults
+
+(* Pass a meter reading through the attached fault plan (identity when
+   none).  After each intercepted read, honor a pending core-offline
+   request — the plan decides when, the machine decides which core. *)
+let meter t ~target v =
+  match t.faults with
+  | None -> v
+  | Some plan ->
+      let deliver () =
+        match Faults.pending_offline plan with
+        | Some pick when Array.length t.cores > 0 ->
+            t.cores.(pick mod Array.length t.cores).core_offline <- true
+        | _ -> ()
+      in
+      let v' =
+        try Faults.observe plan ~target v
+        with e ->
+          deliver ();
+          raise e
+      in
+      deliver ();
+      v'
 
 let find_core t ident =
   let n = Array.length t.cores in
@@ -294,6 +326,7 @@ let run ?core ?(cores_used = 1) t (w : workload) : measurement =
         if Array.length t.cores = 0 then invalid_arg "Machine.run: machine has no cores";
         t.cores.(0)
   in
+  if c.core_offline then raise (Faults.Core_offline c.core_ident);
   let serial_time, energy = true_serial_cost t c w in
   let p = Float.max 1. (float_of_int cores_used) in
   let time =
@@ -302,7 +335,7 @@ let run ?core ?(cores_used = 1) t (w : workload) : measurement =
   let noise = Rng.noise_factor t.rng ~sigma:t.truth.Truth.noise_sigma in
   let noise_e = Rng.noise_factor t.rng ~sigma:t.truth.Truth.noise_sigma in
   let elapsed = time *. noise in
-  let dynamic_energy = energy *. noise_e in
+  let dynamic_energy = meter t ~target:("run:" ^ c.core_ident) (energy *. noise_e) in
   let total_energy = dynamic_energy +. (t.static_power *. elapsed) in
   { elapsed; dynamic_energy; total_energy; average_power = total_energy /. Float.max 1e-12 elapsed }
 
@@ -314,9 +347,11 @@ let transfer t ~link ~bytes : float * float =
       let time = l.time_offset +. (float_of_int bytes /. l.bandwidth) in
       let energy = l.energy_offset +. (float_of_int bytes *. l.energy_per_byte) in
       ( time *. Rng.noise_factor t.rng ~sigma:t.truth.Truth.noise_sigma,
-        energy *. Rng.noise_factor t.rng ~sigma:t.truth.Truth.noise_sigma )
+        meter t
+          ~target:("transfer:" ^ l.link_ident)
+          (energy *. Rng.noise_factor t.rng ~sigma:t.truth.Truth.noise_sigma) )
 
 (** Sample the external power meter while the machine idles for
     [duration] seconds: static power plus meter noise. *)
 let sample_idle_power t ~duration:_ =
-  t.static_power *. Rng.noise_factor t.rng ~sigma:t.truth.Truth.noise_sigma
+  meter t ~target:"idle" (t.static_power *. Rng.noise_factor t.rng ~sigma:t.truth.Truth.noise_sigma)

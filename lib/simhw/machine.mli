@@ -12,6 +12,7 @@ type core = {
   mutable hz : float;  (** current clock (DVFS state) *)
   nominal_hz : float;
   isa : string option;
+  mutable core_offline : bool;  (** dropped by a fault plan; refuses work *)
 }
 
 type link = {
@@ -33,6 +34,7 @@ type t = {
   mem_access_energy : float;  (** J per (cache-missing) memory access *)
   mem_access_time : float;  (** s per memory access *)
   rng : Rng.t;
+  mutable faults : Faults.plan option;  (** attached fault-injection plan *)
 }
 
 (** Sum of declared [static_power] over all physical hardware. *)
@@ -43,6 +45,19 @@ val total_static_power : Model.element -> float
 val create : ?seed:int -> ?noise_sigma:float -> Model.element -> t
 
 val core_count : t -> int
+
+(** {1 Fault injection}
+
+    With a {!Faults.plan} attached, every meter reading (instruction
+    runs, transfers, idle-power samples) passes through the plan: it may
+    come back NaN, wildly off, stuck at a stale value, raise
+    {!Faults.Meter_timeout}, or — once the plan decides — take a core
+    offline, after which {!run} on that core raises
+    {!Faults.Core_offline}.  Without a plan behavior is unchanged. *)
+
+val inject_faults : t -> Faults.plan -> unit
+val clear_faults : t -> unit
+val faults : t -> Faults.plan option
 
 (** Find a core by its full path identifier or basename. *)
 val find_core : t -> string -> core option
@@ -73,7 +88,9 @@ type measurement = {
 
 (** Execute on the core identified by [core] (default: first core);
     [cores_used] spreads the parallel fraction (Amdahl).  Raises
-    [Invalid_argument] on an unknown core or a core-less machine. *)
+    [Invalid_argument] on an unknown core or a core-less machine,
+    [Faults.Core_offline] on a core a fault plan took down, and
+    [Faults.Meter_timeout] on a hung meter read. *)
 val run : ?core:string -> ?cores_used:int -> t -> workload -> measurement
 
 (** Transfer [bytes] over a link: noisy (time, energy).  Raises

@@ -18,6 +18,11 @@ type config = {
   parameter_config : Instantiate.env;  (** deployment-time param choices *)
   run_bootstrap : bool;  (** microbenchmark the ["?"] entries *)
   bootstrap_opts : Xpdl_microbench.Bootstrap.options;
+  resilient_bootstrap : bool;  (** use the fault-tolerant harness *)
+  bootstrap_policy : Xpdl_microbench.Resilient.policy;  (** retry/deadline policy *)
+  bootstrap_faults : (int * float) option;
+      (** attach a [Faults] plan (seed, per-read rate) to the bootstrap
+          machine — forces the resilient harness *)
   filter_drop : string list;  (** attributes filtered from the runtime model *)
   emit_drivers_to : string option;  (** directory for generated driver code *)
   machine_seed : int;
@@ -29,6 +34,9 @@ let default_config =
     parameter_config = [];
     run_bootstrap = true;
     bootstrap_opts = Xpdl_microbench.Bootstrap.default_options;
+    resilient_bootstrap = false;
+    bootstrap_policy = Xpdl_microbench.Resilient.default_policy;
+    bootstrap_faults = None;
     filter_drop = Analysis.default_filtered;
     emit_drivers_to = None;
     machine_seed = 42;
@@ -43,6 +51,8 @@ type report = {
   diagnostics : Diagnostic.t list;
   link_reports : Analysis.link_report list;
   bootstrap_results : Xpdl_microbench.Bootstrap.result list;
+  bootstrap_health : Xpdl_microbench.Resilient.health option;
+      (** attempt/fallback/quarantine account of a resilient bootstrap *)
   descriptors_used : string list;
   timings : stage_timing list;
   runtime_model_bytes : int;
@@ -89,13 +99,63 @@ let run ?(config = default_config) ?repo ~system () : (report, string) result =
               List.iter
                 (fun suite -> ignore (Xpdl_microbench.Driver.emit_suite ~dir suite))
                 pm.Power.pm_suites));
-      (* deployment-time bootstrap of unspecified energy entries *)
-      let model, bootstrap_results =
-        if config.run_bootstrap then
+      (* deployment-time bootstrap of unspecified energy entries.  The
+         resilient harness degrades gracefully on meter faults; the plain
+         batch path is kept bit-identical for fault-free configs, but is
+         guarded so a broken machine degrades the model instead of
+         killing the pipeline. *)
+      let model, bootstrap_results, bootstrap_health =
+        if not config.run_bootstrap then (model, [], None)
+        else if config.resilient_bootstrap || config.bootstrap_faults <> None then
           timed timings "bootstrap" (fun () ->
               let machine = Xpdl_simhw.Machine.create ~seed:config.machine_seed model in
-              Xpdl_microbench.Bootstrap.run ~opts:config.bootstrap_opts ~machine model)
-        else (model, [])
+              (match config.bootstrap_faults with
+              | Some (seed, rate) ->
+                  Xpdl_simhw.Machine.inject_faults machine
+                    (Xpdl_simhw.Faults.create ~seed ~rate ())
+              | None -> ());
+              let model, health =
+                Xpdl_microbench.Resilient.run ~policy:config.bootstrap_policy ~machine model
+              in
+              diags := !diags @ health.Xpdl_microbench.Resilient.h_diags;
+              let results =
+                List.filter_map
+                  (fun (b : Xpdl_microbench.Resilient.bench) ->
+                    match b.Xpdl_microbench.Resilient.b_stats with
+                    | Some energy ->
+                        Some
+                          {
+                            Xpdl_microbench.Bootstrap.instruction =
+                              b.Xpdl_microbench.Resilient.b_instruction;
+                            benchmark = b.Xpdl_microbench.Resilient.b_benchmark;
+                            energy;
+                            per_frequency = b.Xpdl_microbench.Resilient.b_sweep;
+                            runs =
+                              List.length b.Xpdl_microbench.Resilient.b_attempts
+                              + List.length b.Xpdl_microbench.Resilient.b_sweep;
+                          }
+                    | None -> None)
+                  health.Xpdl_microbench.Resilient.h_benches
+              in
+              (model, results, Some health))
+        else
+          timed timings "bootstrap" (fun () ->
+              let machine = Xpdl_simhw.Machine.create ~seed:config.machine_seed model in
+              match Xpdl_microbench.Bootstrap.run ~opts:config.bootstrap_opts ~machine model with
+              | model, results -> (model, results, None)
+              | exception e ->
+                  (* a hung meter or a dead core must not abort the
+                     composition: keep the un-bootstrapped model, account
+                     for the failure, and let XPDL310 flag the leftovers *)
+                  diags :=
+                    !diags
+                    @ [
+                        Diagnostic.error ~code:"XPDL500"
+                          "microbenchmark bootstrap failed (%s); continuing with unresolved \
+                           entries"
+                          (Printexc.to_string e);
+                      ];
+                  (model, [], None))
       in
       (match Xpdl_microbench.Bootstrap.remaining_placeholders model with
       | [] -> ()
@@ -123,6 +183,7 @@ let run ?(config = default_config) ?repo ~system () : (report, string) result =
           diagnostics = !diags;
           link_reports;
           bootstrap_results;
+          bootstrap_health;
           descriptors_used = composed.Xpdl_repo.Repo.descriptors_used;
           timings = List.rev !timings;
           runtime_model_bytes = String.length bytes;

@@ -10,6 +10,11 @@ type config = {
   parameter_config : Instantiate.env;  (** deployment-time param choices *)
   run_bootstrap : bool;
   bootstrap_opts : Xpdl_microbench.Bootstrap.options;
+  resilient_bootstrap : bool;  (** use the fault-tolerant harness *)
+  bootstrap_policy : Xpdl_microbench.Resilient.policy;  (** retry/deadline policy *)
+  bootstrap_faults : (int * float) option;
+      (** attach a [Faults] plan (seed, per-read rate) to the bootstrap
+          machine — forces the resilient harness *)
   filter_drop : string list;
   emit_drivers_to : string option;  (** directory for generated driver code *)
   machine_seed : int;
@@ -26,6 +31,8 @@ type report = {
   diagnostics : Diagnostic.t list;
   link_reports : Analysis.link_report list;
   bootstrap_results : Xpdl_microbench.Bootstrap.result list;
+  bootstrap_health : Xpdl_microbench.Resilient.health option;
+      (** attempt/fallback/quarantine account of a resilient bootstrap *)
   descriptors_used : string list;
   timings : stage_timing list;
   runtime_model_bytes : int;

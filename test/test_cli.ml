@@ -112,6 +112,25 @@ let test_to_pdl () =
   Alcotest.(check bool) "one master" true
     (List.length (Xpdl_pdl.Pdl.pus_with_role p Xpdl_pdl.Pdl.Master) = 1)
 
+let test_bootstrap () =
+  let out =
+    check_ok "bootstrap"
+      (run_tool [ "bootstrap"; "liu_gpu_server"; "--fault-rate"; "0.3"; "--fault-seed"; "9" ])
+  in
+  Alcotest.(check bool) "quality labels listed" true (contains ~affix:"measured" out);
+  Alcotest.(check bool) "fault accounting" true (contains ~affix:"fault reads" out)
+
+let test_bootstrap_json_deterministic () =
+  let args =
+    [ "bootstrap"; "liu_gpu_server"; "--fault-rate"; "0.3"; "--fault-seed"; "9"; "--format";
+      "json" ]
+  in
+  let a = check_ok "bootstrap json" (run_tool args) in
+  let b = check_ok "bootstrap json again" (run_tool args) in
+  Alcotest.(check string) "byte-identical reports" a b;
+  Alcotest.(check bool) "benches serialized" true (contains ~affix:{|"benches":[|} a);
+  Alcotest.(check bool) "quality serialized" true (contains ~affix:{|"quality":|} a)
+
 let test_emit_drivers () =
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "cli_drivers" in
   ignore (check_ok "emit-drivers" (run_tool [ "emit-drivers"; "liu_gpu_server"; "-d"; dir ]));
@@ -147,5 +166,7 @@ let () =
             case "to-json" test_to_json;
             case "to-pdl" test_to_pdl;
             case "emit-drivers" test_emit_drivers;
+            case "bootstrap" test_bootstrap;
+            case "bootstrap json deterministic" test_bootstrap_json_deterministic;
           ] );
       ]

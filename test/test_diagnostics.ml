@@ -120,6 +120,14 @@ let test_registry_sane () =
     (fun c ->
       Alcotest.(check bool) (c ^ " registered") true (Diagnostic.describe c <> None))
     [ "XPDL401"; "XPDL402"; "XPDL403"; "XPDL410" ];
+  (* the XPDL5xx band: deployment-bootstrap robustness *)
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c ^ " registered") true (Diagnostic.describe c <> None))
+    [ "XPDL500"; "XPDL501"; "XPDL502"; "XPDL503"; "XPDL504"; "XPDL505"; "XPDL506"; "XPDL507";
+      "XPDL508" ];
+  Alcotest.(check bool) "XPDL504 defaults to info" true
+    (Diagnostic.default_severity "XPDL504" = Some Diagnostic.Info);
   Alcotest.(check bool) "unknown code undescribed" true (Diagnostic.describe "XPDL999" = None)
 
 let test_cap () =

@@ -199,6 +199,33 @@ let test_adaptive_measurement () =
   in
   Alcotest.(check bool) "cap respected" true (capped.Stats.n + capped.Stats.rejected <= 10)
 
+let test_adaptive_rejects_nan () =
+  (* regression: a meter occasionally returning NaN must not poison the
+     adaptive loop — non-finite samples are discarded and resampled, and
+     the summary is computed from finite readings only *)
+  let m = model "liu_gpu_server" in
+  let machine = Xpdl_simhw.Machine.create ~seed:41 m in
+  Xpdl_simhw.Machine.inject_faults machine
+    (Xpdl_simhw.Faults.create
+       ~script:
+         [ Some Xpdl_simhw.Faults.Nan_read; None; Some Xpdl_simhw.Faults.Nan_read; None; None ]
+       ~seed:8 ());
+  let s = Bootstrap.measure_adaptive ~target_rci:0.05 machine ~name:"fadd" ~iterations:100_000 in
+  Alcotest.(check bool) "mean is finite" true (Float.is_finite s.Stats.mean);
+  Alcotest.(check bool) "kept at least 3 finite samples" true
+    (s.Stats.n + s.Stats.rejected >= 3);
+  Alcotest.(check bool) "ci is finite" true (Float.is_finite s.Stats.ci95_half_width);
+  (* an all-NaN meter must fail loudly, not return NaN statistics *)
+  let machine2 = Xpdl_simhw.Machine.create ~seed:41 m in
+  Xpdl_simhw.Machine.inject_faults machine2
+    (Xpdl_simhw.Faults.create ~rate:1.0 ~kinds:[ Xpdl_simhw.Faults.Nan_read ] ~seed:8 ());
+  (match
+     Bootstrap.measure_adaptive ~target_rci:0.05 ~max_samples:12 machine2 ~name:"fadd"
+       ~iterations:100_000
+   with
+  | exception Invalid_argument _ -> ()
+  | s2 -> Alcotest.failf "all-NaN meter yielded a summary (mean %g)" s2.Stats.mean)
+
 let test_bootstrap_force_remeasures () =
   let src =
     {|<cpu name="c" frequency="2" frequency_unit="GHz">
@@ -244,5 +271,6 @@ let () =
           case "frequency sweep" test_bootstrap_frequency_sweep;
           case "force remeasure" test_bootstrap_force_remeasures;
           case "adaptive repetitions" test_adaptive_measurement;
+          case "adaptive rejects NaN" test_adaptive_rejects_nan;
         ] );
     ]
