@@ -108,6 +108,49 @@ let wall f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* Robust one-shot timing for operations whose cost is the point (model
+   init, decode): [warmup] unrecorded runs to fill caches and fault the
+   page tables, then [runs] timed runs.  Scheduler preemption, frequency
+   scaling and major-GC slices contaminate individual samples by
+   milliseconds on a shared machine, and that noise is strictly
+   one-sided (additive), so the estimator is the mean of the fastest
+   third of the samples with a MAD-based cut on top: sort, keep the
+   lowest max(5, runs/3), drop any of those beyond 3 scaled MADs of
+   their own median.  Complements [time_ns]: Bechamel's OLS amortizes
+   per-run noise but needs many iterations per sample, which hides
+   cold-path effects behind allocator reuse. *)
+let time_ns_trimmed ?(warmup = 16) ?runs f =
+  let runs =
+    match runs with Some r -> max 5 r | None -> max 31 (int_of_float (quota_s *. 400.))
+  in
+  let clock = Monotonic_clock.make () in
+  for _ = 1 to warmup do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let samples =
+    Array.init runs (fun _ ->
+        let t0 = Monotonic_clock.get clock in
+        ignore (Sys.opaque_identity (f ()));
+        Monotonic_clock.get clock -. t0)
+  in
+  Array.sort compare samples;
+  let keep = max 5 (runs / 3) in
+  let median = samples.(keep / 2) in
+  let dev = Array.init keep (fun i -> Float.abs (samples.(i) -. median)) in
+  Array.sort compare dev;
+  let mad = dev.(keep / 2) in
+  (* 1.4826 rescales the MAD to a stddev equivalent; the epsilon keeps a
+     quantized clock (MAD = 0) from trimming everything but the median *)
+  let cut = median +. Float.max (3. *. 1.4826 *. mad) (0.001 *. median) in
+  let sum = ref 0. and kept = ref 0 in
+  for i = 0 to keep - 1 do
+    if samples.(i) <= cut then begin
+      sum := !sum +. samples.(i);
+      incr kept
+    end
+  done;
+  !sum /. float_of_int !kept
+
 let repo = lazy (Xpdl_repo.Repo.load_bundled ())
 
 let composed name =
@@ -283,6 +326,15 @@ let naive_select ir ~tag ~pred =
 let e5_fast_paths ~system ir ~selector ~naive_selector =
   let q = Q.of_ir ir in
   let deep_path = (Ir.node ir (Ir.size ir - 1)).Ir.n_path in
+  (* Warm the handle before timing: these rows claim *repeated-query*
+     latency, and since the arena builds its path/kind indexes and memo
+     tables lazily (PR 6), the first call would otherwise charge a
+     one-time O(n) index build to the steady-state estimate (one-time
+     init cost is E15's metric, not E5's). *)
+  ignore (Q.find_by_path q deep_path);
+  ignore (Q.count_cores q);
+  ignore (Q.total_static_power q);
+  ignore (Q.select q selector);
   Fmt.pr "  -- %s (%d nodes): indexed fast paths vs naive scans --@." system (Ir.size ir);
   let times =
     time_ns
@@ -788,11 +840,76 @@ let e14 () =
   Fmt.pr "  store state after run: %a@." Store.pp store
 
 (* ------------------------------------------------------------------ *)
+(* E15: flat arena wire format — zero-copy model init *)
+
+(* The v2 wire format *is* the in-memory arena: loading = header parse +
+   one O(n) structural validation pass, no tree rebuild.  The "before"
+   arm is the same model in the v1 node-records format, whose load path
+   (kept as the migration reader) re-encodes into the arena — an honest
+   stand-in for the seed decoder, which rebuilt the full pointer tree. *)
+let e15 () =
+  header "E15: zero-copy arena init (v2) vs node-records decode (v1)";
+  let write_file path bytes =
+    let oc = open_out_bin path in
+    output_string oc bytes;
+    close_out oc
+  in
+  let bench_model name ir =
+    let v2 = Ir.to_bytes ir in
+    let v1 = Ir.to_bytes_v1 ir in
+    let v2_file = Filename.temp_file "bench_v2" ".xrt" in
+    let v1_file = Filename.temp_file "bench_v1" ".xrt" in
+    write_file v2_file v2;
+    write_file v1_file v1;
+    let t_v1 = time_ns_trimmed (fun () -> Q.init v1_file) in
+    let t_v2 = time_ns_trimmed (fun () -> Q.init v2_file) in
+    let t_decode = time_ns_trimmed (fun () -> Ir.of_bytes v2) in
+    let t_verify = time_ns_trimmed (fun () -> Ir.verify (Ir.of_bytes v2)) in
+    Sys.remove v2_file;
+    Sys.remove v1_file;
+    let speedup = t_v1 /. t_v2 in
+    record ~metric:(name ^ "/init/v1_migrate") ~value:t_v1 ~unit_:"ns/run" ();
+    record ~metric:(name ^ "/init/v2") ~value:t_v2 ~unit_:"ns/run" ();
+    record ~metric:(name ^ "/init/speedup") ~value:speedup ~unit_:"x" ();
+    record ~metric:(name ^ "/init/of_bytes_v2") ~value:t_decode ~unit_:"ns/run" ();
+    record ~metric:(name ^ "/init/verify") ~value:t_verify ~unit_:"ns/run" ();
+    Fmt.pr "  -- %s: %d nodes, %d bytes (v1: %d bytes) --@." name (Ir.size ir)
+      (String.length v2) (String.length v1);
+    Fmt.pr "  %-30s %10.1f us@." "init from v1 (migrate)" (t_v1 /. 1e3);
+    Fmt.pr "  %-30s %10.1f us  (%.1fx)@." "init from v2 (zero-copy)" (t_v2 /. 1e3) speedup;
+    Fmt.pr "  %-30s %10.1f us@." "of_bytes alone" (t_decode /. 1e3);
+    Fmt.pr "  %-30s %10.1f us@." "full checksum (verify)" (t_verify /. 1e3);
+    t_v2
+  in
+  let ir10k = synthetic_ir 3333 in
+  let t10k = bench_model "synthetic_10k" ir10k in
+  ignore (bench_model "liu_gpu_server" (Ir.of_model (composed "liu_gpu_server")));
+  Fmt.pr "  target: synthetic_10k init < 100 us -> %s (%.1f us)@."
+    (if t10k < 100e3 then "MET" else "MISSED")
+    (t10k /. 1e3);
+  (* the reworked //tag selector on the same model: id-level evaluation
+     seeded from the kind index, plus the per-handle select memo *)
+  let t_naive =
+    time_ns_trimmed ~runs:31 (fun () ->
+        naive_select ir10k ~tag:"cache" ~pred:(fun _ -> true))
+  in
+  let t_cold = time_ns_trimmed (fun () -> Q.select (Q.of_ir ir10k) "//cache") in
+  let q = Q.of_ir ir10k in
+  let t_memo = time_ns_trimmed (fun () -> Q.select q "//cache") in
+  record ~metric:"synthetic_10k/select/naive" ~value:t_naive ~unit_:"ns/run" ();
+  record ~metric:"synthetic_10k/select/cold" ~value:t_cold ~unit_:"ns/run" ();
+  record ~metric:"synthetic_10k/select/memo" ~value:t_memo ~unit_:"ns/run" ();
+  record ~metric:"synthetic_10k/select/cold_speedup" ~value:(t_naive /. t_cold) ~unit_:"x" ();
+  record ~metric:"synthetic_10k/select/memo_speedup" ~value:(t_naive /. t_memo) ~unit_:"x" ();
+  Fmt.pr "  select //cache (10k nodes): naive %.1f us, cold %.1f us (%.1fx), memoized %.3f us (%.0fx)@."
+    (t_naive /. 1e3) (t_cold /. 1e3) (t_naive /. t_cold) (t_memo /. 1e3) (t_naive /. t_memo)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
     ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
-    ("E14", e14) ]
+    ("E14", e14); ("E15", e15) ]
 
 let () =
   let json_file = ref None in
@@ -817,6 +934,11 @@ let () =
       match List.assoc_opt name experiments with
       | Some f ->
           current_exp := name;
+          (* isolate experiments from each other's heap state: without
+             this, allocation-heavy early experiments leave a large
+             fragmented major heap that inflates later one-shot
+             measurements by an order of magnitude *)
+          Gc.compact ();
           f ()
       | None -> Fmt.epr "unknown experiment %s@." name)
     requested;

@@ -521,6 +521,36 @@ let query_cmd =
   in
   Cmd.v (Cmd.info "query" ~doc:"Query a runtime-model file") Term.(const run $ file $ expr)
 
+(* --- verify --- *)
+
+let verify_cmd =
+  let file =
+    let doc = "Runtime-model file ($(b,.xrt)) produced by $(b,process)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    setup_logs ();
+    match Xpdl_toolchain.Ir.of_file_result file with
+    | Error d ->
+        Fmt.epr "%s: [%s] %s@." file d.Diagnostic.code d.Diagnostic.message;
+        1
+    | Ok ir -> (
+        match Xpdl_toolchain.Ir.verify ir with
+        | Error d ->
+            Fmt.epr "%s: [%s] %s@." file d.Diagnostic.code d.Diagnostic.message;
+            1
+        | Ok () ->
+            Fmt.pr "%s: ok (%d nodes, format v%d)@." file (Xpdl_toolchain.Ir.size ir)
+              Xpdl_toolchain.Ir.format_version;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Check a runtime-model file: structural validation (done on every load) plus the full \
+          payload checksum that loads skip")
+    Term.(const run $ file)
+
 (* --- fuzz --- *)
 
 let fuzz_cmd =
@@ -734,7 +764,7 @@ let () =
        (Cmd.group info
           [
             list_cmd; validate_cmd; validate_all_cmd; compose_cmd; analyze_cmd; process_cmd;
-            bootstrap_cmd; query_cmd; fuzz_cmd;
+            bootstrap_cmd; query_cmd; verify_cmd; fuzz_cmd;
             emit_cpp_cmd; emit_uml_cmd; emit_xsd_cmd; emit_drivers_cmd; control_cmd;
             to_pdl_cmd; to_json_cmd;
           ]))

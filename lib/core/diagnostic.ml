@@ -11,7 +11,9 @@
     - [XPDL3xx] — composition/repository diagnostics;
     - [XPDL4xx] — incremental model-store diagnostics;
     - [XPDL5xx] — deployment-bootstrap robustness diagnostics (fault
-      injection, retry/quarantine, graceful degradation).
+      injection, retry/quarantine, graceful degradation);
+    - [XPDL6xx] — runtime-model codec diagnostics (corrupt or truncated
+      [.xrt] arena files).
 
     [XPDL000] is the uncategorized default for legacy call sites. *)
 
@@ -98,6 +100,14 @@ let registry : (string * severity * string) list =
     ("XPDL506", Warning, "placeholder unresolved after the degradation ladder");
     ("XPDL507", Warning, "core went offline during the benchmark suite");
     ("XPDL508", Warning, "suite time budget exhausted; remaining benchmarks quarantined");
+    (* XPDL6xx — runtime-model codec *)
+    ("XPDL601", Error, "runtime model file has a bad magic number");
+    ("XPDL602", Error, "unsupported runtime model format version");
+    ("XPDL603", Error, "runtime model file truncated or length mismatch");
+    ("XPDL604", Error, "runtime model payload checksum mismatch");
+    ("XPDL605", Error, "runtime model structure corrupt (spans, parents, offsets)");
+    ("XPDL606", Error, "runtime model value encoding corrupt (bad tag, key or string id)");
+    ("XPDL607", Error, "runtime model header length overflow or section bounds mismatch");
   ]
 
 let describe code =

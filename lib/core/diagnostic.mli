@@ -2,8 +2,8 @@
     position of the offending XML node and a stable [XPDLnnn] code:
     [XPDL0xx] parse, [XPDL1xx] elaborate, [XPDL2xx] validate/constraint,
     [XPDL3xx] compose/repository, [XPDL4xx] incremental model store,
-    [XPDL5xx] deployment-bootstrap robustness
-    ([XPDL000] = uncategorized). *)
+    [XPDL5xx] deployment-bootstrap robustness, [XPDL6xx] runtime-model
+    codec ([XPDL000] = uncategorized). *)
 
 type severity = Error | Warning | Info
 

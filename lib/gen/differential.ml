@@ -181,6 +181,63 @@ let check_query_vs_oracle (doc : Dom.element) : string option =
       in
       List.find_map (fun check -> check ()) seq
 
+(* --- property: arena-vs-oracle --- *)
+
+(* The flat arena IR and both wire formats against the naive Model-side
+   oracle: the v2 save/load/save cycle must be the identity on bytes
+   (zero-copy contract), a v1-encoded model must migrate to the same
+   semantic tree, and every node of every reloaded arena must agree with
+   the oracle's document-order walk on kind, identifier, path, parent,
+   preorder subtree span and attributes. *)
+let check_arena_oracle (doc : Dom.element) : string option =
+  guarded @@ fun () ->
+  match compose_doc doc with
+  | None -> None
+  | Some m ->
+      let ir = Ir.of_model m in
+      let fail fmt = Fmt.kstr Option.some fmt in
+      let entries = Oracle.paths m in
+      let b = Ir.to_bytes ir in
+      let ir2 = Ir.of_bytes b in
+      if not (String.equal b (Ir.to_bytes ir2)) then
+        Some "v2 save/load/save is not byte-identical"
+      else begin
+        match Ir.verify ir2 with
+        | Error d -> fail "fresh save fails verify: %s" d.Diagnostic.message
+        | Ok () ->
+            let check_against (label, ir') =
+              if Ir.size ir' <> Ir.size ir then
+                fail "%s: %d nodes, oracle has %d" label (Ir.size ir') (Ir.size ir)
+              else
+                List.find_map
+                  (fun (path, rank, (e : Model.element)) ->
+                    let a = Ir.node ir rank and b = Ir.node ir' rank in
+                    if not (Schema.equal_kind b.Ir.n_kind e.Model.kind) then
+                      fail "%s node %d (%s): kind %s, oracle %s" label rank path
+                        (Schema.tag_of_kind b.Ir.n_kind) (Schema.tag_of_kind e.Model.kind)
+                    else if b.Ir.n_ident <> Model.identifier e then
+                      fail "%s node %d (%s): ident mismatch vs oracle" label rank path
+                    else if not (String.equal b.Ir.n_path path) then
+                      fail "%s node %d: path %S, oracle %S" label rank b.Ir.n_path path
+                    else if b.Ir.n_subtree_end - rank <> Oracle.subtree_size e then
+                      fail "%s node %d (%s): span %d, oracle subtree %d" label rank path
+                        (b.Ir.n_subtree_end - rank) (Oracle.subtree_size e)
+                    else if b.Ir.n_parent <> a.Ir.n_parent then
+                      fail "%s node %d (%s): parent %d, expected %d" label rank path
+                        b.Ir.n_parent a.Ir.n_parent
+                    else if b.Ir.n_children <> a.Ir.n_children then
+                      fail "%s node %d (%s): children differ" label rank path
+                    else if b.Ir.n_type <> a.Ir.n_type then
+                      fail "%s node %d (%s): type mismatch" label rank path
+                    else if b.Ir.n_attrs <> a.Ir.n_attrs then
+                      fail "%s node %d (%s): attributes differ after reload" label rank path
+                    else None)
+                  entries
+            in
+            List.find_map check_against
+              [ ("v2 reload", ir2); ("v1 migration", Ir.of_bytes (Ir.to_bytes_v1 ir)) ]
+      end
+
 (* --- property: store-incremental --- *)
 
 (* Apply a random edit sequence through the incremental store and after
@@ -554,6 +611,7 @@ let element_property name generate check =
 let properties =
   [
     element_property "query-vs-oracle" Gen.document check_query_vs_oracle;
+    element_property "arena-vs-oracle" Gen.document check_arena_oracle;
     element_property "print-parse-roundtrip"
       (fun g -> if Gen.chance g 0.5 then Gen.xml g else Gen.document g)
       check_roundtrip;

@@ -39,6 +39,8 @@ type element = Ir.node
    selectors are cached by source string. *)
 type memo = {
   mc_selectors : (string, Path.compiled) Hashtbl.t;
+  mc_selects : (string, Ir.node list) Hashtbl.t;
+      (** selector source → result elements; evicted on any edit *)
   mc_count_cores : (int, int) Hashtbl.t;
   mc_cuda_devices : (int, int) Hashtbl.t;
   mc_static_power : (int, float) Hashtbl.t;
@@ -50,6 +52,7 @@ type memo = {
 let fresh_memo () =
   {
     mc_selectors = Hashtbl.create 8;
+    mc_selects = Hashtbl.create 8;
     mc_count_cores = Hashtbl.create 8;
     mc_cuda_devices = Hashtbl.create 8;
     mc_static_power = Hashtbl.create 8;
@@ -85,6 +88,7 @@ exception Query_error of string
 let error fmt = Fmt.kstr (fun m -> raise (Query_error m)) fmt
 
 let reset_derived_memo (m : memo) =
+  Hashtbl.reset m.mc_selects;
   Hashtbl.reset m.mc_count_cores;
   Hashtbl.reset m.mc_cuda_devices;
   Hashtbl.reset m.mc_static_power;
@@ -92,29 +96,28 @@ let reset_derived_memo (m : memo) =
   Hashtbl.reset m.mc_frequencies;
   m.mc_installed <- None
 
-(* Walk an index path down the IR's child links; [None] if it dangles. *)
+(* Walk an index path down the IR's derived child spans; [None] if it
+   dangles. *)
 let index_of_path (ir : Ir.t) path =
   let rec go i = function
     | [] -> Some i
-    | c :: rest ->
-        let n = Ir.node ir i in
-        if c >= 0 && c < Array.length n.Ir.n_children then go n.Ir.n_children.(c) rest
-        else None
+    | c :: rest -> ( match Ir.nth_child ir i c with Some j -> go j rest | None -> None)
   in
-  go ir.Ir.root path
+  go (Ir.root_index ir) path
 
 (* Evict memo entries whose key node's preorder span covers node [j]:
    exactly the derived values an edit at [j] can change. *)
 let prune_covering ir (tbl : (int, 'a) Hashtbl.t) j =
   let stale =
     Hashtbl.fold
-      (fun i _ acc -> if i <= j && j < (Ir.node ir i).Ir.n_subtree_end then i :: acc else acc)
+      (fun i _ acc -> if i <= j && j < Ir.span_end_at ir i then i :: acc else acc)
       tbl []
   in
   List.iter (Hashtbl.remove tbl) stale
 
 let invalidate_at t j =
   let m = t.memo in
+  Hashtbl.reset m.mc_selects;
   prune_covering t.ir m.mc_count_cores j;
   prune_covering t.ir m.mc_cuda_devices j;
   prune_covering t.ir m.mc_static_power j;
@@ -175,7 +178,8 @@ let k_frequency = Ir.intern "frequency"
 let init path : t =
   match Ir.of_file path with
   | ir -> { ir; source = path; memo = fresh_memo (); origin = Fixed }
-  | exception Ir.Corrupt msg -> error "cannot load runtime model %s: %s" path msg
+  | exception Ir.Corrupt d ->
+      error "cannot load runtime model %s: [%s] %s" path d.Diagnostic.code d.Diagnostic.message
   | exception Sys_error msg -> error "cannot load runtime model: %s" msg
 
 (** Wrap an in-memory runtime model (composition-time introspection). *)
@@ -536,12 +540,27 @@ let is_multi_node t =
 
     Selectors are compiled once per handle ({!Path.compile}, cached by
     source string); a ["//tag"] first step seeds its candidates from the
-    IR's kind index instead of materializing every node. *)
+    IR's kind index instead of materializing every node.
 
-let node_matches_step (st : Path.step) (e : element) =
+    Evaluation runs over arena node {e ids} — kind/ident/type/attr
+    column reads, no node records — and materializes the matches only at
+    the very end.  The final element list is memoized per selector
+    source in the handle ([mc_selects], evicted on any edit), so a
+    repeated [select] is one hash probe. *)
+
+let id_get_string ir i key =
+  match Ir.attr_at ir i key with
+  | Some (Ir.VStr s) -> Some s
+  | Some (Ir.VInt n) -> Some (string_of_int n)
+  | Some (Ir.VFloat f) -> Some (Fmt.str "%g" f)
+  | Some (Ir.VBool b) -> Some (string_of_bool b)
+  | Some (Ir.VQty (v, _)) -> Some (Fmt.str "%g" v)
+  | Some Ir.VUnknown | None -> None
+
+let id_matches_step ir (st : Path.step) i =
   let tag_ok =
     String.equal st.Path.step_tag "*"
-    || String.equal st.Path.step_tag (Schema.tag_of_kind e.Ir.n_kind)
+    || String.equal st.Path.step_tag (Schema.tag_of_kind (Ir.kind_at ir i))
   in
   tag_ok
   && List.for_all
@@ -549,14 +568,14 @@ let node_matches_step (st : Path.step) (e : element) =
          match p with
          | Path.Position _ -> true
          | Path.Attr_present name ->
-             name = "id" && e.Ir.n_ident <> None
-             || name = "type" && e.Ir.n_type <> None
-             || Ir.attr e name <> None
+             (name = "id" && Ir.ident_at ir i <> None)
+             || (name = "type" && Ir.type_at ir i <> None)
+             || Ir.attr_at ir i name <> None
          | Path.Attr_equals (name, v) -> (
              match name with
-             | "id" | "name" -> e.Ir.n_ident = Some v
-             | "type" -> e.Ir.n_type = Some v
-             | _ -> get_string e name = Some v))
+             | "id" | "name" -> Ir.ident_at ir i = Some v
+             | "type" -> Ir.type_at ir i = Some v
+             | _ -> id_get_string ir i name = Some v))
        st.Path.preds
 
 let apply_position (st : Path.step) candidates =
@@ -568,31 +587,35 @@ let apply_position (st : Path.step) candidates =
       | _ -> cs)
     candidates st.Path.preds
 
-(** Evaluate a compiled selector over the runtime model. *)
-let select_compiled t (c : Path.compiled) : element list =
-  sync t;
+(* The id-level evaluator: candidates are arena node ids throughout. *)
+let select_ids t (c : Path.compiled) : int list =
+  let ir = t.ir in
   let sel = c.Path.c_sel in
   let initial =
     if sel.Path.descend then
       match c.Path.c_seed_tag with
-      | Some tag ->
-          (* kind-index seed: all nodes with that tag, document order *)
-          List.map (Ir.node t.ir) (Ir.indexes_of_tag t.ir tag)
-      | None -> List.rev (fold t (root t) (fun acc n -> n :: acc) [])
-    else [ root t ]
+      | Some tag -> Ir.indexes_of_tag ir tag  (* kind-index seed, document order *)
+      | None -> List.init (Ir.size ir) Fun.id
+    else [ Ir.root_index ir ]
   in
   let rec walk steps candidates =
     match steps with
-    | [] -> candidates
+    | [] -> []
     | st :: rest ->
-        let matched = apply_position st (List.filter (node_matches_step st) candidates) in
-        if rest = [] then matched else walk rest (List.concat_map (children t) matched)
+        let matched = apply_position st (List.filter (id_matches_step ir st) candidates) in
+        if rest = [] then matched else walk rest (List.concat_map (Ir.children_ids ir) matched)
   in
-  match sel.Path.steps with
-  | [] -> []
-  | first :: rest ->
-      let matched = apply_position first (List.filter (node_matches_step first) initial) in
-      if rest = [] then matched else walk rest (List.concat_map (children t) matched)
+  walk sel.Path.steps initial
+
+(** Evaluate a compiled selector over the runtime model. *)
+let select_compiled t (c : Path.compiled) : element list =
+  sync t;
+  match Hashtbl.find_opt t.memo.mc_selects c.Path.c_source with
+  | Some r -> r
+  | None ->
+      let r = List.map (Ir.node t.ir) (select_ids t c) in
+      Hashtbl.add t.memo.mc_selects c.Path.c_source r;
+      r
 
 let compile t path : Path.compiled =
   memoize t.memo.mc_selectors path (fun () -> Path.compile path)

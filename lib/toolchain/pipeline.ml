@@ -289,16 +289,14 @@ type refresh_report = {
   rf_timings : stage_timing list;
 }
 
-(* Walk an index path down the IR's child links; [None] if it dangles. *)
+(* Walk an index path down the IR's derived child spans; [None] if it
+   dangles. *)
 let ir_index_of_path (ir : Ir.t) path =
   let rec go i = function
     | [] -> Some i
-    | c :: rest ->
-        let n = Ir.node ir i in
-        if c >= 0 && c < Array.length n.Ir.n_children then go n.Ir.n_children.(c) rest
-        else None
+    | c :: rest -> ( match Ir.nth_child ir i c with Some j -> go j rest | None -> None)
   in
-  go ir.Ir.root path
+  go (Ir.root_index ir) path
 
 let refresh (s : session) : refresh_report =
   let store = s.s_store in

@@ -128,6 +128,13 @@ let test_registry_sane () =
       "XPDL508" ];
   Alcotest.(check bool) "XPDL504 defaults to info" true
     (Diagnostic.default_severity "XPDL504" = Some Diagnostic.Info);
+  (* the XPDL6xx band: runtime-model codec *)
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c ^ " registered") true (Diagnostic.describe c <> None);
+      Alcotest.(check bool) (c ^ " is an error") true
+        (Diagnostic.default_severity c = Some Diagnostic.Error))
+    [ "XPDL601"; "XPDL602"; "XPDL603"; "XPDL604"; "XPDL605"; "XPDL606"; "XPDL607" ];
   Alcotest.(check bool) "unknown code undescribed" true (Diagnostic.describe "XPDL999" = None)
 
 let test_cap () =
