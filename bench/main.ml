@@ -905,11 +905,119 @@ let e15 () =
     (t_naive /. 1e3) (t_cold /. 1e3) (t_naive /. t_cold) (t_memo /. 1e3) (t_naive /. t_memo)
 
 (* ------------------------------------------------------------------ *)
+(* E16: concurrent model-query server — MVCC snapshots under load *)
+
+(* A live server over a unix socket, driven by the load generator: 1-
+   and 4-client closed loops (saturated service latency + scaling), an
+   open loop at a fixed schedule (latency with queueing charged to the
+   server), and the MVCC acceptance probe — a pinned snapshot re-read
+   bit-identically after a writer advances 1000 revisions across
+   several journal compactions. *)
+let e16 () =
+  header "E16: concurrent model-query serving (MVCC snapshots under load)";
+  let module Hub = Xpdl_serve.Hub in
+  let module Server = Xpdl_serve.Server in
+  let module Loadgen = Xpdl_serve.Loadgen in
+  let module Client = Xpdl_serve.Client in
+  let module P = Xpdl_serve.Protocol in
+  let module M = Xpdl_core.Model in
+  let hub = Hub.create ~journal_capacity:256 (composed "liu_gpu_server") in
+  let sock = Filename.temp_file "xpdl_e16" ".sock" in
+  Sys.remove sock;
+  let addr = Server.Unix_socket sock in
+  let srv = Server.start ~deadline_s:600. addr hub in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let core_path =
+    List.hd
+      (Store.find_paths (Hub.store hub) (fun e -> e.M.kind = Xpdl_core.Schema.Core))
+  in
+  let mix =
+    {
+      Loadgen.default_mix with
+      edits =
+        [| { Loadgen.et_path = core_path; et_key = "static_power"; et_values = [| "1"; "2"; "5"; "11" |] } |];
+    }
+  in
+  Fmt.pr "  model: %d elements; socket %s@." (Store.size (Hub.store hub)) sock;
+  let duration_s = Float.max 0.3 quota_s in
+  let arm name cfg =
+    let r = Loadgen.run addr cfg in
+    record ~metric:(Fmt.str "serve/%s/p50" name) ~value:r.Loadgen.p50_us ~unit_:"us" ();
+    record ~metric:(Fmt.str "serve/%s/p95" name) ~value:r.Loadgen.p95_us ~unit_:"us" ();
+    record ~metric:(Fmt.str "serve/%s/p99" name) ~value:r.Loadgen.p99_us ~unit_:"us" ();
+    record ~metric:(Fmt.str "serve/%s/throughput" name) ~value:r.Loadgen.throughput
+      ~unit_:"ops/s" ();
+    record ~metric:(Fmt.str "serve/%s/errors" name) ~value:(float_of_int r.Loadgen.errors)
+      ~unit_:"count" ();
+    Fmt.pr "  %-14s %a@." name Loadgen.pp_report r;
+    r
+  in
+  let seed = 20150901 in
+  ignore (arm "closed_1c" { Loadgen.clients = 1; duration_s; mode = Loadgen.Closed; mix; seed });
+  ignore (arm "closed_4c" { Loadgen.clients = 4; duration_s; mode = Loadgen.Closed; mix; seed });
+  ignore
+    (arm "open_4c_100rps"
+       { Loadgen.clients = 4; duration_s; mode = Loadgen.Open 100.; mix; seed });
+  (* MVCC acceptance probe: pin, hammer 1000 edits from a second
+     connection (journal capacity 256 -> several compactions), re-read
+     the pinned snapshot, then catch up from the journal *)
+  let reader = Client.connect addr and writer = Client.connect addr in
+  let bits = function
+    | P.Ok (P.Float v) -> Int64.bits_of_float v
+    | r -> failwith (Fmt.str "E16: expected a float answer, got %a" P.pp_response r)
+  in
+  let rev = match Client.request reader P.Pin with
+    | P.Ok (P.Int r) -> r
+    | r -> failwith (Fmt.str "E16: pin answered %a" P.pp_response r)
+  in
+  let before = bits (Client.request reader (P.Query { rev; q = "static-power" })) in
+  let n_revs = 1000 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to n_revs do
+    match
+      Client.request writer
+        (P.Edit
+           {
+             path = core_path;
+             key = "static_power";
+             value = string_of_int (1 + (i mod 40));
+             unit_spelling = Some "W";
+           })
+    with
+    | P.Ok (P.Int _) -> ()
+    | r -> failwith (Fmt.str "E16: edit answered %a" P.pp_response r)
+  done;
+  let edit_us = (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int n_revs in
+  let after = bits (Client.request reader (P.Query { rev; q = "static-power" })) in
+  let replayable =
+    match Client.request reader (P.EditsSince rev) with
+    | P.Ok (P.Edits l) -> List.length l = n_revs
+    | _ -> false
+  in
+  let head = bits (Client.request reader (P.Query { rev = -1; q = "static-power" })) in
+  ignore (Client.request reader (P.Unpin rev));
+  Client.close reader;
+  Client.close writer;
+  let bitexact = if Int64.equal before after then 1. else 0. in
+  record ~metric:"serve/pinned_drift/revisions" ~value:(float_of_int n_revs) ~unit_:"count" ();
+  record ~metric:"serve/pinned_drift/bitexact" ~value:bitexact ~unit_:"bool" ();
+  record ~metric:"serve/pinned_drift/replayable" ~value:(if replayable then 1. else 0.)
+    ~unit_:"bool" ();
+  record ~metric:"serve/pinned_drift/edit_latency" ~value:edit_us ~unit_:"us" ();
+  Fmt.pr "  pinned snapshot after %d revisions: %s (journal %s, head %s, %.1f us/edit)@."
+    n_revs
+    (if bitexact = 1. then "bit-identical" else "DRIFTED")
+    (if replayable then "replayable" else "COMPACTED")
+    (if Int64.equal head before then "unchanged (!)" else "moved")
+    edit_us;
+  if bitexact <> 1. then failwith "E16: pinned snapshot drifted under a concurrent writer"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
     ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
-    ("E14", e14); ("E15", e15) ]
+    ("E14", e14); ("E15", e15); ("E16", e16) ]
 
 let () =
   let json_file = ref None in

@@ -9,6 +9,8 @@
      process     full pipeline -> runtime-model file (with bootstrap)
      bootstrap   fault-tolerant deployment bootstrap with a health report
      query       load a runtime-model file and answer queries
+     serve       concurrent model-query server with MVCC snapshots
+     loadgen     drive a running server with a mixed workload
      control     derive the control relation and match platform patterns
      emit-cpp    generate the C++ query-API header from the schema
      emit-uml    emit the PlantUML view (meta-model or a composed system)
@@ -610,6 +612,163 @@ let fuzz_cmd =
           print/parse round-trip, parser recovery, PSM routing, determinism)")
     Term.(const run $ seed $ count $ props $ progress)
 
+(* --- serve / loadgen --- *)
+
+(* Server address options shared by serve and loadgen: a unix-domain
+   socket path, or HOST:PORT for TCP. *)
+let addr_args =
+  let socket =
+    let doc = "Unix-domain socket path (default $(b,xpdl-serve.sock) unless $(b,--tcp))." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let tcp =
+    let doc = "TCP endpoint as HOST:PORT (port 0 picks an ephemeral port)." in
+    Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let resolve socket tcp =
+    match (socket, tcp) with
+    | Some _, Some _ -> `Error (false, "--socket and --tcp are mutually exclusive")
+    | Some path, None -> `Ok (Xpdl_serve.Server.Unix_socket path)
+    | None, Some spec -> (
+        match String.rindex_opt spec ':' with
+        | Some i -> (
+            let host = String.sub spec 0 i in
+            let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+            match int_of_string_opt port with
+            | Some p when p >= 0 -> `Ok (Xpdl_serve.Server.Tcp (host, p))
+            | _ -> `Error (false, Fmt.str "invalid port in %S" spec))
+        | None -> `Error (false, Fmt.str "--tcp expects HOST:PORT, got %S" spec))
+    | None, None -> `Ok (Xpdl_serve.Server.Unix_socket "xpdl-serve.sock")
+  in
+  Term.(ret (const resolve $ socket $ tcp))
+
+let serve_cmd =
+  let deadline =
+    let doc = "Stop serving after $(docv) seconds (safety net for CI smoke runs)." in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"S" ~doc)
+  in
+  let max_clients =
+    let doc = "Maximum simultaneous connections." in
+    Arg.(value & opt int 64 & info [ "max-clients" ] ~docv:"N" ~doc)
+  in
+  let run models system addr deadline max_clients =
+    setup_logs ();
+    match Xpdl_repo.Repo.compose_by_name (repo_of_paths models) system with
+    | Error msg ->
+        Fmt.epr "%s@." msg;
+        1
+    | Ok c ->
+        let hub = Xpdl_serve.Hub.create c.Xpdl_repo.Repo.model in
+        let srv = Xpdl_serve.Server.start ~max_clients ?deadline_s:deadline addr hub in
+        (match Xpdl_serve.Server.sockaddr srv with
+        | Unix.ADDR_UNIX path -> Fmt.pr "serving %s on unix socket %s@." system path
+        | Unix.ADDR_INET (ip, port) ->
+            Fmt.pr "serving %s on %s:%d@." system (Unix.string_of_inet_addr ip) port);
+        Sys.catch_break true;
+        (try Xpdl_serve.Server.wait srv with Sys.Break -> ());
+        Xpdl_serve.Server.stop srv;
+        Fmt.pr "%s@." (Xpdl_serve.Hub.stats_json hub);
+        0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a composed system to concurrent clients: queries, edits and subscriptions over a \
+          length-prefixed binary protocol, with MVCC snapshot pinning (see docs/SERVING.md)")
+    Term.(const run $ models_arg $ system_arg $ addr_args $ deadline $ max_clients)
+
+let loadgen_cmd =
+  let clients =
+    let doc = "Concurrent client connections (one domain each)." in
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc)
+  in
+  let duration =
+    let doc = "Run length in seconds." in
+    Arg.(value & opt float 5.0 & info [ "duration" ] ~docv:"S" ~doc)
+  in
+  let rate =
+    let doc =
+      "Open-loop schedule: each client fires $(docv) requests/second and latency includes \
+       queueing behind a slow server.  Without it the loop is closed (send on reply)."
+    in
+    Arg.(value & opt (some float) None & info [ "rate" ] ~docv:"R" ~doc)
+  in
+  let seed =
+    let doc = "splitmix64 seed; identical configs replay identical request streams." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let edit_target =
+    let doc =
+      "Identifier (or scope path) of the element edited by the edit share of the mix; resolved \
+       over the wire at startup.  Enables edits."
+    in
+    Arg.(value & opt (some string) None & info [ "edit-target" ] ~docv:"IDENT" ~doc)
+  in
+  let edit_key =
+    let doc = "Attribute edited at $(b,--edit-target)." in
+    Arg.(value & opt string "static_power" & info [ "edit-key" ] ~docv:"ATTR" ~doc)
+  in
+  let json =
+    let doc = "Print the report as one JSON object." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run addr clients duration rate seed edit_target edit_key json =
+    setup_logs ();
+    let resolve_mix () =
+      match edit_target with
+      | None -> Xpdl_serve.Loadgen.default_mix
+      | Some ident -> (
+          (* ask the server for the element's index path *)
+          let cl = Xpdl_serve.Client.connect addr in
+          let resp =
+            Xpdl_serve.Client.request cl
+              (Xpdl_serve.Protocol.Query { rev = -1; q = "ipath:" ^ ident })
+          in
+          Xpdl_serve.Client.close cl;
+          match resp with
+          | Xpdl_serve.Protocol.Ok (Xpdl_serve.Protocol.Strs steps) ->
+              let path = List.filter_map int_of_string_opt steps in
+              {
+                Xpdl_serve.Loadgen.default_mix with
+                edits =
+                  [|
+                    {
+                      Xpdl_serve.Loadgen.et_path = path;
+                      et_key = edit_key;
+                      et_values = [| "1"; "2"; "5"; "11" |];
+                    };
+                  |];
+              }
+          | Xpdl_serve.Protocol.Err { code; msg } ->
+              Fmt.failwith "cannot resolve --edit-target %s: [%s] %s" ident code msg
+          | r -> Fmt.failwith "unexpected answer resolving --edit-target: %a"
+                   Xpdl_serve.Protocol.pp_response r)
+    in
+    let mode =
+      match rate with None -> Xpdl_serve.Loadgen.Closed | Some r -> Xpdl_serve.Loadgen.Open r
+    in
+    match
+      let mix = resolve_mix () in
+      Xpdl_serve.Loadgen.run addr { clients; duration_s = duration; mode; mix; seed }
+    with
+    | report ->
+        if json then Fmt.pr "%s@." (Xpdl_serve.Loadgen.report_to_json report)
+        else Fmt.pr "%a@." Xpdl_serve.Loadgen.pp_report report;
+        if report.Xpdl_serve.Loadgen.errors = 0 then 0 else 1
+    | exception (Unix.Unix_error _ as e) ->
+        Fmt.epr "cannot reach the server: %s@." (Printexc.to_string e);
+        1
+    | exception Failure msg ->
+        Fmt.epr "%s@." msg;
+        1
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a running model-query server with a weighted mix of getter, derived-attribute, \
+          edit and pinned-snapshot operations; reports p50/p95/p99 latency and throughput")
+    Term.(const run $ addr_args $ clients $ duration $ rate $ seed $ edit_target $ edit_key $ json)
+
 (* --- emit-cpp --- *)
 
 let emit_cpp_cmd =
@@ -764,7 +923,7 @@ let () =
        (Cmd.group info
           [
             list_cmd; validate_cmd; validate_all_cmd; compose_cmd; analyze_cmd; process_cmd;
-            bootstrap_cmd; query_cmd; verify_cmd; fuzz_cmd;
+            bootstrap_cmd; query_cmd; serve_cmd; loadgen_cmd; verify_cmd; fuzz_cmd;
             emit_cpp_cmd; emit_uml_cmd; emit_xsd_cmd; emit_drivers_cmd; control_cmd;
             to_pdl_cmd; to_json_cmd;
           ]))

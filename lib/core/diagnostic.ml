@@ -89,6 +89,7 @@ let registry : (string * severity * string) list =
     ("XPDL401", Error, "store edit path does not address a model element");
     ("XPDL402", Error, "store structural edit is invalid (bad child index)");
     ("XPDL403", Error, "store edit value cannot be elaborated");
+    ("XPDL404", Error, "store unpin of a revision that is not pinned");
     ("XPDL410", Info, "store edit journal compacted; incremental view rebuilt from scratch");
     (* XPDL5xx — deployment-bootstrap robustness *)
     ("XPDL500", Error, "microbenchmark harness internal error (uncaught simulator exception)");
@@ -108,6 +109,15 @@ let registry : (string * severity * string) list =
     ("XPDL605", Error, "runtime model structure corrupt (spans, parents, offsets)");
     ("XPDL606", Error, "runtime model value encoding corrupt (bad tag, key or string id)");
     ("XPDL607", Error, "runtime model header length overflow or section bounds mismatch");
+    (* XPDL7xx — model-query server protocol *)
+    ("XPDL700", Error, "serve frame truncated: connection closed mid-frame");
+    ("XPDL701", Error, "serve frame exceeds the maximum frame size");
+    ("XPDL702", Error, "serve request has an unknown opcode");
+    ("XPDL703", Error, "serve request payload is malformed");
+    ("XPDL704", Error, "serve query is unknown or unanswerable on this model");
+    ("XPDL705", Error, "serve edit rejected by the model store");
+    ("XPDL706", Error, "serve revision is not a pinned snapshot of this session");
+    ("XPDL707", Info, "serve journal compacted past the requested revision; full resync needed");
   ]
 
 let describe code =

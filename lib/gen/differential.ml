@@ -586,6 +586,196 @@ let check_bootstrap (doc : Dom.element) ~machine_seed ~fault_seed ~rate ~offline
             then Some "same seeds rendered two different health reports"
             else None))
 
+(* --- property: serve-mvcc --- *)
+
+module Hub = Xpdl_serve.Hub
+module Sproto = Xpdl_serve.Protocol
+
+(* Random interleavings of query/edit/pin/subscribe requests from N
+   simulated client sessions against an in-process serving hub, checked
+   against a sequential oracle: every head query must answer what a
+   fresh handle over the store's current model answers, every pinned
+   query must answer what a fresh handle over the model captured at pin
+   time answers (bit-identically, across journal compaction — the
+   journal capacity is tiny on purpose), pinned revisions must stay
+   replayable from the journal, and a subscribed session must see
+   exactly the edits journaled while it was subscribed, in order. *)
+let check_serve_mvcc (doc : Dom.element) : string option =
+  guarded @@ fun () ->
+  match compose_doc doc with
+  | None -> None
+  | Some m ->
+      let hub = Hub.create ~journal_capacity:4 m in
+      let store = Hub.store hub in
+      (* fixed-seed op stream, deterministic across shrink re-runs *)
+      let g = Gen.create ~seed:default_seed in
+      let fail fmt = Fmt.kstr Option.some fmt in
+      let bits = Int64.bits_of_float in
+      let n_sessions = 2 + Gen.int g 3 in
+      (* oracle per session: pinned rev -> model captured at pin time,
+         subscription flag, expected pending events (newest first) *)
+      let sessions =
+        Array.init n_sessions (fun _ ->
+            (Hub.session hub, Hashtbl.create 4, ref false, ref []))
+      in
+      let queries = [ "cores"; "static-power"; "memory"; "size"; "cuda-devices" ] in
+      let expected_on model q =
+        let h = Query.of_model model in
+        match q with
+        | "cores" -> `I (Query.count_cores h)
+        | "static-power" -> `F (bits (Query.total_static_power h))
+        | "memory" -> `F (bits (Query.total_memory_bytes h))
+        | "cuda-devices" -> `I (Query.count_cuda_devices h)
+        | _ -> `I (Query.size h)
+      in
+      let answer = function
+        | Sproto.Ok (Sproto.Int v) -> Some (`I v)
+        | Sproto.Ok (Sproto.Float v) -> Some (`F (bits v))
+        | _ -> None
+      in
+      let pp_resp = Sproto.pp_response in
+      let step () =
+        let si = Gen.int g n_sessions in
+        let s, pins, subscribed, pending = sessions.(si) in
+        let pinned_revs () = Hashtbl.fold (fun r _ acc -> r :: acc) pins [] in
+        match Gen.int g 10 with
+        | 0 | 1 ->
+            (* head query vs a fresh handle on the current model *)
+            let q = Gen.pick g queries in
+            let resp = Hub.handle hub s (Sproto.Query { rev = -1; q }) in
+            if answer resp <> Some (expected_on (Store.model store) q) then
+              fail "session %d: head %s diverged: %a" si q pp_resp resp
+            else None
+        | 2 | 3 -> (
+            (* pinned query vs a fresh handle on the captured model *)
+            match pinned_revs () with
+            | [] ->
+                let rev = Store.revision store + 1 + Gen.int g 5 in
+                let resp = Hub.handle hub s (Sproto.Query { rev; q = "cores" }) in
+                (match resp with
+                | Sproto.Err { code = "XPDL706"; _ } -> None
+                | r -> fail "session %d: unpinned rev %d answered %a" si rev pp_resp r)
+            | revs -> (
+                let rev = Gen.pick g revs in
+                let frozen = Hashtbl.find pins rev in
+                let q = Gen.pick g queries in
+                let resp = Hub.handle hub s (Sproto.Query { rev; q }) in
+                if answer resp <> Some (expected_on frozen q) then
+                  fail "session %d: pinned@%d %s diverged: %a" si rev q pp_resp resp
+                else
+                  (* the pin is a journal retention floor *)
+                  match Hub.handle hub s (Sproto.EditsSince rev) with
+                  | Sproto.Ok (Sproto.Edits l) ->
+                      let expect = Store.revision store - rev in
+                      if List.length l <> expect then
+                        fail "session %d: edits-since %d returned %d edits, expected %d" si
+                          rev (List.length l) expect
+                      else None
+                  | r -> fail "session %d: pinned rev %d not replayable: %a" si rev pp_resp r))
+        | 4 ->
+            (* pin: capture the oracle model *)
+            let resp = Hub.handle hub s Sproto.Pin in
+            (match resp with
+            | Sproto.Ok (Sproto.Int rev) ->
+                if rev <> Store.revision store then
+                  fail "session %d: pin answered %d at revision %d" si rev
+                    (Store.revision store)
+                else begin
+                  if not (Hashtbl.mem pins rev) then
+                    Hashtbl.replace pins rev (Store.model store);
+                  None
+                end
+            | r -> fail "session %d: pin answered %a" si pp_resp r)
+        | 5 -> (
+            (* unpin one pin, or a stale revision (a coded error) *)
+            match pinned_revs () with
+            | [] -> (
+                match Hub.handle hub s (Sproto.Unpin 0) with
+                | Sproto.Err { code = "XPDL706"; _ } -> None
+                | r -> fail "session %d: stale unpin answered %a" si pp_resp r)
+            | revs -> (
+                let rev = Gen.pick g revs in
+                match Hub.handle hub s (Sproto.Unpin rev) with
+                | Sproto.Ok Sproto.Unit ->
+                    Hashtbl.remove pins rev;
+                    None
+                | r -> fail "session %d: unpin %d answered %a" si rev pp_resp r))
+        | 6 ->
+            (* toggle subscription; unsubscribing drops queued events *)
+            if !subscribed then begin
+              match Hub.handle hub s Sproto.Unsubscribe with
+              | Sproto.Ok Sproto.Unit ->
+                  subscribed := false;
+                  pending := [];
+                  None
+              | r -> fail "session %d: unsubscribe answered %a" si pp_resp r
+            end
+            else begin
+              match Hub.handle hub s Sproto.Subscribe with
+              | Sproto.Ok Sproto.Unit ->
+                  subscribed := true;
+                  None
+              | r -> fail "session %d: subscribe answered %a" si pp_resp r
+            end
+        | 7 -> (
+            (* drain and compare against the oracle's expected stream *)
+            let got = Hub.drain_events s in
+            let expect =
+              List.rev_map
+                (fun (rev, path, kind) ->
+                  { Sproto.ev_rev = rev; ev_path = path; ev_kind = kind })
+                !pending
+            in
+            pending := [];
+            match (got = expect, !subscribed) with
+            | true, _ -> None
+            | false, _ ->
+                fail "session %d: drained %d events, oracle expected %d" si
+                  (List.length got) (List.length expect))
+        | _ -> (
+            (* edit through the protocol; every subscribed session's
+               oracle expects the event *)
+            let paths =
+              List.rev
+                (Model.fold_index_paths (fun acc p _ -> p :: acc) [] (Store.model store))
+            in
+            let path = Gen.pick g paths in
+            let value = string_of_int (1 + Gen.int g 50) in
+            let before = Store.revision store in
+            let resp =
+              Hub.handle hub s
+                (Sproto.Edit
+                   { path; key = "static_power"; value; unit_spelling = Some "W" })
+            in
+            match resp with
+            | Sproto.Ok (Sproto.Int rev) ->
+                if rev <> before + 1 then
+                  fail "edit bumped revision %d -> %d" before rev
+                else begin
+                  Array.iter
+                    (fun (_, _, sub, pend) ->
+                      if !sub then pend := (rev, path, "static_power") :: !pend)
+                    sessions;
+                  None
+                end
+            | r -> fail "session %d: edit answered %a" si pp_resp r)
+      in
+      let n_ops = 30 + Gen.int g 30 in
+      let rec loop i = if i >= n_ops then None else match step () with Some m -> Some m | None -> loop (i + 1) in
+      let result = loop 0 in
+      (match result with
+      | Some _ -> result
+      | None ->
+          (* closing every session releases all floors and snapshots *)
+          Array.iter (fun (s, _, _, _) -> Hub.close_session hub s) sessions;
+          if Store.pinned_revisions store <> [] then
+            fail "pins survive session close: %a"
+              Fmt.(list ~sep:sp int)
+              (Store.pinned_revisions store)
+          else if Hub.snapshot_count hub <> 0 then
+            fail "%d snapshot handles survive session close" (Hub.snapshot_count hub)
+          else None)
+
 (* --- the property table --- *)
 
 (* Each property generates its case input from (seed, name, case) and
@@ -642,6 +832,7 @@ let properties =
               Some (Option.value ~default:msg (check_psm min), Fmt.str "%a" Gen.pp_machine min));
     };
     element_property "store-incremental" Gen.document check_store_incremental;
+    element_property "serve-mvcc" Gen.document check_serve_mvcc;
     element_property "elaborate-deterministic" Gen.document check_deterministic;
     {
       p_name = "bootstrap-fault-tolerant";

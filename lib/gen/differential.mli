@@ -1,7 +1,7 @@
 (** Differential properties: optimized fast paths vs. naive oracles on
     generated inputs, with replayable seeds and greedy shrinking.
 
-    Eight property families (see docs/TESTING.md):
+    Nine property families (see docs/TESTING.md):
 
     {ul
     {- [query-vs-oracle]: indexed {!Xpdl_query.Query}/{!Xpdl_toolchain.Ir}
@@ -13,6 +13,15 @@
        bit-identical to a from-scratch recomputation on the current
        model after each step, including a tracked {!Xpdl_query.Query}
        handle vs. a rebuilt one, and the edit journal stays replayable;}
+    {- [serve-mvcc]: random interleavings of query/edit/pin/subscribe
+       requests from several simulated client sessions against an
+       in-process {!Xpdl_serve.Hub} answer exactly as a sequential
+       oracle replay — head queries match a fresh handle on the current
+       model, pinned queries match (bit-identically) a fresh handle on
+       the model captured at pin time even across journal compaction,
+       pinned revisions stay journal-replayable, subscribers see exactly
+       the edits journaled while subscribed, and closing every session
+       reclaims all pins and snapshot handles;}
     {- [print-parse-roundtrip]: [Parse.string ∘ Print.to_string] is the
        identity up to insignificant whitespace, and printing is a
        fixpoint;}

@@ -61,13 +61,23 @@ let fresh_memo () =
     mc_installed = None;
   }
 
-let memoize tbl key compute =
-  match Hashtbl.find_opt tbl key with
+(* Memo tables are shared by every domain holding the handle, and a bare
+   [Hashtbl] is not safe under concurrent mutation.  Probes and inserts
+   run under the handle's mutex; the compute itself runs outside it
+   (computes re-enter the handle through [sync]), so two domains racing
+   on a cold entry may both compute — they then agree bit-for-bit (the
+   IR is immutable during reads) and the first insert wins. *)
+let memoize lock tbl key compute =
+  match Mutex.protect lock (fun () -> Hashtbl.find_opt tbl key) with
   | Some v -> v
   | None ->
       let v = compute () in
-      Hashtbl.add tbl key v;
-      v
+      Mutex.protect lock (fun () ->
+          match Hashtbl.find_opt tbl key with
+          | Some v' -> v'
+          | None ->
+              Hashtbl.add tbl key v;
+              v)
 
 (* Where the handle's IR comes from.  [Fixed] handles wrap an immutable
    IR (a file, an in-memory build): their memos never need invalidation.
@@ -81,7 +91,12 @@ type origin =
   | Fixed
   | Tracked of { store : Store.t; drop : string list; mutable synced_rev : int }
 
-type t = { mutable ir : Ir.t; source : string; memo : memo; origin : origin }
+(* [lock] serializes memo-table access and journal synchronization so
+   several domains can read one handle concurrently (snapshot serving).
+   Concurrent {e reads} are safe; an edit to a tracked handle's store
+   must still be externally ordered against readers of that handle — the
+   server does this by running all head-handle traffic on one domain. *)
+type t = { mutable ir : Ir.t; source : string; memo : memo; origin : origin; lock : Mutex.t }
 
 exception Query_error of string
 
@@ -138,6 +153,7 @@ let sync t =
   match t.origin with
   | Fixed -> ()
   | Tracked tr ->
+      Mutex.protect t.lock @@ fun () ->
       let rev = Store.revision tr.store in
       if rev <> tr.synced_rev then begin
         let rebuild () =
@@ -177,17 +193,18 @@ let k_frequency = Ir.intern "frequency"
 (** Load a runtime-model file produced by the XPDL processing tool. *)
 let init path : t =
   match Ir.of_file path with
-  | ir -> { ir; source = path; memo = fresh_memo (); origin = Fixed }
+  | ir -> { ir; source = path; memo = fresh_memo (); origin = Fixed; lock = Mutex.create () }
   | exception Ir.Corrupt d ->
       error "cannot load runtime model %s: [%s] %s" path d.Diagnostic.code d.Diagnostic.message
   | exception Sys_error msg -> error "cannot load runtime model: %s" msg
 
 (** Wrap an in-memory runtime model (composition-time introspection). *)
-let of_ir ?(source = "<memory>") ir = { ir; source; memo = fresh_memo (); origin = Fixed }
+let of_ir ?(source = "<memory>") ir =
+  { ir; source; memo = fresh_memo (); origin = Fixed; lock = Mutex.create () }
 
 (** Build directly from a composed model element (tests, tools). *)
 let of_model ?(source = "<model>") m =
-  { ir = Ir.of_model m; source; memo = fresh_memo (); origin = Fixed }
+  { ir = Ir.of_model m; source; memo = fresh_memo (); origin = Fixed; lock = Mutex.create () }
 
 (** Follow an incremental model store: the handle lazily consumes the
     store's edit journal instead of being thrown away on every change. *)
@@ -200,6 +217,7 @@ let of_store ?(drop = []) ?source store =
     source;
     memo = fresh_memo ();
     origin = Tracked { store; drop; synced_rev = Store.revision store };
+    lock = Mutex.create ();
   }
 
 let runtime_ir t =
@@ -368,13 +386,13 @@ let resolve_within ?within t =
     synthesized attribute. *)
 let count_cores ?within t =
   let within = resolve_within ?within t in
-  memoize t.memo.mc_count_cores within.Ir.n_index (fun () ->
+  memoize t.lock t.memo.mc_count_cores within.Ir.n_index (fun () ->
       count t ~within (fun n -> Schema.equal_kind n.Ir.n_kind Schema.Core))
 
 (** Devices supporting the CUDA programming model in the subtree. *)
 let count_cuda_devices ?within t =
   let within = resolve_within ?within t in
-  memoize t.memo.mc_cuda_devices within.Ir.n_index (fun () ->
+  memoize t.lock t.memo.mc_cuda_devices within.Ir.n_index (fun () ->
       count t ~within (fun n ->
           Schema.equal_kind n.Ir.n_kind Schema.Device
           && List.exists
@@ -391,7 +409,7 @@ let count_cuda_devices ?within t =
     the bottom-up aggregation of Sec. III-D. *)
 let total_static_power ?within t =
   let within = resolve_within ?within t in
-  memoize t.memo.mc_static_power within.Ir.n_index (fun () ->
+  memoize t.lock t.memo.mc_static_power within.Ir.n_index (fun () ->
       hardware_fold t within
         (fun acc n ->
           if Schema.is_hardware n.Ir.n_kind then
@@ -404,7 +422,7 @@ let total_static_power ?within t =
 (** Total memory capacity (bytes) of the subtree's memory modules. *)
 let total_memory_bytes ?within t =
   let within = resolve_within ?within t in
-  memoize t.memo.mc_memory_bytes within.Ir.n_index (fun () ->
+  memoize t.lock t.memo.mc_memory_bytes within.Ir.n_index (fun () ->
       hardware_fold t within
         (fun acc n ->
           if Schema.equal_kind n.Ir.n_kind Schema.Memory then
@@ -414,7 +432,7 @@ let total_memory_bytes ?within t =
 
 let core_frequencies ?within t =
   let within = resolve_within ?within t in
-  memoize t.memo.mc_frequencies within.Ir.n_index (fun () ->
+  memoize t.lock t.memo.mc_frequencies within.Ir.n_index (fun () ->
       List.rev
         (hardware_fold t within
            (fun acc n ->
@@ -440,7 +458,7 @@ let max_frequency ?within t =
     [<programming_model>] under [<software>]). *)
 let installed_software t : element list =
   sync t;
-  match t.memo.mc_installed with
+  match Mutex.protect t.lock (fun () -> t.memo.mc_installed) with
   | Some l -> l
   | None ->
       let l =
@@ -454,8 +472,12 @@ let installed_software t : element list =
               (children t sw))
           (all_of_kind t Schema.Software)
       in
-      t.memo.mc_installed <- Some l;
-      l
+      Mutex.protect t.lock (fun () ->
+          match t.memo.mc_installed with
+          | Some l -> l
+          | None ->
+              t.memo.mc_installed <- Some l;
+              l)
 
 (** Is a software package installed?  Matches the [type] reference or the
     resolved name, e.g. [has_installed q "CUDA_6.0"].  Conditional
@@ -610,15 +632,11 @@ let select_ids t (c : Path.compiled) : int list =
 (** Evaluate a compiled selector over the runtime model. *)
 let select_compiled t (c : Path.compiled) : element list =
   sync t;
-  match Hashtbl.find_opt t.memo.mc_selects c.Path.c_source with
-  | Some r -> r
-  | None ->
-      let r = List.map (Ir.node t.ir) (select_ids t c) in
-      Hashtbl.add t.memo.mc_selects c.Path.c_source r;
-      r
+  memoize t.lock t.memo.mc_selects c.Path.c_source (fun () ->
+      List.map (Ir.node t.ir) (select_ids t c))
 
 let compile t path : Path.compiled =
-  memoize t.memo.mc_selectors path (fun () -> Path.compile path)
+  memoize t.lock t.memo.mc_selectors path (fun () -> Path.compile path)
 
 (** Evaluate a path selector over the runtime model (compiled and cached
     per handle). *)

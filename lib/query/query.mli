@@ -15,7 +15,16 @@
     handle consumes the store's edit journal, patching attribute edits
     into the IR in place and evicting only the memo entries whose subtree
     spans cover an edited node — instead of being thrown away and rebuilt
-    on every model change. *)
+    on every model change.
+
+    Handles are safe to {e read} from several domains concurrently: the
+    per-handle memo tables and journal synchronization are guarded by a
+    mutex (probes and inserts serialize; the derived computations
+    themselves run outside the lock over the immutable IR, so racing
+    readers at worst compute a value twice and agree bit-for-bit).
+    Edits to a tracked handle's store must still be ordered against
+    readers of that same handle by the caller — the model-query server
+    does this by keeping all head-handle traffic on one domain. *)
 
 open Xpdl_core
 module Ir = Xpdl_toolchain.Ir

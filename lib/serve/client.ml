@@ -1,0 +1,66 @@
+(** Blocking protocol client (see the interface). *)
+
+open Xpdl_core
+
+type t = { fd : Unix.file_descr; pending : Protocol.event Queue.t; mutable closed : bool }
+
+exception Client_error of Diagnostic.t
+
+let fail d = raise (Client_error d)
+
+let connect addr =
+  let sa, dom =
+    match addr with
+    | Server.Unix_socket path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+    | Server.Tcp (host, port) ->
+        let ip =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        in
+        (Unix.ADDR_INET (ip, port), Unix.PF_INET)
+  in
+  let fd = Unix.socket dom Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd sa
+   with e ->
+     Unix.close fd;
+     raise e);
+  { fd; pending = Queue.create (); closed = false }
+
+let read_response t =
+  match Frame.read_frame t.fd with
+  | Error d -> fail d
+  | Ok None -> fail (Diagnostic.error ~code:"XPDL700" "connection closed while awaiting a response")
+  | Ok (Some payload) -> (
+      match Protocol.decode_response payload with Ok resp -> resp | Error d -> fail d)
+
+let rec await_reply t =
+  match read_response t with
+  | Protocol.Event ev ->
+      Queue.push ev t.pending;
+      await_reply t
+  | resp -> resp
+
+let request t req =
+  Frame.write_frame t.fd (Protocol.encode_request req);
+  await_reply t
+
+let events t =
+  let evs = List.of_seq (Queue.to_seq t.pending) in
+  Queue.clear t.pending;
+  evs
+
+let wait_events t n =
+  while Queue.length t.pending < n do
+    match read_response t with
+    | Protocol.Event ev -> Queue.push ev t.pending
+    | resp ->
+        fail
+          (Diagnostic.error ~code:"XPDL703" "expected an event, got %a" Protocol.pp_response resp)
+  done;
+  events t
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,29 @@
+(** A blocking protocol client (load generator, tests, tools).
+
+    One connected socket with request/response framing on top of
+    {!Frame}'s blocking transfers.  {!request} demultiplexes
+    server-initiated [Event] pushes (which interleave with replies on a
+    subscribed connection) into a local queue read by {!events}. *)
+
+open Xpdl_core
+
+type t
+
+exception Client_error of Diagnostic.t
+
+(** Connect to a server address.  Raises [Unix.Unix_error]. *)
+val connect : Server.addr -> t
+
+(** Send one request and block for its (non-event) response.  [Event]
+    frames received while waiting are queued.  Raises {!Client_error}
+    on a framing violation ([XPDL700]/[XPDL701]) or unexpected EOF. *)
+val request : t -> Protocol.request -> Protocol.response
+
+(** Events received so far, oldest first; clears the queue. *)
+val events : t -> Protocol.event list
+
+(** Block until at least [n] events are queued (reading frames), then
+    return all queued events. *)
+val wait_events : t -> int -> Protocol.event list
+
+val close : t -> unit

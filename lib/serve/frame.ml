@@ -1,0 +1,133 @@
+(** Length-prefixed framing (see the interface). *)
+
+open Xpdl_core
+
+let max_frame = 16 * 1024 * 1024
+
+let truncated () =
+  Diagnostic.error ~code:"XPDL700" "connection closed in the middle of a frame"
+
+let oversized n =
+  Diagnostic.error ~code:"XPDL701" "announced frame length %d exceeds the %d-byte maximum" n
+    max_frame
+
+let encode payload =
+  let n = String.length payload in
+  if n > max_frame then invalid_arg "Frame.encode: payload exceeds max_frame";
+  let b = Bytes.create (4 + n) in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 b 3 (n land 0xff);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+(* ------------------------------------------------------------------ *)
+(* incremental decoder *)
+
+(* Buffered input lives in [buf]; [pos] is the read cursor.  Consumed
+   prefixes are reclaimed whenever the buffer drains completely (the
+   steady state of a request/response protocol), so the buffer does not
+   grow beyond one partially received frame plus one read chunk. *)
+type decoder = {
+  buf : Buffer.t;
+  mutable pos : int;
+  mutable failed : Diagnostic.t option;  (** sticky oversize error *)
+}
+
+let decoder () = { buf = Buffer.create 4096; pos = 0; failed = None }
+
+let feed d ?(off = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - off in
+  if d.failed = None && len > 0 then Buffer.add_substring d.buf s off len
+
+let available d = Buffer.length d.buf - d.pos
+
+let peek_len d =
+  let b i = Char.code (Buffer.nth d.buf (d.pos + i)) in
+  (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+
+let next d =
+  match d.failed with
+  | Some e -> Error e
+  | None ->
+      if available d < 4 then begin
+        if available d = 0 && Buffer.length d.buf > 0 then begin
+          Buffer.clear d.buf;
+          d.pos <- 0
+        end;
+        Ok None
+      end
+      else
+        let n = peek_len d in
+        if n > max_frame then begin
+          let e = oversized n in
+          d.failed <- Some e;
+          Error e
+        end
+        else if available d < 4 + n then Ok None
+        else begin
+          let payload = Buffer.sub d.buf (d.pos + 4) n in
+          d.pos <- d.pos + 4 + n;
+          if available d = 0 then begin
+            Buffer.clear d.buf;
+            d.pos <- 0
+          end;
+          Ok (Some payload)
+        end
+
+let mid_frame d = available d > 0
+let close d = match d.failed with Some e -> Error e | None -> if mid_frame d then Error (truncated ()) else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* blocking transfers *)
+
+(* Wait until [fd] is ready in the given direction; used to turn
+   EAGAIN/EWOULDBLOCK on a nonblocking descriptor into a bounded wait
+   instead of a busy spin. *)
+let wait_readable fd = ignore (Unix.select [ fd ] [] [] 1.0)
+let wait_writable fd = ignore (Unix.select [] [ fd ] [] 1.0)
+
+let write_frame fd payload =
+  let s = encode payload in
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write fd b !off (n - !off) with
+    | written -> off := !off + written
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> wait_writable fd
+  done
+
+(* Read exactly [want] bytes into [b] at [off..]; false on EOF before
+   the first byte, raises on EOF in the middle (the caller labels it). *)
+exception Eof_mid_read
+
+let read_exactly fd b off want =
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < want do
+    match Unix.read fd b (off + !got) (want - !got) with
+    | 0 -> if !got = 0 then eof := true else raise Eof_mid_read
+    | n -> got := !got + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> wait_readable fd
+  done;
+  not !eof
+
+let read_frame fd =
+  try
+    let hdr = Bytes.create 4 in
+    if not (read_exactly fd hdr 0 4) then Ok None
+    else begin
+      let b i = Bytes.get_uint8 hdr i in
+      let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+      if n > max_frame then Error (oversized n)
+      else if n = 0 then Ok (Some "")
+      else
+        let payload = Bytes.create n in
+        if read_exactly fd payload 0 n then Ok (Some (Bytes.unsafe_to_string payload))
+        else Error (truncated ())
+    end
+  with Eof_mid_read -> Error (truncated ())

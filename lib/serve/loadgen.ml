@@ -1,0 +1,167 @@
+(** Multi-domain load generator (see the interface). *)
+
+module Rng = Xpdl_simhw.Rng
+
+type edit_target = { et_path : int list; et_key : string; et_values : string array }
+
+type mix = {
+  getters : string array;
+  derived : string array;
+  edits : edit_target array;
+  w_getter : int;
+  w_derived : int;
+  w_edit : int;
+  w_pinned : int;
+}
+
+let default_mix =
+  {
+    getters = [| "size"; "multi-node"; "software"; "degraded" |];
+    derived = [| "cores"; "static-power"; "memory"; "cuda-devices" |];
+    edits = [||];
+    w_getter = 60;
+    w_derived = 25;
+    w_edit = 10;
+    w_pinned = 5;
+  }
+
+type mode = Closed | Open of float
+
+type config = { clients : int; duration_s : float; mode : mode; mix : mix; seed : int }
+
+type report = {
+  ops : int;
+  errors : int;
+  elapsed_s : float;
+  throughput : float;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  mean_us : float;
+  max_us : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* one client *)
+
+let pick rng (a : string array) = a.(Rng.int rng (Array.length a))
+
+(* Draw an operation class by weight, then perform it; the returned
+   request list is sent back-to-back and timed as one operation. *)
+let draw_requests cfg rng : Protocol.request list =
+  let m = cfg.mix in
+  let w_edit = if Array.length m.edits = 0 then 0 else m.w_edit in
+  let total = m.w_getter + m.w_derived + w_edit + m.w_pinned in
+  let total = if total = 0 then invalid_arg "Loadgen: empty mix" else total in
+  let r = Rng.int rng total in
+  if r < m.w_getter then [ Protocol.Query { rev = -1; q = pick rng m.getters } ]
+  else if r < m.w_getter + m.w_derived then [ Protocol.Query { rev = -1; q = pick rng m.derived } ]
+  else if r < m.w_getter + m.w_derived + w_edit then begin
+    let et = m.edits.(Rng.int rng (Array.length m.edits)) in
+    [
+      Protocol.Edit
+        {
+          path = et.et_path;
+          key = et.et_key;
+          value = et.et_values.(Rng.int rng (Array.length et.et_values));
+          unit_spelling = None;
+        };
+    ]
+  end
+  else [ Protocol.Pin ]
+
+(* A pinned round-trip needs the revision [Pin] answered before it can
+   query and unpin, so it is driven reply-by-reply here. *)
+let perform cl cfg rng errors = function
+  | [ Protocol.Pin ] -> (
+      match Client.request cl Protocol.Pin with
+      | Protocol.Ok (Int rev) ->
+          let q = pick rng cfg.mix.derived in
+          (match Client.request cl (Protocol.Query { rev; q }) with
+          | Protocol.Ok _ -> ()
+          | _ -> incr errors);
+          (match Client.request cl (Protocol.Unpin rev) with
+          | Protocol.Ok _ -> ()
+          | _ -> incr errors)
+      | _ -> incr errors)
+  | reqs ->
+      List.iter
+        (fun req ->
+          match Client.request cl req with Protocol.Ok _ -> () | _ -> incr errors)
+        reqs
+
+let client_run addr cfg idx =
+  let cl = Client.connect addr in
+  let rng = Rng.split (Rng.create ~seed:cfg.seed) (Fmt.str "client-%d" idx) in
+  let lats = ref [] and ops = ref 0 and errors = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. cfg.duration_s in
+  (match cfg.mode with
+  | Closed ->
+      while Unix.gettimeofday () < deadline do
+        let reqs = draw_requests cfg rng in
+        let s = Unix.gettimeofday () in
+        perform cl cfg rng errors reqs;
+        lats := (Unix.gettimeofday () -. s) *. 1e6 :: !lats;
+        incr ops
+      done
+  | Open rate ->
+      let period = 1. /. rate in
+      let next = ref t0 in
+      while !next < deadline do
+        let now = Unix.gettimeofday () in
+        if now < !next then Unix.sleepf (!next -. now);
+        let reqs = draw_requests cfg rng in
+        perform cl cfg rng errors reqs;
+        (* latency from the scheduled send instant: queueing behind a
+           slow server is the server's latency, not omitted *)
+        lats := (Unix.gettimeofday () -. !next) *. 1e6 :: !lats;
+        incr ops;
+        next := !next +. period
+      done);
+  Client.close cl;
+  (!lats, !ops, !errors)
+
+(* ------------------------------------------------------------------ *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else sorted.(min (n - 1) (int_of_float (Float.of_int n *. p)))
+
+let run addr cfg =
+  if cfg.clients <= 0 then invalid_arg "Loadgen: clients must be positive";
+  let t0 = Unix.gettimeofday () in
+  let workers =
+    List.init cfg.clients (fun idx -> Domain.spawn (fun () -> client_run addr cfg idx))
+  in
+  let results = List.map Domain.join workers in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let lats = Array.of_list (List.concat_map (fun (l, _, _) -> l) results) in
+  Array.sort compare lats;
+  let ops = List.fold_left (fun acc (_, o, _) -> acc + o) 0 results in
+  let errors = List.fold_left (fun acc (_, _, e) -> acc + e) 0 results in
+  let mean_us =
+    if Array.length lats = 0 then Float.nan
+    else Array.fold_left ( +. ) 0. lats /. float_of_int (Array.length lats)
+  in
+  {
+    ops;
+    errors;
+    elapsed_s;
+    throughput = (if elapsed_s > 0. then float_of_int ops /. elapsed_s else 0.);
+    p50_us = percentile lats 0.50;
+    p95_us = percentile lats 0.95;
+    p99_us = percentile lats 0.99;
+    mean_us;
+    max_us = (if Array.length lats = 0 then Float.nan else lats.(Array.length lats - 1));
+  }
+
+let report_to_json r =
+  Fmt.str
+    "{\"ops\":%d,\"errors\":%d,\"elapsed_s\":%.3f,\"throughput_ops_s\":%.1f,\"p50_us\":%.1f,\"p95_us\":%.1f,\"p99_us\":%.1f,\"mean_us\":%.1f,\"max_us\":%.1f}"
+    r.ops r.errors r.elapsed_s r.throughput r.p50_us r.p95_us r.p99_us r.mean_us r.max_us
+
+let pp_report ppf r =
+  Fmt.pf ppf "%d ops (%d errors) in %.2fs: %.0f ops/s, p50 %.0fµs, p95 %.0fµs, p99 %.0fµs"
+    r.ops r.errors r.elapsed_s r.throughput r.p50_us r.p95_us r.p99_us

@@ -1,0 +1,62 @@
+(** The driver-side load generator for the model-query server.
+
+    Spawns [clients] domains, each with its own socket connection and
+    its own deterministic {!Xpdl_simhw.Rng} stream (splitmix64, split
+    from [seed] by client index — identical configs replay identical
+    request sequences).  Each client draws operations from a weighted
+    {!mix} of attribute getters, derived-attribute queries, attribute
+    edits, and pinned-snapshot round-trips (pin → query at the pinned
+    revision → unpin, the MVCC path).
+
+    Two pacing disciplines:
+    {ul
+    {- {!Closed} — send the next request the moment the previous
+       response lands (measures saturated service latency);}
+    {- {!Open} [rate] — each client fires on an independent fixed
+       schedule of [rate] requests/second; latency is measured from the
+       {e scheduled} send time, so queueing delay behind a slow server
+       is charged to the server (no coordinated omission).}}
+
+    Reported latencies are microseconds; percentiles come from the
+    merged, sorted sample of every client's operations. *)
+
+(** An editable attribute slot: the generator cycles [et_values]
+    pseudo-randomly at [et_path]. *)
+type edit_target = { et_path : int list; et_key : string; et_values : string array }
+
+type mix = {
+  getters : string array;  (** query expressions answered from stored attrs *)
+  derived : string array;  (** derived-attribute query expressions *)
+  edits : edit_target array;
+  w_getter : int;
+  w_derived : int;
+  w_edit : int;
+  w_pinned : int;  (** weight of the pin/query/unpin round-trip *)
+}
+
+(** 60% getters / 25% derived / 10% edits / 5% pinned over the stock
+    expressions ([cores], [static-power], …); no edit targets. *)
+val default_mix : mix
+
+type mode = Closed | Open of float  (** requests/second per client *)
+
+type config = { clients : int; duration_s : float; mode : mode; mix : mix; seed : int }
+
+type report = {
+  ops : int;  (** operations completed (a pinned round-trip counts once) *)
+  errors : int;  (** [Err] responses (still timed) *)
+  elapsed_s : float;
+  throughput : float;  (** ops/s across all clients *)
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  mean_us : float;
+  max_us : float;
+}
+
+(** Run the workload against a live server.  Raises if a client cannot
+    connect or a framing error occurs. *)
+val run : Server.addr -> config -> report
+
+val report_to_json : report -> string
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,302 @@
+(** The server's binary protocol codec (see the interface). *)
+
+open Xpdl_core
+
+type event = { ev_rev : int; ev_path : int list; ev_kind : string }
+
+type request =
+  | Ping
+  | Stats
+  | Pin
+  | Unpin of int
+  | Query of { rev : int; q : string }
+  | Edit of { path : int list; key : string; value : string; unit_spelling : string option }
+  | Subscribe
+  | Unsubscribe
+  | Fetch of int
+  | EditsSince of int
+
+type value =
+  | Unit
+  | Int of int
+  | Float of float
+  | Str of string
+  | Blob of string
+  | Strs of string list
+  | Edits of event list
+  | Compacted of int
+
+type response = Ok of value | Err of { code : string; msg : string } | Event of event
+
+(* ------------------------------------------------------------------ *)
+(* writer *)
+
+let w_u8 b v = Buffer.add_uint8 b (v land 0xff)
+let w_i64 b v = Buffer.add_int64_be b (Int64.of_int v)
+let w_f64 b v = Buffer.add_int64_be b (Int64.bits_of_float v)
+
+let w_str b s =
+  Buffer.add_int32_be b (Int32.of_int (String.length s));
+  Buffer.add_string b s
+
+let w_path b path =
+  Buffer.add_uint16_be b (List.length path);
+  List.iter (fun i -> Buffer.add_int32_be b (Int32.of_int i)) path
+
+let w_event b ev =
+  w_i64 b ev.ev_rev;
+  w_path b ev.ev_path;
+  w_str b ev.ev_kind
+
+(* ------------------------------------------------------------------ *)
+(* reader *)
+
+exception Malformed of string
+
+let mal fmt = Fmt.kstr (fun m -> raise (Malformed m)) fmt
+
+type reader = { s : string; mutable pos : int }
+
+let r_need r n = if r.pos + n > String.length r.s then mal "payload truncated (need %d bytes)" n
+
+let r_u8 r =
+  r_need r 1;
+  let v = Char.code r.s.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let r_i64 r =
+  r_need r 8;
+  let v = String.get_int64_be r.s r.pos in
+  r.pos <- r.pos + 8;
+  Int64.to_int v
+
+let r_f64 r =
+  r_need r 8;
+  let v = Int64.float_of_bits (String.get_int64_be r.s r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let r_u16 r =
+  r_need r 2;
+  let v = String.get_uint16_be r.s r.pos in
+  r.pos <- r.pos + 2;
+  v
+
+let r_u32 r =
+  r_need r 4;
+  let v = Int32.to_int (String.get_int32_be r.s r.pos) in
+  r.pos <- r.pos + 4;
+  if v < 0 then mal "negative length";
+  v
+
+let r_str r =
+  let n = r_u32 r in
+  r_need r n;
+  let s = String.sub r.s r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let r_path r =
+  let n = r_u16 r in
+  List.init n (fun _ ->
+      r_need r 4;
+      let v = Int32.to_int (String.get_int32_be r.s r.pos) in
+      r.pos <- r.pos + 4;
+      v)
+
+let r_event r =
+  let ev_rev = r_i64 r in
+  let ev_path = r_path r in
+  let ev_kind = r_str r in
+  { ev_rev; ev_path; ev_kind }
+
+let r_done r = if r.pos <> String.length r.s then mal "%d trailing bytes" (String.length r.s - r.pos)
+
+(* ------------------------------------------------------------------ *)
+(* requests *)
+
+let encode_request req =
+  let b = Buffer.create 32 in
+  (match req with
+  | Ping -> w_u8 b 0x01
+  | Stats -> w_u8 b 0x02
+  | Pin -> w_u8 b 0x03
+  | Unpin r ->
+      w_u8 b 0x04;
+      w_i64 b r
+  | Query { rev; q } ->
+      w_u8 b 0x05;
+      w_i64 b rev;
+      w_str b q
+  | Edit { path; key; value; unit_spelling } ->
+      w_u8 b 0x06;
+      w_path b path;
+      w_str b key;
+      w_str b value;
+      (match unit_spelling with
+      | None -> w_u8 b 0
+      | Some u ->
+          w_u8 b 1;
+          w_str b u)
+  | Subscribe -> w_u8 b 0x07
+  | Unsubscribe -> w_u8 b 0x08
+  | Fetch rev ->
+      w_u8 b 0x09;
+      w_i64 b rev
+  | EditsSince rev ->
+      w_u8 b 0x0a;
+      w_i64 b rev);
+  Buffer.contents b
+
+exception Unknown_op of int
+
+let err_unknown what v = Diagnostic.error ~code:"XPDL702" "unknown %s 0x%02x in request" what v
+let err_malformed msg = Diagnostic.error ~code:"XPDL703" "malformed payload: %s" msg
+
+let decode_request s : (request, Diagnostic.t) result =
+  let r = { s; pos = 0 } in
+  match
+    let op = r_u8 r in
+    let req =
+      match op with
+      | 0x01 -> Ping
+      | 0x02 -> Stats
+      | 0x03 -> Pin
+      | 0x04 -> Unpin (r_i64 r)
+      | 0x05 ->
+          let rev = r_i64 r in
+          let q = r_str r in
+          Query { rev; q }
+      | 0x06 ->
+          let path = r_path r in
+          let key = r_str r in
+          let value = r_str r in
+          let unit_spelling = match r_u8 r with 0 -> None | _ -> Some (r_str r) in
+          Edit { path; key; value; unit_spelling }
+      | 0x07 -> Subscribe
+      | 0x08 -> Unsubscribe
+      | 0x09 -> Fetch (r_i64 r)
+      | 0x0a -> EditsSince (r_i64 r)
+      | op -> raise (Unknown_op op)
+    in
+    r_done r;
+    req
+  with
+  | req -> Result.Ok req
+  | exception Unknown_op op -> Error (err_unknown "opcode" op)
+  | exception Malformed m -> Error (err_malformed m)
+
+(* ------------------------------------------------------------------ *)
+(* responses *)
+
+let w_value b = function
+  | Unit -> w_u8 b 0
+  | Int v ->
+      w_u8 b 1;
+      w_i64 b v
+  | Float v ->
+      w_u8 b 2;
+      w_f64 b v
+  | Str s ->
+      w_u8 b 3;
+      w_str b s
+  | Blob s ->
+      w_u8 b 4;
+      w_str b s
+  | Strs l ->
+      w_u8 b 5;
+      Buffer.add_int32_be b (Int32.of_int (List.length l));
+      List.iter (w_str b) l
+  | Edits l ->
+      w_u8 b 6;
+      Buffer.add_int32_be b (Int32.of_int (List.length l));
+      List.iter (w_event b) l
+  | Compacted head ->
+      w_u8 b 7;
+      w_i64 b head
+
+let r_value r =
+  match r_u8 r with
+  | 0 -> Unit
+  | 1 -> Int (r_i64 r)
+  | 2 -> Float (r_f64 r)
+  | 3 -> Str (r_str r)
+  | 4 -> Blob (r_str r)
+  | 5 ->
+      let n = r_u32 r in
+      Strs (List.init n (fun _ -> r_str r))
+  | 6 ->
+      let n = r_u32 r in
+      Edits (List.init n (fun _ -> r_event r))
+  | 7 -> Compacted (r_i64 r)
+  | t -> mal "unknown value tag %d" t
+
+let encode_response resp =
+  let b = Buffer.create 32 in
+  (match resp with
+  | Ok v ->
+      w_u8 b 0x00;
+      w_value b v
+  | Err { code; msg } ->
+      w_u8 b 0x01;
+      w_str b code;
+      w_str b msg
+  | Event ev ->
+      w_u8 b 0x02;
+      w_event b ev);
+  Buffer.contents b
+
+let decode_response s : (response, Diagnostic.t) result =
+  let r = { s; pos = 0 } in
+  match
+    let status = r_u8 r in
+    let resp =
+      match status with
+      | 0x00 -> Ok (r_value r)
+      | 0x01 ->
+          let code = r_str r in
+          let msg = r_str r in
+          Err { code; msg }
+      | 0x02 -> Event (r_event r)
+      | st -> mal "unknown status byte %d" st
+    in
+    r_done r;
+    resp
+  with
+  | resp -> Result.Ok resp
+  | exception Malformed m -> Error (err_malformed m)
+
+(* ------------------------------------------------------------------ *)
+
+let pp_path ppf p = Fmt.pf ppf "[%a]" Fmt.(list ~sep:sp int) p
+
+let pp_request ppf = function
+  | Ping -> Fmt.pf ppf "ping"
+  | Stats -> Fmt.pf ppf "stats"
+  | Pin -> Fmt.pf ppf "pin"
+  | Unpin r -> Fmt.pf ppf "unpin %d" r
+  | Query { rev; q } -> Fmt.pf ppf "query@%d %S" rev q
+  | Edit { path; key; value; unit_spelling } ->
+      Fmt.pf ppf "edit %a %s=%S%a" pp_path path key value
+        Fmt.(option (fmt ":%s"))
+        unit_spelling
+  | Subscribe -> Fmt.pf ppf "subscribe"
+  | Unsubscribe -> Fmt.pf ppf "unsubscribe"
+  | Fetch rev -> Fmt.pf ppf "fetch@%d" rev
+  | EditsSince rev -> Fmt.pf ppf "edits-since %d" rev
+
+let pp_value ppf = function
+  | Unit -> Fmt.pf ppf "()"
+  | Int v -> Fmt.pf ppf "%d" v
+  | Float v -> Fmt.pf ppf "%h" v
+  | Str s -> Fmt.pf ppf "%S" s
+  | Blob s -> Fmt.pf ppf "<%d bytes>" (String.length s)
+  | Strs l -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:semi (quote string)) l
+  | Edits l -> Fmt.pf ppf "<%d edits>" (List.length l)
+  | Compacted head -> Fmt.pf ppf "compacted (head %d)" head
+
+let pp_response ppf = function
+  | Ok v -> Fmt.pf ppf "ok %a" pp_value v
+  | Err { code; msg } -> Fmt.pf ppf "err [%s] %s" code msg
+  | Event ev -> Fmt.pf ppf "event rev=%d %a %s" ev.ev_rev pp_path ev.ev_path ev.ev_kind

@@ -76,11 +76,26 @@ type t = {
   mutable root : Model.element;
   mutable rev : revision;
   mutable cache : cache;
-  mutable journal : edit list;  (** newest first, at most {!journal_capacity} *)
+  mutable journal : edit list;  (** newest first; holds revisions (rev - journal_len, rev] *)
   mutable journal_len : int;
+  capacity : int;  (** journal retention floor for unpinned consumers *)
+  mutable compact_at : int;  (** journal length at which to next attempt compaction *)
+  pins : (revision, int) Hashtbl.t;  (** pinned revision -> pin count *)
 }
 
-let of_model m = { root = m; rev = 0; cache = cache_of m; journal = []; journal_len = 0 }
+let of_model ?(journal_capacity = journal_capacity) m =
+  if journal_capacity < 1 then invalid_arg "Store.of_model: journal_capacity < 1";
+  {
+    root = m;
+    rev = 0;
+    cache = cache_of m;
+    journal = [];
+    journal_len = 0;
+    capacity = journal_capacity;
+    compact_at = 2 * journal_capacity;
+    pins = Hashtbl.create 7;
+  }
+
 let model t = t.root
 let revision t = t.rev
 let size t = Model.size t.root
@@ -142,16 +157,28 @@ let cache_at t path =
   in
   go t.cache path
 
+(* The oldest revision any consumer may still need replayed: pinned
+   readers (MVCC snapshots, lagging subscribers) hold a floor below
+   which compaction must not reach. *)
+let min_pinned t = Hashtbl.fold (fun r _ acc -> min r acc) t.pins t.rev
+
 let record t path kind =
   t.rev <- t.rev + 1;
   t.journal <- { e_rev = t.rev; e_path = path; e_kind = kind } :: t.journal;
   t.journal_len <- t.journal_len + 1;
-  (* amortized O(1) compaction: let the list grow to twice the retention
-     floor, then drop the older half in one pass — an edit costs O(1)
-     list cells on average instead of an O(capacity) rebuild each time *)
-  if t.journal_len >= 2 * journal_capacity then begin
-    t.journal <- List.filteri (fun i _ -> i < journal_capacity) t.journal;
-    t.journal_len <- journal_capacity
+  (* Amortized O(1) compaction: let the list grow to twice the retention
+     floor, then drop everything older than both the capacity window and
+     the oldest pinned revision in one pass.  While a pin holds the
+     floor down, [compact_at] backs off by a full capacity so a pinned
+     flood still costs O(1) list cells per edit on average instead of an
+     O(length) re-scan each time. *)
+  if t.journal_len >= t.compact_at then begin
+    let floor = min (t.rev - t.capacity) (min_pinned t) in
+    if floor > t.rev - t.journal_len then begin
+      t.journal <- List.filter (fun e -> e.e_rev > floor) t.journal;
+      t.journal_len <- t.rev - floor
+    end;
+    t.compact_at <- max (2 * t.capacity) (t.journal_len + t.capacity)
   end
 
 let update_model t path f =
@@ -228,6 +255,24 @@ let edits_since t r =
   else
     Some (List.rev (List.filter (fun e -> e.e_rev > r) t.journal))
 
+let journal_length t = t.journal_len
+
+(** {1 Revision pinning (MVCC)} *)
+
+let pin t =
+  let r = t.rev in
+  Hashtbl.replace t.pins r (1 + Option.value ~default:0 (Hashtbl.find_opt t.pins r));
+  r
+
+let unpin t r =
+  match Hashtbl.find_opt t.pins r with
+  | None -> err "XPDL404" "unpin of revision %d, which is not pinned" r
+  | Some 1 -> Hashtbl.remove t.pins r
+  | Some n -> Hashtbl.replace t.pins r (n - 1)
+
+let pinned_revisions t =
+  List.sort_uniq compare (Hashtbl.fold (fun r _ acc -> r :: acc) t.pins [])
+
 (** {1 Incremental derived attributes} *)
 
 (* The incremental attribute-grammar evaluator: identical traversal and
@@ -271,5 +316,6 @@ let cached_nodes t =
   go 0 t.cache
 
 let pp ppf t =
-  Fmt.pf ppf "store: %d elements, revision %d, %d cached nodes, %d journaled edits" (size t)
-    t.rev (cached_nodes t) t.journal_len
+  Fmt.pf ppf "store: %d elements, revision %d, %d cached nodes, %d journaled edits, %d pins"
+    (size t) t.rev (cached_nodes t) t.journal_len
+    (Hashtbl.fold (fun _ n acc -> acc + n) t.pins 0)

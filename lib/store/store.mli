@@ -31,7 +31,10 @@ exception Store_error of Diagnostic.t
 
 (** {1 Construction and access} *)
 
-val of_model : Model.element -> t
+(** Wrap a model.  [journal_capacity] is this store's journal retention
+    floor (default {!journal_capacity}); small capacities are useful to
+    exercise compaction in tests. *)
+val of_model : ?journal_capacity:int -> Model.element -> t
 
 (** The current model tree (an immutable snapshot: edits never mutate a
     returned tree). *)
@@ -91,10 +94,36 @@ type edit = { e_rev : revision; e_path : index_path; e_kind : edit_kind }
     consumer must rebuild from {!model}). *)
 val edits_since : t -> revision -> edit list option
 
-(** Journal retention floor: at least this many of the most recent edits
-    are always replayable (compaction is amortized, so up to twice as
-    many may be retained at any moment). *)
+(** Default journal retention floor: at least this many of the most
+    recent edits are always replayable (compaction is amortized, so up
+    to twice as many may be retained at any moment), and edits newer
+    than the oldest {e pinned} revision are always retained regardless
+    of capacity. *)
 val journal_capacity : int
+
+(** Journal entries currently retained. *)
+val journal_length : t -> int
+
+(** {1 Revision pinning (MVCC)}
+
+    A pinned revision is a retention floor: as long as revision [r] is
+    pinned, {!edits_since}[ t r] stays replayable ([Some]) no matter how
+    many edits the writer journals — compaction never reaches past the
+    oldest pin.  Readers pin, capture an immutable snapshot
+    ({!model} never mutates returned trees), and later either catch up
+    from the journal or {!unpin} to release the floor.  The journal
+    grows unboundedly while a lagging pin is held; reclamation happens
+    at the first compaction after the pin is dropped. *)
+
+(** Pin the current revision (reentrant: pin counts nest) and return it. *)
+val pin : t -> revision
+
+(** Release one pin on [r].  Raises {!Store_error} ([XPDL404]) if [r]
+    is not pinned. *)
+val unpin : t -> revision -> unit
+
+(** Currently pinned revisions, ascending, without duplicates. *)
+val pinned_revisions : t -> revision list
 
 (** {1 Incremental derived attributes}
 

@@ -135,6 +135,13 @@ let test_registry_sane () =
       Alcotest.(check bool) (c ^ " is an error") true
         (Diagnostic.default_severity c = Some Diagnostic.Error))
     [ "XPDL601"; "XPDL602"; "XPDL603"; "XPDL604"; "XPDL605"; "XPDL606"; "XPDL607" ];
+  (* the XPDL7xx band: model-query server protocol *)
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c ^ " registered") true (Diagnostic.describe c <> None))
+    [ "XPDL700"; "XPDL701"; "XPDL702"; "XPDL703"; "XPDL704"; "XPDL705"; "XPDL706"; "XPDL707" ];
+  Alcotest.(check bool) "XPDL707 defaults to info" true
+    (Diagnostic.default_severity "XPDL707" = Some Diagnostic.Info);
   Alcotest.(check bool) "unknown code undescribed" true (Diagnostic.describe "XPDL999" = None)
 
 let test_cap () =
