@@ -1013,11 +1013,131 @@ let e16 () =
   if bitexact <> 1. then failwith "E16: pinned snapshot drifted under a concurrent writer"
 
 (* ------------------------------------------------------------------ *)
+(* E17: design-space exploration — parallel sweep throughput *)
+
+(* The committed 3-axis SpMV sweep template (27 points, 6 pruned by the
+   ncores*freq power-budget constraint) evaluated sequentially and on 4
+   domains.  The acceptance probe is determinism: the 4-domain report
+   must be byte-identical to the sequential one at the same seed.
+   Speedup scales with the host's core count; on a single-core container
+   the parallel arm measures domain-scheduling overhead only. *)
+(* The committed examples/spmv_sweep.xpdl platform with denser declared
+   range ladders (5 x 7 x 8 = 280 points; the socket power budget prunes
+   64), so the grid is large enough to amortize domain startup — the
+   sweep points themselves cost a few hundred us each (instantiate +
+   bootstrap + query). *)
+let e17_template =
+  {|<system id="spmv_sweep_dense">
+  <cpu id="host_cpu">
+    <param name="ncores" type="integer" value="4" range="2,3,4,5,6" />
+    <param name="freq" type="frequency" frequency="2.4" unit="GHz"
+           range="1.8,2.0,2.2,2.4,2.6,2.8,3.0" />
+    <constraints>
+      <constraint expr="ncores * freq &lt;= 12.5e9" />
+    </constraints>
+    <group prefix="hc" quantity="ncores">
+      <core frequency="freq" isa="x86_base_isa" static_power="1.2" static_power_unit="W">
+        <cache size="256" unit="KB" level="2" latency="12" latency_unit="ns" />
+      </core>
+    </group>
+  </cpu>
+  <memory id="main_mem" size="16" unit="GiB" latency="60" latency_unit="ns"
+          static_power="2.5" static_power_unit="W" />
+  <device id="gpu1">
+    <param name="pciebw" value="8e9"
+           range="2e9,4e9,6e9,8e9,10e9,12e9,14e9,16e9" />
+    <group prefix="sm" quantity="8">
+      <core frequency="0.7" frequency_unit="GHz" isa="ptx_isa"
+            static_power="0.01" static_power_unit="W" />
+    </group>
+    <memory id="gpu_mem" size="4" unit="GiB" static_power="1.0" static_power_unit="W" />
+  </device>
+  <interconnects>
+    <interconnect id="pcie_link" head="host_cpu" tail="gpu1">
+      <channel name="lanes" max_bandwidth="pciebw" />
+    </interconnect>
+  </interconnects>
+  <software>
+    <hostOS id="os1" type="Linux_3.13" />
+    <installed type="MKL_11.0" path="/opt/intel/mkl" />
+    <installed type="CUDA_6.0" path="/usr/local/cuda6.0" />
+    <installed type="CUSPARSE_6.0" path="/usr/local/cuda6.0/lib64" />
+  </software>
+  <power_model name="sweep_pm">
+    <instructions name="x86_base_isa" mb="sweep_mb">
+      <inst name="fmul" energy="?" energy_unit="pJ" mb="fm1" latency="5" throughput="1" />
+      <inst name="fadd" energy="?" energy_unit="pJ" mb="fa1" latency="3" throughput="1" />
+      <inst name="ld" energy="?" energy_unit="pJ" mb="ld1" latency="4" throughput="1" />
+      <inst name="st" energy="52" energy_unit="pJ" latency="4" throughput="1" />
+      <inst name="add" energy="21" energy_unit="pJ" latency="1" throughput="2" />
+    </instructions>
+    <microbenchmarks name="sweep_mb" instruction_set="x86_base_isa"
+                     path="/usr/local/micr/src" command="mbscript.sh">
+      <microbenchmark id="fm1" type="fmul" file="fmul.c" cflags="-O0" lflags="-lm" iterations="100000" />
+      <microbenchmark id="fa1" type="fadd" file="fadd.c" cflags="-O0" lflags="-lm" iterations="100000" />
+      <microbenchmark id="ld1" type="ld" file="ld.c" cflags="-O0" iterations="100000" />
+    </microbenchmarks>
+  </power_model>
+</system>|}
+
+let e17 () =
+  header "E17: design-space sweep (sequential vs 4-domain parallel)";
+  let module Dse = Xpdl_dse.Dse in
+  let tmpl = fst (Xpdl_core.Elaborate.of_xml (Xpdl_xml.Parse.string_exn e17_template)) in
+  let config jobs =
+    {
+      Dse.default_config with
+      Dse.jobs;
+      workload = { Dse.wl_rows = 1024; wl_density = 0.05; wl_iterations = 2 };
+    }
+  in
+  let run jobs =
+    match Dse.run ~config:(config jobs) tmpl with
+    | Ok r -> r
+    | Error d -> failwith (Fmt.str "E17: sweep failed: %a" Xpdl_core.Diagnostic.pp d)
+  in
+  ignore (run 1);
+  (* warmed; time the best of a few repetitions (one-sided noise) *)
+  let reps = if quota_s >= 0.25 then 3 else 1 in
+  let best jobs =
+    let t = ref infinity and last = ref None in
+    for _ = 1 to reps do
+      let r, dt = wall (fun () -> run jobs) in
+      if dt < !t then t := dt;
+      last := Some r
+    done;
+    (Option.get !last, !t)
+  in
+  let r_seq, t_seq = best 1 in
+  let r_par, t_par = best 4 in
+  let points = float_of_int r_seq.Dse.rp_space in
+  let seq_pps = points /. t_seq and par_pps = points /. t_par in
+  let speedup = t_seq /. t_par in
+  let bitexact =
+    if String.equal (Dse.report_to_json r_seq) (Dse.report_to_json r_par) then 1. else 0.
+  in
+  record ~metric:"dse/points" ~value:points ~unit_:"count" ();
+  record ~metric:"dse/front_size"
+    ~value:(float_of_int (List.length r_seq.Dse.rp_front))
+    ~unit_:"count" ();
+  record ~metric:"dse/seq/points_per_s" ~value:seq_pps ~unit_:"points/s" ();
+  record ~metric:"dse/par4/points_per_s" ~value:par_pps ~unit_:"points/s" ();
+  record ~metric:"dse/par4/speedup" ~value:speedup ~unit_:"x" ();
+  record ~metric:"dse/par4/bitexact" ~value:bitexact ~unit_:"bool" ();
+  Fmt.pr
+    "  %d points (%d evaluated, %d pruned, front %d): seq %.2f pts/s, 4-domain %.2f pts/s (%.2fx, %s)@."
+    r_seq.Dse.rp_space r_seq.Dse.rp_evaluated r_seq.Dse.rp_pruned
+    (List.length r_seq.Dse.rp_front) seq_pps par_pps speedup
+    (if bitexact = 1. then "byte-identical" else "DIVERGED");
+  if bitexact <> 1. then
+    failwith "E17: parallel sweep diverged from sequential at the same seed"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
     ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
-    ("E14", e14); ("E15", e15); ("E16", e16) ]
+    ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17) ]
 
 let () =
   let json_file = ref None in

@@ -612,6 +612,146 @@ let fuzz_cmd =
           print/parse round-trip, parser recovery, PSM routing, determinism)")
     Term.(const run $ seed $ count $ props $ progress)
 
+(* --- dse --- *)
+
+let dse_cmd =
+  let template_arg =
+    let doc = "Parameterized platform template (.xpdl file with ranged <param> axes)." in
+    Arg.(required & opt (some file) None & info [ "template" ] ~docv:"FILE" ~doc)
+  in
+  let axis_arg =
+    let doc =
+      "Override/add a sweep axis, name=v1,v2,... (repeatable); values accept :unit suffixes \
+       (freq=1.8:GHz,2.4:GHz).  Without --axis, axes come from the template's ranged params."
+    in
+    Arg.(value & opt_all string [] & info [ "a"; "axis" ] ~docv:"SPEC" ~doc)
+  in
+  let sample_arg =
+    let doc = "Evaluate a seeded splitmix64 sample of $(docv) distinct points." in
+    Arg.(value & opt (some int) None & info [ "sample" ] ~docv:"N" ~doc)
+  in
+  let exhaustive_arg =
+    let doc = "Evaluate the full cartesian grid (the default)." in
+    Arg.(value & flag & info [ "exhaustive" ] ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Evaluation domains.  Any value yields byte-identical reports at the same seed."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Sweep seed: sampling stream and every per-point machine seed derive from it." in
+    Arg.(value & opt int Xpdl_dse.Dse.default_config.Xpdl_dse.Dse.seed
+         & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let rows_arg =
+    let doc = "SpMV case-study matrix rows." in
+    Arg.(value & opt int Xpdl_dse.Dse.default_workload.Xpdl_dse.Dse.wl_rows
+         & info [ "rows" ] ~docv:"N" ~doc)
+  in
+  let density_arg =
+    let doc = "SpMV nonzero density." in
+    Arg.(value & opt float Xpdl_dse.Dse.default_workload.Xpdl_dse.Dse.wl_density
+         & info [ "density" ] ~docv:"D" ~doc)
+  in
+  let iterations_arg =
+    let doc = "Solver sweeps over the same matrix (GPU amortizes its transfer across them)." in
+    Arg.(value & opt int Xpdl_dse.Dse.default_workload.Xpdl_dse.Dse.wl_iterations
+         & info [ "iterations" ] ~docv:"N" ~doc)
+  in
+  let fault_rate_arg =
+    let doc = "Inject meter faults into every point's bootstrap (0 disables injection)." in
+    Arg.(value & opt float 0. & info [ "fault-rate" ] ~docv:"P" ~doc)
+  in
+  let fault_seed_arg =
+    let doc = "Base seed of the per-point fault-injection plans." in
+    Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"N" ~doc)
+  in
+  (* Load the template: parse + elaborate only — instantiation happens
+     per sweep point inside the engine. *)
+  let load_template path : (Model.element, Diagnostic.t list) result =
+    match Xpdl_xml.Parse.file_recover ~lenient:true path with
+    | Error msg -> Error [ Diagnostic.error ~code:"XPDL303" "cannot load %s: %s" path msg ]
+    | Ok (root, parse_errors) -> (
+        let pdiags = List.map Diagnostic.of_parse_error parse_errors in
+        match root with
+        | None -> Error pdiags
+        | Some x -> (
+            let nodes =
+              match x.Xpdl_xml.Dom.tag with
+              | "xpdl" | "repository" -> Xpdl_xml.Dom.child_elements x
+              | _ -> [ x ]
+            in
+            match nodes with
+            | [] ->
+                Error
+                  (pdiags @ [ Diagnostic.error ~code:"XPDL303" "%s: no template element" path ])
+            | node :: _ ->
+                let e, ediags = Elaborate.of_xml node in
+                let diags = pdiags @ ediags in
+                if Diagnostic.all_ok diags then Ok e else Error diags))
+  in
+  let run format max_errors template axes sample exhaustive jobs seed rows density iterations
+      fault_rate fault_seed =
+    setup_logs ();
+    ignore exhaustive;
+    match load_template template with
+    | Error diags -> emit_diags ~format ?max_errors diags
+    | Ok tmpl -> (
+        let axis_results = List.map Xpdl_dse.Dse.parse_axis_spec axes in
+        let axis_errors =
+          List.filter_map (function Error d -> Some d | Ok _ -> None) axis_results
+        in
+        if axis_errors <> [] then emit_diags ~format ?max_errors axis_errors
+        else
+          let axes =
+            match List.filter_map Result.to_option axis_results with
+            | [] -> None
+            | l -> Some l
+          in
+          let config =
+            {
+              Xpdl_dse.Dse.default_config with
+              jobs;
+              seed;
+              plan =
+                (match sample with
+                | Some n -> Xpdl_dse.Dse.Sample n
+                | None -> Xpdl_dse.Dse.Exhaustive);
+              workload = { wl_rows = rows; wl_density = density; wl_iterations = iterations };
+              faults = (if fault_rate > 0. then Some (fault_seed, fault_rate) else None);
+            }
+          in
+          let t0 = Unix.gettimeofday () in
+          match Xpdl_dse.Dse.run ~config ?axes tmpl with
+          | Error d -> emit_diags ~format ?max_errors [ d ]
+          | Ok report ->
+              let elapsed = Unix.gettimeofday () -. t0 in
+              (match format with
+              | Text ->
+                  Fmt.pr "%a" Xpdl_dse.Dse.pp_report report;
+                  Fmt.pr "elapsed: %.2f s@." elapsed
+              | Json ->
+                  (* canonical report plus a "timing" member consumers
+                     strip before byte-comparing runs *)
+                  let body = Xpdl_dse.Dse.report_to_json report in
+                  let body = String.sub body 0 (String.length body - 1) in
+                  Fmt.pr {|%s,"timing":{"elapsed_s":%.6f}}@.|} body elapsed);
+              Xpdl_dse.Dse.exit_code report)
+  in
+  Cmd.v
+    (Cmd.info "dse"
+       ~doc:
+         "Design-space exploration: sweep a parameterized platform template over its param \
+          axes (full grid or seeded sample), evaluate every point through instantiate -> \
+          bootstrap -> SpMV composition on simhw, and report the Pareto front over (energy, \
+          time, static power) with per-axis sensitivities")
+    Term.(
+      const run $ format_arg $ max_errors_arg $ template_arg $ axis_arg $ sample_arg
+      $ exhaustive_arg $ jobs_arg $ seed_arg $ rows_arg $ density_arg $ iterations_arg
+      $ fault_rate_arg $ fault_seed_arg)
+
 (* --- serve / loadgen --- *)
 
 (* Server address options shared by serve and loadgen: a unix-domain
@@ -923,7 +1063,7 @@ let () =
        (Cmd.group info
           [
             list_cmd; validate_cmd; validate_all_cmd; compose_cmd; analyze_cmd; process_cmd;
-            bootstrap_cmd; query_cmd; serve_cmd; loadgen_cmd; verify_cmd; fuzz_cmd;
+            bootstrap_cmd; query_cmd; dse_cmd; serve_cmd; loadgen_cmd; verify_cmd; fuzz_cmd;
             emit_cpp_cmd; emit_uml_cmd; emit_xsd_cmd; emit_drivers_cmd; control_cmd;
             to_pdl_cmd; to_json_cmd;
           ]))

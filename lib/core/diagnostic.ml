@@ -13,7 +13,9 @@
     - [XPDL5xx] — deployment-bootstrap robustness diagnostics (fault
       injection, retry/quarantine, graceful degradation);
     - [XPDL6xx] — runtime-model codec diagnostics (corrupt or truncated
-      [.xrt] arena files).
+      [.xrt] arena files);
+    - [XPDL7xx] — model-query server protocol diagnostics;
+    - [XPDL8xx] — design-space exploration sweep diagnostics.
 
     [XPDL000] is the uncategorized default for legacy call sites. *)
 
@@ -118,6 +120,14 @@ let registry : (string * severity * string) list =
     ("XPDL705", Error, "serve edit rejected by the model store");
     ("XPDL706", Error, "serve revision is not a pinned snapshot of this session");
     ("XPDL707", Info, "serve journal compacted past the requested revision; full resync needed");
+    (* XPDL8xx — design-space exploration sweeps *)
+    ("XPDL801", Error, "dse template declares no sweep axes");
+    ("XPDL802", Error, "dse axis specification is malformed");
+    ("XPDL803", Info, "dse point pruned: range/constraint failure at this configuration");
+    ("XPDL804", Warning, "dse point evaluation failed; point dropped from the front");
+    ("XPDL805", Info, "dse point bootstrapped below full quality (degradation ladder)");
+    ("XPDL806", Info, "dse sample quota covers the whole space; sweep made exhaustive");
+    ("XPDL807", Info, "dse front empty: every selected point was pruned or failed");
   ]
 
 let describe code =

@@ -51,10 +51,11 @@ type t =
 
 exception Error of string
 
-(** Raised when evaluation hits a NaN where a meaningful result is
-    required (NaN divisor/modulus, NaN comparison operand): [d = 0.]
-    guards miss NaN, and NaN comparisons silently yield [false], so
-    constraints would otherwise "pass" or "fail" arbitrarily. *)
+(** Raised when evaluation cannot produce a meaningful finite result:
+    a zero or NaN divisor/modulus, or a NaN comparison operand.  NaN
+    comparisons silently yield [false] and x/0 has no finite value, so
+    constraints would otherwise "pass" or "fail" arbitrarily; callers
+    (constraint checking) turn this into XPDL215 and prune. *)
 exception Non_finite of string
 
 let fail fmt = Fmt.kstr (fun m -> raise (Error m)) fmt
@@ -288,12 +289,12 @@ and eval_binary env op l r =
   | Mul -> Num (num (eval env l) *. num (eval env r))
   | Div ->
       let d = num (eval env r) in
-      if d = 0. then fail "division by zero"
+      if d = 0. then fail_non_finite "division by zero"
       else if Float.is_nan d then fail_non_finite "division by NaN"
       else Num (num (eval env l) /. d)
   | Mod ->
       let d = num (eval env r) in
-      if d = 0. then fail "modulo by zero"
+      if d = 0. then fail_non_finite "modulo by zero"
       else if Float.is_nan d then fail_non_finite "modulo by NaN"
       else Num (Float.rem (num (eval env l)) d)
   | Eq -> Bool (value_equal (eval env l) (eval env r))

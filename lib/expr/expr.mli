@@ -29,10 +29,10 @@ type t =
 (** Raised on parse or evaluation failures, with a printable message. *)
 exception Error of string
 
-(** Raised when evaluation hits a NaN where a meaningful result is
-    required (NaN divisor/modulus, NaN comparison operand); distinct from
+(** Raised when evaluation cannot produce a meaningful finite result
+    (zero or NaN divisor/modulus, NaN comparison operand); distinct from
     {!Error} so constraint checking can report it as a definite coded
-    error instead of "not checkable". *)
+    error (XPDL215) instead of "not checkable". *)
 exception Non_finite of string
 
 (** Parse an expression string.  Raises {!Error} on malformed input. *)
@@ -55,9 +55,9 @@ val empty_env : env
 val env_of_list : (string * value) list -> env
 
 (** Evaluate; raises {!Error} on unbound identifiers, type mismatches,
-    division by zero, or unknown functions, and {!Non_finite} on NaN
-    divisors or NaN comparison operands.  The bare identifiers [true]
-    and [false] evaluate to booleans when unbound. *)
+    or unknown functions, and {!Non_finite} on zero or NaN divisors and
+    NaN comparison operands.  The bare identifiers [true] and [false]
+    evaluate to booleans when unbound. *)
 val eval : env -> t -> value
 
 (** Evaluate to a boolean; the usual entry point for constraints. *)

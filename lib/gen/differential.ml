@@ -14,6 +14,7 @@ module Psm = Xpdl_energy.Psm
 module Power = Xpdl_core.Power
 module Aggregate = Xpdl_energy.Aggregate
 module Store = Xpdl_store.Store
+module Dse = Xpdl_dse.Dse
 
 type failure = {
   f_property : string;
@@ -776,6 +777,119 @@ let check_serve_mvcc (doc : Dom.element) : string option =
             fail "%d snapshot handles survive session close" (Hub.snapshot_count hub)
           else None)
 
+(* --- dse: engine Pareto front vs a brute-force oracle --- *)
+
+(* The engine computes the front with a sorted incremental scan over a
+   mixed-radix grid decode; the oracle re-enumerates the grid with an
+   independent nested-product expansion and does the naive O(n^2)
+   all-pairs dominance check.  Both share [eval_point], so a divergence
+   pins enumeration order, parallel scheduling or front computation.
+   When [parallel] is drawn, the whole report must additionally be
+   byte-identical at [jobs = 4] and [jobs = 1]. *)
+let check_dse_pareto doc ~sweep_seed ~rows ~density ~parallel =
+  guarded @@ fun () ->
+  let tmpl, ediags = Elaborate.of_xml doc in
+  if not (Diagnostic.all_ok ediags) then None (* shrunk into an invalid doc *)
+  else
+    let axes = Dse.axes_of_template tmpl in
+    let total =
+      List.fold_left (fun t (ax : Dse.axis) -> t * Array.length ax.Dse.ax_values) 1 axes
+    in
+    if axes = [] || total > 64 then None
+    else
+      let config =
+        {
+          Dse.default_config with
+          Dse.seed = sweep_seed;
+          workload = { Dse.wl_rows = rows; wl_density = density; wl_iterations = 1 };
+          policy = { Xpdl_microbench.Resilient.default_policy with repetitions = 2 };
+        }
+      in
+      match Dse.run ~config tmpl with
+      | Error d -> Some (Fmt.str "engine refused the sweep: %s" d.Diagnostic.message)
+      | Ok report -> (
+          (* independent row-major enumeration: first axis slowest *)
+          let all_bindings =
+            List.fold_left
+              (fun prefixes (ax : Dse.axis) ->
+                List.concat_map
+                  (fun prefix ->
+                    List.map
+                      (fun v -> prefix @ [ (ax.Dse.ax_name, v) ])
+                      (Array.to_list ax.Dse.ax_values))
+                  prefixes)
+              [ [] ] axes
+          in
+          let oracle_pts =
+            List.mapi
+              (fun index bindings ->
+                Dse.eval_point ~template:tmpl ~cfg:config ~index ~bindings)
+              all_bindings
+          in
+          let oracle_evaluated =
+            List.filter_map
+              (fun (p : Dse.point) ->
+                match p.Dse.pt_status with
+                | Dse.Evaluated o -> Some (p.Dse.pt_index, o)
+                | _ -> None)
+              oracle_pts
+          in
+          (* naive dominance, written out independently of Dse.dominates *)
+          let dom (a : Dse.objectives) (b : Dse.objectives) =
+            let le = a.Dse.o_energy <= b.Dse.o_energy
+                     && a.Dse.o_time <= b.Dse.o_time
+                     && a.Dse.o_static_power <= b.Dse.o_static_power
+            and lt = a.Dse.o_energy < b.Dse.o_energy
+                     || a.Dse.o_time < b.Dse.o_time
+                     || a.Dse.o_static_power < b.Dse.o_static_power
+            in
+            le && lt
+          in
+          let oracle_front =
+            List.filter
+              (fun (i, o) ->
+                not (List.exists (fun (j, p) -> j <> i && dom p o) oracle_evaluated))
+              oracle_evaluated
+            |> List.map fst |> List.sort compare
+          in
+          let same_status (a : Dse.status) (b : Dse.status) =
+            match (a, b) with
+            | Dse.Evaluated x, Dse.Evaluated y ->
+                Float.equal x.Dse.o_energy y.Dse.o_energy
+                && Float.equal x.Dse.o_time y.Dse.o_time
+                && Float.equal x.Dse.o_static_power y.Dse.o_static_power
+            | Dse.Pruned, Dse.Pruned | Dse.Failed, Dse.Failed -> true
+            | _ -> false
+          in
+          let point_mismatch =
+            List.find_opt
+              (fun (op : Dse.point) ->
+                match Dse.point_of_index report op.Dse.pt_index with
+                | None -> true
+                | Some ep -> not (same_status ep.Dse.pt_status op.Dse.pt_status))
+              oracle_pts
+          in
+          match point_mismatch with
+          | Some op ->
+              Some
+                (Fmt.str "point #%d: engine and oracle disagree on status/objectives"
+                   op.Dse.pt_index)
+          | None ->
+              if report.Dse.rp_front <> oracle_front then
+                Some
+                  (Fmt.str "front mismatch: engine [%s], oracle [%s] (%d evaluated of %d)"
+                     (String.concat ";" (List.map string_of_int report.Dse.rp_front))
+                     (String.concat ";" (List.map string_of_int oracle_front))
+                     (List.length oracle_evaluated) total)
+              else if parallel then
+                match Dse.run ~config:{ config with Dse.jobs = 4 } tmpl with
+                | Error d -> Some (Fmt.str "parallel run refused: %s" d.Diagnostic.message)
+                | Ok par ->
+                    if Dse.report_to_json par <> Dse.report_to_json report then
+                      Some "jobs=4 report is not byte-identical to jobs=1"
+                    else None
+              else None)
+
 (* --- the property table --- *)
 
 (* Each property generates its case input from (seed, name, case) and
@@ -848,6 +962,25 @@ let properties =
           let rate = 0.15 +. (float_of_int (Gen.int g 50) /. 100.) in
           let offline_after = if Gen.chance g 0.25 then Some (3 + Gen.int g 60) else None in
           let check d = check_bootstrap d ~machine_seed ~fault_seed ~rate ~offline_after in
+          match check doc with
+          | None -> None
+          | Some msg ->
+              let still_failing e = check e <> None in
+              let min = Gen.minimize still_failing doc in
+              Some (Option.value ~default:msg (check min), Print.to_string min));
+    };
+    {
+      p_name = "dse-pareto";
+      p_run =
+        (fun ~seed ~case ->
+          let g = gen_for ~seed ~name:"dse-pareto" ~case in
+          (* all randomness up front, as in bootstrap-fault-tolerant *)
+          let doc = Gen.dse_template g in
+          let sweep_seed = 1 + Gen.int g 100_000 in
+          let rows = 24 + Gen.int g 40 in
+          let density = 0.05 +. (float_of_int (Gen.int g 25) /. 100.) in
+          let parallel = Gen.chance g 0.25 in
+          let check d = check_dse_pareto d ~sweep_seed ~rows ~density ~parallel in
           match check doc with
           | None -> None
           | Some msg ->

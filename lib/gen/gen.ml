@@ -461,6 +461,133 @@ let bench_model g : Dom.element =
     ~children:[ el "cpu" ~attrs:[ a "id" "bcpu" ] ~children:cores; pm ]
     "system"
 
+(* --- design-space sweep templates --- *)
+
+(* A small parameterized <system> for the dse-pareto property: 2-3 ranged
+   <param> axes whose grid stays at or under 64 points, a replicated-core
+   host driven by those axes, an MKL install making the SpMV cpu_csr
+   variant selectable, and a compact power model with a couple of "?"
+   entries so every point runs a real (tiny) bootstrap.  Some templates
+   carry a constraint — sometimes a pruning one, sometimes a deliberate
+   divide-by-zero — so the oracle also covers the pruned paths. *)
+let dse_template g : Dom.element =
+  let distinct_ladder ~n ~lo ~hi ~fmt =
+    (* n distinct values, ascending *)
+    let rec draw acc =
+      if List.length acc >= n then acc
+      else
+        let v = fmt (float_in g lo hi) in
+        draw (if List.mem v acc then acc else v :: acc)
+    in
+    List.sort compare (draw [])
+  in
+  let ncores_vals =
+    distinct_ladder ~n:(2 + int g 2) ~lo:1. ~hi:4.9 ~fmt:(fun v -> Fmt.str "%d" (int_of_float v))
+  in
+  let freq_vals =
+    distinct_ladder ~n:(2 + int g 2) ~lo:0.8 ~hi:3.2 ~fmt:(Fmt.str "%.1f")
+  in
+  let memlat_axis = chance g 0.5 in
+  let memlat_vals =
+    distinct_ladder ~n:(2 + int g 2) ~lo:3e-8 ~hi:1.2e-7 ~fmt:(Fmt.str "%.1e")
+  in
+  let params =
+    [ el "param"
+        ~attrs:
+          [ a "name" "ncores"; a "type" "integer"; a "value" (List.hd ncores_vals);
+            a "range" (String.concat "," ncores_vals) ];
+      el "param"
+        ~attrs:
+          [ a "name" "freq"; a "type" "frequency"; a "frequency" (List.hd freq_vals);
+            a "unit" "GHz"; a "range" (String.concat "," freq_vals) ] ]
+  in
+  let constraint_block =
+    if chance g 0.4 then
+      let expr =
+        match int g 4 with
+        | 0 ->
+            (* prunes the many-cores x high-frequency corner (sometimes
+               everything, sometimes nothing — both must round-trip) *)
+            Fmt.str "ncores * freq <= %.1fe9" (float_in g 1. 10.)
+        | 1 -> "ncores >= 1" (* always holds *)
+        | 2 -> "freq / (ncores - ncores) >= 0" (* divide by zero: XPDL215 *)
+        | _ -> "ncores * freq >= 1e18" (* never holds: every point pruned *)
+      in
+      [ el "constraints" ~children:[ el "constraint" ~attrs:[ a "expr" expr ] ] ]
+    else []
+  in
+  let cpu =
+    el "cpu"
+      ~attrs:[ a "id" "dcpu" ]
+      ~children:
+        (params @ constraint_block
+        @ [ el "group"
+              ~attrs:[ a "prefix" "dc"; a "quantity" "ncores" ]
+              ~children:
+                [ el "core"
+                    ~attrs:
+                      [ a "frequency" "freq"; a "isa" "dse_isa";
+                        a "static_power" (Fmt.str "%.2f" (float_in g 0.5 4.));
+                        a "static_power_unit" "W" ] ] ])
+  in
+  let memory =
+    el "memory"
+      ~attrs:
+        ([ a "id" "dmem"; a "size" "1"; a "unit" "GiB" ]
+        @ (if memlat_axis then [ a "latency" "memlat" ]
+           else [ a "latency" "6.0e-8"; a "latency_unit" "s" ])
+        @ [ a "static_power" (Fmt.str "%.1f" (float_in g 0.5 3.)); a "static_power_unit" "W" ])
+  in
+  let device =
+    (* the memlat param rides in a device scope (params are not allowed
+       directly under <system>); the external axis binding reaches the
+       memory's latency expression through the root environment *)
+    if memlat_axis then
+      [ el "device"
+          ~attrs:[ a "id" "ddev" ]
+          ~children:
+            [ el "param"
+                ~attrs:
+                  [ a "name" "memlat"; a "value" (List.hd memlat_vals);
+                    a "range" (String.concat "," memlat_vals) ] ] ]
+    else []
+  in
+  let software =
+    el "software"
+      ~children:
+        (if chance g 0.8 then [ el "installed" ~attrs:[ a "type" "MKL_11.0"; a "path" "/opt/mkl" ] ]
+         else [])
+  in
+  let instrs =
+    List.map
+      (fun (name, mb) ->
+        el "inst"
+          ~attrs:
+            ([ a "name" name;
+               a "energy" (if mb = "" then Fmt.str "%.1f" (float_in g 5. 60.) else "?");
+               a "energy_unit" "pJ" ]
+            @ (if mb = "" then [] else [ a "mb" mb ])
+            @ [ a "latency" (string_of_int (1 + int g 6)) ]))
+      [ ("fmul", "dm1"); ("fadd", ""); ("ld", "dl1"); ("st", ""); ("add", "") ]
+  in
+  let pm =
+    el "power_model"
+      ~attrs:[ a "name" "dse_pm" ]
+      ~children:
+        [ el "instructions" ~attrs:[ a "name" "dse_isa" ] ~children:instrs;
+          el "microbenchmarks"
+            ~attrs:[ a "name" "dse_mb"; a "instruction_set" "dse_isa" ]
+            ~children:
+              [ el "microbenchmark"
+                  ~attrs:[ a "id" "dm1"; a "type" "fmul"; a "iterations" "1000" ];
+                el "microbenchmark"
+                  ~attrs:[ a "id" "dl1"; a "type" "ld"; a "iterations" "1000" ] ] ]
+  in
+  Dom.element
+    ~attrs:[ a "id" "dse_sys" ]
+    ~children:([ cpu; memory ] @ device @ [ software; pm ])
+    "system"
+
 (* --- character references --- *)
 
 let charref g =

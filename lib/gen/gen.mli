@@ -79,6 +79,15 @@ val state_machine : t -> Xpdl_core.Power.state_machine
     attributes feeding the degradation ladder. *)
 val bench_model : t -> Dom.element
 
+(** {1 Design-space sweep templates}
+
+    A small parameterized [<system>] for the dse-pareto property: 2-3
+    ranged [<param>] axes (grid at or under 64 points), a replicated-core
+    host driven by those axes, and a compact power model with ["?"]
+    entries so every point runs a tiny bootstrap.  Some templates carry a
+    pruning or divide-by-zero [<constraint>]. *)
+val dse_template : t -> Dom.element
+
 (** {1 Character references}
 
     A raw reference body (without [&] and [;]), e.g. ["#x41"], ["#970"],

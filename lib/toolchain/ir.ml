@@ -77,26 +77,35 @@ module Keys = struct
   let names = ref (Array.make 128 "")
   let count = ref 0
 
-  let intern s =
-    match Hashtbl.find_opt table s with
-    | Some i -> i
-    | None ->
-        let i = !count in
-        if i = Array.length !names then begin
-          let bigger = Array.make (2 * i) "" in
-          Array.blit !names 0 bigger 0 i;
-          names := bigger
-        end;
-        !names.(i) <- s;
-        incr count;
-        Hashtbl.add table s i;
-        i
+  (* The pool is process-global, and models are now built concurrently
+     (the DSE engine evaluates sweep points on parallel domains), so the
+     table must be guarded: Hashtbl is not safe under concurrent
+     mutation, and ids handed out racily would break the equal-string =
+     equal-id invariant every index relies on. *)
+  let lock = Mutex.create ()
 
-  let intern_opt s = Hashtbl.find_opt table s
+  let intern s =
+    Mutex.protect lock (fun () ->
+        match Hashtbl.find_opt table s with
+        | Some i -> i
+        | None ->
+            let i = !count in
+            if i = Array.length !names then begin
+              let bigger = Array.make (2 * i) "" in
+              Array.blit !names 0 bigger 0 i;
+              names := bigger
+            end;
+            !names.(i) <- s;
+            incr count;
+            Hashtbl.add table s i;
+            i)
+
+  let intern_opt s = Mutex.protect lock (fun () -> Hashtbl.find_opt table s)
 
   let name i =
-    if i < 0 || i >= !count then invalid_arg "Ir.key_name: unknown key id";
-    !names.(i)
+    Mutex.protect lock (fun () ->
+        if i < 0 || i >= !count then invalid_arg "Ir.key_name: unknown key id";
+        !names.(i))
 end
 
 let intern = Keys.intern
