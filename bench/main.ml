@@ -1133,11 +1133,119 @@ let e17 () =
     failwith "E17: parallel sweep diverged from sequential at the same seed"
 
 (* ------------------------------------------------------------------ *)
+(* E18: fleet-scale repository — persistent index, lazy loading,
+   parallel validate-all over a Gen.repo synthetic repository.  The
+   full run uses 10k models (ROADMAP item 4's target); smoke quotas
+   scale down but keep every gate meaningful. *)
+
+let rec remove_tree path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun n -> remove_tree (Filename.concat path n)) (Sys.readdir path);
+      (try Sys.rmdir path with Sys_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+let e18 () =
+  header "E18: fleet-scale repository (index, lazy open, parallel validate-all)";
+  let module Repo = Xpdl_repo.Repo in
+  let module Gen = Xpdl_gen.Gen in
+  let n_models = if quota_s >= 0.25 then 10_000 else 1_500 in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) (Fmt.str "xpdl_e18_%d" (Unix.getpid ())) in
+  remove_tree dir;
+  Fun.protect ~finally:(fun () -> remove_tree dir) @@ fun () ->
+  let g = Gen.create ~seed:18 in
+  let spec =
+    { Gen.default_repo_spec with rs_models = n_models; rs_dirs = 16; rs_corrupt = 0.01;
+      rs_shadow = 0.02; rs_systems = 4 }
+  in
+  let files = Gen.repo_files g spec in
+  Gen.write_repo ~dir files;
+  record ~metric:"repo/models" ~value:(float_of_int n_models) ~unit_:"count" ();
+  record ~metric:"repo/files" ~value:(float_of_int (List.length files)) ~unit_:"count" ();
+  (* eager open: the pre-index baseline, parses everything *)
+  let eager, t_eager =
+    wall (fun () ->
+        let r = Repo.create () in
+        Repo.add_root r dir;
+        r)
+  in
+  let eager_parsed = (Repo.stats eager).Repo.parsed_files in
+  (* cold indexed open: one full pass that also writes the sidecar *)
+  let _, t_cold =
+    wall (fun () ->
+        let r = Repo.create () in
+        Repo.open_root r dir;
+        r)
+  in
+  (* warm indexed open: name table + diagnostics from the sidecar only *)
+  let warm, t_warm =
+    wall (fun () ->
+        let r = Repo.create () in
+        Repo.open_root r dir;
+        r)
+  in
+  let s_open = Repo.stats warm in
+  (* first query: composing one system materializes only its closure *)
+  let _, t_query = wall (fun () -> Repo.compose_by_name warm "sys0000") in
+  let s_query = Repo.stats warm in
+  let parse_ratio = float_of_int eager_parsed /. float_of_int (max 1 s_query.Repo.parsed_files) in
+  record ~metric:"repo/eager_open_s" ~value:t_eager ~unit_:"s" ();
+  record ~metric:"repo/index_build_s" ~value:t_cold ~unit_:"s" ();
+  record ~metric:"repo/warm_open_s" ~value:t_warm ~unit_:"s" ();
+  record ~metric:"repo/warm_speedup" ~value:(t_eager /. t_warm) ~unit_:"x" ();
+  record ~metric:"repo/first_query_s" ~value:t_query ~unit_:"s" ();
+  record ~metric:"repo/warm_open_parsed" ~value:(float_of_int s_open.Repo.parsed_files)
+    ~unit_:"count" ();
+  record ~metric:"repo/first_query_parsed" ~value:(float_of_int s_query.Repo.parsed_files)
+    ~unit_:"count" ();
+  record ~metric:"repo/parse_ratio" ~value:parse_ratio ~unit_:"x" ();
+  Fmt.pr "  %d models in %d files: eager %.2fs, index build %.2fs, warm open %.3fs (%.0fx)@."
+    n_models (List.length files) t_eager t_cold t_warm (t_eager /. t_warm);
+  Fmt.pr "  warm open parsed %d files; first compose parsed %d (eager parsed %d, ratio %.0fx)@."
+    s_open.Repo.parsed_files s_query.Repo.parsed_files eager_parsed parse_ratio;
+  (* validate-all: sequential vs parallel on fresh warm opens, with a
+     cache big enough that thrash does not contaminate the comparison *)
+  let validate jobs =
+    let r = Repo.create ~cache_capacity:(n_models + 64) () in
+    Repo.open_root r dir;
+    wall (fun () -> Repo.validate_all ~jobs r)
+  in
+  let render rs =
+    String.concat "\n"
+      (List.map
+         (fun (v : Repo.validation) ->
+           Fmt.str "%s %s %s" v.Repo.va_ident v.Repo.va_kind
+             (String.concat ";"
+                (List.map (Fmt.str "%a" Xpdl_core.Diagnostic.pp) v.Repo.va_errors)))
+         rs)
+  in
+  let jobs = 4 in
+  let r_seq, t_seq = validate 1 in
+  let r_par, t_par = validate jobs in
+  let failing =
+    List.length (List.filter (fun (v : Repo.validation) -> v.Repo.va_errors <> []) r_seq)
+  in
+  let bitexact = if String.equal (render r_seq) (render r_par) then 1. else 0. in
+  record ~metric:"repo/validate/descriptors" ~value:(float_of_int (List.length r_seq))
+    ~unit_:"count" ();
+  record ~metric:"repo/validate/errors" ~value:(float_of_int failing) ~unit_:"count" ();
+  record ~metric:"repo/validate/seq_s" ~value:t_seq ~unit_:"s" ();
+  record ~metric:"repo/validate/par_s" ~value:t_par ~unit_:"s" ();
+  record ~metric:"repo/validate/speedup" ~value:(t_seq /. t_par) ~unit_:"x" ();
+  record ~metric:"repo/validate/bitexact" ~value:bitexact ~unit_:"bool" ();
+  Fmt.pr "  validate-all: %d descriptors (%d failing): seq %.2fs, %d-domain %.2fs (%.2fx, %s)@."
+    (List.length r_seq) failing t_seq jobs t_par (t_seq /. t_par)
+    (if bitexact = 1. then "byte-identical" else "DIVERGED");
+  if bitexact <> 1. then
+    failwith "E18: parallel validate-all diverged from sequential"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
     ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
-    ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17) ]
+    ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18) ]
 
 let () =
   let json_file = ref None in

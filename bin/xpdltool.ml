@@ -8,6 +8,7 @@
      analyze     static analysis report (effective bandwidths, components)
      process     full pipeline -> runtime-model file (with bootstrap)
      bootstrap   fault-tolerant deployment bootstrap with a health report
+     repo        persistent-index repository operations (index/stats/validate-all)
      query       load a runtime-model file and answer queries
      serve       concurrent model-query server with MVCC snapshots
      loadgen     drive a running server with a mixed workload
@@ -232,6 +233,129 @@ let validate_all_cmd =
   Cmd.v
     (Cmd.info "validate-all" ~doc:"Validate every descriptor in the repository")
     Term.(const run $ models_arg $ format_arg $ max_errors_arg)
+
+(* --- repo: persistent-index repository operations --- *)
+
+(* Like repo_of_paths but through the .xpdlidx sidecars: names and
+   diagnostics come from the index, descriptors materialize on demand. *)
+let repo_open_paths paths =
+  let repo = Xpdl_repo.Repo.create () in
+  let paths =
+    match paths with
+    | [] -> (
+        match Xpdl_repo.Repo.locate_models () with
+        | Some d -> [ d ]
+        | None -> [])
+    | ps -> ps
+  in
+  List.iter (Xpdl_repo.Repo.open_root repo) paths;
+  repo
+
+let jobs_arg =
+  let doc = "Worker domains; any value produces byte-identical output." in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let repo_index_cmd =
+  let run paths =
+    setup_logs ();
+    let paths =
+      match paths with
+      | [] -> (
+          match Xpdl_repo.Repo.locate_models () with Some d -> [ d ] | None -> [])
+      | ps -> ps
+    in
+    let code = ref 0 in
+    List.iter
+      (fun dir ->
+        (* one repository per root: each sidecar indexes exactly one root *)
+        let repo = Xpdl_repo.Repo.create () in
+        Xpdl_repo.Repo.open_root repo dir;
+        let s = Xpdl_repo.Repo.stats repo in
+        Fmt.pr "%s: %d descriptors, %d file%s parsed, %d reused from index@." dir s.descriptors
+          s.parsed_files
+          (if s.parsed_files = 1 then "" else "s")
+          s.reused_files;
+        (* print the full stream (XPDL311 rebuild notices are warnings);
+           the exit code still reflects errors only *)
+        if emit_diags (Xpdl_repo.Repo.diagnostics repo) <> 0 then code := 1)
+      paths;
+    !code
+  in
+  Cmd.v
+    (Cmd.info "index"
+       ~doc:"Build or refresh the persistent .xpdlidx sidecar of each repository root")
+    Term.(const run $ models_arg)
+
+let repo_stats_cmd =
+  let run paths format =
+    setup_logs ();
+    let repo = repo_open_paths paths in
+    (* force one lookup so laziness is visible in the counters *)
+    let s = Xpdl_repo.Repo.stats repo in
+    let quarantined = Xpdl_repo.Repo.quarantined_files repo in
+    let diags = Xpdl_repo.Repo.diagnostics repo in
+    (match format with
+    | Json ->
+        Fmt.pr
+          {|{"descriptors":%d,"loaded":%d,"cached":%d,"pending":%d,"parsed_files":%d,"reused_files":%d,"materialized":%d,"evictions":%d,"quarantined":%d,"diagnostics":%d}@.|}
+          s.descriptors s.loaded s.cached s.pending s.parsed_files s.reused_files s.materialized
+          s.evictions (List.length quarantined) (List.length diags)
+    | Text ->
+        Fmt.pr "descriptors:   %d (%d loaded, %d cached, %d pending)@." s.descriptors s.loaded
+          s.cached s.pending;
+        Fmt.pr "files:         %d parsed, %d reused from index@." s.parsed_files s.reused_files;
+        Fmt.pr "cache:         %d materialized, %d evictions@." s.materialized s.evictions;
+        Fmt.pr "quarantined:   %d@." (List.length quarantined);
+        Fmt.pr "diagnostics:   %d@." (List.length diags));
+    if Diagnostic.all_ok diags then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Open roots through their indexes and report lazy-loading counters")
+    Term.(const run $ models_arg $ format_arg)
+
+let repo_validate_all_cmd =
+  let run paths format max_errors jobs =
+    setup_logs ();
+    let repo = repo_open_paths paths in
+    (* capture the load-time stream before validation: materialization
+       order under N domains may interleave later additions differently,
+       and this command's output must be byte-identical for any --jobs *)
+    let load_diags = Xpdl_repo.Repo.diagnostics repo in
+    let results = Xpdl_repo.Repo.validate_all ~jobs repo in
+    let failures = List.filter (fun r -> r.Xpdl_repo.Repo.va_errors <> []) results in
+    let quarantined = Xpdl_repo.Repo.quarantined_files repo in
+    match format with
+    | Text ->
+        List.iter
+          (fun (r : Xpdl_repo.Repo.validation) ->
+            Fmt.pr "%-28s %-14s FAIL@." r.va_ident r.va_kind;
+            List.iter (fun d -> Fmt.pr "  %a@." Diagnostic.pp d) r.va_errors)
+          failures;
+        Fmt.pr "%d descriptors checked, %d with errors, %d file%s quarantined at load@."
+          (List.length results) (List.length failures) (List.length quarantined)
+          (if List.length quarantined = 1 then "" else "s");
+        List.iter (fun f -> Fmt.pr "  quarantined: %s@." f) quarantined;
+        if failures = [] && Diagnostic.all_ok load_diags then 0 else 1
+    | Json ->
+        emit_diags ~format:Json ?max_errors
+          (load_diags @ List.concat_map (fun r -> r.Xpdl_repo.Repo.va_errors) failures)
+  in
+  Cmd.v
+    (Cmd.info "validate-all"
+       ~doc:
+         "Validate every descriptor through the index, sharded over --jobs OCaml domains with \
+          deterministic (jobs-independent) output")
+    Term.(const run $ models_arg $ format_arg $ max_errors_arg $ jobs_arg)
+
+let repo_cmd =
+  Cmd.group
+    (Cmd.info "repo"
+       ~doc:
+         "Fleet-scale repository operations over the persistent .xpdlidx index: build/refresh \
+          sidecars, inspect lazy-loading counters, validate everything in parallel (see \
+          docs/REPOSITORY.md)")
+    [ repo_index_cmd; repo_stats_cmd; repo_validate_all_cmd ]
 
 (* --- compose --- *)
 
@@ -1062,7 +1186,8 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            list_cmd; validate_cmd; validate_all_cmd; compose_cmd; analyze_cmd; process_cmd;
+            list_cmd; validate_cmd; validate_all_cmd; repo_cmd; compose_cmd; analyze_cmd;
+            process_cmd;
             bootstrap_cmd; query_cmd; dse_cmd; serve_cmd; loadgen_cmd; verify_cmd; fuzz_cmd;
             emit_cpp_cmd; emit_uml_cmd; emit_xsd_cmd; emit_drivers_cmd; control_cmd;
             to_pdl_cmd; to_json_cmd;

@@ -87,6 +87,11 @@ let registry : (string * severity * string) list =
     ("XPDL306", Error, "unresolved inheritance reference");
     ("XPDL307", Error, "cyclic inheritance");
     ("XPDL310", Warning, "microbenchmark bootstrap left unresolved energy entries");
+    (* XPDL311-314 — persistent repository index (.xpdlidx sidecars) *)
+    ("XPDL311", Warning, "repository index corrupt or unreadable; rebuilt from a full scan");
+    ("XPDL312", Info, "repository index refreshed (stale, new or deleted files re-scanned)");
+    ("XPDL313", Warning, "cannot write repository index");
+    ("XPDL314", Warning, "indexed descriptor no longer present in its file");
     (* XPDL4xx — incremental model store *)
     ("XPDL401", Error, "store edit path does not address a model element");
     ("XPDL402", Error, "store structural edit is invalid (bad child index)");

@@ -15,6 +15,7 @@ module Power = Xpdl_core.Power
 module Aggregate = Xpdl_energy.Aggregate
 module Store = Xpdl_store.Store
 module Dse = Xpdl_dse.Dse
+module Repo = Xpdl_repo.Repo
 
 type failure = {
   f_property : string;
@@ -894,6 +895,170 @@ let check_dse_pareto doc ~sweep_seed ~rows ~density ~parallel =
 
 (* Each property generates its case input from (seed, name, case) and
    minimizes failures with the matching shrinker. *)
+(* --- repo-lazy: persistent-index repository vs the eager oracle --- *)
+
+(* Everything observable about a repository, as sorted text lines:
+   identifiers, every materialized descriptor, every composed system
+   (model + order-normalized diagnostics), the load diagnostics
+   (order-normalized, XPDL31x index bookkeeping filtered out — eager
+   loads have no index), and the quarantine list. *)
+let repo_snapshot repo : string list =
+  let diag_str d = Fmt.str "%a" Diagnostic.pp d in
+  let index_code (d : Diagnostic.t) =
+    match d.Diagnostic.code with
+    | "XPDL311" | "XPDL312" | "XPDL313" | "XPDL314" -> true
+    | _ -> false
+  in
+  let ids = Repo.identifiers repo in
+  let models =
+    List.map
+      (fun id ->
+        match Repo.find repo id with
+        | None -> Fmt.str "model %s: <missing>" id
+        | Some e -> Fmt.str "model %s: %s" id (Print.to_string (Model.to_xml e)))
+      ids
+  in
+  let composed =
+    List.filter_map
+      (fun id ->
+        match Repo.find repo id with
+        | Some e when Schema.equal_kind e.Model.kind Schema.System ->
+            let c = Repo.compose repo e in
+            Some
+              (Fmt.str "composed %s: %s | %s" id
+                 (Print.to_string (Model.to_xml c.Repo.model))
+                 (String.concat "; "
+                    (List.sort String.compare (List.map diag_str c.Repo.comp_diags))))
+        | _ -> None)
+      ids
+  in
+  (* read the diagnostic stream LAST: find/compose above add to it (e.g.
+     deduplicated XPDL305), identically in both repositories *)
+  let diags =
+    Repo.diagnostics repo
+    |> List.filter (fun d -> not (index_code d))
+    |> List.map diag_str |> List.sort String.compare
+  in
+  let quar = List.sort String.compare (Repo.quarantined_files repo) in
+  List.concat
+    [ List.map (fun i -> "id " ^ i) ids; models; composed; diags;
+      List.map (fun q -> "quarantined " ^ q) quar ]
+
+let first_diff la lb a b =
+  let rec go i = function
+    | [], [] -> None
+    | x :: xs, y :: ys ->
+        if String.equal x y then go (i + 1) (xs, ys)
+        else Some (Fmt.str "line %d: %s=%S %s=%S" i la x lb y)
+    | x :: _, [] -> Some (Fmt.str "line %d only in %s: %S" i la x)
+    | [], y :: _ -> Some (Fmt.str "line %d only in %s: %S" i lb y)
+  in
+  go 0 (a, b)
+
+let rec remove_tree path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun n -> remove_tree (Filename.concat path n)) (Sys.readdir path);
+      (try Sys.rmdir path with Sys_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+(* Generate a repository on disk; check that (1) a cold open_root (index
+   built from scratch), (2) a warm open_root (index reused, nothing
+   parsed), and (3) a warm open after random file mutations that
+   invalidate index entries all observe exactly what the eager add_root
+   oracle observes — including with a tiny LRU forcing evictions, and
+   with a truncated/corrupt sidecar. *)
+let check_repo_lazy g ~dir : (string * string) option =
+  let spec =
+    {
+      Gen.default_repo_spec with
+      rs_models = 8 + Gen.int g 32;
+      rs_dirs = 1 + Gen.int g 4;
+      rs_corrupt = (if Gen.chance g 0.5 then 0.15 else 0.);
+      rs_shadow = 0.1;
+      rs_systems = 1 + Gen.int g 2;
+    }
+  in
+  let files = Gen.repo_files g spec in
+  Gen.write_repo ~dir files;
+  let lazy_repo () =
+    (* a tiny cache forces eviction + re-materialization on some runs *)
+    if Gen.chance g 0.4 then Repo.create ~cache_capacity:(1 + Gen.int g 4) ()
+    else Repo.create ()
+  in
+  let eager_snap () =
+    let r = Repo.create () in
+    Repo.add_root r dir;
+    repo_snapshot r
+  in
+  let check_against label oracle =
+    let r = lazy_repo () in
+    Repo.open_root r dir;
+    match first_diff "eager" label oracle (repo_snapshot r) with
+    | Some d -> Some (Fmt.str "%s open_root diverges from eager add_root" label, d)
+    | None -> None
+  in
+  let fail = check_against "cold" (eager_snap ()) in
+  if fail <> None then fail
+  else
+    (* warm: the sidecar now exists; nothing may be parsed at open time *)
+    let warm_fail =
+      let r = lazy_repo () in
+      Repo.open_root r dir;
+      let s = Repo.stats r in
+      if s.Repo.parsed_files > 0 then
+        Some
+          ( "warm open_root parsed files despite a fresh index",
+            Fmt.str "parsed_files=%d reused_files=%d" s.Repo.parsed_files s.Repo.reused_files )
+      else
+        match first_diff "eager" "warm" (eager_snap ()) (repo_snapshot r) with
+        | Some d -> Some ("warm open_root diverges from eager add_root", d)
+        | None -> None
+    in
+    if warm_fail <> None then warm_fail
+    else begin
+      (* mutate: rewrite/corrupt/delete/add files, sometimes damage the
+         sidecar itself; every rewrite appends bytes so the (mtime, size)
+         fingerprint is guaranteed to change even within one mtime tick *)
+      let paths = List.map fst files in
+      let n_mut = 1 + Gen.int g 3 in
+      for _ = 1 to n_mut do
+        let target = Filename.concat dir (Gen.pick g paths) in
+        match Gen.int g 4 with
+        | 0 -> ( try Sys.remove target with Sys_error _ -> ())
+        | 1 ->
+            Out_channel.with_open_bin target (fun oc ->
+                Out_channel.output_string oc (Print.to_string (Gen.document g));
+                Out_channel.output_string oc "<!-- mutated -->")
+        | 2 ->
+            (* an earlier mutation may have deleted this target *)
+            let old =
+              if Sys.file_exists target then In_channel.with_open_bin target In_channel.input_all
+              else Print.to_string (Gen.document g)
+            in
+            Out_channel.with_open_bin target (fun oc ->
+                Out_channel.output_string oc (Gen.corrupt g old);
+                Out_channel.output_string oc "<!-- mutated -->")
+        | _ ->
+            Out_channel.with_open_bin
+              (Filename.concat dir (Fmt.str "zz_new%d.xpdl" (Gen.int g 100)))
+              (fun oc -> Out_channel.output_string oc (Print.to_string (Gen.document g)))
+      done;
+      if Gen.chance g 0.25 then begin
+        (* corrupt the sidecar: the reopen must rebuild, not crash *)
+        let idx = Filename.concat dir ".xpdlidx" in
+        if Sys.file_exists idx then
+          let old = In_channel.with_open_bin idx In_channel.input_all in
+          let cut = String.length old * (1 + Gen.int g 3) / 4 in
+          Out_channel.with_open_bin idx (fun oc ->
+              Out_channel.output_string oc (String.sub old 0 cut))
+      end;
+      match check_against "mutated" (eager_snap ()) with
+      | Some (m, d) -> Some ("after mutation: " ^ m, d)
+      | None -> None
+    end
+
 type property = { p_name : string; p_run : seed:int -> case:int -> (string * string) option }
 
 let gen_for ~seed ~name ~case = Gen.case ~seed ~salt:(Fmt.str "%s:%d" name case)
@@ -987,6 +1152,18 @@ let properties =
               let still_failing e = check e <> None in
               let min = Gen.minimize still_failing doc in
               Some (Option.value ~default:msg (check min), Print.to_string min));
+    };
+    {
+      p_name = "repo-lazy";
+      p_run =
+        (fun ~seed ~case ->
+          let g = gen_for ~seed ~name:"repo-lazy" ~case in
+          let dir =
+            Filename.concat (Filename.get_temp_dir_name ())
+              (Fmt.str "xpdl_repolazy_%d_%d_%d" (Unix.getpid ()) seed case)
+          in
+          remove_tree dir;
+          Fun.protect ~finally:(fun () -> remove_tree dir) (fun () -> check_repo_lazy g ~dir));
     };
     {
       p_name = "charref-oracle";

@@ -605,6 +605,100 @@ let charref g =
       | 0 -> Fmt.str "#%d" (int g 0x120000)
       | _ -> Fmt.str "#x%X" (int g 0x120000))
 
+(* --- synthetic repositories --- *)
+
+type repo_spec = {
+  rs_models : int;
+  rs_dirs : int;
+  rs_corrupt : float;
+  rs_shadow : float;
+  rs_wrapper : float;
+  rs_systems : int;
+}
+
+let default_repo_spec =
+  { rs_models = 200; rs_dirs = 8; rs_corrupt = 0.02; rs_shadow = 0.03; rs_wrapper = 0.25;
+    rs_systems = 4 }
+
+(* Replace (or add) one attribute on a generated descriptor. *)
+let set_attr name value (e : Dom.element) =
+  { e with Dom.attrs = a name value :: List.filter (fun at -> at.Dom.attr_name <> name) e.Dom.attrs }
+
+let repo_files g (spec : repo_spec) : (string * string) list =
+  let metas = ref [] in
+  let made = ref 0 in
+  let files = ref [] in
+  let file_no = ref 0 in
+  let emit_file ?(corruptible = true) descs =
+    let body =
+      match descs with
+      | [ d ] -> Print.to_string d
+      | ds -> Print.to_string (Dom.element ~children:(List.map (fun d -> Dom.Element d) ds) "xpdl")
+    in
+    let body = if corruptible && chance g spec.rs_corrupt then corrupt g body else body in
+    let dir = Fmt.str "d%02d" (int g (max 1 spec.rs_dirs)) in
+    files := (Fmt.str "%s/m%05d.xpdl" dir !file_no, body) :: !files;
+    incr file_no
+  in
+  (* Realistic descriptor payload: fleet descriptors in the field carry
+     sizable property tables and power-state machines (the paper's CPU
+     examples run to hundreds of lines), so parsing one costs far more
+     than stat-ing it — which is exactly the economy the persistent
+     index exploits.  Tiny stub descriptors would understate the
+     eager/lazy gap. *)
+  let detail (e : Dom.element) =
+    let props =
+      el "properties"
+        ~children:
+          (List.init
+             (12 + int g 24)
+             (fun i -> el "property" ~attrs:[ a "name" (Fmt.str "p%02d" i); a "value" (num_str g) ]))
+    in
+    let extra = [ props ] @ if chance g 0.5 then [ psm_markup g ] else [] in
+    { e with Dom.children = e.Dom.children @ extra }
+  in
+  (* one meta-model; occasionally renamed to an earlier descriptor's name
+     so the repository exercises cross-file XPDL302 shadowing *)
+  let next_desc () =
+    let e, m = metamodel g !metas in
+    let e = detail e in
+    incr made;
+    if !metas <> [] && chance g spec.rs_shadow then
+      set_attr "name" (pick g !metas).m_name e
+    else begin
+      metas := m :: !metas;
+      e
+    end
+  in
+  while !made < spec.rs_models do
+    let batch = if chance g spec.rs_wrapper then 2 + int g 4 else 1 in
+    let batch = min batch (spec.rs_models - !made) in
+    emit_file (List.init batch (fun _ -> next_desc ()))
+  done;
+  (* concrete systems last, never corrupted, so composition targets with
+     predictable ids always exist *)
+  for k = 0 to spec.rs_systems - 1 do
+    emit_file ~corruptible:false [ set_attr "id" (Fmt.str "sys%04d" k) (system g !metas) ]
+  done;
+  List.rev !files
+
+let write_repo ~dir files =
+  let ensure d = if not (Sys.file_exists d) then (try Sys.mkdir d 0o755 with Sys_error _ -> ()) in
+  ensure dir;
+  List.iter
+    (fun (rel, content) ->
+      let rec mkdirs base = function
+        | [] | [ _ ] -> ()
+        | p :: rest ->
+            let base = Filename.concat base p in
+            ensure base;
+            mkdirs base rest
+      in
+      mkdirs dir (String.split_on_char '/' rel);
+      Out_channel.with_open_bin (Filename.concat dir rel) (fun oc ->
+          Out_channel.output_string oc content))
+    files
+
 (* --- shrinking --- *)
 
 let remove_nth i xs = List.filteri (fun j _ -> j <> i) xs

@@ -88,6 +88,37 @@ val bench_model : t -> Dom.element
     pruning or divide-by-zero [<constraint>]. *)
 val dse_template : t -> Dom.element
 
+(** {1 Synthetic repositories}
+
+    A whole on-disk model repository for the fleet-scale experiments
+    (E18) and the [repo-lazy] fuzz property: meta-models with [extends]
+    chains crossing file and directory boundaries, multi-descriptor
+    [<xpdl>] wrapper files, a fraction of duplicate-ident shadowing
+    (cross-file XPDL302), a fraction of corrupted files (parser recovery
+    and quarantine at volume), and finally concrete [<system>]
+    descriptors ([sys0000], [sys0001], ...) that reference the
+    meta-models — so composition loads a real transitive closure. *)
+
+type repo_spec = {
+  rs_models : int;  (** meta-model descriptor count *)
+  rs_dirs : int;  (** subdirectory fan-out ([d00/] ... ) *)
+  rs_corrupt : float;  (** fraction of descriptor files corrupted *)
+  rs_shadow : float;  (** fraction of descriptors renamed to an earlier name *)
+  rs_wrapper : float;  (** fraction of files holding several descriptors *)
+  rs_systems : int;  (** concrete systems appended (never corrupted) *)
+}
+
+(** 200 models over 8 directories, 2% corrupt, 3% shadowed, 4 systems. *)
+val default_repo_spec : repo_spec
+
+(** Generate the repository as (root-relative path, file content) pairs
+    in generation order. *)
+val repo_files : t -> repo_spec -> (string * string) list
+
+(** Materialize generated files under [dir], creating directories as
+    needed. *)
+val write_repo : dir:string -> (string * string) list -> unit
+
 (** {1 Character references}
 
     A raw reference body (without [&] and [;]), e.g. ["#x41"], ["#970"],

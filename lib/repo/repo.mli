@@ -14,7 +14,9 @@ type entry = {
 
 type t
 
-val create : unit -> t
+(** [cache_capacity] bounds the LRU of lazily materialized descriptors
+    (default 8192); eagerly added descriptors are never evicted. *)
+val create : ?cache_capacity:int -> unit -> t
 
 (** Parse problems, duplicate identifiers, unknown authorities, ...
     accumulated while loading. *)
@@ -46,8 +48,20 @@ val add_string : t -> ?file:string -> string -> unit
 val add_file : t -> string -> unit
 
 (** Add a repository root (an element of the model search path); every
-    [.xpdl]/[.xml] file beneath it is parsed and indexed immediately. *)
+    [.xpdl]/[.xml] file beneath it is parsed and indexed immediately.
+    This is the eager reference path; {!open_root} is the indexed,
+    lazy-loading equivalent. *)
 val add_root : t -> string -> unit
+
+(** Open a repository root through its persistent [.xpdlidx] sidecar
+    (see {!Repo_index} and docs/REPOSITORY.md): names, kinds and
+    load-time diagnostics are reconstructed without parsing; only new or
+    fingerprint-stale files are re-scanned, and the sidecar is refreshed
+    best-effort.  Descriptors materialize lazily on first {!find}.  A
+    missing or corrupt sidecar (coded XPDL311) degrades to a full scan
+    that writes a fresh one.  Behaviorally identical to {!add_root} up
+    to XPDL31x informational diagnostics. *)
+val open_root : t -> string -> unit
 
 (** Register a remote authority: [xpdl://authority/name] hyperlinks will
     resolve against descriptors indexed from [root] (the authority's
@@ -77,7 +91,42 @@ val compose : ?config:Instantiate.env -> t -> Model.element -> composed
 val compose_by_name :
   ?config:Instantiate.env -> t -> string -> (composed, string) result
 
-(** Total parsed size of the repository in model elements. *)
+(** Validation outcome for one indexed descriptor: systems are composed
+    (inheritance + instantiation + validation), other kinds validated
+    standalone; [va_errors] keeps only error-severity diagnostics. *)
+type validation = {
+  va_ident : string;
+  va_kind : string;  (** schema tag, e.g. ["cpu"] *)
+  va_errors : Diagnostic.t list;
+}
+
+(** Validate every indexed descriptor, sharded over [jobs] OCaml domains
+    (default 1) with a chunked atomic cursor.  Pending descriptors are
+    materialized with one parse per file into a private snapshot — the
+    repository's LRU cache is left untouched, so a warm working set
+    survives a validate-all sweep.  The result list is sorted by
+    identifier and deterministic: [~jobs:n] returns exactly what
+    [~jobs:1] returns, for any [n]. *)
+val validate_all : ?jobs:int -> t -> validation list
+
+(** Counters for the lazy-loading machinery (see docs/REPOSITORY.md):
+    slot population by state, files parsed/reused-from-index, descriptors
+    materialized on demand, LRU evictions. *)
+type stats = {
+  descriptors : int;  (** indexed identifiers *)
+  loaded : int;  (** eager entries (never evicted) *)
+  cached : int;  (** lazily materialized, in the LRU *)
+  pending : int;  (** known from the index, not yet parsed *)
+  parsed_files : int;  (** files parsed + elaborated so far *)
+  reused_files : int;  (** files accepted from the index by fingerprint *)
+  materialized : int;  (** descriptors elaborated on demand *)
+  evictions : int;  (** cache evictions back to pending *)
+}
+
+val stats : t -> stats
+
+(** Total parsed size of the repository in model elements; forces
+    materialization of every pending entry. *)
 val total_elements : t -> int
 
 (** Locate the bundled [models/] directory from the working directory

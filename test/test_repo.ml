@@ -186,6 +186,219 @@ let prop_random_repo_end_to_end =
           has_error c.Xpdl_repo.Repo.comp_diags = false
           && model_count = expected && agg_count = expected && query_count = expected)
 
+(* --- persistent index + lazy loading ------------------------------- *)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "xpdl_repotest_%d_%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Sys.mkdir dir 0o755;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> try rm dir with Sys_error _ -> ()) (fun () -> f dir)
+
+let write_file dir name s =
+  Out_channel.with_open_bin (Filename.concat dir name) (fun oc -> Out_channel.output_string oc s)
+
+let fleet_files =
+  [
+    ("a.xpdl", {|<cpu name="X" vendor="early"/>|});
+    ("b.xpdl", {|<xpdl><cpu name="X" vendor="late"/><memory name="M" type="DDR"/></xpdl>|});
+    ("c.xpdl", {|<core name="C" frequency="2" frequency_unit="GHz"/>|});
+    ("broken.xpdl", "<cpu name=\"B\"");
+    ("sys.xpdl", {|<system id="S"><cpu id="c0" type="X"/></system>|});
+  ]
+
+let norm_diags diags =
+  (* XPDL31x is index lifecycle chatter, allowed to differ from eager *)
+  List.filter_map
+    (fun d ->
+      let s = Fmt.str "%a" Xpdl_core.Diagnostic.pp d in
+      let is_31x code = List.mem code [ "XPDL311"; "XPDL312"; "XPDL313"; "XPDL314" ] in
+      if is_31x d.Xpdl_core.Diagnostic.code then None else Some s)
+    diags
+  |> List.sort String.compare
+
+let render e = Xpdl_xml.Print.to_string (Model.to_xml e)
+
+let test_open_root_parity () =
+  with_temp_dir (fun dir ->
+      List.iter (fun (n, s) -> write_file dir n s) fleet_files;
+      let eager = Xpdl_repo.Repo.create () in
+      Xpdl_repo.Repo.add_root eager dir;
+      let check_same label r =
+        Alcotest.(check (list string))
+          (label ^ ": identifiers") (Xpdl_repo.Repo.identifiers eager)
+          (Xpdl_repo.Repo.identifiers r);
+        List.iter
+          (fun ident ->
+            let want = Option.map render (Xpdl_repo.Repo.find eager ident) in
+            let got = Option.map render (Xpdl_repo.Repo.find r ident) in
+            Alcotest.(check (option string)) (label ^ ": find " ^ ident) want got)
+          (Xpdl_repo.Repo.identifiers eager);
+        Alcotest.(check (list string))
+          (label ^ ": diagnostics")
+          (norm_diags (Xpdl_repo.Repo.diagnostics eager))
+          (norm_diags (Xpdl_repo.Repo.diagnostics r));
+        Alcotest.(check (list string))
+          (label ^ ": quarantine")
+          (List.sort String.compare (Xpdl_repo.Repo.quarantined_files eager))
+          (List.sort String.compare (Xpdl_repo.Repo.quarantined_files r))
+      in
+      let cold = Xpdl_repo.Repo.create () in
+      Xpdl_repo.Repo.open_root cold dir;
+      check_same "cold" cold;
+      let warm = Xpdl_repo.Repo.create () in
+      Xpdl_repo.Repo.open_root warm dir;
+      Alcotest.(check int) "warm open parses nothing" 0
+        (Xpdl_repo.Repo.stats warm).Xpdl_repo.Repo.parsed_files;
+      check_same "warm" warm)
+
+let test_staleness_rescan () =
+  with_temp_dir (fun dir ->
+      List.iter (fun (n, s) -> write_file dir n s) fleet_files;
+      let cold = Xpdl_repo.Repo.create () in
+      Xpdl_repo.Repo.open_root cold dir;
+      (* rewrite one file (different size, so any mtime granularity is moot) *)
+      write_file dir "c.xpdl" {|<core name="C" frequency="7" frequency_unit="MHz"/>|};
+      let warm = Xpdl_repo.Repo.create () in
+      Xpdl_repo.Repo.open_root warm dir;
+      Alcotest.(check int) "only the stale file re-parsed" 1
+        (Xpdl_repo.Repo.stats warm).Xpdl_repo.Repo.parsed_files;
+      let c = Option.get (Xpdl_repo.Repo.find warm "C") in
+      Alcotest.(check (option string)) "new content served" (Some "7 MHz")
+        (Model.attr_string c "frequency"))
+
+let test_corrupt_index_rebuild () =
+  with_temp_dir (fun dir ->
+      List.iter (fun (n, s) -> write_file dir n s) fleet_files;
+      let cold = Xpdl_repo.Repo.create () in
+      Xpdl_repo.Repo.open_root cold dir;
+      let sidecar = Filename.concat dir ".xpdlidx" in
+      Alcotest.(check bool) "sidecar written" true (Sys.file_exists sidecar);
+      let bytes = In_channel.with_open_bin sidecar In_channel.input_all in
+      Out_channel.with_open_bin sidecar (fun oc ->
+          Out_channel.output_string oc (String.sub bytes 0 (String.length bytes / 3)));
+      let r = Xpdl_repo.Repo.create () in
+      Xpdl_repo.Repo.open_root r dir;
+      let codes = List.map (fun d -> d.Xpdl_core.Diagnostic.code) (Xpdl_repo.Repo.diagnostics r) in
+      Alcotest.(check bool) "XPDL311 diagnosed" true (List.mem "XPDL311" codes);
+      Alcotest.(check (list string)) "contents survive corruption"
+        (Xpdl_repo.Repo.identifiers cold) (Xpdl_repo.Repo.identifiers r);
+      (* the rebuild must leave a healthy sidecar behind *)
+      let again = Xpdl_repo.Repo.create () in
+      Xpdl_repo.Repo.open_root again dir;
+      let codes = List.map (fun d -> d.Xpdl_core.Diagnostic.code) (Xpdl_repo.Repo.diagnostics again) in
+      Alcotest.(check bool) "healthy after rebuild" false (List.mem "XPDL311" codes))
+
+(* Satellite: XPDL302 shadowing under lazy loading — the surviving
+   definition is the last one in scan order, no matter which entries are
+   materialized first. *)
+let test_lazy_shadowing_order () =
+  with_temp_dir (fun dir ->
+      List.iter (fun (n, s) -> write_file dir n s) fleet_files;
+      let direct = Xpdl_repo.Repo.create () in
+      Xpdl_repo.Repo.open_root direct dir;
+      let x = Option.get (Xpdl_repo.Repo.find direct "X") in
+      Alcotest.(check (option string)) "X first: last definition wins" (Some "late")
+        (Model.attr_string x "vendor");
+      let detour = Xpdl_repo.Repo.create () in
+      Xpdl_repo.Repo.open_root detour dir;
+      (* materialize the shadowed file's other descriptors first *)
+      ignore (Xpdl_repo.Repo.find detour "M");
+      ignore (Xpdl_repo.Repo.find detour "C");
+      let x = Option.get (Xpdl_repo.Repo.find detour "X") in
+      Alcotest.(check (option string)) "X last: same winner" (Some "late")
+        (Model.attr_string x "vendor");
+      let codes = List.map (fun d -> d.Xpdl_core.Diagnostic.code) (Xpdl_repo.Repo.diagnostics detour) in
+      Alcotest.(check bool) "XPDL302 still reported" true (List.mem "XPDL302" codes))
+
+(* Satellite: quarantine dedup — re-adding a failing file must not grow
+   the quarantine list, and insertion order is preserved. *)
+let test_quarantine_dedup () =
+  with_temp_dir (fun dir ->
+      write_file dir "bad1.xpdl" "<cpu";
+      write_file dir "bad2.xpdl" "<memory";
+      let r = Xpdl_repo.Repo.create () in
+      let p1 = Filename.concat dir "bad1.xpdl" and p2 = Filename.concat dir "bad2.xpdl" in
+      Xpdl_repo.Repo.add_file r p2;
+      Xpdl_repo.Repo.add_file r p1;
+      Xpdl_repo.Repo.add_file r p2;
+      Xpdl_repo.Repo.add_file r p2;
+      Alcotest.(check (list string)) "deduped, insertion order" [ p2; p1 ]
+        (Xpdl_repo.Repo.quarantined_files r))
+
+(* Satellite: XPDL305 is emitted once per distinct (authority, ref), so a
+   composition touching a dangling reference thousands of times cannot
+   flood the stream or consume an error cap. *)
+let test_unknown_authority_dedup () =
+  let r = mem_repo [] in
+  for _ = 1 to 500 do
+    ignore (Xpdl_repo.Repo.lookup r "xpdl://nowhere/T")
+  done;
+  for _ = 1 to 500 do
+    ignore (Xpdl_repo.Repo.lookup r "xpdl://nowhere/U")
+  done;
+  let count_305 =
+    List.length
+      (List.filter
+         (fun d -> String.equal d.Xpdl_core.Diagnostic.code "XPDL305")
+         (Xpdl_repo.Repo.diagnostics r))
+  in
+  Alcotest.(check int) "one per distinct reference" 2 count_305
+
+let test_eviction_rematerialize () =
+  with_temp_dir (fun dir ->
+      for i = 0 to 9 do
+        write_file dir (Fmt.str "m%d.xpdl" i) (Fmt.str {|<cpu name="M%d" vendor="v%d"/>|} i i)
+      done;
+      let cold = Xpdl_repo.Repo.create () in
+      Xpdl_repo.Repo.open_root cold dir;
+      let r = Xpdl_repo.Repo.create ~cache_capacity:3 () in
+      Xpdl_repo.Repo.open_root r dir;
+      for i = 0 to 9 do
+        let e = Option.get (Xpdl_repo.Repo.find r (Fmt.str "M%d" i)) in
+        Alcotest.(check (option string)) "content" (Some (Fmt.str "v%d" i))
+          (Model.attr_string e "vendor")
+      done;
+      let s = Xpdl_repo.Repo.stats r in
+      Alcotest.(check bool) "evictions happened" true (s.Xpdl_repo.Repo.evictions > 0);
+      Alcotest.(check bool) "cache bounded" true (s.Xpdl_repo.Repo.cached <= 3);
+      (* an evicted entry still materializes correctly on re-touch *)
+      let e = Option.get (Xpdl_repo.Repo.find r "M0") in
+      Alcotest.(check (option string)) "re-materialized" (Some "v0") (Model.attr_string e "vendor"))
+
+let test_validate_all_parity () =
+  with_temp_dir (fun dir ->
+      List.iter (fun (n, s) -> write_file dir n s) fleet_files;
+      let eager = Xpdl_repo.Repo.create () in
+      Xpdl_repo.Repo.add_root eager dir;
+      let lazy_repo = Xpdl_repo.Repo.create () in
+      Xpdl_repo.Repo.open_root lazy_repo dir;
+      let warm = Xpdl_repo.Repo.create () in
+      Xpdl_repo.Repo.open_root warm dir;
+      let render vs =
+        List.map
+          (fun v ->
+            Fmt.str "%s %s %a" v.Xpdl_repo.Repo.va_ident v.Xpdl_repo.Repo.va_kind
+              (Fmt.list Xpdl_core.Diagnostic.pp) v.Xpdl_repo.Repo.va_errors)
+          vs
+      in
+      let base = render (Xpdl_repo.Repo.validate_all ~jobs:1 eager) in
+      Alcotest.(check (list string)) "lazy cold == eager" base
+        (render (Xpdl_repo.Repo.validate_all ~jobs:1 lazy_repo));
+      Alcotest.(check (list string)) "warm, 3 domains == eager" base
+        (render (Xpdl_repo.Repo.validate_all ~jobs:3 warm));
+      (* the sweep materializes into a private snapshot, not the cache *)
+      Alcotest.(check int) "cache untouched by validate-all" 0
+        (Xpdl_repo.Repo.stats warm).Xpdl_repo.Repo.materialized)
+
 let case name f = Alcotest.test_case name `Quick f
 
 let () =
@@ -204,6 +417,17 @@ let () =
       ( "hyperlinks",
         [ case "remote authority" test_hyperlinks; case "unknown authority" test_unknown_authority ]
       );
+      ( "lazy",
+        [
+          case "open_root parity (cold + warm)" test_open_root_parity;
+          case "staleness re-scan" test_staleness_rescan;
+          case "corrupt index rebuild" test_corrupt_index_rebuild;
+          case "shadowing under lazy load" test_lazy_shadowing_order;
+          case "quarantine dedup" test_quarantine_dedup;
+          case "unknown authority dedup" test_unknown_authority_dedup;
+          case "eviction + re-materialize" test_eviction_rematerialize;
+          case "validate-all parity + jobs" test_validate_all_parity;
+        ] );
       ( "compose",
         [
           case "missing model" test_compose_by_name_missing;
