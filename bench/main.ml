@@ -953,11 +953,11 @@ let e16 () =
     r
   in
   let seed = 20150901 in
-  ignore (arm "closed_1c" { Loadgen.clients = 1; duration_s; mode = Loadgen.Closed; mix; seed });
-  ignore (arm "closed_4c" { Loadgen.clients = 4; duration_s; mode = Loadgen.Closed; mix; seed });
+  ignore (arm "closed_1c" { Loadgen.clients = 1; duration_s; mode = Loadgen.Closed; mix; seed; req_ids = false; retry = None });
+  ignore (arm "closed_4c" { Loadgen.clients = 4; duration_s; mode = Loadgen.Closed; mix; seed; req_ids = false; retry = None });
   ignore
     (arm "open_4c_100rps"
-       { Loadgen.clients = 4; duration_s; mode = Loadgen.Open 100.; mix; seed });
+       { Loadgen.clients = 4; duration_s; mode = Loadgen.Open 100.; mix; seed; req_ids = false; retry = None });
   (* MVCC acceptance probe: pin, hammer 1000 edits from a second
      connection (journal capacity 256 -> several compactions), re-read
      the pinned snapshot, then catch up from the journal *)
@@ -982,6 +982,7 @@ let e16 () =
              key = "static_power";
              value = string_of_int (1 + (i mod 40));
              unit_spelling = Some "W";
+             req_id = None;
            })
     with
     | P.Ok (P.Int _) -> ()
@@ -1241,11 +1242,117 @@ let e18 () =
     failwith "E18: parallel validate-all diverged from sequential"
 
 (* ------------------------------------------------------------------ *)
+(* E19: crash-safe durable serving — WAL append overhead vs the
+   in-memory store, the fsync-per-edit floor, and the recovery
+   bit-identity probe (reopen the journal directory read-only and
+   compare model fingerprints). *)
+
+let e19 () =
+  header "E19: durable serving (WAL overhead, recovery bit-identity)";
+  let module Hub = Xpdl_serve.Hub in
+  let module Server = Xpdl_serve.Server in
+  let module Client = Xpdl_serve.Client in
+  let module P = Xpdl_serve.Protocol in
+  let module Wal = Xpdl_store.Wal in
+  let module M = Xpdl_core.Model in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) (Fmt.str "xpdl_e19_%d" (Unix.getpid ()))
+  in
+  remove_tree dir;
+  Fun.protect ~finally:(fun () -> remove_tree dir) @@ fun () ->
+  Unix.mkdir dir 0o755;
+  let model = composed "liu_gpu_server" in
+  let n = if quota_s >= 0.25 then 2000 else 300 in
+  (* p50 of one client's edit round-trips against a served hub *)
+  let edit_p50 hub n =
+    let sock = Filename.temp_file "xpdl_e19" ".sock" in
+    Sys.remove sock;
+    let addr = Server.Unix_socket sock in
+    let srv = Server.start ~deadline_s:600. addr hub in
+    Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+    let core_path =
+      List.hd (Store.find_paths (Hub.store hub) (fun e -> e.M.kind = Xpdl_core.Schema.Core))
+    in
+    let c = Client.connect addr in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    let samples = Array.make n 0. in
+    for i = 0 to n - 1 do
+      let t0 = Unix.gettimeofday () in
+      (match
+         Client.request c
+           (P.Edit
+              {
+                path = core_path;
+                key = "static_power";
+                value = string_of_int (1 + (i mod 40));
+                unit_spelling = Some "W";
+                req_id = Some (i + 1);
+              })
+       with
+      | P.Ok (P.Int _) -> ()
+      | r -> failwith (Fmt.str "E19: edit answered %a" P.pp_response r));
+      samples.(i) <- (Unix.gettimeofday () -. t0) *. 1e6
+    done;
+    Array.sort compare samples;
+    samples.(n / 2)
+  in
+  (* arm 1: the in-memory baseline *)
+  let plain_p50 = edit_p50 (Hub.create ~journal_capacity:256 model) n in
+  (* arm 2: durable with the default interval policy — the WAL append is
+     on the edit path, the fsync is amortized *)
+  let wal_dir = Filename.concat dir "interval" in
+  let st, _ =
+    match Store.recover ~policy:(Wal.Interval 0.05) ~checkpoint_every:1024 ~dir:wal_dir model with
+    | Ok v -> v
+    | Error d -> failwith (Fmt.str "E19: recover: %a" Xpdl_core.Diagnostic.pp d)
+  in
+  let wal_p50 = edit_p50 (Hub.of_store st) n in
+  let head = Wal.model_fingerprint (Store.model st) in
+  let rev = Store.revision st in
+  Store.sync_wal st;
+  Store.close_wal st;
+  (* arm 3: fsync-per-edit — the durability ceiling, priced per edit *)
+  let always_dir = Filename.concat dir "always" in
+  let st_a, _ =
+    match Store.recover ~policy:Wal.Always ~checkpoint_every:1024 ~dir:always_dir model with
+    | Ok v -> v
+    | Error d -> failwith (Fmt.str "E19: recover: %a" Xpdl_core.Diagnostic.pp d)
+  in
+  let always_p50 = edit_p50 (Hub.of_store st_a) (min n 200) in
+  Store.close_wal st_a;
+  (* recovery probe: a read-only reopen of the interval arm's directory
+     must land on the same revision with a bit-identical head *)
+  let recovered, _ =
+    match Store.recover ~read_only:true ~dir:wal_dir model with
+    | Ok v -> v
+    | Error d -> failwith (Fmt.str "E19: read-only recover: %a" Xpdl_core.Diagnostic.pp d)
+  in
+  let bitexact =
+    if Store.revision recovered = rev && Wal.model_fingerprint (Store.model recovered) = head
+    then 1.
+    else 0.
+  in
+  let overhead = wal_p50 /. plain_p50 in
+  record ~metric:"serve/wal/plain_p50" ~value:plain_p50 ~unit_:"us" ();
+  record ~metric:"serve/wal/edit_p50" ~value:wal_p50 ~unit_:"us" ();
+  record ~metric:"serve/wal/always_p50" ~value:always_p50 ~unit_:"us" ();
+  record ~metric:"serve/wal/overhead" ~value:overhead ~unit_:"x" ();
+  record ~metric:"serve/wal/edits" ~value:(float_of_int n) ~unit_:"count" ();
+  record ~metric:"serve/wal/recovered_rev" ~value:(float_of_int (Store.revision recovered))
+    ~unit_:"count" ();
+  record ~metric:"serve/wal/recovered_bitexact" ~value:bitexact ~unit_:"bool" ();
+  Fmt.pr "  edit p50 over %d edits: in-memory %.1f us, wal(interval) %.1f us (%.2fx), wal(always) %.1f us@."
+    n plain_p50 wal_p50 overhead always_p50;
+  Fmt.pr "  recovery: revision %d reopened %s@." rev
+    (if bitexact = 1. then "bit-identical" else "DIVERGED");
+  if bitexact <> 1. then failwith "E19: recovered head diverged from the served head"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
     ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
-    ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18) ]
+    ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19) ]
 
 let () =
   let json_file = ref None in

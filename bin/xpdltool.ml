@@ -915,31 +915,80 @@ let serve_cmd =
     let doc = "Maximum simultaneous connections." in
     Arg.(value & opt int 64 & info [ "max-clients" ] ~docv:"N" ~doc)
   in
-  let run models system addr deadline max_clients =
+  let wal =
+    let doc =
+      "Durable serving: journal every accepted edit to a write-ahead log in $(docv) and recover \
+       checkpoint + journal tail from it on startup (crash-safe; see docs/SERVING.md)."
+    in
+    Arg.(value & opt (some string) None & info [ "wal" ] ~docv:"DIR" ~doc)
+  in
+  let fsync =
+    let doc =
+      "WAL fsync policy: $(b,always) (no acknowledged edit can be lost), $(b,interval) or \
+       $(b,interval:S) (bounded loss window), $(b,never)."
+    in
+    Arg.(value & opt string "interval" & info [ "fsync" ] ~docv:"POLICY" ~doc)
+  in
+  let checkpoint_every =
+    let doc = "Roll a checkpoint and restart the journal every $(docv) edits." in
+    Arg.(value & opt int 1024 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+  in
+  let run models system addr deadline max_clients wal fsync checkpoint_every =
     setup_logs ();
     match Xpdl_repo.Repo.compose_by_name (repo_of_paths models) system with
     | Error msg ->
         Fmt.epr "%s@." msg;
         1
-    | Ok c ->
-        let hub = Xpdl_serve.Hub.create c.Xpdl_repo.Repo.model in
-        let srv = Xpdl_serve.Server.start ~max_clients ?deadline_s:deadline addr hub in
-        (match Xpdl_serve.Server.sockaddr srv with
-        | Unix.ADDR_UNIX path -> Fmt.pr "serving %s on unix socket %s@." system path
-        | Unix.ADDR_INET (ip, port) ->
-            Fmt.pr "serving %s on %s:%d@." system (Unix.string_of_inet_addr ip) port);
-        Sys.catch_break true;
-        (try Xpdl_serve.Server.wait srv with Sys.Break -> ());
-        Xpdl_serve.Server.stop srv;
-        Fmt.pr "%s@." (Xpdl_serve.Hub.stats_json hub);
-        0
+    | Ok c -> (
+        let durable_store =
+          match wal with
+          | None -> Ok None
+          | Some dir -> (
+              match Xpdl_store.Wal.policy_of_string fsync with
+              | Error msg -> Error msg
+              | Ok policy -> (
+                  match
+                    Xpdl_store.Store.recover ~policy ~checkpoint_every ~dir
+                      c.Xpdl_repo.Repo.model
+                  with
+                  | Error d -> Error (Fmt.str "[%s] %s" d.Xpdl_core.Diagnostic.code d.message)
+                  | Ok (st, diags) ->
+                      List.iter (fun d -> Fmt.pr "%a@." Xpdl_core.Diagnostic.pp d) diags;
+                      Fmt.pr "recovered revision %d from %s@."
+                        (Xpdl_store.Store.revision st) dir;
+                      Ok (Some st)))
+        in
+        match durable_store with
+        | Error msg ->
+            Fmt.epr "%s@." msg;
+            1
+        | Ok st ->
+            let hub =
+              match st with
+              | Some st -> Xpdl_serve.Hub.of_store st
+              | None -> Xpdl_serve.Hub.create c.Xpdl_repo.Repo.model
+            in
+            let srv = Xpdl_serve.Server.start ~max_clients ?deadline_s:deadline addr hub in
+            (match Xpdl_serve.Server.sockaddr srv with
+            | Unix.ADDR_UNIX path -> Fmt.pr "serving %s on unix socket %s@." system path
+            | Unix.ADDR_INET (ip, port) ->
+                Fmt.pr "serving %s on %s:%d@." system (Unix.string_of_inet_addr ip) port);
+            Sys.catch_break true;
+            (try Xpdl_serve.Server.wait srv with Sys.Break -> ());
+            Xpdl_serve.Server.stop srv;
+            Option.iter Xpdl_store.Store.close_wal st;
+            Fmt.pr "%s@." (Xpdl_serve.Hub.stats_json hub);
+            0)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve a composed system to concurrent clients: queries, edits and subscriptions over a \
-          length-prefixed binary protocol, with MVCC snapshot pinning (see docs/SERVING.md)")
-    Term.(const run $ models_arg $ system_arg $ addr_args $ deadline $ max_clients)
+          length-prefixed binary protocol, with MVCC snapshot pinning and optional write-ahead \
+          journaling for crash-safe durability (see docs/SERVING.md)")
+    Term.(
+      const run $ models_arg $ system_arg $ addr_args $ deadline $ max_clients $ wal $ fsync
+      $ checkpoint_every)
 
 let loadgen_cmd =
   let clients =
@@ -976,7 +1025,26 @@ let loadgen_cmd =
     let doc = "Print the report as one JSON object." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run addr clients duration rate seed edit_target edit_key json =
+  let req_ids =
+    let doc =
+      "Stamp every edit with a client-assigned request id so the server's dedup window makes \
+       retried edits idempotent (exactly-once accounting)."
+    in
+    Arg.(value & flag & info [ "req-ids" ] ~doc)
+  in
+  let retries =
+    let doc =
+      "Retry transport failures up to $(docv) attempts per request, reconnecting between \
+       attempts with exponential backoff and deterministic jitter.  0 disables retries."
+    in
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let retry_deadline =
+    let doc = "Per-attempt response deadline in seconds (with $(b,--retries))." in
+    Arg.(value & opt float 2.0 & info [ "retry-deadline" ] ~docv:"S" ~doc)
+  in
+  let run addr clients duration rate seed edit_target edit_key json req_ids retries retry_deadline
+      =
     setup_logs ();
     let resolve_mix () =
       match edit_target with
@@ -1011,16 +1079,37 @@ let loadgen_cmd =
     let mode =
       match rate with None -> Xpdl_serve.Loadgen.Closed | Some r -> Xpdl_serve.Loadgen.Open r
     in
+    let retry =
+      if retries <= 0 then None
+      else
+        Some
+          {
+            Xpdl_serve.Client.default_retry with
+            attempts = retries;
+            deadline_s = Some retry_deadline;
+            retry_seed = seed;
+          }
+    in
     match
       let mix = resolve_mix () in
-      Xpdl_serve.Loadgen.run addr { clients; duration_s = duration; mode; mix; seed }
+      Xpdl_serve.Loadgen.run addr
+        { clients; duration_s = duration; mode; mix; seed; req_ids; retry }
     with
     | report ->
         if json then Fmt.pr "%s@." (Xpdl_serve.Loadgen.report_to_json report)
         else Fmt.pr "%a@." Xpdl_serve.Loadgen.pp_report report;
-        if report.Xpdl_serve.Loadgen.errors = 0 then 0 else 1
+        if Xpdl_serve.Loadgen.edits_diverged report then begin
+          Fmt.epr "acknowledged/applied edit counts diverged: %d acknowledged, %d applied@."
+            report.Xpdl_serve.Loadgen.acknowledged report.Xpdl_serve.Loadgen.applied;
+          2
+        end
+        else if report.Xpdl_serve.Loadgen.errors = 0 then 0
+        else 1
     | exception (Unix.Unix_error _ as e) ->
         Fmt.epr "cannot reach the server: %s@." (Printexc.to_string e);
+        1
+    | exception (Xpdl_serve.Client.Client_error d | Xpdl_serve.Frame.Closed d) ->
+        Fmt.epr "%a@." Xpdl_core.Diagnostic.pp d;
         1
     | exception Failure msg ->
         Fmt.epr "%s@." msg;
@@ -1031,7 +1120,142 @@ let loadgen_cmd =
        ~doc:
          "Drive a running model-query server with a weighted mix of getter, derived-attribute, \
           edit and pinned-snapshot operations; reports p50/p95/p99 latency and throughput")
-    Term.(const run $ addr_args $ clients $ duration $ rate $ seed $ edit_target $ edit_key $ json)
+    Term.(
+      const run $ addr_args $ clients $ duration $ rate $ seed $ edit_target $ edit_key $ json
+      $ req_ids $ retries $ retry_deadline)
+
+(* --- chaosproxy --- *)
+
+let chaosproxy_cmd =
+  let listen =
+    let doc = "Unix-domain socket path the proxy listens on (clients connect here)." in
+    Arg.(required & opt (some string) None & info [ "listen" ] ~docv:"PATH" ~doc)
+  in
+  let seed =
+    let doc = "splitmix64 seed of the fault plan; a seed replays the same fault schedule." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let deadline =
+    let doc = "Stop proxying after $(docv) seconds (safety net for CI drills)." in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"S" ~doc)
+  in
+  let split_chance =
+    let doc = "Probability a relay write is split to a few bytes (tears frames)." in
+    Arg.(value & opt float 0.3 & info [ "split-chance" ] ~docv:"P" ~doc)
+  in
+  let max_split =
+    let doc = "Maximum bytes relayed by a split write." in
+    Arg.(value & opt int 7 & info [ "max-split" ] ~docv:"N" ~doc)
+  in
+  let stall_chance =
+    let doc = "Probability a relay write stalls its direction." in
+    Arg.(value & opt float 0.1 & info [ "stall-chance" ] ~docv:"P" ~doc)
+  in
+  let stall_s =
+    let doc = "Stall duration in seconds." in
+    Arg.(value & opt float 0.02 & info [ "stall" ] ~docv:"S" ~doc)
+  in
+  let reset_chance =
+    let doc = "Probability a relay write resets the whole connection." in
+    Arg.(value & opt float 0.01 & info [ "reset-chance" ] ~docv:"P" ~doc)
+  in
+  let run upstream listen seed deadline split_chance max_split stall_chance stall_s reset_chance =
+    setup_logs ();
+    let plan =
+      { Xpdl_serve.Chaos.split_chance; max_split; stall_chance; stall_s; reset_chance }
+    in
+    let proxy =
+      Xpdl_serve.Chaos.start ?deadline_s:deadline ~seed ~plan
+        ~listen:(Xpdl_serve.Server.Unix_socket listen) ~upstream ()
+    in
+    Fmt.pr "chaos proxy on unix socket %s (seed %d)@." listen seed;
+    Sys.catch_break true;
+    (try Xpdl_serve.Chaos.wait proxy with Sys.Break -> ());
+    Xpdl_serve.Chaos.stop proxy;
+    Fmt.pr "%s@." (Xpdl_serve.Chaos.stats_json proxy);
+    0
+  in
+  Cmd.v
+    (Cmd.info "chaosproxy"
+       ~doc:
+         "Fault-injecting proxy between protocol clients and a model-query server: seeded write \
+          splits, stalls and connection resets, for crash and resilience drills (the upstream \
+          server is addressed with --socket/--tcp)")
+    Term.(
+      const run $ addr_args $ listen $ seed $ deadline $ split_chance $ max_split $ stall_chance
+      $ stall_s $ reset_chance)
+
+(* --- walcheck --- *)
+
+let walcheck_cmd =
+  let dir =
+    let doc = "WAL directory to inspect." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+  in
+  let run dir =
+    setup_logs ();
+    match
+      Xpdl_store.Store.recover ~read_only:true ~dir
+        (Xpdl_core.Model.make Xpdl_core.Schema.System)
+    with
+    | Error d ->
+        Fmt.epr "%a@." Xpdl_core.Diagnostic.pp d;
+        1
+    | Ok (st, diags) ->
+        let truncated =
+          List.exists (fun d -> d.Xpdl_core.Diagnostic.code = "XPDL901") diags
+        in
+        Fmt.pr
+          "{\"revision\":%d,\"size\":%d,\"model_fnv\":\"%016x\",\"truncated\":%b,\"diagnostics\":[%a]}@."
+          (Xpdl_store.Store.revision st)
+          (Xpdl_store.Store.size st)
+          (Xpdl_store.Wal.model_fingerprint (Xpdl_store.Store.model st))
+          truncated
+          Fmt.(
+            list ~sep:comma (fun ppf d ->
+                Fmt.pf ppf "\"[%s] %s\"" d.Xpdl_core.Diagnostic.code
+                  (String.map (function '"' -> '\'' | c -> c) d.message)))
+          diags;
+        0
+  in
+  Cmd.v
+    (Cmd.info "walcheck"
+       ~doc:
+         "Inspect a write-ahead-log directory offline: replay checkpoint + journal tail without \
+          modifying anything and print the recovered revision and model fingerprint as JSON (the \
+          crash drill's bit-identity probe)")
+    Term.(const run $ dir)
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let run addr =
+    setup_logs ();
+    match
+      let cl = Xpdl_serve.Client.connect addr in
+      let resp = Xpdl_serve.Client.request ~timeout:5.0 cl Xpdl_serve.Protocol.Stats in
+      Xpdl_serve.Client.close cl;
+      resp
+    with
+    | Xpdl_serve.Protocol.Ok (Xpdl_serve.Protocol.Str json) ->
+        Fmt.pr "%s@." json;
+        0
+    | r ->
+        Fmt.epr "unexpected stats answer: %a@." Xpdl_serve.Protocol.pp_response r;
+        1
+    | exception (Unix.Unix_error _ as e) ->
+        Fmt.epr "cannot reach the server: %s@." (Printexc.to_string e);
+        1
+    | exception Xpdl_serve.Client.Client_error d ->
+        Fmt.epr "%a@." Xpdl_core.Diagnostic.pp d;
+        1
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Fetch a running server's stats JSON (revision, edit accounting, model fingerprint) — \
+          the live half of the crash drill's recovered-head comparison")
+    Term.(const run $ addr_args)
 
 (* --- emit-cpp --- *)
 
@@ -1188,7 +1412,8 @@ let () =
           [
             list_cmd; validate_cmd; validate_all_cmd; repo_cmd; compose_cmd; analyze_cmd;
             process_cmd;
-            bootstrap_cmd; query_cmd; dse_cmd; serve_cmd; loadgen_cmd; verify_cmd; fuzz_cmd;
+            bootstrap_cmd; query_cmd; dse_cmd; serve_cmd; loadgen_cmd; chaosproxy_cmd;
+            walcheck_cmd; stats_cmd; verify_cmd; fuzz_cmd;
             emit_cpp_cmd; emit_uml_cmd; emit_xsd_cmd; emit_drivers_cmd; control_cmd;
             to_pdl_cmd; to_json_cmd;
           ]))

@@ -15,7 +15,9 @@
     - [XPDL6xx] — runtime-model codec diagnostics (corrupt or truncated
       [.xrt] arena files);
     - [XPDL7xx] — model-query server protocol diagnostics;
-    - [XPDL8xx] — design-space exploration sweep diagnostics.
+    - [XPDL8xx] — design-space exploration sweep diagnostics;
+    - [XPDL9xx] — durability diagnostics (write-ahead journal,
+      checkpointing, crash recovery, idempotent replay).
 
     [XPDL000] is the uncategorized default for legacy call sites. *)
 
@@ -125,6 +127,7 @@ let registry : (string * severity * string) list =
     ("XPDL705", Error, "serve edit rejected by the model store");
     ("XPDL706", Error, "serve revision is not a pinned snapshot of this session");
     ("XPDL707", Info, "serve journal compacted past the requested revision; full resync needed");
+    ("XPDL708", Error, "serve connection reset by peer during a frame write");
     (* XPDL8xx — design-space exploration sweeps *)
     ("XPDL801", Error, "dse template declares no sweep axes");
     ("XPDL802", Error, "dse axis specification is malformed");
@@ -133,6 +136,14 @@ let registry : (string * severity * string) list =
     ("XPDL805", Info, "dse point bootstrapped below full quality (degradation ladder)");
     ("XPDL806", Info, "dse sample quota covers the whole space; sweep made exhaustive");
     ("XPDL807", Info, "dse front empty: every selected point was pruned or failed");
+    (* XPDL9xx — durability: write-ahead journal and crash recovery *)
+    ("XPDL900", Error, "wal checkpoint unreadable or corrupt");
+    ("XPDL901", Warning, "wal tail truncated at a torn or corrupt record");
+    ("XPDL902", Error, "wal directory or journal file cannot be opened or written");
+    ("XPDL903", Info, "wal recovery replayed the journal tail onto the checkpoint");
+    ("XPDL904", Info, "wal directory initialized with a fresh checkpoint");
+    ("XPDL905", Error, "serve edit request id replayed with a different payload");
+    ("XPDL906", Error, "client request deadline exceeded or retry budget exhausted");
   ]
 
 let describe code =

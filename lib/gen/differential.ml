@@ -747,7 +747,7 @@ let check_serve_mvcc (doc : Dom.element) : string option =
             let resp =
               Hub.handle hub s
                 (Sproto.Edit
-                   { path; key = "static_power"; value; unit_spelling = Some "W" })
+                   { path; key = "static_power"; value; unit_spelling = Some "W"; req_id = None })
             in
             match resp with
             | Sproto.Ok (Sproto.Int rev) ->
@@ -1059,6 +1059,207 @@ let check_repo_lazy g ~dir : (string * string) option =
       | None -> None
     end
 
+(* --- store-durable: WAL crash recovery vs an uncrashed oracle --- *)
+
+module Wal = Xpdl_store.Wal
+
+(* One scripted edit: every decision drawn up front, so a (script,
+   crash point) pair replays deterministically and shrinks greedily
+   without consulting the generator again. *)
+type dedit = { d_path : int; d_kind : int; d_a : int; d_b : int; d_flag : bool }
+
+let durable_leaf d =
+  if d.d_flag then
+    Model.make Schema.Core
+      ~attrs:
+        [
+          ( "static_power",
+            Model.Quantity (Xpdl_units.Units.watts (float_of_int (1 + (d.d_a mod 40)) /. 8.), "W")
+          );
+        ]
+  else
+    Model.make Schema.Memory
+      ~attrs:
+        [
+          ( "size",
+            Model.Quantity (Xpdl_units.Units.bytes (float_of_int (1 + (d.d_b mod 1_000_000))), "B")
+          );
+        ]
+
+(* Apply one scripted edit to a store.  Both the durable store and the
+   oracle hold identical models at every step, so the path selection
+   (index into the current path list) resolves identically. *)
+let apply_dedit st d =
+  let paths = List.rev (Model.fold_index_paths (fun acc p _ -> p :: acc) [] (Store.model st)) in
+  let path = List.nth paths (d.d_path mod List.length paths) in
+  match d.d_kind mod 6 with
+  | 0 ->
+      Store.set_attr st path "static_power"
+        (Model.Quantity (Xpdl_units.Units.watts (float_of_int (1 + (d.d_a mod 100)) /. 4.), "W"))
+  | 1 ->
+      Store.set_attr st path "size"
+        (Model.Quantity (Xpdl_units.Units.bytes (float_of_int (1 + (d.d_b mod 1_000_000))), "B"))
+  | 2 -> Store.remove_attr st path "static_power"
+  | 3 -> Store.insert_child st path (durable_leaf d)
+  | 4 -> Store.replace_subtree st path (durable_leaf d)
+  | _ -> (
+      match Store.element_at st path with
+      | Some e when e.Model.children <> [] ->
+          ignore (Store.remove_child st path (d.d_a mod List.length e.Model.children))
+      | _ -> Store.insert_child st path (durable_leaf d))
+
+(* Run one crash scenario: [n] scripted edits through a durable store
+   (checkpointing every [checkpoint_every]) and an in-memory oracle,
+   then a simulated kill -9 — the WAL handle is abandoned un-closed and
+   the journal file is damaged at a crash point chosen by [crash_sel]
+   (0..1000 scales into the file; 1000 = clean crash, no damage; odd
+   selectors flip a byte, even ones truncate).  Recovery must never
+   crash, must land on some prefix revision R of the acknowledged
+   history, and the recovered model must be bit-identical to the
+   oracle's model at R.  A clean crash must lose nothing (R = n). *)
+let run_durable_scenario ~dir ~init ~script ~checkpoint_every ~crash_sel () : string option =
+  let n = Array.length script in
+  remove_tree dir;
+  let fail fmt = Fmt.kstr Option.some fmt in
+  Fun.protect ~finally:(fun () -> remove_tree dir) @@ fun () ->
+  match Store.recover ~policy:Wal.Never ~checkpoint_every ~dir init with
+  | Error d -> fail "recover (fresh dir): [%s] %s" d.Diagnostic.code d.Diagnostic.message
+  | Ok (durable, _) -> (
+      let oracle = Store.of_model init in
+      (* snapshots.(r) = the oracle's canonical image at revision r *)
+      let snapshots = Array.make (n + 1) (Wal.encode_model (Store.model oracle)) in
+      let step_fail = ref None in
+      (try
+         Array.iteri
+           (fun i d ->
+             apply_dedit durable d;
+             apply_dedit oracle d;
+             let img_d = Wal.encode_model (Store.model durable)
+             and img_o = Wal.encode_model (Store.model oracle) in
+             if not (String.equal img_d img_o) then begin
+               step_fail := Some (Fmt.str "step %d: durable and oracle heads diverge pre-crash" i);
+               raise Exit
+             end;
+             snapshots.(i + 1) <- img_o)
+           script
+       with Exit -> ());
+      match !step_fail with
+      | Some msg -> Some msg
+      | None -> (
+          (* kill -9: abandon the handle, then damage the journal tail *)
+          let log = Wal.log_path dir in
+          let size = try (Unix.stat log).Unix.st_size with Unix.Unix_error _ -> 0 in
+          let damaged =
+            if crash_sel >= 1000 || size <= 8 then false
+            else begin
+              let off = 8 + ((size - 8) * crash_sel / 1000) in
+              let fd = Unix.openfile log [ Unix.O_RDWR ] 0o644 in
+              (if crash_sel land 1 = 1 && off < size then begin
+                 (* flip one byte mid-journal: a checksum must catch it *)
+                 let b = Bytes.create 1 in
+                 ignore (Unix.lseek fd off Unix.SEEK_SET);
+                 ignore (Unix.read fd b 0 1);
+                 Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x40));
+                 ignore (Unix.lseek fd off Unix.SEEK_SET);
+                 ignore (Unix.write fd b 0 1)
+               end
+               else
+                 (* torn tail: the final write never fully landed *)
+                 Unix.ftruncate fd off);
+              Unix.close fd;
+              true
+            end
+          in
+          match Store.recover ~policy:Wal.Never ~checkpoint_every ~dir init with
+          | Error d ->
+              fail "recover (post-crash): [%s] %s%s" d.Diagnostic.code d.Diagnostic.message
+                (if damaged then " (damaged journal)" else "")
+          | Ok (recovered, _) -> (
+              let r = Store.revision recovered in
+              if r < 0 || r > n then fail "recovered revision %d outside history 0..%d" r n
+              else if (not damaged) && r <> n then
+                fail "clean crash lost edits: recovered %d of %d" r n
+              else if
+                not (String.equal (Wal.encode_model (Store.model recovered)) snapshots.(r))
+              then
+                fail "recovered head at revision %d is not bit-identical to the oracle%s" r
+                  (if damaged then " (damaged journal)" else "")
+              else begin
+                (* the recovered store must keep journaling *)
+                if n > 0 then apply_dedit recovered script.(0);
+                if Store.revision recovered <> r + min 1 n then
+                  fail "recovered store does not accept edits"
+                else begin
+                  Store.close_wal recovered;
+                  (* and a second, read-only recovery of the converged
+                     dir must agree exactly *)
+                  match Store.recover ~read_only:true ~dir init with
+                  | Error d ->
+                      fail "re-recover: [%s] %s" d.Diagnostic.code d.Diagnostic.message
+                  | Ok (again, diags) ->
+                      if Store.revision again <> r + min 1 n then
+                        fail "re-recovery revision %d, expected %d" (Store.revision again)
+                          (r + min 1 n)
+                      else if
+                        List.exists (fun d -> d.Diagnostic.code = "XPDL901") diags
+                      then fail "converged dir still reports a torn tail"
+                      else None
+                end
+              end)))
+
+let check_store_durable g ~dir : (string * string) option =
+  let doc = Gen.document g in
+  match compose_doc doc with
+  | None -> None
+  | Some init ->
+      let n_edits = 2 + Gen.int g 11 in
+      let checkpoint_every = 2 + Gen.int g 5 in
+      let crash_sel = Gen.int g 1001 in
+      let script =
+        Array.init n_edits (fun _ ->
+            {
+              d_path = Gen.int g 1_000_000;
+              d_kind = Gen.int g 6;
+              d_a = Gen.int g 1_000_000;
+              d_b = Gen.int g 1_000_000;
+              d_flag = Gen.chance g 0.5;
+            })
+      in
+      let run ~script ~crash_sel =
+        run_durable_scenario ~dir ~init ~script ~checkpoint_every ~crash_sel ()
+      in
+      match run ~script ~crash_sel with
+      | None -> None
+      | Some msg ->
+          (* greedy shrink over the script length and the crash point *)
+          let still_fails script crash_sel = run ~script ~crash_sel <> None in
+          let rec shrink (script, crash_sel) fuel =
+            if fuel = 0 then (script, crash_sel)
+            else
+              let shorter k = Array.sub script 0 k in
+              let candidates =
+                (if Array.length script > 1 then
+                   [
+                     (shorter (Array.length script / 2), crash_sel);
+                     (shorter (Array.length script - 1), crash_sel);
+                   ]
+                 else [])
+                @ (if crash_sel < 1000 then [ (script, 1000) ] else [])
+                @ if crash_sel > 0 then [ (script, crash_sel / 2) ] else []
+              in
+              match
+                List.find_opt (fun (s, c) -> still_fails s c) candidates
+              with
+              | Some smaller -> shrink smaller (fuel - 1)
+              | None -> (script, crash_sel)
+          in
+          let script', crash_sel' = shrink (script, crash_sel) 12 in
+          let msg = Option.value ~default:msg (run ~script:script' ~crash_sel:crash_sel') in
+          Some
+            ( msg,
+              Fmt.str "edits=%d checkpoint_every=%d crash_sel=%d document:\n%s"
+                (Array.length script') checkpoint_every crash_sel' (Print.to_string doc) )
+
 type property = { p_name : string; p_run : seed:int -> case:int -> (string * string) option }
 
 let gen_for ~seed ~name ~case = Gen.case ~seed ~salt:(Fmt.str "%s:%d" name case)
@@ -1111,6 +1312,17 @@ let properties =
               Some (Option.value ~default:msg (check_psm min), Fmt.str "%a" Gen.pp_machine min));
     };
     element_property "store-incremental" Gen.document check_store_incremental;
+    {
+      p_name = "store-durable";
+      p_run =
+        (fun ~seed ~case ->
+          let g = gen_for ~seed ~name:"store-durable" ~case in
+          let dir =
+            Filename.concat (Filename.get_temp_dir_name ())
+              (Fmt.str "xpdl_durable_%d_%d_%d" (Unix.getpid ()) seed case)
+          in
+          check_store_durable g ~dir);
+    };
     element_property "serve-mvcc" Gen.document check_serve_mvcc;
     element_property "elaborate-deterministic" Gen.document check_deterministic;
     {

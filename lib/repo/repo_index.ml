@@ -348,16 +348,40 @@ let save ~root (t : t) : (unit, Diagnostic.t) result =
   let path = path_for_root root in
   let tmp = path ^ ".tmp" in
   match
-    let oc = open_out_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc (encode t));
-    Sys.rename tmp path
+    (* write + fsync the temp file before the rename publishes it: a
+       crash between rename and writeback must not leave a live index
+       whose bytes never reached the disk.  The directory fsync is
+       best-effort, like the WAL checkpoint writer. *)
+    let data = encode t in
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY; O_CREAT; O_TRUNC; O_CLOEXEC ] 0o644 in
+    (try
+       let n = String.length data in
+       let off = ref 0 in
+       while !off < n do
+         off := !off + Unix.write_substring fd data !off (n - !off)
+       done;
+       Unix.fsync fd;
+       Unix.close fd
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
+    Unix.rename tmp path;
+    (match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY; O_CLOEXEC ] 0 with
+    | dfd ->
+        (try Unix.fsync dfd with Unix.Unix_error _ -> ());
+        (try Unix.close dfd with Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ())
   with
   | () -> Ok ()
   | exception Sys_error m ->
       (try Sys.remove tmp with Sys_error _ -> ());
       Error (Diagnostic.warning ~code:"XPDL313" "cannot write repository index %s: %s" path m)
+  | exception Unix.Unix_error (err, _, _) ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Error
+        (Diagnostic.warning ~code:"XPDL313" "cannot write repository index %s: %s" path
+           (Unix.error_message err))
 
 let load ~root : (t option, Diagnostic.t) result =
   let path = path_for_root root in

@@ -73,8 +73,11 @@ val decode : string -> (t, Diagnostic.t) result
 val fingerprint_matches : file_record -> mtime:float -> size:int -> bool
 
 (** Write the index next to [root]; [Error] carries an [XPDL313]
-    diagnostic.  Saving is atomic-ish (write then rename) so a reader
-    never sees a half-written sidecar. *)
+    diagnostic.  Saving is atomic and durable: the temp file is
+    fsynced before the rename publishes it (plus a best-effort
+    directory fsync), so a reader never sees a half-written sidecar
+    and a crash right after the rename cannot surface a live index
+    whose bytes never reached the disk. *)
 val save : root:string -> t -> (unit, Diagnostic.t) result
 
 (** Read the index of [root]: [Ok None] when no sidecar exists,

@@ -1,0 +1,294 @@
+(** Seeded fault-injecting TCP/unix-socket proxy (see the interface). *)
+
+module Rng = Xpdl_simhw.Rng
+
+type plan = {
+  split_chance : float;
+  max_split : int;
+  stall_chance : float;
+  stall_s : float;
+  reset_chance : float;
+}
+
+let default_plan =
+  { split_chance = 0.3; max_split = 7; stall_chance = 0.1; stall_s = 0.02; reset_chance = 0.01 }
+
+(* One proxied connection: a client-side and an upstream-side socket
+   shuttling bytes both ways through bounded relay buffers, plus the
+   per-connection fault state (its own rng stream and stall clocks). *)
+type pipe = {
+  buf : Buffer.t;  (** bytes received and not yet relayed *)
+  mutable pos : int;  (** relay cursor into [buf] *)
+  mutable stall_until : float;  (** absolute instant writes resume *)
+  mutable src_eof : bool;  (** the feeding side reached EOF *)
+}
+
+type conn = {
+  cid : int;
+  down : Unix.file_descr;  (** the client's socket *)
+  up : Unix.file_descr;  (** our socket to the real server *)
+  c2s : pipe;  (** client -> server direction *)
+  s2c : pipe;  (** server -> client direction *)
+  rng : Rng.t;
+  mutable dead : bool;
+}
+
+type t = {
+  listen_fd : Unix.file_descr;
+  bound : Unix.sockaddr;
+  upstream : Server.addr;
+  plan : plan;
+  seed : int;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  max_clients : int;
+  deadline : float option;
+  cleanup : unit -> unit;
+  mutable conns : conn list;
+  mutable next_cid : int;
+  mutable alive : bool;
+  mutable domain : unit Domain.t option;
+  mutable stopped : bool;
+  rbuf : Bytes.t;
+  (* fault counters, for [stats_json] *)
+  mutable accepted : int;
+  mutable splits : int;
+  mutable stalls : int;
+  mutable resets : int;
+}
+
+let sockaddr t = t.bound
+let running t = t.alive
+
+let fresh_pipe () = { buf = Buffer.create 4096; pos = 0; stall_until = 0.; src_eof = false }
+
+let pending p = Buffer.length p.buf - p.pos
+
+let resolve_addr = function
+  | Server.Unix_socket path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+  | Server.Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      (Unix.ADDR_INET (ip, port), Unix.PF_INET)
+
+let close_conn t c =
+  if not c.dead then begin
+    c.dead <- true;
+    (try Unix.close c.down with Unix.Unix_error _ -> ());
+    (try Unix.close c.up with Unix.Unix_error _ -> ());
+    t.conns <- List.filter (fun c' -> c' != c) t.conns
+  end
+
+(* Injected connection reset: kill both sides at once, so the client
+   sees ECONNRESET/EOF and the server reclaims the session. *)
+let inject_reset t c =
+  t.resets <- t.resets + 1;
+  close_conn t c
+
+let accept_conn t =
+  match Unix.accept t.listen_fd with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | down, _peer ->
+      if List.length t.conns >= t.max_clients then Unix.close down
+      else begin
+        let sa, dom = resolve_addr t.upstream in
+        match
+          let up = Unix.socket dom Unix.SOCK_STREAM 0 in
+          (try Unix.connect up sa
+           with e ->
+             Unix.close up;
+             raise e);
+          up
+        with
+        | exception (Unix.Unix_error _ as _e) -> Unix.close down
+        | up ->
+            Unix.set_nonblock down;
+            Unix.set_nonblock up;
+            let cid = t.next_cid in
+            t.next_cid <- cid + 1;
+            t.accepted <- t.accepted + 1;
+            let c =
+              {
+                cid;
+                down;
+                up;
+                c2s = fresh_pipe ();
+                s2c = fresh_pipe ();
+                rng = Rng.split (Rng.create ~seed:t.seed) (Fmt.str "conn-%d" cid);
+                dead = false;
+              }
+            in
+            t.conns <- c :: t.conns
+      end
+
+(* Read whatever arrived on [src] into the pipe; a read error or EOF
+   marks the pipe draining (relay what is buffered, then close). *)
+let pump_in t c p src =
+  match Unix.read src t.rbuf 0 (Bytes.length t.rbuf) with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> close_conn t c
+  | 0 -> p.src_eof <- true
+  | n -> Buffer.add_subbytes p.buf t.rbuf 0 n
+
+(* Relay buffered bytes to [dst], rolling the fault dice per write:
+   maybe reset the whole connection, maybe stall the direction, maybe
+   split the write to a few bytes (tears frames across packets — the
+   torn-write generator for the WAL/recovery drill). *)
+let pump_out t c p dst =
+  let now = Unix.gettimeofday () in
+  if (not c.dead) && now >= p.stall_until && pending p > 0 then begin
+    if Rng.float c.rng < t.plan.reset_chance then inject_reset t c
+    else if Rng.float c.rng < t.plan.stall_chance then begin
+      t.stalls <- t.stalls + 1;
+      p.stall_until <- now +. t.plan.stall_s
+    end
+    else begin
+      let want = pending p in
+      let want =
+        if Rng.float c.rng < t.plan.split_chance && t.plan.max_split > 0 then begin
+          t.splits <- t.splits + 1;
+          min want (1 + Rng.int c.rng t.plan.max_split)
+        end
+        else want
+      in
+      match Unix.write_substring dst (Buffer.contents p.buf) p.pos want with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+      | exception Unix.Unix_error (_, _, _) -> close_conn t c
+      | written ->
+          p.pos <- p.pos + written;
+          if pending p = 0 then begin
+            Buffer.clear p.buf;
+            p.pos <- 0
+          end
+    end
+  end
+
+let loop t =
+  let stop = ref false in
+  while not !stop do
+    (match t.deadline with Some d when Unix.gettimeofday () >= d -> stop := true | _ -> ());
+    if not !stop then begin
+      let readables =
+        t.stop_r :: t.listen_fd
+        :: List.concat_map
+             (fun c ->
+               (if c.c2s.src_eof then [] else [ c.down ])
+               @ if c.s2c.src_eof then [] else [ c.up ])
+             t.conns
+      in
+      let writables =
+        List.concat_map
+          (fun c ->
+            (if pending c.c2s > 0 then [ c.up ] else [])
+            @ if pending c.s2c > 0 then [ c.down ] else [])
+          t.conns
+      in
+      (* a short tick so stalled directions resume without new IO *)
+      match Unix.select readables writables [] 0.01 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | rs, ws, _ ->
+          if List.mem t.stop_r rs then stop := true
+          else begin
+            if List.mem t.listen_fd rs then accept_conn t;
+            List.iter
+              (fun c ->
+                if not c.dead then begin
+                  if List.mem c.down rs then pump_in t c c.c2s c.down;
+                  if (not c.dead) && List.mem c.up rs then pump_in t c c.s2c c.up
+                end)
+              t.conns;
+            List.iter
+              (fun c ->
+                if not c.dead then begin
+                  if List.mem c.up ws || pending c.c2s > 0 then pump_out t c c.c2s c.up;
+                  if (not c.dead) && (List.mem c.down ws || pending c.s2c > 0) then
+                    pump_out t c c.s2c c.down
+                end)
+              t.conns;
+            (* a direction that drained after its source EOF closes the
+               whole connection (request/response traffic does not use
+               half-close) *)
+            List.iter
+              (fun c ->
+                if
+                  (not c.dead)
+                  && ((c.c2s.src_eof && pending c.c2s = 0)
+                     || (c.s2c.src_eof && pending c.s2c = 0))
+                then close_conn t c)
+              t.conns
+          end
+    end
+  done;
+  List.iter (fun c -> close_conn t c) t.conns;
+  t.alive <- false
+
+let stats_json t =
+  Fmt.str
+    "{\"accepted\":%d,\"active\":%d,\"splits\":%d,\"stalls\":%d,\"resets\":%d,\"seed\":%d}"
+    t.accepted (List.length t.conns) t.splits t.stalls t.resets t.seed
+
+let start ?(max_clients = 64) ?deadline_s ~seed ~plan ~listen ~upstream () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let sa, dom, cleanup =
+    match listen with
+    | Server.Unix_socket path ->
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        ( Unix.ADDR_UNIX path,
+          Unix.PF_UNIX,
+          fun () -> try Unix.unlink path with Unix.Unix_error _ -> () )
+    | Server.Tcp _ ->
+        let sa, dom = resolve_addr listen in
+        (sa, dom, fun () -> ())
+  in
+  let listen_fd = Unix.socket dom Unix.SOCK_STREAM 0 in
+  (match listen with Server.Tcp _ -> Unix.setsockopt listen_fd Unix.SO_REUSEADDR true | _ -> ());
+  Unix.bind listen_fd sa;
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  let stop_r, stop_w = Unix.pipe () in
+  let t =
+    {
+      listen_fd;
+      bound = Unix.getsockname listen_fd;
+      upstream;
+      plan;
+      seed;
+      stop_r;
+      stop_w;
+      max_clients;
+      deadline = Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s;
+      cleanup;
+      conns = [];
+      next_cid = 1;
+      alive = true;
+      domain = None;
+      stopped = false;
+      rbuf = Bytes.create 65536;
+      accepted = 0;
+      splits = 0;
+      stalls = 0;
+      resets = 0;
+    }
+  in
+  t.domain <- Some (Domain.spawn (fun () -> loop t));
+  t
+
+let wait t =
+  match t.domain with
+  | Some d ->
+      Domain.join d;
+      t.domain <- None
+  | None -> ()
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    (try ignore (Unix.write_substring t.stop_w "x" 0 1) with Unix.Unix_error _ -> ());
+    wait t;
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      [ t.listen_fd; t.stop_r; t.stop_w ];
+    t.cleanup ()
+  end

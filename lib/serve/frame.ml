@@ -11,6 +11,13 @@ let oversized n =
   Diagnostic.error ~code:"XPDL701" "announced frame length %d exceeds the %d-byte maximum" n
     max_frame
 
+exception Closed of Diagnostic.t
+
+let reset_by_peer err =
+  Closed
+    (Diagnostic.error ~code:"XPDL708" "connection reset by peer during a frame write (%s)"
+       (Unix.error_message err))
+
 let encode payload =
   let n = String.length payload in
   if n > max_frame then invalid_arg "Frame.encode: payload exceeds max_frame";
@@ -98,6 +105,8 @@ let write_frame fd payload =
     | written -> off := !off + written
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> wait_writable fd
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET) as err, _, _) ->
+        raise (reset_by_peer err)
   done
 
 (* Read exactly [want] bytes into [b] at [off..]; false on EOF before

@@ -55,8 +55,16 @@ val close : decoder -> (unit, Diagnostic.t) result
 
 (** {1 Blocking transfers} *)
 
+(** Raised by {!write_frame} when the peer closed or reset the
+    connection mid-write ([EPIPE]/[ECONNRESET]).  The diagnostic
+    carries [XPDL708]: a session-level close the caller handles by
+    tearing down the one session (reclaiming its pins), never an
+    uncaught [Unix.Unix_error] that kills the process. *)
+exception Closed of Diagnostic.t
+
 (** Write the whole encoded frame, looping on short writes, [EINTR] and
-    [EAGAIN].  Raises [Unix.Unix_error] on a broken connection. *)
+    [EAGAIN].  Raises {!Closed} ([XPDL708]) when the peer reset the
+    connection, [Unix.Unix_error] on other transport failures. *)
 val write_frame : Unix.file_descr -> string -> unit
 
 (** Read one whole frame, looping on short reads, [EINTR] and [EAGAIN]:

@@ -25,9 +25,16 @@ type t = {
   sessions : (int, session) Hashtbl.t;
   mutable next_sid : int;
   mutable served : int;  (** requests dispatched, for [Stats] *)
+  dedup : (int, int * int) Hashtbl.t;  (** req_id -> payload fingerprint, answered rev *)
+  dedup_fifo : int Queue.t;  (** req_ids in arrival order, for window eviction *)
+  dedup_window : int;
+  mutable applied_edits : int;  (** edits actually applied to the store *)
+  mutable deduped : int;  (** duplicate req_ids answered from the window *)
 }
 
-let of_store st =
+let default_dedup_window = 4096
+
+let of_store ?(dedup_window = default_dedup_window) st =
   {
     st;
     head = Query.of_store ~source:"serve:head" st;
@@ -35,9 +42,15 @@ let of_store st =
     sessions = Hashtbl.create 7;
     next_sid = 1;
     served = 0;
+    dedup = Hashtbl.create 64;
+    dedup_fifo = Queue.create ();
+    dedup_window = max 1 dedup_window;
+    applied_edits = 0;
+    deduped = 0;
   }
 
-let create ?journal_capacity m = of_store (Store.of_model ?journal_capacity m)
+let create ?journal_capacity ?dedup_window m =
+  of_store ?dedup_window (Store.of_model ?journal_capacity m)
 let store t = t.st
 
 let session t =
@@ -165,13 +178,17 @@ let publish t ev =
 
 let snapshot_count t = Hashtbl.length t.snapshots
 let session_count t = Hashtbl.length t.sessions
+let applied_edits t = t.applied_edits
+let deduped t = t.deduped
 
 let stats_json t =
   Fmt.str
-    "{\"revision\":%d,\"size\":%d,\"journal_length\":%d,\"pinned\":[%a],\"sessions\":%d,\"snapshots\":%d,\"served\":%d}"
+    "{\"revision\":%d,\"size\":%d,\"journal_length\":%d,\"pinned\":[%a],\"sessions\":%d,\"snapshots\":%d,\"served\":%d,\"applied_edits\":%d,\"deduped\":%d,\"durable\":%b,\"wal_appended\":%d,\"model_fnv\":\"%016x\"}"
     (Store.revision t.st) (Store.size t.st) (Store.journal_length t.st)
     Fmt.(list ~sep:comma int)
-    (Store.pinned_revisions t.st) (session_count t) (snapshot_count t) t.served
+    (Store.pinned_revisions t.st) (session_count t) (snapshot_count t) t.served t.applied_edits
+    t.deduped (Store.durable t.st) (Store.wal_appended t.st)
+    (Xpdl_store.Wal.model_fingerprint (Store.model t.st))
 
 let do_pin t s =
   let rev = Store.pin t.st in
@@ -196,14 +213,52 @@ let do_unpin t s rev =
     Ok Unit
   end
 
-let do_edit t path key value unit_spelling =
+(* A canonical fingerprint of an edit's payload (request id excluded):
+   the id-less wire encoding hashed.  Good enough to tell "same edit
+   retransmitted" from "same id reused for different work". *)
+let edit_fingerprint path key value unit_spelling =
+  Hashtbl.hash
+    (Protocol.encode_request (Protocol.Edit { path; key; value; unit_spelling; req_id = None }))
+
+let remember_dedup t id fp rev =
+  if not (Hashtbl.mem t.dedup id) then begin
+    Queue.push id t.dedup_fifo;
+    if Queue.length t.dedup_fifo > t.dedup_window then
+      Hashtbl.remove t.dedup (Queue.pop t.dedup_fifo)
+  end;
+  Hashtbl.replace t.dedup id (fp, rev)
+
+let apply_edit t path key value unit_spelling =
   match Store.set_attr_raw t.st path ?unit_spelling key value with
   | (_ : Diagnostic.t list) ->
       let rev = Store.revision t.st in
+      t.applied_edits <- t.applied_edits + 1;
       publish t { Protocol.ev_rev = rev; ev_path = path; ev_kind = key };
-      Protocol.Ok (Int rev)
+      Result.Ok rev
   | exception Store.Store_error d ->
-      err "XPDL705" "edit rejected: [%s] %s" d.Diagnostic.code d.Diagnostic.message
+      Error (err "XPDL705" "edit rejected: [%s] %s" d.Diagnostic.code d.Diagnostic.message)
+
+let do_edit t path key value unit_spelling req_id =
+  match req_id with
+  | None -> (
+      match apply_edit t path key value unit_spelling with
+      | Result.Ok rev -> Protocol.Ok (Int rev)
+      | Error e -> e)
+  | Some id -> (
+      let fp = edit_fingerprint path key value unit_spelling in
+      match Hashtbl.find_opt t.dedup id with
+      | Some (fp', rev) when fp' = fp ->
+          (* idempotent replay: a retransmit of an already-acknowledged
+             edit answers the originally assigned revision *)
+          t.deduped <- t.deduped + 1;
+          Protocol.Ok (Int rev)
+      | Some _ -> err "XPDL905" "edit request id %d replayed with a different payload" id
+      | None -> (
+          match apply_edit t path key value unit_spelling with
+          | Result.Ok rev ->
+              remember_dedup t id fp rev;
+              Protocol.Ok (Int rev)
+          | Error e -> e))
 
 let handle t s (req : Protocol.request) : Protocol.response =
   t.served <- t.served + 1;
@@ -215,7 +270,8 @@ let handle t s (req : Protocol.request) : Protocol.response =
     | Unpin rev -> do_unpin t s rev
     | Query { rev; q } -> (
         match resolve_handle t s rev with Result.Ok h -> eval_query h q | Error e -> e)
-    | Edit { path; key; value; unit_spelling } -> do_edit t path key value unit_spelling
+    | Edit { path; key; value; unit_spelling; req_id } ->
+        do_edit t path key value unit_spelling req_id
     | Subscribe ->
         s.subscribed <- true;
         Ok Unit

@@ -31,11 +31,18 @@ type t
 type session
 
 (** Wrap a model (fresh store with [journal_capacity], default
-    {!Xpdl_store.Store.journal_capacity}). *)
-val create : ?journal_capacity:int -> Model.element -> t
+    {!Xpdl_store.Store.journal_capacity}).  [dedup_window] bounds the
+    idempotent-replay window: the hub remembers the last that many
+    distinct edit request ids (with the payload fingerprint and the
+    revision they were answered with), so a client retransmitting an
+    acknowledged edit after a timeout gets the original revision back
+    instead of applying the edit twice; the same id reused with a
+    different payload is rejected with [XPDL905].  Default 4096. *)
+val create : ?journal_capacity:int -> ?dedup_window:int -> Model.element -> t
 
-(** Serve an existing store (shares the journal and revisions). *)
-val of_store : Xpdl_store.Store.t -> t
+(** Serve an existing store (shares the journal and revisions) — the
+    way a WAL-recovered store ({!Xpdl_store.Store.recover}) is served. *)
+val of_store : ?dedup_window:int -> Xpdl_store.Store.t -> t
 
 val store : t -> Xpdl_store.Store.t
 
@@ -70,9 +77,19 @@ val snapshot_count : t -> int
 
 val session_count : t -> int
 
+(** Edits actually applied to the store (idempotent replays excluded).
+    [loadgen]'s acknowledged-edit counter must equal this after a run
+    with request ids — the exactly-once accounting check. *)
+val applied_edits : t -> int
+
+(** Duplicate request ids answered from the dedup window. *)
+val deduped : t -> int
+
 (** The [Stats] payload: a one-line JSON object with the head revision,
     model size, journal length, pinned revisions, session and snapshot
-    counts, and requests served. *)
+    counts, requests served, [applied_edits]/[deduped] edit accounting,
+    durability state, and the head model's [model_fnv] fingerprint (the
+    crash drill's bit-identity probe). *)
 val stats_json : t -> string
 
 val pp : Format.formatter -> t -> unit

@@ -27,7 +27,15 @@ let default_mix =
 
 type mode = Closed | Open of float
 
-type config = { clients : int; duration_s : float; mode : mode; mix : mix; seed : int }
+type config = {
+  clients : int;
+  duration_s : float;
+  mode : mode;
+  mix : mix;
+  seed : int;
+  req_ids : bool;
+  retry : Client.retry_policy option;
+}
 
 type report = {
   ops : int;
@@ -39,6 +47,9 @@ type report = {
   p99_us : float;
   mean_us : float;
   max_us : float;
+  acknowledged : int;
+  applied : int;
+  max_edit_rev : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -46,9 +57,28 @@ type report = {
 
 let pick rng (a : string array) = a.(Rng.int rng (Array.length a))
 
+(* Per-client mutable run state: the request-id sequence and the
+   edit-accounting counters the report aggregates. *)
+type client_state = {
+  idx : int;
+  id_base : int;
+  mutable seq : int;
+  mutable acked : int;
+  mutable max_rev : int;
+  mutable dead : bool;  (** server unreachable: stop this client's loop *)
+}
+
+let next_req_id cfg st =
+  if not cfg.req_ids then None
+  else begin
+    let id = (st.id_base lsl 24) lor (st.seq land 0xffffff) in
+    st.seq <- st.seq + 1;
+    Some id
+  end
+
 (* Draw an operation class by weight, then perform it; the returned
    request list is sent back-to-back and timed as one operation. *)
-let draw_requests cfg rng : Protocol.request list =
+let draw_requests cfg st rng : Protocol.request list =
   let m = cfg.mix in
   let w_edit = if Array.length m.edits = 0 then 0 else m.w_edit in
   let total = m.w_getter + m.w_derived + w_edit + m.w_pinned in
@@ -65,62 +95,95 @@ let draw_requests cfg rng : Protocol.request list =
           key = et.et_key;
           value = et.et_values.(Rng.int rng (Array.length et.et_values));
           unit_spelling = None;
+          req_id = next_req_id cfg st;
         };
     ]
   end
   else [ Protocol.Pin ]
 
+(* One request over the wire.  Transport failures (reset, deadline,
+   dead server) come back as [None]: the op counts as an error and the
+   client stops — a crashed server must not crash the generator. *)
+let send cfg st cl req =
+  match
+    match cfg.retry with
+    | Some policy -> Client.request_retry ~policy cl req
+    | None -> Client.request cl req
+  with
+  | resp -> Some resp
+  | exception (Client.Client_error _ | Frame.Closed _ | Unix.Unix_error _) ->
+      st.dead <- true;
+      None
+
+let note_edit_ok st (req : Protocol.request) (resp : Protocol.response) =
+  match (req, resp) with
+  | Protocol.Edit _, Protocol.Ok (Int rev) ->
+      st.acked <- st.acked + 1;
+      if rev > st.max_rev then st.max_rev <- rev
+  | _ -> ()
+
 (* A pinned round-trip needs the revision [Pin] answered before it can
    query and unpin, so it is driven reply-by-reply here. *)
-let perform cl cfg rng errors = function
+let perform cl cfg st rng errors = function
   | [ Protocol.Pin ] -> (
-      match Client.request cl Protocol.Pin with
-      | Protocol.Ok (Int rev) ->
+      match send cfg st cl Protocol.Pin with
+      | Some (Protocol.Ok (Int rev)) ->
           let q = pick rng cfg.mix.derived in
-          (match Client.request cl (Protocol.Query { rev; q }) with
-          | Protocol.Ok _ -> ()
+          (match send cfg st cl (Protocol.Query { rev; q }) with
+          | Some (Protocol.Ok _) -> ()
           | _ -> incr errors);
-          (match Client.request cl (Protocol.Unpin rev) with
-          | Protocol.Ok _ -> ()
+          (match send cfg st cl (Protocol.Unpin rev) with
+          | Some (Protocol.Ok _) -> ()
           | _ -> incr errors)
       | _ -> incr errors)
   | reqs ->
       List.iter
         (fun req ->
-          match Client.request cl req with Protocol.Ok _ -> () | _ -> incr errors)
+          match send cfg st cl req with
+          | Some (Protocol.Ok _ as resp) -> note_edit_ok st req resp
+          | _ -> incr errors)
         reqs
 
 let client_run addr cfg idx =
-  let cl = Client.connect addr in
   let rng = Rng.split (Rng.create ~seed:cfg.seed) (Fmt.str "client-%d" idx) in
-  let lats = ref [] and ops = ref 0 and errors = ref 0 in
-  let t0 = Unix.gettimeofday () in
-  let deadline = t0 +. cfg.duration_s in
-  (match cfg.mode with
-  | Closed ->
-      while Unix.gettimeofday () < deadline do
-        let reqs = draw_requests cfg rng in
-        let s = Unix.gettimeofday () in
-        perform cl cfg rng errors reqs;
-        lats := (Unix.gettimeofday () -. s) *. 1e6 :: !lats;
-        incr ops
-      done
-  | Open rate ->
-      let period = 1. /. rate in
-      let next = ref t0 in
-      while !next < deadline do
-        let now = Unix.gettimeofday () in
-        if now < !next then Unix.sleepf (!next -. now);
-        let reqs = draw_requests cfg rng in
-        perform cl cfg rng errors reqs;
-        (* latency from the scheduled send instant: queueing behind a
-           slow server is the server's latency, not omitted *)
-        lats := (Unix.gettimeofday () -. !next) *. 1e6 :: !lats;
-        incr ops;
-        next := !next +. period
-      done);
-  Client.close cl;
-  (!lats, !ops, !errors)
+  (* request ids must not collide across runs against one server: the
+     per-client base is drawn from the seeded stream, so distinct seeds
+     give distinct id spaces while a config replays deterministically *)
+  let st =
+    { idx; id_base = 1 + Rng.int rng ((1 lsl 30) - 1); seq = 0; acked = 0; max_rev = 0; dead = false }
+  in
+  ignore st.idx;
+  match Client.connect addr with
+  | exception Unix.Unix_error _ -> ([], 0, 1, st)
+  | cl ->
+      let lats = ref [] and ops = ref 0 and errors = ref 0 in
+      let t0 = Unix.gettimeofday () in
+      let deadline = t0 +. cfg.duration_s in
+      (match cfg.mode with
+      | Closed ->
+          while (not st.dead) && Unix.gettimeofday () < deadline do
+            let reqs = draw_requests cfg st rng in
+            let s = Unix.gettimeofday () in
+            perform cl cfg st rng errors reqs;
+            lats := (Unix.gettimeofday () -. s) *. 1e6 :: !lats;
+            incr ops
+          done
+      | Open rate ->
+          let period = 1. /. rate in
+          let next = ref t0 in
+          while (not st.dead) && !next < deadline do
+            let now = Unix.gettimeofday () in
+            if now < !next then Unix.sleepf (!next -. now);
+            let reqs = draw_requests cfg st rng in
+            perform cl cfg st rng errors reqs;
+            (* latency from the scheduled send instant: queueing behind a
+               slow server is the server's latency, not omitted *)
+            lats := (Unix.gettimeofday () -. !next) *. 1e6 :: !lats;
+            incr ops;
+            next := !next +. period
+          done);
+      Client.close cl;
+      (!lats, !ops, !errors, st)
 
 (* ------------------------------------------------------------------ *)
 
@@ -129,18 +192,62 @@ let percentile sorted p =
   if n = 0 then Float.nan
   else sorted.(min (n - 1) (int_of_float (Float.of_int n *. p)))
 
+(* Pull an integer field out of the hub's stats JSON (flat, known keys:
+   a full JSON parser would be overkill for ["\"key\":123"]). *)
+let scan_int_field json key =
+  let pat = "\"" ^ key ^ "\":" in
+  let plen = String.length pat and n = String.length json in
+  let rec find i =
+    if i + plen > n then None
+    else if String.sub json i plen = pat then begin
+      let j = ref (i + plen) in
+      let start = !j in
+      while !j < n && (match json.[!j] with '0' .. '9' | '-' -> true | _ -> false) do incr j done;
+      if !j > start then int_of_string_opt (String.sub json start (!j - start)) else None
+    end
+    else find (i + 1)
+  in
+  find 0
+
+(* The server-side edit count, for exactly-once accounting against the
+   clients' acknowledgements; [-1] when the server cannot answer. *)
+let fetch_applied addr =
+  match Client.connect addr with
+  | exception Unix.Unix_error _ -> -1
+  | cl ->
+      let applied =
+        match Client.request ~timeout:2.0 cl Protocol.Stats with
+        | Protocol.Ok (Str json) -> Option.value ~default:(-1) (scan_int_field json "applied_edits")
+        | _ -> -1
+        | exception (Client.Client_error _ | Frame.Closed _ | Unix.Unix_error _) -> -1
+      in
+      Client.close cl;
+      applied
+
 let run addr cfg =
   if cfg.clients <= 0 then invalid_arg "Loadgen: clients must be positive";
+  (* snapshot the server's cumulative edit counter up front so [applied]
+     reports only this run's delta — a second run against a long-lived
+     server must not inherit earlier runs' edits *)
+  let applied_before = fetch_applied addr in
   let t0 = Unix.gettimeofday () in
   let workers =
     List.init cfg.clients (fun idx -> Domain.spawn (fun () -> client_run addr cfg idx))
   in
   let results = List.map Domain.join workers in
   let elapsed_s = Unix.gettimeofday () -. t0 in
-  let lats = Array.of_list (List.concat_map (fun (l, _, _) -> l) results) in
+  let lats = Array.of_list (List.concat_map (fun (l, _, _, _) -> l) results) in
   Array.sort compare lats;
-  let ops = List.fold_left (fun acc (_, o, _) -> acc + o) 0 results in
-  let errors = List.fold_left (fun acc (_, _, e) -> acc + e) 0 results in
+  let ops = List.fold_left (fun acc (_, o, _, _) -> acc + o) 0 results in
+  let errors = List.fold_left (fun acc (_, _, e, _) -> acc + e) 0 results in
+  let acknowledged = List.fold_left (fun acc (_, _, _, st) -> acc + st.acked) 0 results in
+  let max_edit_rev = List.fold_left (fun acc (_, _, _, st) -> max acc st.max_rev) 0 results in
+  let applied =
+    match fetch_applied addr with
+    | -1 -> -1
+    | after when applied_before >= 0 -> after - applied_before
+    | after -> after
+  in
   let mean_us =
     if Array.length lats = 0 then Float.nan
     else Array.fold_left ( +. ) 0. lats /. float_of_int (Array.length lats)
@@ -155,13 +262,25 @@ let run addr cfg =
     p99_us = percentile lats 0.99;
     mean_us;
     max_us = (if Array.length lats = 0 then Float.nan else lats.(Array.length lats - 1));
+    acknowledged;
+    applied;
+    max_edit_rev;
   }
+
+(* Exactly-once accounting: every acknowledged edit was applied exactly
+   once.  Only meaningful when the run used request ids (otherwise a
+   retried edit can legitimately apply twice) and the server answered
+   [Stats]; a dead server reports [applied = -1] and does not diverge
+   here (the crash drill checks it offline via [walcheck]). *)
+let edits_diverged r = r.applied >= 0 && r.acknowledged <> r.applied
 
 let report_to_json r =
   Fmt.str
-    "{\"ops\":%d,\"errors\":%d,\"elapsed_s\":%.3f,\"throughput_ops_s\":%.1f,\"p50_us\":%.1f,\"p95_us\":%.1f,\"p99_us\":%.1f,\"mean_us\":%.1f,\"max_us\":%.1f}"
+    "{\"ops\":%d,\"errors\":%d,\"elapsed_s\":%.3f,\"throughput_ops_s\":%.1f,\"p50_us\":%.1f,\"p95_us\":%.1f,\"p99_us\":%.1f,\"mean_us\":%.1f,\"max_us\":%.1f,\"acknowledged\":%d,\"applied\":%d,\"max_edit_rev\":%d,\"edits_diverged\":%b}"
     r.ops r.errors r.elapsed_s r.throughput r.p50_us r.p95_us r.p99_us r.mean_us r.max_us
+    r.acknowledged r.applied r.max_edit_rev (edits_diverged r)
 
 let pp_report ppf r =
-  Fmt.pf ppf "%d ops (%d errors) in %.2fs: %.0f ops/s, p50 %.0fµs, p95 %.0fµs, p99 %.0fµs"
-    r.ops r.errors r.elapsed_s r.throughput r.p50_us r.p95_us r.p99_us
+  Fmt.pf ppf
+    "%d ops (%d errors) in %.2fs: %.0f ops/s, p50 %.0fµs, p95 %.0fµs, p99 %.0fµs; %d edits acked, %d applied"
+    r.ops r.errors r.elapsed_s r.throughput r.p50_us r.p95_us r.p99_us r.acknowledged r.applied

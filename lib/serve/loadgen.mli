@@ -40,11 +40,24 @@ val default_mix : mix
 
 type mode = Closed | Open of float  (** requests/second per client *)
 
-type config = { clients : int; duration_s : float; mode : mode; mix : mix; seed : int }
+type config = {
+  clients : int;
+  duration_s : float;
+  mode : mode;
+  mix : mix;
+  seed : int;
+  req_ids : bool;
+      (** stamp every edit with a client-assigned request id (drawn from
+          the seeded stream, unique per client per run) so server-side
+          dedup makes retried edits idempotent *)
+  retry : Client.retry_policy option;
+      (** retry transport failures with backoff + reconnect; [None]
+          fails the op on the first transport error *)
+}
 
 type report = {
   ops : int;  (** operations completed (a pinned round-trip counts once) *)
-  errors : int;  (** [Err] responses (still timed) *)
+  errors : int;  (** [Err] responses and transport failures (still timed) *)
   elapsed_s : float;
   throughput : float;  (** ops/s across all clients *)
   p50_us : float;
@@ -52,11 +65,25 @@ type report = {
   p99_us : float;
   mean_us : float;
   max_us : float;
+  acknowledged : int;  (** edits answered [Ok] to some client *)
+  applied : int;
+      (** this run's delta of the server's [applied_edits] stats counter
+          (sampled before and after, so a long-lived server's earlier
+          runs do not contaminate the accounting); [-1] when the server
+          could not answer (e.g. killed mid-drill) *)
+  max_edit_rev : int;  (** highest revision any edit was acknowledged at *)
 }
 
-(** Run the workload against a live server.  Raises if a client cannot
-    connect or a framing error occurs. *)
+(** Run the workload against a live server.  A server that dies
+    mid-run stops the affected clients (counted as errors) instead of
+    crashing the generator — the crash drill kills the server under
+    load on purpose. *)
 val run : Server.addr -> config -> report
+
+(** Exactly-once accounting violated: the server answered [Stats] and
+    its applied-edit count differs from the clients' acknowledged
+    count.  [xpdltool loadgen] exits nonzero on this. *)
+val edits_diverged : report -> bool
 
 val report_to_json : report -> string
 val pp_report : Format.formatter -> report -> unit

@@ -10,7 +10,13 @@ type request =
   | Pin
   | Unpin of int
   | Query of { rev : int; q : string }
-  | Edit of { path : int list; key : string; value : string; unit_spelling : string option }
+  | Edit of {
+      path : int list;
+      key : string;
+      value : string;
+      unit_spelling : string option;
+      req_id : int option;
+    }
   | Subscribe
   | Unsubscribe
   | Fetch of int
@@ -129,8 +135,14 @@ let encode_request req =
       w_u8 b 0x05;
       w_i64 b rev;
       w_str b q
-  | Edit { path; key; value; unit_spelling } ->
-      w_u8 b 0x06;
+  | Edit { path; key; value; unit_spelling; req_id } ->
+      (* 0x06 stays byte-identical to the pre-req-id wire form; edits
+         carrying a request id travel as 0x0b with the id first. *)
+      (match req_id with
+      | None -> w_u8 b 0x06
+      | Some id ->
+          w_u8 b 0x0b;
+          w_i64 b id);
       w_path b path;
       w_str b key;
       w_str b value;
@@ -168,12 +180,13 @@ let decode_request s : (request, Diagnostic.t) result =
           let rev = r_i64 r in
           let q = r_str r in
           Query { rev; q }
-      | 0x06 ->
+      | 0x06 | 0x0b ->
+          let req_id = if op = 0x0b then Some (r_i64 r) else None in
           let path = r_path r in
           let key = r_str r in
           let value = r_str r in
           let unit_spelling = match r_u8 r with 0 -> None | _ -> Some (r_str r) in
-          Edit { path; key; value; unit_spelling }
+          Edit { path; key; value; unit_spelling; req_id }
       | 0x07 -> Subscribe
       | 0x08 -> Unsubscribe
       | 0x09 -> Fetch (r_i64 r)
@@ -277,8 +290,10 @@ let pp_request ppf = function
   | Pin -> Fmt.pf ppf "pin"
   | Unpin r -> Fmt.pf ppf "unpin %d" r
   | Query { rev; q } -> Fmt.pf ppf "query@%d %S" rev q
-  | Edit { path; key; value; unit_spelling } ->
-      Fmt.pf ppf "edit %a %s=%S%a" pp_path path key value
+  | Edit { path; key; value; unit_spelling; req_id } ->
+      Fmt.pf ppf "edit%a %a %s=%S%a"
+        Fmt.(option (fmt "#%d"))
+        req_id pp_path path key value
         Fmt.(option (fmt ":%s"))
         unit_spelling
   | Subscribe -> Fmt.pf ppf "subscribe"

@@ -26,10 +26,22 @@ type request =
   | Query of { rev : int; q : string }
       (** evaluate query [q] against revision [rev] ([-1] = head; other
           revisions must be pinned by this session) *)
-  | Edit of { path : int list; key : string; value : string; unit_spelling : string option }
+  | Edit of {
+      path : int list;
+      key : string;
+      value : string;
+      unit_spelling : string option;
+      req_id : int option;
+    }
       (** elaborate [value] (with an optional unit spelling) and set
           attribute [key] at index path [path]; answers the new [Int]
-          revision *)
+          revision.  [req_id] is a client-assigned identifier for
+          idempotent replay: retransmitting the same id with the same
+          payload answers the originally assigned revision without
+          re-applying ([deduped] in the hub stats); the same id with a
+          {e different} payload is rejected with [XPDL905].  An edit
+          without an id travels as opcode [0x06] (byte-identical to the
+          pre-req-id wire form); with an id, as [0x0b]. *)
   | Subscribe
   | Unsubscribe
   | Fetch of int

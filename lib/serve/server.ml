@@ -152,6 +152,9 @@ let loop t =
 (* lifecycle *)
 
 let start ?(max_clients = 64) ?deadline_s addr hub =
+  (* a peer that resets mid-write must cost one connection (close +
+     session pin reclamation), not a process-killing SIGPIPE *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let domain_sock, sa, cleanup =
     match addr with
     | Unix_socket path ->

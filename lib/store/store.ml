@@ -72,6 +72,19 @@ type edit = { e_rev : revision; e_path : index_path; e_kind : edit_kind }
 
 let journal_capacity = 4096
 
+(* The durability attachment: an open write-ahead journal plus the
+   checkpoint cadence.  [checkpoint_rev] is the revision covered by the
+   last on-disk checkpoint — recovery replays only journal records newer
+   than it, and in-memory journal compaction treats it as a retention
+   floor exactly like a pin. *)
+type durability = {
+  wal : Wal.t;
+  dir : string;
+  checkpoint_every : int;
+  mutable checkpoint_rev : revision;
+  mutable since_checkpoint : int;
+}
+
 type t = {
   mutable root : Model.element;
   mutable rev : revision;
@@ -81,6 +94,7 @@ type t = {
   capacity : int;  (** journal retention floor for unpinned consumers *)
   mutable compact_at : int;  (** journal length at which to next attempt compaction *)
   pins : (revision, int) Hashtbl.t;  (** pinned revision -> pin count *)
+  mutable dur : durability option;
 }
 
 let of_model ?(journal_capacity = journal_capacity) m =
@@ -94,6 +108,7 @@ let of_model ?(journal_capacity = journal_capacity) m =
     capacity = journal_capacity;
     compact_at = 2 * journal_capacity;
     pins = Hashtbl.create 7;
+    dur = None;
   }
 
 let model t = t.root
@@ -162,6 +177,13 @@ let cache_at t path =
    which compaction must not reach. *)
 let min_pinned t = Hashtbl.fold (fun r _ acc -> min r acc) t.pins t.rev
 
+(* The checkpoint is a retention floor like a pin: edits newer than the
+   last durable checkpoint stay replayable in memory, so consumers that
+   resynchronize after a crash recovery can catch up from the
+   checkpoint revision without a full rebuild. *)
+let checkpoint_floor_of t =
+  match t.dur with Some d -> d.checkpoint_rev | None -> t.rev
+
 let record t path kind =
   t.rev <- t.rev + 1;
   t.journal <- { e_rev = t.rev; e_path = path; e_kind = kind } :: t.journal;
@@ -173,13 +195,35 @@ let record t path kind =
      flood still costs O(1) list cells per edit on average instead of an
      O(length) re-scan each time. *)
   if t.journal_len >= t.compact_at then begin
-    let floor = min (t.rev - t.capacity) (min_pinned t) in
+    let floor = min (t.rev - t.capacity) (min (min_pinned t) (checkpoint_floor_of t)) in
     if floor > t.rev - t.journal_len then begin
       t.journal <- List.filter (fun e -> e.e_rev > floor) t.journal;
       t.journal_len <- t.rev - floor
     end;
     t.compact_at <- max (2 * t.capacity) (t.journal_len + t.capacity)
   end
+
+(* Journal the accepted edit to the write-ahead log (when attached) and
+   roll a checkpoint at the configured cadence.  A WAL I/O failure is a
+   durability violation and surfaces as a raised [Store_error]: the edit
+   is applied in memory but the caller must not acknowledge it. *)
+let wal_append t op =
+  match t.dur with
+  | None -> ()
+  | Some d -> (
+      (match Wal.append d.wal ~rev:t.rev op with
+      | Ok () -> ()
+      | Error diag -> raise (Store_error diag));
+      d.since_checkpoint <- d.since_checkpoint + 1;
+      if d.since_checkpoint >= d.checkpoint_every then
+        match Wal.write_checkpoint ~dir:d.dir ~rev:t.rev t.root with
+        | Error diag -> raise (Store_error diag)
+        | Ok () -> (
+            match Wal.reset d.wal with
+            | Error diag -> raise (Store_error diag)
+            | Ok () ->
+                d.checkpoint_rev <- t.rev;
+                d.since_checkpoint <- 0))
 
 let update_model t path f =
   match Model.update_at t.root path f with
@@ -191,7 +235,8 @@ let update_model t path f =
 let set_attr t path key value =
   update_model t path (fun e -> Model.set_attr e key value);
   invalidate_spine t path;
-  record t path (Attr key)
+  record t path (Attr key);
+  wal_append t (Wal.Set_attr (path, key, value))
 
 let set_attr_raw t path ?unit_spelling key raw =
   let e = element_at_exn t path in
@@ -207,7 +252,8 @@ let set_attr_raw t path ?unit_spelling key raw =
 let remove_attr t path key =
   update_model t path (fun e -> Model.remove_attr e key);
   invalidate_spine t path;
-  record t path (Attr key)
+  record t path (Attr key);
+  wal_append t (Wal.Remove_attr (path, key))
 
 let replace_subtree t path replacement =
   update_model t path (fun _ -> replacement);
@@ -215,7 +261,8 @@ let replace_subtree t path replacement =
   (* the subtree under the edit is new: rebuild its cache skeleton *)
   let c = cache_at t path in
   c.kids <- Array.of_list (List.map cache_of replacement.Model.children);
-  record t path Structure
+  record t path Structure;
+  wal_append t (Wal.Replace_subtree (path, replacement))
 
 let insert_child t path ?at child =
   let parent = element_at_exn t path in
@@ -232,7 +279,8 @@ let insert_child t path ?at child =
   let before = List.filteri (fun i _ -> i < at) kids in
   let after = List.filteri (fun i _ -> i >= at) kids in
   c.kids <- Array.of_list (before @ (cache_of child :: after));
-  record t path Structure
+  record t path Structure;
+  wal_append t (Wal.Insert_child (path, at, child))
 
 let remove_child t path at =
   let parent = element_at_exn t path in
@@ -245,6 +293,7 @@ let remove_child t path at =
   let c = cache_at t path in
   c.kids <- Array.of_list (List.filteri (fun i _ -> i <> at) (Array.to_list c.kids));
   record t path Structure;
+  wal_append t (Wal.Remove_child (path, at));
   removed
 
 (** {1 Edit journal} *)
@@ -272,6 +321,107 @@ let unpin t r =
 
 let pinned_revisions t =
   List.sort_uniq compare (Hashtbl.fold (fun r _ acc -> r :: acc) t.pins [])
+
+(** {1 Durability: write-ahead journal and crash recovery} *)
+
+let apply_op t (op : Wal.op) =
+  match op with
+  | Wal.Set_attr (p, k, v) -> set_attr t p k v
+  | Wal.Remove_attr (p, k) -> remove_attr t p k
+  | Wal.Replace_subtree (p, m) -> replace_subtree t p m
+  | Wal.Insert_child (p, at, m) -> insert_child t p ~at m
+  | Wal.Remove_child (p, at) -> ignore (remove_child t p at)
+
+let ensure_dir dir =
+  match Unix.mkdir dir 0o755 with
+  | () -> Ok ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (Diagnostic.error ~code:"XPDL902" "cannot create wal directory %s: %s" dir
+           (Unix.error_message e))
+
+(* Replay the journal tail onto the base model.  Records are applied
+   strictly in revision sequence; anything out of sequence (a gap left
+   by an interrupted rotation, an op the recovered tree rejects) stops
+   the replay with a coded warning — recovery never crashes and never
+   applies a record it cannot trust. *)
+let replay_records t records =
+  let diags = ref [] in
+  let warn fmt =
+    Fmt.kstr (fun m -> diags := Diagnostic.warning ~code:"XPDL901" "%s" m :: !diags) fmt
+  in
+  let applied = ref 0 in
+  (try
+     List.iter
+       (fun (rev, op) ->
+         if rev <= t.rev then () (* obsolete: already covered by the checkpoint *)
+         else if rev <> t.rev + 1 then begin
+           warn "journal replay stopped: record revision %d does not follow head %d" rev t.rev;
+           raise Exit
+         end
+         else begin
+           apply_op t op;
+           incr applied
+         end)
+       records
+   with
+  | Exit -> ()
+  | Store_error d ->
+      warn "journal replay stopped: record rejected by the store: [%s] %s" d.Diagnostic.code
+        d.Diagnostic.message);
+  (!applied, List.rev !diags)
+
+let recover ?journal_capacity ?(policy = Wal.Interval 0.05) ?(checkpoint_every = 1024)
+    ?(read_only = false) ~dir init =
+  if checkpoint_every < 1 then invalid_arg "Store.recover: checkpoint_every < 1";
+  let ( let* ) = Result.bind in
+  let* () = if read_only then Ok () else ensure_dir dir in
+  let* base = Wal.load_checkpoint ~dir in
+  let fresh_diags, base_rev, base_model =
+    match base with
+    | Some (rev, m) -> ([], rev, m)
+    | None ->
+        ( [ Diagnostic.info ~code:"XPDL904" "no checkpoint in %s: starting fresh" dir ],
+          0,
+          init )
+  in
+  let* records, tail_diags, _clean_prefix = Wal.replay ~dir in
+  let t = of_model ?journal_capacity base_model in
+  t.rev <- base_rev;
+  let applied, replay_diags = replay_records t records in
+  let replay_info =
+    if applied > 0 then
+      [
+        Diagnostic.info ~code:"XPDL903" "recovered %s: replayed %d journal records onto revision %d"
+          dir applied base_rev;
+      ]
+    else []
+  in
+  let diags = fresh_diags @ tail_diags @ replay_diags @ replay_info in
+  if read_only then Ok (t, diags)
+  else
+    (* Roll the recovered head into a fresh checkpoint and restart the
+       journal empty: recovery converges the directory to its canonical
+       clean state (torn tails cut, gaps forgotten), so a second crash
+       right after recovery replays from here. *)
+    let* () = Wal.write_checkpoint ~dir ~rev:t.rev t.root in
+    let* wal = Wal.open_log ~dir ~policy () in
+    let* () = Wal.reset wal in
+    t.dur <- Some { wal; dir; checkpoint_every; checkpoint_rev = t.rev; since_checkpoint = 0 };
+    Ok (t, diags)
+
+let durable t = t.dur <> None
+let checkpoint_rev t = Option.map (fun d -> d.checkpoint_rev) t.dur
+let wal_appended t = match t.dur with Some d -> Wal.appended d.wal | None -> 0
+let sync_wal t = match t.dur with Some d -> Wal.sync d.wal | None -> ()
+
+let close_wal t =
+  match t.dur with
+  | None -> ()
+  | Some d ->
+      Wal.close d.wal;
+      t.dur <- None
 
 (** {1 Incremental derived attributes} *)
 

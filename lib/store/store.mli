@@ -125,6 +125,59 @@ val unpin : t -> revision -> unit
 (** Currently pinned revisions, ascending, without duplicates. *)
 val pinned_revisions : t -> revision list
 
+(** {1 Durability: write-ahead journal and crash recovery}
+
+    A durable store owns a {!Wal} directory: every accepted edit is
+    appended to [wal.log] (fsync'd per the policy) {e after} it is
+    applied and journaled in memory, and every [checkpoint_every] edits
+    the whole model image is rolled into an atomic checkpoint and the
+    journal restarted.  The checkpoint revision acts as an extra
+    in-memory journal retention floor (like a pin), so consumers that
+    resynchronize after a recovery can catch up without a full rebuild.
+
+    A WAL I/O failure raises {!Store_error} ([XPDL902]) out of the edit
+    call: the edit is applied in memory but must not be acknowledged as
+    durable. *)
+
+(** Open (or create) a durable store on [dir].  If a checkpoint exists
+    it wins over [init]; the journal tail is then replayed record by
+    record — a torn or corrupt tail is cut at the first bad length or
+    checksum with a coded [XPDL901] warning, never a crash.  The
+    recovered head is bit-identical to the pre-crash head built from
+    the same acknowledged edits (fuzz-checked by [store-durable]).
+    Recovery finishes by rolling a fresh checkpoint and restarting the
+    journal, so the directory converges to its clean state.
+
+    [read_only] inspects without touching the directory: no checkpoint
+    rewrite, no journal truncation, no attached WAL (the returned store
+    is not durable) — the offline [xpdltool walcheck] path.
+
+    The returned diagnostics are non-fatal findings ([XPDL901] torn
+    tail, [XPDL903] replay summary, [XPDL904] fresh directory). *)
+val recover :
+  ?journal_capacity:int ->
+  ?policy:Wal.fsync_policy ->
+  ?checkpoint_every:int ->
+  ?read_only:bool ->
+  dir:string ->
+  Model.element ->
+  (t * Diagnostic.t list, Diagnostic.t) result
+
+(** True when a WAL is attached (edits are journaled to disk). *)
+val durable : t -> bool
+
+(** Revision covered by the last on-disk checkpoint, when durable. *)
+val checkpoint_rev : t -> revision option
+
+(** Records appended to the WAL since it was opened (telemetry). *)
+val wal_appended : t -> int
+
+(** Force buffered WAL records to disk regardless of the fsync policy. *)
+val sync_wal : t -> unit
+
+(** Sync and close the WAL; the store stays usable but non-durable. *)
+val close_wal : t -> unit
+
 (** {1 Incremental derived attributes}
 
     A {!derived} is a registered {!Xpdl_energy.Aggregate.rule}: its

@@ -13,6 +13,7 @@ module Protocol = Xpdl_serve.Protocol
 module Hub = Xpdl_serve.Hub
 module Server = Xpdl_serve.Server
 module Client = Xpdl_serve.Client
+module Chaos = Xpdl_serve.Chaos
 
 let case name f = Alcotest.test_case name `Quick f
 let watts w = Model.Quantity (Xpdl_units.Units.watts w, "W")
@@ -147,8 +148,8 @@ let test_protocol_roundtrip () =
       Protocol.Query { rev = -1; q = "static-power" };
       Protocol.Query { rev = 17; q = "sel://core[@frequency]" };
       Protocol.Edit
-        { path = [ 0; 3; 1 ]; key = "frequency"; value = "2.5"; unit_spelling = Some "GHz" };
-      Protocol.Edit { path = []; key = "name"; value = "x"; unit_spelling = None };
+        { path = [ 0; 3; 1 ]; key = "frequency"; value = "2.5"; unit_spelling = Some "GHz"; req_id = None };
+      Protocol.Edit { path = []; key = "name"; value = "x"; unit_spelling = None; req_id = None };
       Protocol.Subscribe;
       Protocol.Unsubscribe;
       Protocol.Fetch (-1);
@@ -313,12 +314,12 @@ let test_hub_basics () =
     (code_of
        (Hub.handle h s
           (Protocol.Edit
-             { path = [ 0; 0 ]; key = "frequency"; value = "wat"; unit_spelling = Some "GHz" })));
+             { path = [ 0; 0 ]; key = "frequency"; value = "wat"; unit_spelling = Some "GHz"; req_id = None })));
   Alcotest.(check string)
     "dangling edit path" "XPDL705"
     (code_of
        (Hub.handle h s
-          (Protocol.Edit { path = [ 9; 9 ]; key = "frequency"; value = "1"; unit_spelling = None })));
+          (Protocol.Edit { path = [ 9; 9 ]; key = "frequency"; value = "1"; unit_spelling = None; req_id = None })));
   (* a fetched image parses back into an equivalent runtime model *)
   match Hub.handle h s (Protocol.Fetch (-1)) with
   | Protocol.Ok (Protocol.Blob bytes) ->
@@ -345,6 +346,7 @@ let test_hub_mvcc_and_events () =
              key = "static_power";
              value = Fmt.str "%d" (i mod 97);
              unit_spelling = Some "W";
+             req_id = None;
            })
     in
     ignore (ok_int r)
@@ -377,7 +379,7 @@ let test_hub_mvcc_and_events () =
     ignore
       (Hub.handle h writer
          (Protocol.Edit
-            { path = [ 1; 0 ]; key = "static_power"; value = string_of_int i; unit_spelling = Some "W" }))
+            { path = [ 1; 0 ]; key = "static_power"; value = string_of_int i; unit_spelling = Some "W"; req_id = None }))
   done;
   (match Hub.handle h writer (Protocol.EditsSince rev) with
   | Protocol.Ok (Protocol.Compacted head) ->
@@ -430,7 +432,7 @@ let test_server_socket () =
         ok_int
           (Client.request c2
              (Protocol.Edit
-                { path = core_path; key = "static_power"; value = "11"; unit_spelling = Some "W" }))
+                { path = core_path; key = "static_power"; value = "11"; unit_spelling = Some "W"; req_id = None }))
       in
       Alcotest.(check bool) "revision advanced" true (new_rev > rev);
       Alcotest.(check int64) "pinned read over the wire" pinned
@@ -467,11 +469,172 @@ let test_loadgen_smoke () =
       in
       let report =
         Xpdl_serve.Loadgen.run (Server.Unix_socket path)
-          { clients = 2; duration_s = 0.3; mode = Closed; mix; seed = 42 }
+          { clients = 2; duration_s = 0.3; mode = Closed; mix; seed = 42; req_ids = false; retry = None }
       in
       Alcotest.(check bool) "did work" true (report.ops > 0);
       Alcotest.(check int) "no errors" 0 report.errors;
       Alcotest.(check bool) "latencies sane" true (report.p50_us > 0. && report.p99_us >= report.p50_us))
+
+(* ------------------------------------------------------------------ *)
+(* Durable-serving robustness: coded session close on a reset peer,
+   idempotent edit replay by request id, retry exhaustion, and the
+   fault-injecting proxy. *)
+
+let test_frame_peer_close () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.close b;
+  (* large enough that the kernel cannot swallow it whole: the write
+     loop must hit EPIPE mid-frame and surface the coded close *)
+  (match Frame.write_frame a (String.make 4_000_000 'z') with
+  | () -> Alcotest.fail "write to a closed peer must raise"
+  | exception Frame.Closed d ->
+      Alcotest.(check string) "session-close code" "XPDL708" d.Diagnostic.code);
+  Unix.close a
+
+let test_server_reclaims_reset_session () =
+  let h = hub_small () in
+  let path = Filename.temp_file "xpdl-reset" ".sock" in
+  Unix.unlink path;
+  let srv = Server.start ~deadline_s:30. (Server.Unix_socket path) h in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let c1 = Client.connect (Server.Unix_socket path) in
+      ignore (ok_int (Client.request c1 Protocol.Pin));
+      Alcotest.(check bool)
+        "subscribe" true
+        (Client.request c1 Protocol.Subscribe = Protocol.Ok Protocol.Unit);
+      Alcotest.(check int) "pin held" 1 (List.length (Store.pinned_revisions (Hub.store h)));
+      (* the client vanishes without a goodbye; the next pushed event
+         write (or read EOF) must reclaim the session and its pins *)
+      Client.close c1;
+      let c2 = Client.connect (Server.Unix_socket path) in
+      let deadline = Unix.gettimeofday () +. 10. in
+      let rec drain i =
+        if Store.pinned_revisions (Hub.store h) = [] then ()
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.fail "server never reclaimed the dead session's pins"
+        else begin
+          ignore
+            (ok_int
+               (Client.request c2
+                  (Protocol.Edit
+                     {
+                       path = [ 0; 0 ];
+                       key = "static_power";
+                       value = string_of_int (i mod 50);
+                       unit_spelling = Some "W";
+                       req_id = None;
+                     })));
+          drain (i + 1)
+        end
+      in
+      drain 0;
+      Alcotest.(check (list int)) "pins reclaimed" [] (Store.pinned_revisions (Hub.store h));
+      Client.close c2)
+
+let test_hub_idempotent_edits () =
+  let h = hub_small () in
+  let s = Hub.session h in
+  let edit id v =
+    Protocol.Edit
+      { path = [ 0; 0 ]; key = "static_power"; value = v; unit_spelling = Some "W"; req_id = Some id }
+  in
+  let r1 = ok_int (Hub.handle h s (edit 7 "5")) in
+  Alcotest.(check int) "applied once" 1 (Hub.applied_edits h);
+  (* replaying the same request id with the same payload is answered
+     from the dedup window without touching the store *)
+  Alcotest.(check int) "replay returns the original revision" r1 (ok_int (Hub.handle h s (edit 7 "5")));
+  Alcotest.(check int) "not re-applied" 1 (Hub.applied_edits h);
+  Alcotest.(check int) "counted as deduped" 1 (Hub.deduped h);
+  Alcotest.(check int) "revision unmoved" r1 (Store.revision (Hub.store h));
+  (* the same id with a different payload is a client bug, not a replay *)
+  Alcotest.(check string) "id reuse" "XPDL905" (code_of (Hub.handle h s (edit 7 "6")));
+  Alcotest.(check int) "conflicting reuse not applied" 1 (Hub.applied_edits h);
+  let r2 = ok_int (Hub.handle h s (edit 8 "6")) in
+  Alcotest.(check bool) "fresh id advances" true (r2 > r1);
+  (* a bounded window: once an id ages out, its replay applies anew *)
+  let h2 = Hub.create ~dedup_window:2 (small_tree ()) in
+  let s2 = Hub.session h2 in
+  let r = ok_int (Hub.handle h2 s2 (edit 1 "1")) in
+  ignore (ok_int (Hub.handle h2 s2 (edit 2 "2")));
+  ignore (ok_int (Hub.handle h2 s2 (edit 3 "3")));
+  let r' = ok_int (Hub.handle h2 s2 (edit 1 "1")) in
+  Alcotest.(check bool) "evicted id re-applies" true (r' > r);
+  Alcotest.(check int) "no dedup after eviction" 0 (Hub.deduped h2)
+
+let test_client_retry_exhaustion () =
+  let h = hub_small () in
+  let path = Filename.temp_file "xpdl-retry" ".sock" in
+  Unix.unlink path;
+  let srv = Server.start ~deadline_s:30. (Server.Unix_socket path) h in
+  let c = Client.connect (Server.Unix_socket path) in
+  Alcotest.(check bool)
+    "retry path works on a live server" true
+    (Client.request_retry c Protocol.Ping = Protocol.Ok Protocol.Unit);
+  Server.stop srv;
+  let policy =
+    {
+      Client.default_retry with
+      attempts = 3;
+      backoff_base_s = 0.005;
+      deadline_s = Some 0.25;
+    }
+  in
+  (match Client.request_retry ~policy c Protocol.Ping with
+  | r -> Alcotest.failf "request against a dead server succeeded: %a" Protocol.pp_response r
+  | exception Client.Client_error d ->
+      Alcotest.(check string) "budget exhausted code" "XPDL906" d.Diagnostic.code);
+  Client.close c
+
+let test_chaos_proxy_torn_writes () =
+  let h = hub_small () in
+  let spath = Filename.temp_file "xpdl-chaos-srv" ".sock" in
+  Unix.unlink spath;
+  let ppath = Filename.temp_file "xpdl-chaos-px" ".sock" in
+  Unix.unlink ppath;
+  let srv = Server.start ~deadline_s:60. (Server.Unix_socket spath) h in
+  (* every relay write torn to at most 3 bytes, no stalls or resets:
+     deterministic, and every frame crosses in shreds *)
+  let plan =
+    { Chaos.default_plan with split_chance = 1.0; max_split = 3; stall_chance = 0.; reset_chance = 0. }
+  in
+  let px =
+    Chaos.start ~deadline_s:60. ~seed:7 ~plan ~listen:(Server.Unix_socket ppath)
+      ~upstream:(Server.Unix_socket spath) ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Chaos.stop px;
+      Server.stop srv)
+    (fun () ->
+      let c = Client.connect (Server.Unix_socket ppath) in
+      let last = ref 0 in
+      for i = 1 to 25 do
+        last :=
+          ok_int
+            (Client.request c
+               (Protocol.Edit
+                  {
+                    path = [ 0; 0 ];
+                    key = "static_power";
+                    value = string_of_int i;
+                    unit_spelling = Some "W";
+                    req_id = Some i;
+                  }))
+      done;
+      Alcotest.(check int) "every edit applied through torn writes" 25 (Hub.applied_edits h);
+      Alcotest.(check int) "revisions in order" 25 !last;
+      Client.close c;
+      let stats = Chaos.stats_json px in
+      let has sub =
+        let n = String.length stats and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub stats i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "splits counted" false (has "\"splits\":0,");
+      Alcotest.(check bool) "no resets injected" true (has "\"resets\":0,"))
 
 (* ------------------------------------------------------------------ *)
 
@@ -496,4 +659,12 @@ let () =
         ] );
       ( "server",
         [ case "socket smoke" test_server_socket; case "loadgen smoke" test_loadgen_smoke ] );
+      ( "robustness",
+        [
+          case "peer close mid-write" test_frame_peer_close;
+          case "dead session reclamation" test_server_reclaims_reset_session;
+          case "idempotent edit replay" test_hub_idempotent_edits;
+          case "retry exhaustion" test_client_retry_exhaustion;
+          case "chaos proxy torn writes" test_chaos_proxy_torn_writes;
+        ] );
     ]
